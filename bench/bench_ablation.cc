@@ -1,0 +1,302 @@
+// Ablations of Canal's design choices (DESIGN.md §6):
+//  A1: shuffle sharding vs naive fixed assignment — blast radius when one
+//      service's backends all die.
+//  A2: bucket-table chain length vs consecutive scale events survived.
+//  A3: health-check aggregation levels enabled one at a time.
+//  A4: Nagle aggregation on/off for small-packet eBPF redirection.
+//  A5: precise (RCA-sized) scaling vs blind single-step scaling — time and
+//      operations to recover from a surge.
+//  A6: session-aggregation tunnel count vs per-core load imbalance.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "canal/health_aggregation.h"
+#include "canal/scaling.h"
+#include "canal/sharding.h"
+#include "lb/aggregation.h"
+#include "lb/bucket_table.h"
+#include "proxy/nagle.h"
+
+namespace canal::bench {
+namespace {
+
+void ablation_sharding() {
+  constexpr int kServices = 60;
+  constexpr std::uint32_t kBackends = 12;
+  std::vector<net::BackendId> pool;
+  for (std::uint32_t i = 1; i <= kBackends; ++i) {
+    pool.push_back(static_cast<net::BackendId>(i));
+  }
+
+  // Shuffle sharding.
+  core::ShuffleShardAssigner assigner(3, sim::Rng(901));
+  assigner.set_pool(pool);
+  std::map<int, std::vector<net::BackendId>> shuffled;
+  for (int s = 0; s < kServices; ++s) {
+    shuffled[s] = *assigner.assign(static_cast<net::ServiceId>(s + 1));
+  }
+  // Naive: services striped onto fixed backend groups.
+  std::map<int, std::vector<net::BackendId>> naive;
+  for (int s = 0; s < kServices; ++s) {
+    const std::uint32_t g = static_cast<std::uint32_t>(s) % (kBackends / 3);
+    naive[s] = {pool[g * 3], pool[g * 3 + 1], pool[g * 3 + 2]};
+  }
+
+  auto fully_lost = [&](const std::map<int, std::vector<net::BackendId>>&
+                            assignment) {
+    // Kill service 0's backends; count other services with no survivor.
+    const auto& dead = assignment.at(0);
+    int lost = 0;
+    for (int s = 1; s < kServices; ++s) {
+      bool survivor = false;
+      for (const auto backend : assignment.at(s)) {
+        if (std::find(dead.begin(), dead.end(), backend) == dead.end()) {
+          survivor = true;
+        }
+      }
+      if (!survivor) ++lost;
+    }
+    return lost;
+  };
+
+  Table table("Ablation A1: shuffle sharding vs fixed groups (blast radius)");
+  table.header({"assignment", "services fully lost with service-0's backends",
+                "of"});
+  table.row({"fixed groups", fmt("%.0f", static_cast<double>(
+                                             fully_lost(naive))),
+             fmt("%.0f", static_cast<double>(kServices - 1))});
+  table.row({"shuffle sharding", fmt("%.0f", static_cast<double>(
+                                                 fully_lost(shuffled))),
+             fmt("%.0f", static_cast<double>(kServices - 1))});
+  table.print();
+}
+
+void ablation_chain_length() {
+  Table table("Ablation A2: bucket chain length vs scale events survived");
+  table.header({"chain length", "consecutive drains with owner reachable"});
+  for (const std::size_t chain : {2u, 4u, 8u}) {
+    lb::BucketTable table_under_test(256, chain);
+    std::vector<net::ReplicaId> replicas;
+    for (std::uint32_t r = 1; r <= 10; ++r) {
+      replicas.push_back(static_cast<net::ReplicaId>(r));
+    }
+    table_under_test.assign_round_robin({replicas[0]});
+    // A long-lived flow whose state stays on replica 1 while consecutive
+    // drain events prepend new heads; count how many events it survives.
+    const net::FiveTuple tuple{net::Ipv4Addr(10, 0, 0, 1),
+                               net::Ipv4Addr(10, 0, 0, 2), 77, 443,
+                               net::Protocol::kTcp};
+    const lb::Redirector redirector(table_under_test);
+    int survived = 0;
+    net::ReplicaId current_head = replicas[0];
+    for (std::uint32_t event = 1; event < 9; ++event) {
+      table_under_test.prepare_offline(current_head,
+                                       {replicas[event]});
+      current_head = replicas[event];
+      const auto decision = redirector.resolve(
+          tuple, false, [&](net::ReplicaId r, const net::FiveTuple&) {
+            return r == replicas[0];  // flow state lives on replica 1
+          });
+      if (decision && decision->target == replicas[0]) {
+        ++survived;
+      } else {
+        break;
+      }
+    }
+    table.row({fmt("%.0f", static_cast<double>(chain)),
+               fmt("%.0f", static_cast<double>(survived))});
+  }
+  table.print();
+  std::printf(
+      "  Canal's >2 chains ride out consecutive query-of-death crashes "
+      "(Beamer's 2 does not)\n");
+}
+
+void ablation_health_levels() {
+  core::HealthCheckTopology topology;
+  topology.replicas_per_backend = 32;
+  topology.cores_per_replica = 16;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    core::HealthCheckTopology::Placement placement;
+    placement.service = static_cast<net::ServiceId>(s + 1);
+    for (std::uint64_t a = 0; a < 7; ++a) {
+      placement.apps.push_back(static_cast<net::PodId>(s * 5 + a + 1));
+    }
+    placement.backends = {static_cast<net::BackendId>(1)};
+    topology.services.push_back(placement);
+  }
+  const auto load = core::compute_health_check_load(topology);
+  Table table("Ablation A3: health-check aggregation levels");
+  table.header({"levels enabled", "probes/s", "cumulative reduction"});
+  table.row({"none", fmt("%.0f", load.base), "0%"});
+  table.row({"+service merge", fmt("%.0f", load.service_level),
+             fmt_pct(1 - load.service_level / load.base)});
+  table.row({"+core election", fmt("%.0f", load.core_level),
+             fmt_pct(1 - load.core_level / load.base)});
+  table.row({"+replica HC proxy", fmt("%.0f", load.replica_level),
+             fmt_pct(1 - load.replica_level / load.base)});
+  table.print();
+}
+
+void ablation_nagle() {
+  const proxy::ProxyCostModel costs;
+  Table table("Ablation A4: Nagle aggregation for small-packet eBPF");
+  table.header({"write size", "segments (raw)", "segments (nagle)",
+                "cpu saved"});
+  for (const std::uint64_t bytes : {16u, 64u, 256u, 1024u}) {
+    constexpr int kWrites = 1000;
+    sim::EventLoop loop;
+    std::uint64_t nagle_segments = 0;
+    proxy::NagleBuffer nagle(loop, costs.mss_bytes, sim::milliseconds(1),
+                             [&](std::uint64_t, std::uint32_t) {
+                               ++nagle_segments;
+                             });
+    for (int i = 0; i < kWrites; ++i) nagle.write(bytes);
+    nagle.flush();
+    loop.run();
+    const double raw_cost = sim::to_microseconds(costs.redirect_cost(
+        proxy::RedirectMode::kEbpf, bytes * kWrites, kWrites));
+    const double nagle_cost = sim::to_microseconds(costs.redirect_cost(
+        proxy::RedirectMode::kEbpf, bytes * kWrites, nagle_segments));
+    table.row({fmt("%.0f B", static_cast<double>(bytes)),
+               fmt("%.0f", static_cast<double>(kWrites)),
+               fmt("%.0f", static_cast<double>(nagle_segments)),
+               fmt_pct(1.0 - nagle_cost / raw_cost)});
+  }
+  table.print();
+}
+
+void ablation_precise_vs_blind() {
+  auto run = [&](bool precise) {
+    sim::EventLoop loop;
+    core::GatewayConfig config;
+    core::MeshGateway gateway(loop, config, sim::Rng(911));
+    gateway.add_az(10);
+    k8s::Cluster cluster(loop, static_cast<net::TenantId>(1), sim::Rng(913));
+    cluster.add_node(static_cast<net::AzId>(0), 8);
+    k8s::Service& noisy = cluster.add_service("noisy");
+    std::vector<k8s::Service*> quiet;
+    for (int i = 0; i < 4; ++i) {
+      quiet.push_back(&cluster.add_service("quiet-" + std::to_string(i)));
+      cluster.add_pod(*quiet.back(), k8s::AppProfile{})
+          .set_phase(k8s::PodPhase::kRunning);
+    }
+    cluster.add_pod(noisy, k8s::AppProfile{})
+        .set_phase(k8s::PodPhase::kRunning);
+    core::CanalMesh mesh(loop, cluster, gateway, {}, sim::Rng(917));
+    mesh.install();
+    core::GatewayBackend* hot = gateway.placement_of(noisy.id).front();
+    for (k8s::Service* service : quiet) {
+      gateway.extend_service(service->id, *hot);
+    }
+    for (auto* backend : gateway.all_backends()) {
+      backend->start_sampling(sim::seconds(1));
+    }
+    core::ScalerConfig scaler_config;
+    if (!precise) {
+      // Blind scaling: no RCA sizing, one backend per alert, and it scales
+      // every hosted service instead of the root cause.
+      scaler_config.max_scale_out_per_event = 1;
+      scaler_config.rca.correlation_threshold = -1.0;  // everything suspect
+      scaler_config.rca.min_trend = -1e9;
+      scaler_config.rca.top_k = 16;
+    }
+    core::PreciseScaler scaler(loop, gateway, scaler_config, sim::Rng(919));
+    scaler.start();
+    sim::PeriodicTimer load(loop, sim::seconds(1), [&] {
+      const auto placement = gateway.placement_of(noisy.id);
+      for (auto* backend : placement) {
+        backend->inject_load(noisy.id,
+                             52000.0 /
+                                 static_cast<double>(placement.size()),
+                             sim::seconds(1));
+      }
+      for (k8s::Service* service : quiet) {
+        hot->inject_load(service->id, 300.0, sim::seconds(1));
+      }
+    });
+    load.start();
+    // Time until the hot backend's water level falls below 0.5.
+    sim::TimePoint recovered = -1;
+    sim::PeriodicTimer watch(loop, sim::seconds(1), [&] {
+      if (recovered < 0 && sim::to_seconds(loop.now()) > 20 &&
+          hot->cpu_utilization(sim::seconds(5)) < 0.5) {
+        recovered = loop.now();
+      }
+    });
+    watch.start();
+    loop.run_until(sim::minutes(10));
+    load.stop();
+    watch.stop();
+    scaler.stop();
+    for (auto* backend : gateway.all_backends()) backend->stop_sampling();
+    struct Outcome {
+      sim::TimePoint recovered;
+      std::size_t operations;
+    };
+    return Outcome{recovered, scaler.events().size()};
+  };
+
+  const auto precise = run(true);
+  const auto blind = run(false);
+  Table table("Ablation A5: precise (RCA-sized) vs blind scaling");
+  table.header({"strategy", "time to water level < 50%", "scaling ops"});
+  table.row({"precise",
+             precise.recovered < 0 ? "never"
+                                   : sim::format_duration(precise.recovered),
+             fmt("%.0f", static_cast<double>(precise.operations))});
+  table.row({"blind",
+             blind.recovered < 0 ? "never"
+                                 : sim::format_duration(blind.recovered),
+             fmt("%.0f", static_cast<double>(blind.operations))});
+  table.print();
+  std::printf(
+      "  blind scaling mis-targets services and fails to relieve the hot "
+      "backend\n");
+}
+
+void ablation_tunnel_count() {
+  Table table("Ablation A6: tunnels per replica vs core balance");
+  table.header({"tunnels (4-core replica)", "max core load share",
+                "ideal = 25%"});
+  for (const std::uint32_t tunnels : {4u, 8u, 40u, 160u}) {
+    lb::SessionAggregator::Config config;
+    config.router_ip = net::Ipv4Addr(100, 64, 0, 1);
+    config.tunnels_per_replica = tunnels;
+    const lb::SessionAggregator aggregator(config);
+    net::VSwitch vswitch;
+    std::map<std::size_t, std::uint64_t> per_core;
+    for (std::uint32_t i = 0; i < 100000; ++i) {
+      net::Packet packet;
+      packet.tuple = net::FiveTuple{
+          net::Ipv4Addr(10, static_cast<std::uint8_t>(i >> 16),
+                        static_cast<std::uint8_t>(i >> 8),
+                        static_cast<std::uint8_t>(i)),
+          net::Ipv4Addr(100, 64, 0, 1), static_cast<std::uint16_t>(i), 443,
+          net::Protocol::kTcp};
+      aggregator.encapsulate(packet, net::Ipv4Addr(172, 16, 0, 1));
+      ++per_core[vswitch.core_for(packet, 4)];
+    }
+    double max_share = 0;
+    for (const auto& [core, count] : per_core) {
+      max_share = std::max(max_share, count / 100000.0);
+    }
+    table.row({fmt("%.0f", static_cast<double>(tunnels)),
+               fmt_pct(max_share), max_share < 0.35 ? "ok" : "skewed"});
+  }
+  table.print();
+  std::printf("  ~10 tunnels per core evens out the hash skew (§4.4)\n");
+}
+
+}  // namespace
+}  // namespace canal::bench
+
+int main() {
+  canal::bench::ablation_sharding();
+  canal::bench::ablation_chain_length();
+  canal::bench::ablation_health_levels();
+  canal::bench::ablation_nagle();
+  canal::bench::ablation_precise_vs_blind();
+  canal::bench::ablation_tunnel_count();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark) for the hot dataplane primitives:
+// HTTP parsing, route resolution, flow hashing, bucket-table lookups,
+// ChaCha20, SipHash, the toy asymmetric ops, and session-table churn.
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/keyexchange.h"
+#include "crypto/mac.h"
+#include "http/parser.h"
+#include "http/route.h"
+#include "lb/bucket_table.h"
+#include "net/flow.h"
+#include "proxy/session_table.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace canal;
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  const std::string wire =
+      "POST /api/v1/orders?canary=1 HTTP/1.1\r\n"
+      "Host: orders.svc\r\nContent-Type: application/json\r\n"
+      "X-Request-Id: 123456\r\nContent-Length: 32\r\n\r\n"
+      "{\"item\": 42, \"qty\": 7, \"pad\": 1}";
+  for (auto _ : state) {
+    http::RequestParser parser;
+    benchmark::DoNotOptimize(parser.feed(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_HttpSerializeRequest(benchmark::State& state) {
+  http::Request req;
+  req.method = http::Method::kPost;
+  req.path = "/api/v1/orders";
+  req.headers.add("Host", "orders.svc");
+  req.headers.add("Content-Length", "32");
+  req.body.assign(32, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(req.serialize());
+  }
+}
+BENCHMARK(BM_HttpSerializeRequest);
+
+void BM_RouteResolve(benchmark::State& state) {
+  http::RouteTable table;
+  for (int i = 0; i < state.range(0); ++i) {
+    http::RouteRule rule;
+    rule.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+    rule.match.path = "/svc" + std::to_string(i) + "/";
+    rule.action.clusters = {{"cluster-" + std::to_string(i), 1}};
+    table.add_rule(rule);
+  }
+  http::RouteRule fallback;
+  fallback.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+  fallback.match.path = "/";
+  fallback.action.clusters = {{"default", 1}};
+  table.add_rule(fallback);
+  http::Request req;
+  req.path = "/svc" + std::to_string(state.range(0) / 2) + "/items";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.resolve(req, 0.5));
+  }
+}
+BENCHMARK(BM_RouteResolve)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_FlowHash(benchmark::State& state) {
+  net::FiveTuple tuple{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                       12345, 443, net::Protocol::kTcp};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::flow_hash(tuple));
+    ++tuple.src_port;
+  }
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_BucketTableResolve(benchmark::State& state) {
+  lb::BucketTable table(1024, 4);
+  std::vector<net::ReplicaId> replicas;
+  for (std::uint32_t r = 1; r <= 8; ++r) {
+    replicas.push_back(static_cast<net::ReplicaId>(r));
+  }
+  table.assign_round_robin(replicas);
+  table.prepare_offline(static_cast<net::ReplicaId>(3), replicas);
+  const lb::Redirector redirector(table);
+  net::FiveTuple tuple{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                       1, 443, net::Protocol::kTcp};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redirector.resolve(
+        tuple, false,
+        [](net::ReplicaId r, const net::FiveTuple&) {
+          return net::id_value(r) % 2 == 0;
+        }));
+    ++tuple.src_port;
+  }
+}
+BENCHMARK(BM_BucketTableResolve);
+
+void BM_ChaCha20(benchmark::State& state) {
+  const crypto::Key256 key = crypto::derive_key("bench", "key");
+  const crypto::Nonce96 nonce = crypto::derive_nonce("bench", 1);
+  std::string payload(static_cast<std::size_t>(state.range(0)), 'p');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::chacha20_apply(key, nonce, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64)->Arg(1448)->Arg(16384);
+
+void BM_SipHash(benchmark::State& state) {
+  crypto::Key128 key{};
+  key[0] = 7;
+  std::string payload(static_cast<std::size_t>(state.range(0)), 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::siphash24(key, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SipHash)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  sim::Rng rng(99);
+  const crypto::KeyPair kp = crypto::generate_keypair(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::sign(kp.private_key, "handshake-transcript", rng));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  sim::Rng rng(101);
+  const crypto::KeyPair kp = crypto::generate_keypair(rng);
+  const crypto::Signature sig =
+      crypto::sign(kp.private_key, "handshake-transcript", rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::verify(kp.public_key, "handshake-transcript", sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_SessionTableChurn(benchmark::State& state) {
+  proxy::SessionTable table(1 << 20);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    net::FiveTuple tuple{
+        net::Ipv4Addr(10, static_cast<std::uint8_t>(i >> 16),
+                      static_cast<std::uint8_t>(i >> 8),
+                      static_cast<std::uint8_t>(i)),
+        net::Ipv4Addr(10, 0, 0, 2), static_cast<std::uint16_t>(i), 443,
+        net::Protocol::kTcp};
+    table.insert(tuple, static_cast<net::ServiceId>(1), 0);
+    benchmark::DoNotOptimize(table.touch(tuple, 1));
+    table.remove(tuple);
+    ++i;
+  }
+}
+BENCHMARK(BM_SessionTableChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Fig 11: P99 latency under increasing workloads. Latency stays flat while
+// the offered load is within the dataplane's CPU capacity, then spikes when
+// cores saturate. The knee ("throughput") ordering is the paper's headline:
+// Canal >> Ambient > Istio (paper: 12.3x Istio, 2.3x Ambient).
+//
+// Core budget mirrors Fig 13's allocation: Istio sidecar pools 2 cores per
+// node (4 total); Ambient 1-core ztunnels + a 4-core waypoint; Canal 1-core
+// on-node proxies + a single 2-core gateway replica.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace canal::bench {
+namespace {
+
+struct SweepPoint {
+  double rps;
+  double p99_us;
+  double error_rate;
+};
+
+std::vector<SweepPoint> sweep(Testbed& bed, mesh::MeshDataplane& mesh,
+                              double start_rps, double max_rps) {
+  std::vector<SweepPoint> points;
+  for (double rps = start_rps; rps <= max_rps; rps *= 1.3) {
+    LoadResult result =
+        drive_open_loop(bed, mesh, rps, sim::seconds(2), false);
+    SweepPoint point{rps, result.latency_us.percentile(99),
+                     result.error_rate()};
+    points.push_back(point);
+    // Far past saturation: stop the sweep.
+    if (point.p99_us > 50'000 || point.error_rate > 0.2) break;
+  }
+  return points;
+}
+
+/// The "throughput" of Fig 11: the highest swept RPS whose P99 stays under
+/// an acceptable bound (5x the unloaded P99).
+double knee_rps(const std::vector<SweepPoint>& points) {
+  if (points.empty()) return 0.0;
+  const double bound = points.front().p99_us * 5.0;
+  double knee = points.front().rps;
+  for (const auto& point : points) {
+    if (point.p99_us <= bound && point.error_rate < 0.01) knee = point.rps;
+  }
+  return knee;
+}
+
+void fig11() {
+  Testbed::Options options;
+  options.app_service_time = sim::microseconds(100);
+  options.node_cores = 64;  // apps must not be the bottleneck
+  Testbed bed(options);
+
+  // Istio: 2 sidecar cores per node.
+  mesh::IstioMesh::Config istio_config;
+  istio_config.sidecar_cores_per_node = 2;
+  bed.istio = std::make_unique<mesh::IstioMesh>(bed.loop, bed.cluster,
+                                                istio_config, sim::Rng(7));
+  bed.istio->install();
+
+  // Ambient: 1-core ztunnels, 4-core waypoint.
+  mesh::AmbientMesh::Config ambient_config;
+  ambient_config.ztunnel_cores = 1;
+  ambient_config.waypoint_cores = 4;
+  bed.ambient = std::make_unique<mesh::AmbientMesh>(
+      bed.loop, bed.cluster, ambient_config, sim::Rng(8));
+  bed.ambient->install();
+
+  // Canal: 1-core on-node proxies, one 2-core gateway replica.
+  core::GatewayConfig gateway_config;
+  gateway_config.replicas_per_backend = 1;
+  gateway_config.replica_cores = 2;
+  gateway_config.backends_per_service_local = 1;
+  bed.gateway = std::make_unique<core::MeshGateway>(bed.loop, gateway_config,
+                                                    sim::Rng(9));
+  bed.gateway->add_az(1);
+  core::CanalMesh::Config canal_config;
+  canal_config.onnode.cores = 1;
+  bed.canal = std::make_unique<core::CanalMesh>(
+      bed.loop, bed.cluster, *bed.gateway, canal_config, sim::Rng(10));
+  bed.canal->install();
+
+  struct MeshRun {
+    const char* name;
+    mesh::MeshDataplane* mesh;
+    std::vector<SweepPoint> points;
+    double knee = 0;
+  };
+  std::vector<MeshRun> runs = {{"istio", bed.istio.get(), {}, 0},
+                               {"ambient", bed.ambient.get(), {}, 0},
+                               {"canal", bed.canal.get(), {}, 0}};
+  for (auto& run : runs) {
+    run.points = sweep(bed, *run.mesh, 200.0, 40'000.0);
+    run.knee = knee_rps(run.points);
+  }
+
+  Table table("Fig 11: P99 latency vs offered load");
+  table.header({"rps", "istio p99", "ambient p99", "canal p99"});
+  // Align rows on the swept rates of the longest run.
+  std::size_t longest = 0;
+  for (const auto& run : runs) longest = std::max(longest, run.points.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    std::vector<std::string> row;
+    row.push_back(
+        i < runs[2].points.size() ? fmt("%.0f", runs[2].points[i].rps) : "");
+    for (const auto& run : runs) {
+      row.push_back(i < run.points.size()
+                        ? fmt_us(run.points[i].p99_us)
+                        : "saturated");
+    }
+    table.row(row);
+  }
+  table.print();
+
+  Table summary("Fig 11 summary: throughput before latency spike");
+  summary.header({"dataplane", "max rps", "vs istio", "paper"});
+  summary.row({"istio", fmt("%.0f", runs[0].knee), "1.0x", "baseline"});
+  summary.row({"ambient", fmt("%.0f", runs[1].knee),
+               fmt_x(runs[1].knee / runs[0].knee), "~5.3x"});
+  summary.row({"canal", fmt("%.0f", runs[2].knee),
+               fmt_x(runs[2].knee / runs[0].knee),
+               "~12.3x (2.3x ambient)"});
+  summary.print();
+  std::printf("  canal vs ambient: %s (paper ~2.3x)\n",
+              fmt_x(runs[2].knee / runs[1].knee).c_str());
+}
+
+}  // namespace
+}  // namespace canal::bench
+
+int main() {
+  canal::bench::fig11();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Canary release: the mesh's L7 traffic control in action. A weighted
+// route table installed on the gateway splits /checkout traffic between
+// the stable and canary pod pools; header-based rules pin beta users to
+// the canary. The split is then shifted 5% -> 50% -> 100% while live
+// traffic flows.
+//
+// Run: ./build/examples/canary_release
+#include <cstdio>
+#include <map>
+
+#include "canal/canal_mesh.h"
+#include "canal/gateway.h"
+
+using namespace canal;
+
+namespace {
+
+// Installs a canary route table on every gateway replica hosting `service`:
+// X-Beta-User header -> canary; otherwise weighted split.
+void install_canary_routes(core::MeshGateway& gateway,
+                           const k8s::Service& service,
+                           std::uint32_t canary_percent) {
+  for (core::GatewayBackend* backend : gateway.placement_of(service.id)) {
+    for (std::size_t r = 0; r < backend->replica_count(); ++r) {
+      proxy::ProxyEngine& engine = backend->replica(r)->engine();
+      http::RouteTable table;
+
+      http::RouteRule beta;
+      beta.name = "beta-users-to-canary";
+      beta.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+      beta.match.path = "/";
+      beta.match.headers.push_back({"X-Beta-User", "", false});
+      beta.action.clusters = {{"checkout-canary", 1}};
+      table.add_rule(beta);
+
+      http::RouteRule split;
+      split.name = "weighted-split";
+      split.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+      split.match.path = "/";
+      split.action.clusters = {{"checkout-stable", 100 - canary_percent},
+                               {"checkout-canary", canary_percent}};
+      table.add_rule(split);
+      engine.set_route_table(service.id, std::move(table));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::EventLoop loop;
+  k8s::Cluster cluster(loop, static_cast<net::TenantId>(7), sim::Rng(11));
+  cluster.add_node(static_cast<net::AzId>(0), 8);
+  cluster.add_node(static_cast<net::AzId>(0), 8);
+
+  k8s::Service& checkout = cluster.add_service("checkout");
+  k8s::AppProfile app;
+  app.fast_service_mean = sim::milliseconds(1);
+  std::vector<k8s::Pod*> stable, canary;
+  for (int i = 0; i < 3; ++i) {
+    k8s::Pod& pod = cluster.add_pod(checkout, app);
+    pod.set_phase(k8s::PodPhase::kRunning);
+    stable.push_back(&pod);
+  }
+  for (int i = 0; i < 2; ++i) {
+    k8s::Pod& pod = cluster.add_pod(checkout, app);
+    pod.set_phase(k8s::PodPhase::kRunning);
+    canary.push_back(&pod);
+  }
+  k8s::Service& web = cluster.add_service("web");
+  k8s::Pod& client = cluster.add_pod(web, app);
+  client.set_phase(k8s::PodPhase::kRunning);
+
+  core::MeshGateway gateway(loop, core::GatewayConfig{}, sim::Rng(12));
+  gateway.add_az(2);
+  core::CanalMesh mesh(loop, cluster, gateway, core::CanalMesh::Config{},
+                       sim::Rng(13));
+  mesh.install();
+
+  // Dedicated upstream pools for the stable and canary versions.
+  for (core::GatewayBackend* backend : gateway.placement_of(checkout.id)) {
+    for (std::size_t r = 0; r < backend->replica_count(); ++r) {
+      auto& clusters = backend->replica(r)->engine().clusters();
+      auto& stable_pool = clusters.add_cluster("checkout-stable");
+      for (k8s::Pod* pod : stable) {
+        stable_pool.add_endpoint({pod->ip(), 8080}, net::id_value(pod->id()));
+      }
+      auto& canary_pool = clusters.add_cluster("checkout-canary");
+      for (k8s::Pod* pod : canary) {
+        canary_pool.add_endpoint({pod->ip(), 8080}, net::id_value(pod->id()));
+      }
+    }
+  }
+
+  auto measure_split = [&](int requests, bool beta_user) {
+    std::map<bool, int> hits;  // true = canary pod served
+    for (int i = 0; i < requests; ++i) {
+      mesh::RequestOptions request;
+      request.client = &client;
+      request.dst_service = checkout.id;
+      request.path = "/checkout/cart";
+      if (beta_user) request.headers = {{"X-Beta-User", "yes"}};
+      mesh.send_request(request, [&](mesh::RequestResult result) {
+        bool canary_hit = false;
+        for (k8s::Pod* pod : canary) {
+          if (pod->id() == result.served_by) canary_hit = true;
+        }
+        ++hits[canary_hit];
+      });
+    }
+    loop.run();
+    return hits;
+  };
+
+  for (const std::uint32_t percent : {5u, 50u, 100u}) {
+    install_canary_routes(gateway, checkout, percent);
+    auto split = measure_split(2000, false);
+    const int canary_hits = split[true];
+    const int total = split[true] + split[false];
+    std::printf(
+        "canary weight %3u%% -> %.1f%% of %d requests hit canary pods\n",
+        percent, canary_hits * 100.0 / total, total);
+  }
+
+  install_canary_routes(gateway, checkout, 5);
+  auto beta = measure_split(200, true);
+  std::printf("beta users (X-Beta-User header): %d/%d pinned to canary\n",
+              beta[true], 200);
+  return 0;
+}

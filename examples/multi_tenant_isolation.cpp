@@ -1,0 +1,155 @@
+// Multi-tenant isolation drill: two tenants with OVERLAPPING VPC address
+// space share the same gateway backends. Tenant B's service is hit by a
+// session-flood attack; the anomaly responder classifies it and performs a
+// lossy sandbox migration within seconds, while tenant A's traffic never
+// notices. Demonstrates VNI-based tenant differentiation, anomaly
+// classification, and rapid intervention (§4.2, §6.2).
+//
+// Run: ./build/examples/multi_tenant_isolation
+#include <cstdio>
+
+#include "canal/canal_mesh.h"
+#include "canal/gateway.h"
+#include "canal/intervention.h"
+#include "canal/scaling.h"
+
+using namespace canal;
+
+namespace {
+
+struct Tenant {
+  std::unique_ptr<k8s::Cluster> cluster;
+  std::unique_ptr<core::CanalMesh> mesh;
+  k8s::Service* service = nullptr;
+  k8s::Pod* client = nullptr;
+};
+
+Tenant make_tenant(sim::EventLoop& loop, core::MeshGateway& gateway,
+                   std::uint32_t id, std::uint64_t seed) {
+  Tenant tenant;
+  tenant.cluster = std::make_unique<k8s::Cluster>(
+      loop, static_cast<net::TenantId>(id), sim::Rng(seed));
+  tenant.cluster->add_node(static_cast<net::AzId>(0), 8);
+  tenant.service = &tenant.cluster->add_service("api");
+  k8s::AppProfile app;
+  app.fast_service_mean = sim::milliseconds(1);
+  for (int i = 0; i < 2; ++i) {
+    tenant.cluster->add_pod(*tenant.service, app)
+        .set_phase(k8s::PodPhase::kRunning);
+  }
+  k8s::Service& client_service = tenant.cluster->add_service("client");
+  tenant.client = &tenant.cluster->add_pod(client_service, app);
+  tenant.client->set_phase(k8s::PodPhase::kRunning);
+  tenant.mesh = std::make_unique<core::CanalMesh>(
+      loop, *tenant.cluster, gateway, core::CanalMesh::Config{},
+      sim::Rng(seed + 1));
+  tenant.mesh->install();
+  return tenant;
+}
+
+}  // namespace
+
+int main() {
+  sim::EventLoop loop;
+  core::MeshGateway gateway(loop, core::GatewayConfig{}, sim::Rng(31));
+  gateway.add_az(3);
+
+  Tenant alice = make_tenant(loop, gateway, 1, 100);
+  Tenant bob = make_tenant(loop, gateway, 2, 200);
+
+  // Both tenants use 10.x addresses — prove the pods literally overlap.
+  std::printf("tenant A pod ip: %s, tenant B pod ip: %s (same VPC space)\n",
+              alice.service->endpoints[0]->ip().to_string().c_str(),
+              bob.service->endpoints[0]->ip().to_string().c_str());
+  std::printf("  VNIs differ: A=%u B=%u -> the vSwitch maps VNI to a global "
+              "service ID before the gateway VM sees the packet\n",
+              alice.mesh->vni_of(alice.service->id),
+              bob.mesh->vni_of(bob.service->id));
+
+  // Intervention machinery.
+  for (auto* backend : gateway.all_backends()) {
+    backend->start_sampling(sim::seconds(1));
+  }
+  core::PreciseScaler scaler(loop, gateway, core::ScalerConfig{},
+                             sim::Rng(33));
+  core::MigrationController migrations(loop, gateway);
+  core::ResponderConfig responder_config;
+  core::AnomalyResponder responder(loop, gateway, scaler, migrations,
+                                   responder_config);
+  responder.start();
+
+  // Baseline traffic for both tenants.
+  std::uint64_t alice_ok = 0, alice_total = 0;
+  sim::PeriodicTimer alice_traffic(loop, sim::milliseconds(100), [&] {
+    mesh::RequestOptions request;
+    request.client = alice.client;
+    request.dst_service = alice.service->id;
+    alice.mesh->send_request(request, [&](mesh::RequestResult result) {
+      ++alice_total;
+      if (result.ok()) ++alice_ok;
+    });
+  });
+  alice_traffic.start();
+  sim::PeriodicTimer background(loop, sim::seconds(1), [&] {
+    for (auto* backend : gateway.placement_of(bob.service->id)) {
+      backend->inject_load(bob.service->id, 400.0, sim::seconds(1), 0.1);
+    }
+  });
+  background.start();
+  loop.run_until(sim::seconds(20));
+
+  // The attack: a session flood against tenant B's service.
+  std::printf("\n[t=20s] session-flood attack on tenant B begins\n");
+  core::GatewayBackend* victim_backend =
+      gateway.placement_of(bob.service->id).front();
+  for (std::size_t r = 0; r < victim_backend->replica_count(); ++r) {
+    auto& sessions = victim_backend->replica(r)->engine().sessions();
+    for (std::uint32_t i = 0; sessions.size() < sessions.capacity(); ++i) {
+      sessions.insert(
+          net::FiveTuple{
+              net::Ipv4Addr(66, static_cast<std::uint8_t>(i >> 16),
+                            static_cast<std::uint8_t>(i >> 8),
+                            static_cast<std::uint8_t>(i)),
+              net::Ipv4Addr(10, 255, 0, 9), static_cast<std::uint16_t>(i),
+              443, net::Protocol::kTcp},
+          bob.service->id, loop.now());
+    }
+  }
+  loop.run_until(sim::seconds(40));
+
+  std::printf("\nintervention log:\n");
+  for (const auto& event : responder.events()) {
+    std::printf("  backend %u: anomaly=%s action=%s at %s\n",
+                net::id_value(event.backend),
+                std::string(telemetry::anomaly_kind_name(event.anomaly)).c_str(),
+                event.action.c_str(),
+                sim::format_duration(event.time).c_str());
+  }
+  for (const auto& record : migrations.records()) {
+    std::printf("  migration: %s of tenant-B service, %zu sessions reset, "
+                "completed %s after start\n",
+                record.kind == core::MigrationKind::kLossy ? "LOSSY"
+                                                           : "LOSSLESS",
+                record.sessions_reset,
+                record.completed
+                    ? sim::format_duration(*record.completed - record.started)
+                          .c_str()
+                    : "(in progress)");
+  }
+  const auto placement = gateway.placement_of(bob.service->id);
+  std::printf("  tenant B now served from: %s\n",
+              placement.size() == 1 && placement.front()->is_sandbox()
+                  ? "SANDBOX (isolated from other tenants)"
+                  : "regular backends");
+
+  alice_traffic.stop();
+  background.stop();
+  responder.stop();
+  for (auto* backend : gateway.all_backends()) backend->stop_sampling();
+  loop.run_until(loop.now() + sim::seconds(2));
+
+  std::printf("\ntenant A during the whole incident: %llu/%llu requests OK\n",
+              static_cast<unsigned long long>(alice_ok),
+              static_cast<unsigned long long>(alice_total));
+  return 0;
+}

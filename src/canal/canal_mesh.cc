@@ -1,0 +1,328 @@
+#include "canal/canal_mesh.h"
+
+#include <algorithm>
+
+namespace canal::core {
+
+CanalMesh::CanalMesh(sim::EventLoop& loop, k8s::Cluster& cluster,
+                     MeshGateway& gateway, Config config, sim::Rng rng)
+    : loop_(loop),
+      cluster_(cluster),
+      gateway_(gateway),
+      config_(std::move(config)),
+      rng_(rng) {}
+
+CanalMesh::~CanalMesh() = default;
+
+OnNodeProxy& CanalMesh::ensure_proxy(const k8s::Node& node) {
+  auto& slot = proxies_[&node];
+  if (!slot) {
+    OnNodeProxy::Config proxy_config = config_.onnode;
+    proxy_config.identity =
+        "spiffe://tenant-" + std::to_string(net::id_value(cluster_.tenant())) +
+        "/node/" + std::to_string(net::id_value(node.id()));
+    slot = std::make_unique<OnNodeProxy>(loop_, node, proxy_config,
+                                         rng_.fork());
+    const auto ks_it = key_servers_.find(net::id_value(node.az()));
+    if (ks_it != key_servers_.end()) {
+      slot->attach_key_server(ks_it->second);
+    }
+    // L4 forwarding target for every service: the gateway VIP.
+    for (const auto& service : cluster_.services()) {
+      auto& upstream = slot->engine().clusters().add_cluster(
+          mesh::service_cluster_name(service->id));
+      if (upstream.endpoints().empty()) {
+        upstream.add_endpoint(net::Endpoint{net::Ipv4Addr(100, 64, 0, 1), 443},
+                              0);
+      }
+    }
+  }
+  return *slot;
+}
+
+void CanalMesh::attach_key_server(net::AzId az, crypto::KeyServer* server) {
+  key_servers_[net::id_value(az)] = server;
+  for (auto& [node, proxy] : proxies_) {
+    if (node->az() == az) proxy->attach_key_server(server);
+  }
+}
+
+void CanalMesh::install() {
+  for (const auto& node : cluster_.nodes()) {
+    ensure_proxy(*node);
+  }
+  // Services created after a proxy existed still need an L4 forwarding
+  // target (the gateway VIP) in that proxy.
+  for (auto& [node, proxy] : proxies_) {
+    for (const auto& service : cluster_.services()) {
+      auto& upstream = proxy->engine().clusters().add_cluster(
+          mesh::service_cluster_name(service->id));
+      if (upstream.endpoints().empty()) {
+        upstream.add_endpoint(
+            net::Endpoint{net::Ipv4Addr(100, 64, 0, 1), 443}, 0);
+      }
+    }
+  }
+  for (const auto& service : cluster_.services()) {
+    if (!vnis_.contains(service->id)) {
+      const std::uint32_t vni = gateway_.allocate_vni();
+      vnis_[service->id] = vni;
+      gateway_.register_service(*service, vni);
+    }
+    if (gateway_.placement_of(service->id).empty()) {
+      const net::AzId home_az = service->endpoints.empty()
+                                    ? static_cast<net::AzId>(0)
+                                    : service->endpoints.front()->node().az();
+      gateway_.install_service(*service, home_az);
+    }
+  }
+}
+
+void CanalMesh::on_pod_created(k8s::Pod& pod) {
+  ensure_proxy(pod.node());
+  k8s::Service* service = cluster_.find_service(pod.service());
+  if (service == nullptr) return;
+  install();
+  for (GatewayBackend* backend : gateway_.placement_of(service->id)) {
+    backend->refresh_endpoints(*service);
+  }
+}
+
+void CanalMesh::reinstall_all() { install(); }
+
+OnNodeProxy* CanalMesh::proxy_for(const k8s::Node& node) {
+  const auto it = proxies_.find(&node);
+  return it == proxies_.end() ? nullptr : it->second.get();
+}
+
+std::uint32_t CanalMesh::vni_of(net::ServiceId service) const {
+  const auto it = vnis_.find(service);
+  return it == vnis_.end() ? 0 : it->second;
+}
+
+void CanalMesh::send_request(const mesh::RequestOptions& opts,
+                             mesh::RequestCallback done) {
+  struct State {
+    http::Request req;
+    net::FiveTuple tuple;
+    sim::TimePoint start = 0;
+    mesh::RequestOptions opts;
+    mesh::RequestCallback done;
+    OnNodeProxy* client_proxy = nullptr;
+    OnNodeProxy* server_proxy = nullptr;
+    GatewayReplica* replica = nullptr;
+    GatewayBackend* backend = nullptr;
+    proxy::UpstreamEndpoint* endpoint = nullptr;
+    k8s::Pod* target = nullptr;
+  };
+  auto st = std::make_shared<State>();
+  st->req = mesh::build_request(opts);
+  st->start = loop_.now();
+  st->opts = opts;
+  st->done = std::move(done);
+  st->tuple =
+      net::FiveTuple{opts.client->ip(), mesh::service_vip(opts.dst_service),
+                     next_port_++, 443, net::Protocol::kTcp};
+  if (next_port_ < 30000) next_port_ = 30000;
+
+  auto finish = [this, st](int status) {
+    if (st->endpoint != nullptr && st->endpoint->active_requests > 0) {
+      --st->endpoint->active_requests;
+    }
+    const sim::Duration latency = loop_.now() - st->start;
+    if (st->backend != nullptr) {
+      st->backend->stats_for(st->opts.dst_service)
+          .on_latency(sim::to_microseconds(latency));
+      if (status >= 400) {
+        st->backend->stats_for(st->opts.dst_service).on_error(loop_.now());
+      }
+    }
+    if (st->opts.close_after) {
+      if (st->client_proxy) st->client_proxy->engine().close_connection(st->tuple);
+      if (st->server_proxy) st->server_proxy->engine().close_connection(st->tuple);
+      if (st->replica) st->replica->engine().close_connection(st->tuple);
+    }
+    mesh::RequestResult result;
+    result.status = status;
+    result.latency = latency;
+    if (st->target != nullptr) result.served_by = st->target->id();
+    st->done(result);
+  };
+
+  st->client_proxy = proxy_for(opts.client->node());
+  if (st->client_proxy == nullptr) {
+    finish(500);
+    return;
+  }
+  st->client_proxy->record_pod_traffic(opts.client->id(),
+                                       st->req.wire_size());
+
+  // On-node L4 hop (eBPF redirected, mTLS originate via key server).
+  st->client_proxy->engine().handle_request(
+      st->tuple, opts.dst_service, opts.new_connection, st->req,
+      [this, st, finish](proxy::ProxyEngine::RequestOutcome outcome) mutable {
+        if (!outcome.ok) {
+          finish(outcome.status);
+          return;
+        }
+        // Encapsulate toward the gateway: the vSwitch will map the VNI to
+        // the global service ID before the VM sees the packet.
+        net::Packet packet;
+        packet.tuple = st->tuple;
+        packet.payload_bytes =
+            static_cast<std::uint32_t>(st->req.wire_size());
+        if (st->opts.new_connection) packet.set_flag(net::TcpFlag::kSyn);
+        net::VxlanHeader vxlan;
+        vxlan.vni = vni_of(st->opts.dst_service);
+        vxlan.outer = net::FiveTuple{st->opts.client->node().ip(),
+                                     net::Ipv4Addr(100, 64, 0, 1),
+                                     st->tuple.src_port, 4789,
+                                     net::Protocol::kUdp};
+        packet.vxlan = vxlan;
+
+        const net::AzId client_az = st->opts.client->node().az();
+        const sim::Duration hop1 = config_.network.intra_az;
+        loop_.schedule(hop1, [this, st, finish, packet,
+                              client_az]() mutable {
+          gateway_.handle_request(
+              packet, st->opts.new_connection, config_.https, st->req,
+              client_az, [this, st, finish](GatewayOutcome outcome) mutable {
+                if (!outcome.ok) {
+                  finish(outcome.status);
+                  return;
+                }
+                st->replica = outcome.replica;
+                st->backend = outcome.backend;
+                st->endpoint = outcome.endpoint;
+                st->target = cluster_.find_pod(
+                    static_cast<net::PodId>(outcome.endpoint->key));
+                if (st->target == nullptr || !st->target->ready()) {
+                  finish(503);
+                  return;
+                }
+                st->server_proxy = &ensure_proxy(st->target->node());
+                const sim::Duration hop2 = config_.network.intra_az;
+                loop_.schedule(hop2, [this, st, finish, hop2]() mutable {
+                  st->server_proxy->engine().handle_inbound(
+                      st->tuple, st->opts.dst_service,
+                      st->opts.new_connection, st->req.wire_size(),
+                      [this, st, finish, hop2](bool ok, int status) mutable {
+                        if (!ok) {
+                          finish(status);
+                          return;
+                        }
+                        st->server_proxy->record_pod_traffic(
+                            st->target->id(), st->req.wire_size());
+                        st->target->handle_request(
+                            st->req, [this, st, finish,
+                                      hop2](http::Response resp) mutable {
+                              const std::uint64_t bytes = resp.wire_size();
+                              const int status = resp.status;
+                              // Response path: server proxy -> gateway
+                              // replica -> client proxy.
+                              st->server_proxy->engine().handle_response(
+                                  st->tuple, bytes,
+                                  [this, st, finish, bytes, status,
+                                   hop2]() mutable {
+                                    loop_.schedule(hop2, [this, st, finish,
+                                                          bytes,
+                                                          status]() mutable {
+                                      st->backend->handle_response(
+                                          *st->replica, st->tuple, bytes,
+                                          [this, st, finish, bytes,
+                                           status]() mutable {
+                                            const sim::Duration hop1 =
+                                                config_.network.intra_az;
+                                            loop_.schedule(
+                                                hop1,
+                                                [st, finish, bytes,
+                                                 status]() mutable {
+                                                  st->client_proxy->engine()
+                                                      .handle_response(
+                                                          st->tuple, bytes,
+                                                          [finish,
+                                                           status]() mutable {
+                                                            finish(status);
+                                                          });
+                                                });
+                                          });
+                                    });
+                                  });
+                            });
+                      });
+                });
+              });
+        });
+      });
+}
+
+std::vector<k8s::ConfigTarget> CanalMesh::routing_update_targets() const {
+  // Only the consolidated gateway needs traffic-control configuration.
+  // All replicas of a backend share one configuration set (Fig 8), and the
+  // backend group carries the tenant's full config for simplicity — the
+  // saving comes from pushing to O(backends), not O(pods).
+  std::vector<k8s::ConfigTarget> targets;
+  const std::size_t tenant_config = mesh::full_config_bytes(cluster_);
+  for (GatewayBackend* backend :
+       const_cast<MeshGateway&>(gateway_).all_backends()) {
+    if (!backend->services().empty()) {
+      targets.push_back(
+          {"gw-backend-" + std::to_string(net::id_value(backend->id())),
+           tenant_config});
+    }
+  }
+  return targets;
+}
+
+std::vector<k8s::ConfigTarget> CanalMesh::pod_create_targets(
+    const std::vector<k8s::Pod*>& new_pods) const {
+  std::vector<k8s::ConfigTarget> targets;
+  // Gateway backends hosting the affected services receive endpoint deltas.
+  std::vector<net::ServiceId> affected;
+  std::vector<const k8s::Node*> nodes;
+  for (const k8s::Pod* pod : new_pods) {
+    if (std::find(affected.begin(), affected.end(), pod->service()) ==
+        affected.end()) {
+      affected.push_back(pod->service());
+    }
+    if (std::find(nodes.begin(), nodes.end(), &pod->node()) == nodes.end()) {
+      nodes.push_back(&pod->node());
+    }
+  }
+  for (const auto service_id : affected) {
+    const k8s::Service* service = gateway_.service_object(service_id);
+    for (GatewayBackend* backend :
+         const_cast<MeshGateway&>(gateway_).placement_of(service_id)) {
+      targets.push_back(
+          {"gw-backend-" + std::to_string(net::id_value(backend->id())),
+           service != nullptr ? mesh::service_config_bytes(*service) : 512});
+    }
+  }
+  // On-node proxies need only identity material for the new pods.
+  for (const k8s::Node* node : nodes) {
+    targets.push_back(
+        {"onnode-" + std::to_string(net::id_value(node->id())),
+         OnNodeProxy::config_bytes()});
+  }
+  return targets;
+}
+
+double CanalMesh::user_cpu_core_seconds() const {
+  double total = 0.0;
+  for (const auto& [node, proxy] : proxies_) {
+    total += proxy->cpu().total_busy_core_seconds();
+  }
+  return total;
+}
+
+double CanalMesh::total_cpu_core_seconds() const {
+  return user_cpu_core_seconds() + gateway_.total_cpu_core_seconds();
+}
+
+std::size_t CanalMesh::proxy_count() const {
+  // Control-plane-managed entities: on-node proxies + gateway backends.
+  return proxies_.size() +
+         const_cast<MeshGateway&>(gateway_).all_backends().size();
+}
+
+}  // namespace canal::core

@@ -1,0 +1,75 @@
+// The Canal Mesh dataplane: on-node proxies + the centralized multi-tenant
+// mesh gateway + shared key servers (Fig 6).
+//
+// Request path (hairpin through the gateway, Appendix A):
+//   client app -> on-node proxy (eBPF redirect, L4, mTLS originate via key
+//   server) -> mesh gateway (VNI->service-ID at the vSwitch, ECMP,
+//   redirector, L7 routing, mTLS terminate) -> server-node on-node proxy
+//   (mTLS terminate) -> server app; responses retrace the path.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "canal/gateway.h"
+#include "canal/onnode.h"
+#include "crypto/keyserver.h"
+#include "mesh/dataplane.h"
+
+namespace canal::core {
+
+class CanalMesh final : public mesh::MeshDataplane {
+ public:
+  struct Config {
+    OnNodeProxy::Config onnode;
+    mesh::NetworkProfile network;
+    bool https = true;
+  };
+
+  CanalMesh(sim::EventLoop& loop, k8s::Cluster& cluster, MeshGateway& gateway,
+            Config config, sim::Rng rng);
+  ~CanalMesh() override;
+
+  /// Creates on-node proxies, assigns VNIs, places every service on the
+  /// gateway (home AZ = the AZ of the service's first endpoint).
+  void install();
+
+  /// Attaches the in-AZ key server to every on-node proxy in that AZ and
+  /// to gateway replicas (current and future) in that AZ.
+  void attach_key_server(net::AzId az, crypto::KeyServer* server);
+
+  void on_pod_created(k8s::Pod& pod);
+  void reinstall_all();
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "canal";
+  }
+  void send_request(const mesh::RequestOptions& opts,
+                    mesh::RequestCallback done) override;
+  [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
+      const override;
+  [[nodiscard]] std::vector<k8s::ConfigTarget> pod_create_targets(
+      const std::vector<k8s::Pod*>& new_pods) const override;
+  [[nodiscard]] double user_cpu_core_seconds() const override;
+  [[nodiscard]] double total_cpu_core_seconds() const override;
+  [[nodiscard]] std::size_t proxy_count() const override;
+
+  [[nodiscard]] OnNodeProxy* proxy_for(const k8s::Node& node);
+  [[nodiscard]] MeshGateway& gateway() noexcept { return gateway_; }
+  [[nodiscard]] std::uint32_t vni_of(net::ServiceId service) const;
+
+ private:
+  OnNodeProxy& ensure_proxy(const k8s::Node& node);
+
+  sim::EventLoop& loop_;
+  k8s::Cluster& cluster_;
+  MeshGateway& gateway_;
+  Config config_;
+  sim::Rng rng_;
+  std::unordered_map<const k8s::Node*, std::unique_ptr<OnNodeProxy>> proxies_;
+  std::unordered_map<net::ServiceId, std::uint32_t, net::IdHash> vnis_;
+  std::unordered_map<std::uint16_t, crypto::KeyServer*> key_servers_;
+  std::uint16_t next_port_ = 30000;
+};
+
+}  // namespace canal::core

@@ -1,0 +1,737 @@
+#include "canal/gateway.h"
+
+#include <algorithm>
+
+namespace canal::core {
+
+proxy::ProxyCostModel GatewayConfig::default_replica_costs() {
+  proxy::ProxyCostModel costs;
+  // Canal's gateway dataplane is purpose-built (not stock Envoy): a much
+  // lighter L7 path, no ingress redirection (traffic arrives by network).
+  costs.l7_process = sim::microseconds(90);
+  costs.l7_response_process = sim::microseconds(35);
+  return costs;
+}
+
+GatewayReplica::GatewayReplica(sim::EventLoop& loop, net::ReplicaId id,
+                               net::Ipv4Addr ip, const GatewayConfig& config,
+                               sim::Rng rng)
+    : id_(id), ip_(ip), cpu_(loop, config.replica_cores) {
+  proxy::ProxyEngine::Config engine_config;
+  engine_config.name = "gw-replica-" + std::to_string(net::id_value(id));
+  engine_config.l7 = true;
+  engine_config.redirect = proxy::RedirectMode::kNone;
+  engine_config.mtls = config.mtls;
+  engine_config.costs = config.replica_costs;
+  engine_config.session_capacity = config.session_capacity_per_replica;
+  engine_config.off_path_fraction = 0.1;
+  engine_ = std::make_unique<proxy::ProxyEngine>(loop, cpu_, engine_config,
+                                                 rng);
+}
+
+void GatewayReplica::fail() {
+  alive_ = false;
+  engine_->sessions().clear();
+}
+
+GatewayBackend::GatewayBackend(sim::EventLoop& loop, net::BackendId id,
+                               net::AzId az, const GatewayConfig& config,
+                               sim::Rng rng, bool is_sandbox)
+    : loop_(loop),
+      id_(id),
+      az_(az),
+      config_(config),
+      rng_(rng),
+      is_sandbox_(is_sandbox) {
+  for (std::size_t i = 0; i < config_.replicas_per_backend; ++i) {
+    add_replica();
+  }
+}
+
+GatewayBackend::~GatewayBackend() = default;
+
+bool GatewayBackend::alive() const {
+  return std::any_of(replicas_.begin(), replicas_.end(),
+                     [](const auto& r) { return r->alive(); });
+}
+
+GatewayReplica* GatewayBackend::find_replica(net::ReplicaId id) {
+  for (auto& r : replicas_) {
+    if (r->id() == id) return r.get();
+  }
+  return nullptr;
+}
+
+std::vector<net::ReplicaId> GatewayBackend::alive_replica_ids() const {
+  std::vector<net::ReplicaId> out;
+  for (const auto& r : replicas_) {
+    if (r->alive()) out.push_back(r->id());
+  }
+  return out;
+}
+
+GatewayReplica& GatewayBackend::add_replica() {
+  const auto rid = static_cast<net::ReplicaId>(
+      (net::id_value(id_) << 8) | (next_replica_ & 0xFF));
+  ++next_replica_;
+  const net::Ipv4Addr ip(172, 16,
+                         static_cast<std::uint8_t>(net::id_value(id_) & 0xFF),
+                         static_cast<std::uint8_t>(replicas_.size() + 1));
+  replicas_.push_back(
+      std::make_unique<GatewayReplica>(loop_, rid, ip, config_, rng_.fork()));
+  GatewayReplica& replica = *replicas_.back();
+  router_.add_member(net::Endpoint{ip, 443});
+  if (config_.handshake_factory) {
+    replica.engine().set_handshake_executor(config_.handshake_factory(az_));
+  }
+
+  // Re-install existing configuration on the new replica and let it take
+  // over a share of every service's buckets.
+  for (const auto& [service_id, service] : service_objects_) {
+    if (service != nullptr) {
+      mesh::install_service_config(replica.engine(), *service);
+    }
+  }
+  const std::size_t takeover =
+      config_.bucket_count / std::max<std::size_t>(1, replicas_.size());
+  for (auto& [service_id, table] : bucket_tables_) {
+    table.add_replica(replica.id(), takeover);
+  }
+  return replica;
+}
+
+void GatewayBackend::drain_replica(net::ReplicaId id) {
+  GatewayReplica* replica = find_replica(id);
+  if (replica == nullptr) return;
+  router_.remove_member(net::Endpoint{replica->ip(), 443});
+  auto available = alive_replica_ids();
+  available.erase(std::remove(available.begin(), available.end(), id),
+                  available.end());
+  for (auto& [service_id, table] : bucket_tables_) {
+    table.prepare_offline(id, available);
+  }
+}
+
+void GatewayBackend::fail_replica(net::ReplicaId id) {
+  GatewayReplica* replica = find_replica(id);
+  if (replica == nullptr) return;
+  replica->fail();
+  router_.remove_member(net::Endpoint{replica->ip(), 443});
+  auto available = alive_replica_ids();
+  for (auto& [service_id, table] : bucket_tables_) {
+    table.prepare_offline(id, available);
+    table.purge(id);
+  }
+}
+
+void GatewayBackend::recover_replica(net::ReplicaId id) {
+  GatewayReplica* replica = find_replica(id);
+  if (replica == nullptr) return;
+  const net::Endpoint endpoint{replica->ip(), 443};
+  if (replica->alive() && router_.contains(endpoint)) return;  // nothing to do
+  replica->recover();
+  // Covers both a crashed replica coming back and a drained one being
+  // re-admitted after a rolling restart.
+  if (!router_.contains(endpoint)) router_.add_member(endpoint);
+  const std::size_t takeover =
+      config_.bucket_count / std::max<std::size_t>(1, replicas_.size());
+  for (auto& [service_id, table] : bucket_tables_) {
+    table.add_replica(id, takeover);
+  }
+}
+
+void GatewayBackend::fail_all_replicas() {
+  for (auto& r : replicas_) {
+    if (r->alive()) fail_replica(r->id());
+  }
+}
+
+void GatewayBackend::install_service(const k8s::Service& service) {
+  services_.insert(service.id);
+  service_objects_[service.id] = &service;
+  for (auto& replica : replicas_) {
+    mesh::install_service_config(replica->engine(), service);
+  }
+  auto [it, inserted] = bucket_tables_.try_emplace(
+      service.id, config_.bucket_count, config_.bucket_chain_length);
+  if (inserted) it->second.assign_round_robin(alive_replica_ids());
+  stats_.try_emplace(service.id);
+}
+
+void GatewayBackend::remove_service(net::ServiceId service) {
+  services_.erase(service);
+  service_objects_.erase(service);
+  bucket_tables_.erase(service);
+  throttles_.erase(service);
+  throttle_meters_.erase(service);
+}
+
+void GatewayBackend::refresh_endpoints(const k8s::Service& service) {
+  for (auto& replica : replicas_) {
+    mesh::refresh_endpoints(replica->engine(), service);
+  }
+}
+
+const lb::BucketTable* GatewayBackend::bucket_table(
+    net::ServiceId service) const {
+  const auto it = bucket_tables_.find(service);
+  return it == bucket_tables_.end() ? nullptr : &it->second;
+}
+
+telemetry::ServiceStats& GatewayBackend::stats_for(net::ServiceId service) {
+  return stats_.try_emplace(service).first->second;
+}
+
+void GatewayBackend::set_throttle(net::ServiceId service, double rps_limit) {
+  throttles_[service] = rps_limit;
+  throttle_meters_.try_emplace(service, sim::kSecond);
+}
+
+void GatewayBackend::clear_throttle(net::ServiceId service) {
+  throttles_.erase(service);
+  throttle_meters_.erase(service);
+}
+
+std::optional<double> GatewayBackend::throttle_of(
+    net::ServiceId service) const {
+  const auto it = throttles_.find(service);
+  if (it == throttles_.end()) return std::nullopt;
+  return it->second;
+}
+
+void GatewayBackend::handle_request(const net::FiveTuple& tuple,
+                                    net::ServiceId service,
+                                    bool new_connection, bool https,
+                                    http::Request& req,
+                                    std::function<void(GatewayOutcome)> done) {
+  GatewayOutcome outcome;
+  if (!services_.contains(service)) {
+    outcome.status = 404;
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+
+  // Early rate limiting at the redirector: packets over quota are dropped
+  // before any L7 work (§6.2 throttling).
+  const auto throttle_it = throttles_.find(service);
+  if (throttle_it != throttles_.end()) {
+    auto& meter = throttle_meters_.try_emplace(service, sim::kSecond)
+                      .first->second;
+    if (meter.rate(loop_.now()) >= throttle_it->second) {
+      ++throttled_requests_;
+      outcome.status = 429;
+      loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+      return;
+    }
+    meter.record(loop_.now());
+  }
+
+  // ECMP arrival replica.
+  const auto arrival_ep = router_.route(tuple);
+  if (!arrival_ep) {
+    outcome.status = 503;  // no replica alive
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+
+  // Redirector: walk the per-service bucket chain to the owning replica.
+  const auto table_it = bucket_tables_.find(service);
+  if (table_it == bucket_tables_.end()) {
+    outcome.status = 500;
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+  const lb::Redirector redirector(table_it->second);
+  const auto decision = redirector.resolve(
+      tuple, new_connection, [this](net::ReplicaId rid,
+                                    const net::FiveTuple& t) {
+        const auto it =
+            std::find_if(replicas_.begin(), replicas_.end(),
+                         [&](const auto& r) { return r->id() == rid; });
+        return it != replicas_.end() && (*it)->knows_flow(t);
+      });
+  if (!decision) {
+    outcome.status = 503;
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+  GatewayReplica* target = find_replica(decision->target);
+  if (target == nullptr || !target->alive()) {
+    outcome.status = 503;
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+
+  stats_for(service).on_request(loop_.now(), new_connection, https);
+
+  const std::uint32_t hops = decision->redirections;
+  const sim::Duration chain_latency =
+      static_cast<sim::Duration>(hops) * config_.redirect_hop_latency;
+  loop_.schedule(chain_latency, [this, target, tuple, service, new_connection,
+                                 https, &req, hops,
+                                 done = std::move(done)]() mutable {
+    deliver_at_replica(*target, tuple, service, new_connection, https, req,
+                       hops, std::move(done));
+  });
+}
+
+void GatewayBackend::deliver_at_replica(
+    GatewayReplica& replica, const net::FiveTuple& tuple,
+    net::ServiceId service, bool new_connection, bool /*https*/,
+    http::Request& req, std::uint32_t redirections,
+    std::function<void(GatewayOutcome)> done) {
+  // Redirector lookup at each visited replica + tunnel disaggregation.
+  const sim::Duration pre_cost =
+      static_cast<sim::Duration>(redirections + 1) * config_.redirector_cost +
+      config_.disaggregation_cost;
+  const std::uint64_t hash = net::flow_hash(tuple);
+  replica.cpu().execute_pinned(hash, pre_cost, [this, &replica, tuple, service,
+                                                new_connection, &req,
+                                                redirections,
+                                                done = std::move(done)]() mutable {
+    replica.engine().handle_request(
+        tuple, service, new_connection, req,
+        [this, &replica, redirections,
+         done = std::move(done)](proxy::ProxyEngine::RequestOutcome r) mutable {
+          GatewayOutcome outcome;
+          outcome.ok = r.ok;
+          outcome.status = r.status;
+          outcome.endpoint = r.endpoint;
+          outcome.replica = &replica;
+          outcome.backend = this;
+          outcome.chain_redirections = redirections;
+          done(outcome);
+        });
+  });
+}
+
+void GatewayBackend::handle_response(GatewayReplica& replica,
+                                     const net::FiveTuple& tuple,
+                                     std::uint64_t bytes,
+                                     std::function<void()> done) {
+  replica.engine().handle_response(tuple, bytes, std::move(done));
+}
+
+double GatewayBackend::cpu_utilization(sim::Duration window) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : replicas_) {
+    if (!r->alive()) continue;
+    sum += r->cpu().utilization(window);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double GatewayBackend::session_occupancy() const {
+  std::size_t used = 0;
+  std::size_t capacity = 0;
+  for (const auto& r : replicas_) {
+    if (!r->alive()) continue;
+    used += const_cast<GatewayReplica&>(*r).engine().sessions().size();
+    capacity += const_cast<GatewayReplica&>(*r).engine().sessions().capacity();
+  }
+  return capacity == 0 ? 0.0
+                       : static_cast<double>(used) /
+                             static_cast<double>(capacity);
+}
+
+telemetry::BackendSnapshot GatewayBackend::snapshot(sim::Duration window) {
+  telemetry::BackendSnapshot snap;
+  snap.taken = loop_.now();
+  snap.cpu_utilization = cpu_utilization(window);
+  snap.session_occupancy = session_occupancy();
+  for (auto& [service, stats] : stats_) {
+    const double rps = stats.rps(loop_.now());
+    snap.service_rps[service] = rps;
+    snap.total_rps += rps;
+    snap.new_session_rate += stats.new_session_rate(loop_.now());
+  }
+  return snap;
+}
+
+void GatewayBackend::start_sampling(sim::Duration period) {
+  sampler_ = std::make_unique<sim::PeriodicTimer>(loop_, period, [this] {
+    util_history_.record(loop_.now(), cpu_utilization(sim::seconds(5)));
+    for (auto& replica : replicas_) {
+      replica->engine().sessions().expire_idle(loop_.now(),
+                                               config_.session_idle_timeout);
+    }
+    // Refresh the long-lived-session gauge (input to §6.3's migration
+    // selection: services with fewer long sessions migrate faster).
+    for (auto& [service, stats] : stats_) {
+      std::size_t long_sessions = 0;
+      for (auto& replica : replicas_) {
+        long_sessions += replica->engine().sessions().count_older_than(
+            service, loop_.now(), sim::minutes(1));
+      }
+      stats.set_long_sessions(long_sessions);
+    }
+  });
+  sampler_->start(period);
+}
+
+sim::Duration GatewayBackend::injected_request_cost() const {
+  return config_.replica_costs.l7_process +
+         config_.replica_costs.l7_response_process +
+         config_.replica_costs.crypto.symmetric_cost(2048) +
+         config_.redirector_cost + config_.disaggregation_cost;
+}
+
+void GatewayBackend::inject_load(net::ServiceId service, double rps,
+                                 sim::Duration window,
+                                 double new_session_fraction,
+                                 double https_fraction) {
+  if (rps <= 0) return;
+  const double requests = rps * sim::to_seconds(window);
+  const auto per_request = injected_request_cost();
+  std::vector<GatewayReplica*> alive;
+  for (auto& r : replicas_) {
+    if (r->alive()) alive.push_back(r.get());
+  }
+  if (alive.empty()) return;
+  // Spread the aggregate CPU across alive replicas and their cores.
+  const double per_replica_requests =
+      requests / static_cast<double>(alive.size());
+  for (GatewayReplica* replica : alive) {
+    const double per_core = per_replica_requests /
+                            static_cast<double>(replica->cpu().size());
+    for (std::size_t core = 0; core < replica->cpu().size(); ++core) {
+      const auto cost = static_cast<sim::Duration>(
+          per_core * static_cast<double>(per_request));
+      replica->cpu().core(core).execute(cost);
+    }
+  }
+  stats_for(service).on_requests(loop_.now(), requests,
+                                 requests * new_session_fraction,
+                                 requests * https_fraction, window);
+}
+
+void GatewayBackend::stop_sampling() {
+  if (sampler_) sampler_->stop();
+}
+
+std::size_t GatewayBackend::reset_service_sessions(net::ServiceId service) {
+  std::size_t total = 0;
+  for (auto& replica : replicas_) {
+    total += replica->engine().sessions().remove_for(service);
+  }
+  return total;
+}
+
+std::size_t GatewayBackend::sessions_for(net::ServiceId service) const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += const_cast<GatewayReplica&>(*replica)
+                 .engine()
+                 .sessions()
+                 .count_for(service);
+  }
+  return total;
+}
+
+MeshGateway::MeshGateway(sim::EventLoop& loop, GatewayConfig config,
+                         sim::Rng rng)
+    : loop_(loop), config_(config), rng_(rng) {}
+
+MeshGateway::~MeshGateway() = default;
+
+net::AzId MeshGateway::add_az(std::size_t backends) {
+  Az az;
+  az.id = static_cast<net::AzId>(next_az_++);
+  az.assigner = std::make_unique<ShuffleShardAssigner>(
+      config_.backends_per_service_local, rng_.fork());
+  azs_.push_back(std::move(az));
+  const net::AzId id = azs_.back().id;
+  for (std::size_t i = 0; i < backends; ++i) {
+    add_backend(id);
+  }
+  return id;
+}
+
+MeshGateway::Az& MeshGateway::az_of(net::AzId id) {
+  for (auto& az : azs_) {
+    if (az.id == id) return az;
+  }
+  throw std::out_of_range("unknown AZ");
+}
+
+GatewayBackend& MeshGateway::add_backend(net::AzId az_id, bool is_sandbox) {
+  Az& az = az_of(az_id);
+  az.backends.push_back(std::make_unique<GatewayBackend>(
+      loop_, static_cast<net::BackendId>(next_backend_++), az_id, config_,
+      rng_.fork(), is_sandbox));
+  GatewayBackend& backend = *az.backends.back();
+  if (is_sandbox) az.sandbox = &backend;
+
+  // Refresh the shuffle-shard pool with non-sandbox backends.
+  std::vector<net::BackendId> pool;
+  for (const auto& b : az.backends) {
+    if (!b->is_sandbox()) pool.push_back(b->id());
+  }
+  az.assigner->set_pool(std::move(pool));
+  return backend;
+}
+
+std::vector<GatewayBackend*> MeshGateway::backends_in(net::AzId az_id) {
+  std::vector<GatewayBackend*> out;
+  for (auto& az : azs_) {
+    if (az.id != az_id) continue;
+    for (auto& b : az.backends) out.push_back(b.get());
+  }
+  return out;
+}
+
+std::vector<GatewayBackend*> MeshGateway::all_backends() {
+  std::vector<GatewayBackend*> out;
+  for (auto& az : azs_) {
+    for (auto& b : az.backends) out.push_back(b.get());
+  }
+  return out;
+}
+
+GatewayBackend* MeshGateway::find_backend(net::BackendId id) {
+  for (auto& az : azs_) {
+    for (auto& b : az.backends) {
+      if (b->id() == id) return b.get();
+    }
+  }
+  return nullptr;
+}
+
+GatewayBackend* MeshGateway::sandbox(net::AzId az_id) {
+  Az& az = az_of(az_id);
+  if (az.sandbox == nullptr) {
+    add_backend(az_id, /*is_sandbox=*/true);
+  }
+  return az.sandbox;
+}
+
+ShuffleShardAssigner& MeshGateway::assigner(net::AzId az_id) {
+  return *az_of(az_id).assigner;
+}
+
+const k8s::Service* MeshGateway::service_object(net::ServiceId id) const {
+  const auto it = service_objects_.find(id);
+  return it == service_objects_.end() ? nullptr : it->second;
+}
+
+void MeshGateway::register_service(const k8s::Service& service,
+                                   std::uint32_t vni) {
+  service_objects_[service.id] = &service;
+  vswitch_.bind_vni(vni, service.id, service.tenant);
+}
+
+bool MeshGateway::install_service(const k8s::Service& service,
+                                  net::AzId home_az) {
+  service_objects_[service.id] = &service;
+  Az& home = az_of(home_az);
+  auto combination = home.assigner->assign(service.id);
+  if (!combination) {
+    // Combination space exhausted (small pools): overlap is unavoidable —
+    // fall back to the least-loaded local backends, keeping availability.
+    std::vector<GatewayBackend*> candidates;
+    for (auto& b : home.backends) {
+      if (!b->is_sandbox()) candidates.push_back(b.get());
+    }
+    if (candidates.empty()) return false;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const GatewayBackend* a, const GatewayBackend* b) {
+                if (a->services().size() != b->services().size()) {
+                  return a->services().size() < b->services().size();
+                }
+                return net::id_value(a->id()) < net::id_value(b->id());
+              });
+    std::vector<net::BackendId> fallback;
+    for (std::size_t i = 0;
+         i < config_.backends_per_service_local && i < candidates.size();
+         ++i) {
+      fallback.push_back(candidates[i]->id());
+    }
+    combination = std::move(fallback);
+  }
+
+  std::vector<net::BackendId> placement = *combination;
+  // Remote copies: least-loaded (fewest services) backends in other AZs.
+  for (auto& az : azs_) {
+    if (az.id == home_az) continue;
+    std::vector<GatewayBackend*> candidates;
+    for (auto& b : az.backends) {
+      if (!b->is_sandbox()) candidates.push_back(b.get());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const GatewayBackend* a, const GatewayBackend* b) {
+                if (a->services().size() != b->services().size()) {
+                  return a->services().size() < b->services().size();
+                }
+                return net::id_value(a->id()) < net::id_value(b->id());
+              });
+    for (std::size_t i = 0;
+         i < config_.backends_per_service_remote && i < candidates.size();
+         ++i) {
+      placement.push_back(candidates[i]->id());
+    }
+  }
+  for (const auto backend_id : placement) {
+    GatewayBackend* backend = find_backend(backend_id);
+    if (backend != nullptr) backend->install_service(service);
+  }
+  placements_[service.id] = std::move(placement);
+  return true;
+}
+
+void MeshGateway::remove_service(net::ServiceId service) {
+  const auto it = placements_.find(service);
+  if (it != placements_.end()) {
+    for (const auto backend_id : it->second) {
+      GatewayBackend* backend = find_backend(backend_id);
+      if (backend != nullptr) backend->remove_service(service);
+    }
+    placements_.erase(it);
+  }
+}
+
+std::vector<GatewayBackend*> MeshGateway::placement_of(
+    net::ServiceId service) {
+  std::vector<GatewayBackend*> out;
+  const auto it = placements_.find(service);
+  if (it == placements_.end()) return out;
+  for (const auto backend_id : it->second) {
+    GatewayBackend* backend = find_backend(backend_id);
+    if (backend != nullptr) out.push_back(backend);
+  }
+  return out;
+}
+
+void MeshGateway::extend_service(net::ServiceId service,
+                                 GatewayBackend& backend) {
+  const k8s::Service* object = service_object(service);
+  if (object == nullptr) return;
+  backend.install_service(*object);
+  auto& placement = placements_[service];
+  if (std::find(placement.begin(), placement.end(), backend.id()) ==
+      placement.end()) {
+    placement.push_back(backend.id());
+  }
+}
+
+void MeshGateway::retract_service(net::ServiceId service,
+                                  GatewayBackend& backend) {
+  backend.remove_service(service);
+  auto it = placements_.find(service);
+  if (it != placements_.end()) {
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), backend.id()), ids.end());
+  }
+}
+
+void MeshGateway::move_to_sandbox(net::ServiceId service, net::AzId az_id) {
+  GatewayBackend* box = sandbox(az_id);
+  const k8s::Service* object = service_object(service);
+  if (box == nullptr || object == nullptr) return;
+  // Remove from regular backends, keep only the sandbox placement.
+  const auto it = placements_.find(service);
+  if (it != placements_.end()) {
+    for (const auto backend_id : it->second) {
+      GatewayBackend* backend = find_backend(backend_id);
+      if (backend != nullptr && backend != box) {
+        backend->remove_service(service);
+      }
+    }
+  }
+  box->install_service(*object);
+  placements_[service] = {box->id()};
+}
+
+GatewayBackend* MeshGateway::resolve(net::ServiceId service,
+                                     net::AzId client_az) {
+  const auto it = placements_.find(service);
+  if (it == placements_.end()) return nullptr;
+  GatewayBackend* local_best = nullptr;
+  GatewayBackend* remote_best = nullptr;
+  for (const auto backend_id : it->second) {
+    GatewayBackend* backend = find_backend(backend_id);
+    if (backend == nullptr || !backend->alive()) continue;
+    if (backend->az() == client_az) {
+      // Lowest water level among healthy local backends.
+      if (local_best == nullptr ||
+          backend->cpu_utilization(sim::seconds(5)) <
+              local_best->cpu_utilization(sim::seconds(5))) {
+        local_best = backend;
+      }
+    } else if (remote_best == nullptr) {
+      remote_best = backend;
+    }
+  }
+  return local_best != nullptr ? local_best : remote_best;
+}
+
+void MeshGateway::handle_request(net::Packet packet, bool new_connection,
+                                 bool https, http::Request& req,
+                                 net::AzId client_az,
+                                 std::function<void(GatewayOutcome)> done) {
+  // The vSwitch maps the VNI to the global service ID before stripping the
+  // outer header — tenant differentiation despite overlapping VPC space.
+  if (!vswitch_.deliver_to_vm(packet)) {
+    GatewayOutcome outcome;
+    outcome.status = 403;  // unknown VNI: not a registered tenant network
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+  if (!packet.service_id) {
+    GatewayOutcome outcome;
+    outcome.status = 400;
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+  const net::ServiceId service = *packet.service_id;
+  GatewayBackend* backend = resolve(service, client_az);
+  if (backend == nullptr) {
+    GatewayOutcome outcome;
+    outcome.status = 503;
+    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    return;
+  }
+  const sim::Duration extra =
+      backend->az() == client_az
+          ? 0
+          : config_.network.cross_az - config_.network.intra_az;
+  loop_.schedule(extra, [backend, tuple = packet.tuple, service,
+                         new_connection, https, &req,
+                         done = std::move(done)]() mutable {
+    backend->handle_request(tuple, service, new_connection, https, req,
+                            std::move(done));
+  });
+}
+
+double MeshGateway::total_cpu_core_seconds() const {
+  double total = 0.0;
+  for (const auto& az : azs_) {
+    for (const auto& backend : az.backends) {
+      for (std::size_t i = 0; i < backend->replica_count(); ++i) {
+        total += const_cast<GatewayBackend&>(*backend)
+                     .replica(i)
+                     ->cpu()
+                     .total_busy_core_seconds();
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t MeshGateway::config_bytes() const {
+  std::size_t total = 0;
+  for (const auto& az : azs_) {
+    for (const auto& backend : az.backends) {
+      for (const auto service_id : backend->services()) {
+        const k8s::Service* service = service_object(service_id);
+        if (service != nullptr) {
+          total += mesh::service_config_bytes(*service);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace canal::core

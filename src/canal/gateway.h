@@ -1,0 +1,331 @@
+// The centralized multi-tenant mesh gateway (§4.2, Fig 6/8).
+//
+// Hierarchy: MeshGateway -> per-AZ GatewayBackends -> replica VMs.
+//   * A replica is a VM running the L7 proxy engine plus an embedded
+//     redirector (LB disaggregation, §4.4) and a disaggregator for
+//     session-aggregation tunnels.
+//   * A backend is a group of replicas sharing one configuration set; an
+//     ECMP router fronts the replicas and Beamer-style bucket tables
+//     (one per service) repair session consistency across replica changes.
+//   * Services are placed on multiple backends per AZ (shuffle sharding)
+//     and on backends in other AZs (hierarchical failure recovery); DNS
+//     resolution prefers healthy local-AZ backends.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "canal/sharding.h"
+#include "crypto/keyserver.h"
+#include "http/route.h"
+#include "k8s/objects.h"
+#include "lb/aggregation.h"
+#include "lb/bucket_table.h"
+#include "mesh/dataplane.h"
+#include "net/router.h"
+#include "net/vswitch.h"
+#include "proxy/engine.h"
+#include "telemetry/service_stats.h"
+#include "sim/cpu.h"
+#include "sim/event_loop.h"
+
+namespace canal::core {
+
+struct GatewayConfig {
+  std::size_t replica_cores = 2;
+  std::size_t replicas_per_backend = 2;
+  std::size_t session_capacity_per_replica = 100'000;
+  /// Backends a service occupies in its home AZ (shuffle-shard size).
+  std::size_t backends_per_service_local = 2;
+  /// Additional backends in each other AZ.
+  std::size_t backends_per_service_remote = 1;
+  std::size_t bucket_count = 64;
+  std::size_t bucket_chain_length = 4;
+  /// eBPF-accelerated redirector lookup (12–15x below L7 cost, §4.4).
+  sim::Duration redirector_cost = sim::microseconds(4);
+  /// VXLAN disaggregation CPU per packet at the replica (Appendix A).
+  sim::Duration disaggregation_cost = sim::microseconds(1);
+  /// Replica-to-replica hop during chain redirection.
+  sim::Duration redirect_hop_latency = sim::microseconds(80);
+  /// Idle flows age out of replica session tables after this long (drives
+  /// lossless-migration completion, §6.2).
+  sim::Duration session_idle_timeout = sim::minutes(15);
+  proxy::ProxyCostModel replica_costs = default_replica_costs();
+  mesh::NetworkProfile network;
+  bool mtls = true;
+  /// Builds the asymmetric-handshake executor for replicas in an AZ
+  /// (typically a key-server client). Applied to replicas as they are
+  /// created, including scale-out replicas.
+  std::function<proxy::ProxyEngine::HandshakeExecutor(net::AzId)>
+      handshake_factory;
+
+  /// Custom gateway dataplane: lighter L7 path than stock Envoy (§2.2
+  /// "substantial room for performance improvement").
+  [[nodiscard]] static proxy::ProxyCostModel default_replica_costs();
+};
+
+/// One replica VM of a gateway backend.
+class GatewayReplica {
+ public:
+  GatewayReplica(sim::EventLoop& loop, net::ReplicaId id, net::Ipv4Addr ip,
+                 const GatewayConfig& config, sim::Rng rng);
+
+  [[nodiscard]] net::ReplicaId id() const noexcept { return id_; }
+  [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void set_alive(bool alive) noexcept { alive_ = alive; }
+
+  [[nodiscard]] proxy::ProxyEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] sim::CpuSet& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const sim::CpuSet& cpu() const noexcept { return cpu_; }
+
+  /// Does this replica hold flow state for `tuple`?
+  [[nodiscard]] bool knows_flow(const net::FiveTuple& tuple) const {
+    return alive_ && engine_->sessions().find(tuple) != nullptr;
+  }
+
+  /// Crash: all sessions on this replica are lost.
+  void fail();
+  void recover() noexcept { alive_ = true; }
+
+ private:
+  net::ReplicaId id_;
+  net::Ipv4Addr ip_;
+  sim::CpuSet cpu_;
+  std::unique_ptr<proxy::ProxyEngine> engine_;
+  bool alive_ = true;
+};
+
+/// Outcome of a gateway request.
+class GatewayBackend;
+
+struct GatewayOutcome {
+  bool ok = false;
+  int status = 0;
+  proxy::UpstreamEndpoint* endpoint = nullptr;
+  GatewayReplica* replica = nullptr;
+  GatewayBackend* backend = nullptr;
+  std::uint32_t chain_redirections = 0;
+};
+
+/// A backend: a replica group sharing one configuration set.
+class GatewayBackend {
+ public:
+  GatewayBackend(sim::EventLoop& loop, net::BackendId id, net::AzId az,
+                 const GatewayConfig& config, sim::Rng rng,
+                 bool is_sandbox = false);
+  ~GatewayBackend();
+
+  [[nodiscard]] net::BackendId id() const noexcept { return id_; }
+  [[nodiscard]] net::AzId az() const noexcept { return az_; }
+  [[nodiscard]] bool is_sandbox() const noexcept { return is_sandbox_; }
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+
+  /// Any replica alive?
+  [[nodiscard]] bool alive() const;
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return replicas_.size();
+  }
+  [[nodiscard]] GatewayReplica* replica(std::size_t i) {
+    return replicas_.at(i).get();
+  }
+  [[nodiscard]] GatewayReplica* find_replica(net::ReplicaId id);
+
+  /// Installs a service's routes + endpoints on every replica and creates
+  /// its bucket table.
+  void install_service(const k8s::Service& service);
+  void remove_service(net::ServiceId service);
+  [[nodiscard]] bool hosts(net::ServiceId service) const {
+    return services_.contains(service);
+  }
+  [[nodiscard]] const std::set<net::ServiceId>& services() const noexcept {
+    return services_;
+  }
+  void refresh_endpoints(const k8s::Service& service);
+
+  /// Full request path inside the backend: ECMP arrival -> redirector
+  /// (bucket-table chain walk, possibly replica-to-replica hops) -> L7
+  /// processing at the owning replica.
+  void handle_request(const net::FiveTuple& tuple, net::ServiceId service,
+                      bool new_connection, bool https, http::Request& req,
+                      std::function<void(GatewayOutcome)> done);
+
+  /// Response-direction processing at the replica that served the request.
+  void handle_response(GatewayReplica& replica, const net::FiveTuple& tuple,
+                       std::uint64_t bytes, std::function<void()> done);
+
+  // --- elasticity & failure ------------------------------------------
+  GatewayReplica& add_replica();
+  /// Graceful drain: new flows move away, existing flows keep working.
+  void drain_replica(net::ReplicaId id);
+  /// Crash: sessions lost, ECMP membership shrinks, chains updated.
+  void fail_replica(net::ReplicaId id);
+  void fail_all_replicas();
+  /// Brings a failed replica back: re-admitted to ECMP and takes over a
+  /// share of every bucket table again.
+  void recover_replica(net::ReplicaId id);
+
+  // --- telemetry ------------------------------------------------------
+  [[nodiscard]] double cpu_utilization(sim::Duration window) const;
+  [[nodiscard]] double session_occupancy() const;
+  [[nodiscard]] telemetry::ServiceStats& stats_for(net::ServiceId service);
+  [[nodiscard]] const std::map<net::ServiceId, telemetry::ServiceStats>&
+  service_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] telemetry::BackendSnapshot snapshot(sim::Duration window);
+  [[nodiscard]] const sim::TimeSeries& util_history() const noexcept {
+    return util_history_;
+  }
+  /// Starts periodic water-level sampling (also expires idle sessions).
+  void start_sampling(sim::Duration period);
+  void stop_sampling();
+
+  /// Aggregate load injection: charges `rps * window` worth of requests to
+  /// the replicas' CPUs and records bulk stats, without simulating
+  /// individual requests. Used by cloud-scale benches (Figs 16–20) where
+  /// production RPS is far beyond per-event simulation.
+  void inject_load(net::ServiceId service, double rps, sim::Duration window,
+                   double new_session_fraction = 0.1,
+                   double https_fraction = 0.5);
+  /// CPU charged per injected request (defaults to the L7 request+response
+  /// cost of the replica profile).
+  [[nodiscard]] sim::Duration injected_request_cost() const;
+
+  // --- throttling (early rate limiting at the redirector, §6.2) -------
+  void set_throttle(net::ServiceId service, double rps_limit);
+  void clear_throttle(net::ServiceId service);
+  [[nodiscard]] std::optional<double> throttle_of(net::ServiceId service) const;
+  [[nodiscard]] std::uint64_t throttled_requests() const noexcept {
+    return throttled_requests_;
+  }
+
+  /// Resets every session belonging to `service` (lossy migration).
+  std::size_t reset_service_sessions(net::ServiceId service);
+  /// Sessions currently held for `service` across replicas.
+  [[nodiscard]] std::size_t sessions_for(net::ServiceId service) const;
+
+  [[nodiscard]] const lb::BucketTable* bucket_table(
+      net::ServiceId service) const;
+
+ private:
+  [[nodiscard]] std::vector<net::ReplicaId> alive_replica_ids() const;
+  void deliver_at_replica(GatewayReplica& replica, const net::FiveTuple& tuple,
+                          net::ServiceId service, bool new_connection,
+                          bool https, http::Request& req,
+                          std::uint32_t redirections,
+                          std::function<void(GatewayOutcome)> done);
+
+  sim::EventLoop& loop_;
+  net::BackendId id_;
+  net::AzId az_;
+  const GatewayConfig& config_;
+  sim::Rng rng_;
+  bool is_sandbox_;
+  std::vector<std::unique_ptr<GatewayReplica>> replicas_;
+  net::EcmpRouter router_;
+  std::map<net::ServiceId, lb::BucketTable> bucket_tables_;
+  std::set<net::ServiceId> services_;
+  std::unordered_map<net::ServiceId, const k8s::Service*, net::IdHash>
+      service_objects_;
+  std::map<net::ServiceId, telemetry::ServiceStats> stats_;
+  std::map<net::ServiceId, double> throttles_;
+  std::map<net::ServiceId, sim::RateMeter> throttle_meters_;
+  sim::TimeSeries util_history_{sim::hours(25)};
+  std::unique_ptr<sim::PeriodicTimer> sampler_;
+  std::uint64_t throttled_requests_ = 0;
+  std::uint32_t next_replica_ = 1;
+};
+
+/// The region-level gateway: backends across AZs + placement + DNS.
+class MeshGateway {
+ public:
+  MeshGateway(sim::EventLoop& loop, GatewayConfig config, sim::Rng rng);
+  ~MeshGateway();
+
+  [[nodiscard]] const GatewayConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Adds an AZ with `backends` initial backends. Returns the AZ id.
+  net::AzId add_az(std::size_t backends);
+  GatewayBackend& add_backend(net::AzId az, bool is_sandbox = false);
+  [[nodiscard]] std::vector<GatewayBackend*> backends_in(net::AzId az);
+  [[nodiscard]] std::vector<GatewayBackend*> all_backends();
+  [[nodiscard]] GatewayBackend* find_backend(net::BackendId id);
+  [[nodiscard]] GatewayBackend* sandbox(net::AzId az);
+
+  /// Places a service: shuffle-sharded local backends in `home_az` plus
+  /// remote copies in every other AZ, then installs configuration.
+  bool install_service(const k8s::Service& service, net::AzId home_az);
+  void remove_service(net::ServiceId service);
+  [[nodiscard]] std::vector<GatewayBackend*> placement_of(
+      net::ServiceId service);
+
+  /// Extends a service onto one more backend (precise scaling "Reuse"/"New").
+  void extend_service(net::ServiceId service, GatewayBackend& backend);
+  /// Removes one backend from a service's placement (post-migration
+  /// retirement); keeps the placement map consistent.
+  void retract_service(net::ServiceId service, GatewayBackend& backend);
+  /// Moves the service's placement to the sandbox (migration, §6.2).
+  void move_to_sandbox(net::ServiceId service, net::AzId az);
+
+  /// DNS resolution: healthy local-AZ backend hosting the service if any,
+  /// otherwise a healthy backend in another AZ (§4.2).
+  [[nodiscard]] GatewayBackend* resolve(net::ServiceId service,
+                                        net::AzId client_az);
+
+  /// Full gateway request entry: VNI mapping at the vSwitch, then the
+  /// resolved backend's ECMP/redirector/L7 path.
+  void handle_request(net::Packet packet, bool new_connection, bool https,
+                      http::Request& req, net::AzId client_az,
+                      std::function<void(GatewayOutcome)> done);
+
+  [[nodiscard]] net::VSwitch& vswitch() noexcept { return vswitch_; }
+  [[nodiscard]] ShuffleShardAssigner& assigner(net::AzId az);
+  [[nodiscard]] const k8s::Service* service_object(net::ServiceId id) const;
+
+  /// Registers the service's VNI binding + object for VNI-based dispatch.
+  void register_service(const k8s::Service& service, std::uint32_t vni);
+
+  /// Allocates a region-unique VNI. Tenant networks must never share VNIs
+  /// — the VNI is the only thing distinguishing overlapping VPC space.
+  std::uint32_t allocate_vni() noexcept { return next_vni_++; }
+
+  /// Total gateway CPU burned (cloud side), core-seconds.
+  [[nodiscard]] double total_cpu_core_seconds() const;
+  /// Installed configuration bytes across backends (control-plane model).
+  [[nodiscard]] std::size_t config_bytes() const;
+
+ private:
+  struct Az {
+    net::AzId id{};
+    std::vector<std::unique_ptr<GatewayBackend>> backends;
+    std::unique_ptr<ShuffleShardAssigner> assigner;
+    GatewayBackend* sandbox = nullptr;
+  };
+
+  Az& az_of(net::AzId id);
+
+  sim::EventLoop& loop_;
+  GatewayConfig config_;
+  sim::Rng rng_;
+  std::vector<Az> azs_;
+  net::VSwitch vswitch_;
+  std::unordered_map<net::ServiceId, std::vector<net::BackendId>, net::IdHash>
+      placements_;
+  std::unordered_map<net::ServiceId, const k8s::Service*, net::IdHash>
+      service_objects_;
+  std::uint32_t next_backend_ = 1;
+  std::uint16_t next_az_ = 0;
+  std::uint32_t next_vni_ = 100;
+};
+
+}  // namespace canal::core

@@ -1,0 +1,55 @@
+#include "canal/health_aggregation.h"
+
+#include <algorithm>
+
+namespace canal::core {
+
+HealthCheckLoad compute_health_check_load(
+    const HealthCheckTopology& topology) {
+  HealthCheckLoad load;
+  const double per_probe = 1.0 / topology.probe_interval_s;
+  const double replicas = static_cast<double>(topology.replicas_per_backend);
+  const double cores = static_cast<double>(topology.cores_per_replica);
+
+  // Backend -> services hosted there.
+  std::map<net::BackendId, std::vector<const HealthCheckTopology::Placement*>>
+      by_backend;
+  for (const auto& placement : topology.services) {
+    for (const auto backend : placement.backends) {
+      by_backend[backend].push_back(&placement);
+    }
+  }
+
+  double base_targets = 0.0;     // sum of per-service app counts
+  double merged_targets = 0.0;   // union of app sets per backend
+  for (const auto& [backend, placements] : by_backend) {
+    std::set<net::PodId> unioned;
+    for (const auto* placement : placements) {
+      base_targets += static_cast<double>(placement->apps.size());
+      unioned.insert(placement->apps.begin(), placement->apps.end());
+    }
+    merged_targets += static_cast<double>(unioned.size());
+  }
+
+  // Base: every core of every replica of every backend probes every app of
+  // every service configured on that backend.
+  load.base = base_targets * replicas * cores * per_probe;
+  // Service-level: overlapping app sets merged per backend.
+  load.service_level = merged_targets * replicas * cores * per_probe;
+  // Core-level: one elected core per replica probes.
+  load.core_level = merged_targets * replicas * per_probe;
+  // Replica-level: one dedicated health-check proxy per backend.
+  load.replica_level = merged_targets * per_probe;
+  return load;
+}
+
+void HealthCheckProxy::add_service(net::ServiceId /*service*/,
+                                   const std::vector<k8s::Pod*>& apps) {
+  for (k8s::Pod* pod : apps) {
+    if (pod != nullptr && targets_.insert(pod).second) {
+      prober_.add_target(pod);
+    }
+  }
+}
+
+}  // namespace canal::core

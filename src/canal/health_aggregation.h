@@ -1,0 +1,86 @@
+// Multi-level health-check aggregation (§6.1, Tables 6/7).
+//
+// A consolidated gateway multiplies health probes: every service on every
+// backend probes from every replica and every core, and services sharing
+// pods probe the same apps redundantly — up to 515x the app traffic.
+// Aggregation collapses this in three steps:
+//   service level — per backend, services with overlapping app sets probe
+//                   the union once instead of each probing its own set,
+//   core level    — one elected core probes on behalf of the others,
+//   replica level — a dedicated health-check proxy probes on behalf of
+//                   all replicas, which query its results.
+// This module provides both the closed-form load calculator used by the
+// Table 6/7 benches and a working HealthCheckProxy mechanism.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "k8s/health.h"
+#include "k8s/objects.h"
+#include "net/ids.h"
+#include "sim/event_loop.h"
+
+namespace canal::core {
+
+/// Static description of one health-check scenario.
+struct HealthCheckTopology {
+  struct Placement {
+    net::ServiceId service{};
+    std::vector<net::PodId> apps;          ///< pods backing the service
+    std::vector<net::BackendId> backends;  ///< gateway backends hosting it
+  };
+  std::vector<Placement> services;
+  std::size_t replicas_per_backend = 2;
+  std::size_t cores_per_replica = 2;
+  double probe_interval_s = 1.0;
+};
+
+/// Probe load (probes/s hitting user apps) after each aggregation level.
+struct HealthCheckLoad {
+  double base = 0.0;           ///< no aggregation
+  double service_level = 0.0;  ///< + overlapping-app-set merge per backend
+  double core_level = 0.0;     ///< + one probing core per replica
+  double replica_level = 0.0;  ///< + one health-check proxy per backend
+
+  [[nodiscard]] double reduction() const noexcept {
+    return base <= 0.0 ? 0.0 : 1.0 - replica_level / base;
+  }
+};
+
+[[nodiscard]] HealthCheckLoad compute_health_check_load(
+    const HealthCheckTopology& topology);
+
+/// Working replica-level aggregator: one dedicated prober per backend
+/// probing the union of apps; replicas query its verdicts.
+class HealthCheckProxy {
+ public:
+  HealthCheckProxy(sim::EventLoop& loop, sim::Duration interval)
+      : prober_(loop, interval) {}
+
+  /// Registers a service's app set; overlapping apps are deduplicated
+  /// (the service-level aggregation).
+  void add_service(net::ServiceId service, const std::vector<k8s::Pod*>& apps);
+
+  void start(sim::Duration initial_delay = 0) { prober_.start(initial_delay); }
+  void stop() { prober_.stop(); }
+
+  [[nodiscard]] bool healthy(const k8s::Pod* pod) const {
+    return prober_.last_healthy(pod);
+  }
+  [[nodiscard]] std::uint64_t probes_sent() const noexcept {
+    return prober_.probes_sent();
+  }
+  [[nodiscard]] std::size_t distinct_targets() const noexcept {
+    return targets_.size();
+  }
+
+ private:
+  k8s::HealthProber prober_;
+  std::set<k8s::Pod*> targets_;
+};
+
+}  // namespace canal::core

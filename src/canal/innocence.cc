@@ -1,0 +1,113 @@
+#include "canal/innocence.h"
+
+namespace canal::core {
+
+std::string_view probe_protocol_name(ProbeProtocol p) noexcept {
+  switch (p) {
+    case ProbeProtocol::kHttp: return "http";
+    case ProbeProtocol::kHttps: return "https";
+    case ProbeProtocol::kGrpc: return "grpc";
+    case ProbeProtocol::kWebSocket: return "websocket";
+  }
+  return "?";
+}
+
+InnocenceProber::InnocenceProber(sim::EventLoop& loop, CanalMesh& mesh,
+                                 k8s::Cluster& cluster, Config config)
+    : loop_(loop), mesh_(mesh), cluster_(cluster), config_(config) {}
+
+InnocenceProber::~InnocenceProber() = default;
+
+std::string InnocenceProber::probe_path(ProbeProtocol protocol) {
+  switch (protocol) {
+    case ProbeProtocol::kHttp: return "/probe/http";
+    case ProbeProtocol::kHttps: return "/probe/https";
+    case ProbeProtocol::kGrpc: return "/probe.v1.Echo/Ping";
+    case ProbeProtocol::kWebSocket: return "/probe/ws-upgrade";
+  }
+  return "/probe";
+}
+
+void InnocenceProber::deploy(const std::vector<net::AzId>& azs) {
+  k8s::AppProfile profile;
+  profile.fast_fraction = 1.0;
+  profile.fast_service_mean = sim::milliseconds(1);
+  profile.sigma = 0.05;
+  for (const auto az : azs) {
+    // A probe node per AZ (created if the cluster has none there).
+    k8s::Node* node = nullptr;
+    for (const auto& n : cluster_.nodes()) {
+      if (n->az() == az) node = n.get();
+    }
+    if (node == nullptr) node = &cluster_.add_node(az, 4);
+    for (const auto protocol : config_.protocols) {
+      Instance instance;
+      instance.az = az;
+      instance.protocol = protocol;
+      instance.service = &cluster_.add_service(
+          "probe-" + std::string(probe_protocol_name(protocol)) + "-az" +
+          std::to_string(net::id_value(az)));
+      instance.pod = &cluster_.add_pod(*instance.service, profile, node);
+      instance.pod->set_phase(k8s::PodPhase::kRunning);
+      instances_.push_back(instance);
+    }
+  }
+  mesh_.install();  // place probe services on the gateway
+}
+
+void InnocenceProber::start() {
+  timer_ = std::make_unique<sim::PeriodicTimer>(
+      loop_, config_.probe_interval, [this] { probe_once(); });
+  timer_->start(config_.probe_interval);
+}
+
+void InnocenceProber::stop() {
+  if (timer_) timer_->stop();
+}
+
+void InnocenceProber::probe_once() {
+  for (std::size_t src = 0; src < instances_.size(); ++src) {
+    for (std::size_t dst = 0; dst < instances_.size(); ++dst) {
+      if (src == dst) continue;
+      // Probe matches the destination's protocol flavor.
+      mesh::RequestOptions opts;
+      opts.client = instances_[src].pod;
+      opts.dst_service = instances_[dst].service->id;
+      opts.path = probe_path(instances_[dst].protocol);
+      // HTTPS/gRPC probes handshake every time (short flows); WebSocket
+      // and HTTP ride established connections.
+      opts.new_connection =
+          instances_[dst].protocol == ProbeProtocol::kHttps ||
+          instances_[dst].protocol == ProbeProtocol::kGrpc;
+      const sim::TimePoint sent = loop_.now();
+      mesh_.send_request(opts, [this, src, dst, sent](
+                                   mesh::RequestResult result) {
+        auto& cell = matrix_[{src, dst}];
+        if (result.ok()) {
+          ++cell.ok;
+          cell.latency_us.record(
+              sim::to_microseconds(loop_.now() - sent));
+        } else {
+          ++cell.failed;
+        }
+      });
+    }
+  }
+}
+
+bool InnocenceProber::infra_innocent() const {
+  return unhealthy_cells().empty();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+InnocenceProber::unhealthy_cells() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (const auto& [key, cell] : matrix_) {
+    if (cell.success_rate() < config_.healthy_success_rate) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace canal::core

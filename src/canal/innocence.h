@@ -1,0 +1,101 @@
+// Proof-for-absence-of-failure prober (§6.4).
+//
+// Tenant complaints about hosted services are hard to triage: the fault
+// could be in the underlay, the overlay, the mesh gateway, or the tenant's
+// own service. Canal deploys diverse probe app instances (WebSocket, HTTP,
+// HTTPS, gRPC) across every AZ and continuously sends full-mesh probe
+// traffic *through the mesh*. If every (protocol, AZ-pair) cell is healthy
+// while a tenant's service misbehaves, the cloud infra is provably
+// innocent. Unlike Pingmesh-style telemetry this exercises the full L7
+// path, not just connectivity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "canal/canal_mesh.h"
+#include "sim/stats.h"
+
+namespace canal::core {
+
+enum class ProbeProtocol : std::uint8_t { kHttp, kHttps, kGrpc, kWebSocket };
+
+[[nodiscard]] std::string_view probe_protocol_name(ProbeProtocol p) noexcept;
+
+class InnocenceProber {
+ public:
+  struct Config {
+    std::vector<ProbeProtocol> protocols = {
+        ProbeProtocol::kHttp, ProbeProtocol::kHttps, ProbeProtocol::kGrpc,
+        ProbeProtocol::kWebSocket};
+    sim::Duration probe_interval = sim::seconds(10);
+    /// A cell is unhealthy below this success rate.
+    double healthy_success_rate = 0.99;
+  };
+
+  /// `mesh` carries the probes; probe instances are created as pods inside
+  /// `cluster`, one service per (AZ, protocol).
+  InnocenceProber(sim::EventLoop& loop, CanalMesh& mesh,
+                  k8s::Cluster& cluster, Config config);
+  ~InnocenceProber();
+
+  /// Creates probe services/pods on nodes in each listed AZ and registers
+  /// them with the mesh. Call once before start().
+  void deploy(const std::vector<net::AzId>& azs);
+
+  void start();
+  void stop();
+  /// Fires one full-mesh probe round synchronously scheduled.
+  void probe_once();
+
+  struct CellStats {
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    sim::Histogram latency_us;
+
+    [[nodiscard]] double success_rate() const {
+      const auto total = ok + failed;
+      return total == 0 ? 1.0
+                        : static_cast<double>(ok) /
+                              static_cast<double>(total);
+    }
+  };
+  /// Key: (src instance index, dst instance index).
+  using Matrix = std::map<std::pair<std::size_t, std::size_t>, CellStats>;
+
+  struct Instance {
+    net::AzId az{};
+    ProbeProtocol protocol{};
+    k8s::Service* service = nullptr;
+    k8s::Pod* pod = nullptr;
+  };
+
+  [[nodiscard]] const std::vector<Instance>& instances() const noexcept {
+    return instances_;
+  }
+  [[nodiscard]] const Matrix& matrix() const noexcept { return matrix_; }
+
+  /// True when every probed cell meets the success-rate bar — the
+  /// "innocence proof" that the infra is not at fault.
+  [[nodiscard]] bool infra_innocent() const;
+
+  /// Cells currently failing the bar (for triage).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  unhealthy_cells() const;
+
+ private:
+  [[nodiscard]] static std::string probe_path(ProbeProtocol protocol);
+
+  sim::EventLoop& loop_;
+  CanalMesh& mesh_;
+  k8s::Cluster& cluster_;
+  Config config_;
+  std::vector<Instance> instances_;
+  Matrix matrix_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace canal::core

@@ -1,0 +1,70 @@
+// Traffic migration for in-phase services (§6.3).
+//
+// When services sharing a backend peak together (phase-synchronized
+// traffic), the combined surge threatens the SLA. The planner:
+//  (1) detects in-phase pairs via Pearson correlation of sampled RPS,
+//  (2) selects which services to migrate — prefer high RPS (fewer
+//      migrations overall; HTTPS requests weighted 3x since they cost ~3x
+//      the resources) and few long-lasting sessions (faster cutover),
+//  (3) selects the landing backend — same AZ, complementary pattern:
+//      sample candidate backends at ten points across the service's HWHM
+//      window (set G), shortlist the five lowest, then compare their full
+//      24-hour load (set G') and take the lowest.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "canal/gateway.h"
+#include "telemetry/anomaly.h"
+
+namespace canal::core {
+
+struct InPhaseConfig {
+  double correlation_threshold = 0.7;
+  std::size_t hwhm_sample_points = 10;
+  std::size_t shortlist_size = 5;
+  double https_weight = 3.0;
+  sim::Duration pattern_window = sim::hours(24);
+};
+
+struct MigrationPlan {
+  net::ServiceId service{};
+  net::BackendId source{};
+  net::BackendId target{};
+  double weighted_rps = 0.0;
+};
+
+class InPhaseMigrationPlanner {
+ public:
+  explicit InPhaseMigrationPlanner(InPhaseConfig config = {})
+      : config_(config) {}
+
+  /// Phase-synchronized service pairs on `backend` over [lo, hi].
+  [[nodiscard]] std::vector<std::pair<net::ServiceId, net::ServiceId>>
+  find_in_phase(GatewayBackend& backend, sim::TimePoint lo,
+                sim::TimePoint hi) const;
+
+  /// Ranks in-phase services for migration: highest HTTPS-weighted RPS
+  /// first, ties broken toward fewer long-lasting sessions.
+  [[nodiscard]] std::vector<net::ServiceId> select_services(
+      GatewayBackend& backend,
+      const std::vector<std::pair<net::ServiceId, net::ServiceId>>& pairs,
+      sim::TimePoint now) const;
+
+  /// §6.3's two-stage target selection (HWHM samples then 24 h totals).
+  [[nodiscard]] GatewayBackend* select_target(MeshGateway& gateway,
+                                              GatewayBackend& source,
+                                              net::ServiceId service,
+                                              sim::TimePoint now) const;
+
+  /// End-to-end plan for one backend; empty when nothing is in phase.
+  [[nodiscard]] std::vector<MigrationPlan> plan(MeshGateway& gateway,
+                                                GatewayBackend& backend,
+                                                sim::TimePoint now) const;
+
+ private:
+  InPhaseConfig config_;
+};
+
+}  // namespace canal::core

@@ -1,0 +1,86 @@
+#include "canal/population.h"
+
+#include <cmath>
+
+namespace canal::core {
+
+std::vector<TenantProfile> PopulationGenerator::generate(
+    const RegionProfile& region) {
+  std::vector<TenantProfile> out;
+  out.reserve(region.tenants);
+  for (std::size_t i = 0; i < region.tenants; ++i) {
+    TenantProfile tenant;
+    tenant.id = static_cast<std::uint32_t>(i + 1);
+    tenant.uses_l7 = rng_.chance(region.l7_prob);
+    if (tenant.uses_l7) {
+      tenant.uses_l7_routing = rng_.chance(region.routing_given_l7);
+      tenant.uses_l7_security = rng_.chance(region.security_given_l7);
+    }
+    // Cluster sizes are heavy-tailed: most tenants are small, a few huge.
+    tenant.nodes = static_cast<std::size_t>(
+        std::max(3.0, rng_.lognormal(std::log(30.0), 1.1)));
+    tenant.pods = tenant.nodes *
+                  static_cast<std::size_t>(std::max(
+                      2.0, rng_.normal(15.0, 4.0)));  // ~15 pods per node
+    tenant.services = std::max<std::size_t>(1, tenant.pods / 2);  // ~2:1
+    out.push_back(tenant);
+  }
+  return out;
+}
+
+RegionAdoption PopulationGenerator::summarize(
+    const std::string& region, const std::vector<TenantProfile>& tenants) {
+  RegionAdoption adoption;
+  adoption.region = region;
+  if (tenants.empty()) return adoption;
+  double l7 = 0, routing = 0, security = 0;
+  for (const auto& tenant : tenants) {
+    l7 += tenant.uses_l7 ? 1.0 : 0.0;
+    routing += tenant.uses_l7_routing ? 1.0 : 0.0;
+    security += tenant.uses_l7_security ? 1.0 : 0.0;
+  }
+  const auto n = static_cast<double>(tenants.size());
+  adoption.l7 = l7 / n;
+  adoption.l7_routing = routing / n;
+  adoption.l7_security = security / n;
+  return adoption;
+}
+
+SidecarFootprint sidecar_footprint(std::size_t nodes, std::size_t pods,
+                                   sim::Rng& rng) {
+  SidecarFootprint footprint;
+  // Production means (Table 1): ~0.1 core and ~0.2-0.35 GB per sidecar,
+  // higher with complex configurations; variance across clusters.
+  const double cpu_per_sidecar = std::max(0.03, rng.normal(0.10, 0.04));
+  const double mem_per_sidecar = std::max(0.1, rng.normal(0.30, 0.08));
+  footprint.cpu_cores = static_cast<double>(pods) * cpu_per_sidecar;
+  footprint.memory_gb = static_cast<double>(pods) * mem_per_sidecar;
+  // Typical provisioning: ~32 cores and ~128 GB per node.
+  const double cluster_cores = static_cast<double>(nodes) * 32.0;
+  const double cluster_mem = static_cast<double>(nodes) * 128.0;
+  footprint.cpu_fraction = footprint.cpu_cores / cluster_cores;
+  footprint.memory_fraction = footprint.memory_gb / cluster_mem;
+  return footprint;
+}
+
+double config_update_frequency_per_min(std::size_t pods, sim::Rng& rng) {
+  // Services ~ pods/2; each service updates ~0.02-0.05 times/min.
+  const double services = static_cast<double>(pods) / 2.0;
+  const double per_service = std::max(0.005, rng.normal(0.03, 0.01));
+  return services * per_service;
+}
+
+std::vector<double> sidecar_growth_trace(double start, std::size_t quarters,
+                                         double quarterly_growth,
+                                         sim::Rng& rng) {
+  std::vector<double> out;
+  out.reserve(quarters);
+  double value = start;
+  for (std::size_t q = 0; q < quarters; ++q) {
+    out.push_back(value);
+    value *= quarterly_growth * std::max(0.8, rng.normal(1.0, 0.05));
+  }
+  return out;
+}
+
+}  // namespace canal::core

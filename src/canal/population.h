@@ -1,0 +1,84 @@
+// Tenant-population and sidecar-footprint models backing the motivation
+// data (Tables 1/2/3, Figs 2/3 context).
+//
+// The paper's motivation section reports production survey data we cannot
+// access; this module regenerates statistically equivalent populations
+// from seeded distributions so the motivation benches print the same table
+// shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace canal::core {
+
+/// One region's feature-adoption propensities (Table 3 generator inputs).
+struct RegionProfile {
+  std::string name;
+  std::size_t tenants = 200;
+  double l7_prob = 0.9;        ///< P(tenant enables any L7 feature)
+  double routing_given_l7 = 0.95;
+  double security_given_l7 = 0.35;
+};
+
+struct TenantProfile {
+  std::uint32_t id = 0;
+  bool uses_l7 = false;
+  bool uses_l7_routing = false;
+  bool uses_l7_security = false;
+  std::size_t nodes = 0;
+  std::size_t pods = 0;
+  std::size_t services = 0;
+};
+
+struct RegionAdoption {
+  std::string region;
+  double l7 = 0.0;
+  double l7_routing = 0.0;
+  double l7_security = 0.0;
+};
+
+/// Deterministic tenant-population generator.
+class PopulationGenerator {
+ public:
+  explicit PopulationGenerator(sim::Rng rng) : rng_(rng) {}
+
+  std::vector<TenantProfile> generate(const RegionProfile& region);
+  /// Adoption fractions over a generated population (one Table 3 row).
+  [[nodiscard]] static RegionAdoption summarize(
+      const std::string& region, const std::vector<TenantProfile>& tenants);
+
+ private:
+  sim::Rng rng_;
+};
+
+/// Sidecar resource footprint for a cluster of `pods` (Table 1 model):
+/// mean per-sidecar demand with heavy-configuration variance.
+struct SidecarFootprint {
+  double cpu_cores = 0.0;
+  double memory_gb = 0.0;
+  /// Fraction of a typically provisioned cluster this represents.
+  double cpu_fraction = 0.0;
+  double memory_fraction = 0.0;
+};
+
+[[nodiscard]] SidecarFootprint sidecar_footprint(std::size_t nodes,
+                                                 std::size_t pods,
+                                                 sim::Rng& rng);
+
+/// Configuration update frequency for a cluster (Table 2 model):
+/// cumulative per-service update rates grow with hosted services.
+[[nodiscard]] double config_update_frequency_per_min(std::size_t pods,
+                                                     sim::Rng& rng);
+
+/// Sidecar-count growth trace (Fig 3): quarterly counts from `start` over
+/// `quarters`, compounding at `quarterly_growth` with noise.
+[[nodiscard]] std::vector<double> sidecar_growth_trace(double start,
+                                                       std::size_t quarters,
+                                                       double quarterly_growth,
+                                                       sim::Rng& rng);
+
+}  // namespace canal::core

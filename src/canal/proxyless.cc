@@ -1,0 +1,230 @@
+#include "canal/proxyless.h"
+
+namespace canal::core {
+
+std::optional<std::uint32_t> EniRegistry::allocate(const k8s::Pod& pod) {
+  if (enis_.contains(pod.id())) return enis_.at(pod.id());
+  auto& count = per_node_[&pod.node()];
+  if (count >= config_.max_enis_per_node) return std::nullopt;
+  ++count;
+  const std::uint32_t id = next_eni_++;
+  enis_[pod.id()] = id;
+  node_of_[pod.id()] = &pod.node();
+  return id;
+}
+
+void EniRegistry::release(net::PodId pod) {
+  const auto it = enis_.find(pod);
+  if (it == enis_.end()) return;
+  enis_.erase(it);
+  const auto node_it = node_of_.find(pod);
+  if (node_it != node_of_.end()) {
+    auto& count = per_node_[node_it->second];
+    if (count > 0) --count;
+    node_of_.erase(node_it);
+  }
+}
+
+std::size_t EniRegistry::allocated_on(const k8s::Node& node) const {
+  const auto it = per_node_.find(&node);
+  return it == per_node_.end() ? 0 : it->second;
+}
+
+ProxylessMesh::ProxylessMesh(sim::EventLoop& loop, k8s::Cluster& cluster,
+                             MeshGateway& gateway, Config config, sim::Rng rng)
+    : loop_(loop),
+      cluster_(cluster),
+      gateway_(gateway),
+      config_(config),
+      rng_(rng),
+      enis_(config.eni) {}
+
+ProxylessMesh::~ProxylessMesh() = default;
+
+std::size_t ProxylessMesh::install() {
+  for (const auto& service : cluster_.services()) {
+    if (!vnis_.contains(service->id)) {
+      const std::uint32_t vni = gateway_.allocate_vni();
+      vnis_[service->id] = vni;
+      gateway_.register_service(*service, vni);
+    }
+    if (gateway_.placement_of(service->id).empty()) {
+      const net::AzId home_az = service->endpoints.empty()
+                                    ? static_cast<net::AzId>(0)
+                                    : service->endpoints.front()->node().az();
+      gateway_.install_service(*service, home_az);
+    }
+  }
+  std::size_t failed = 0;
+  for (const auto& pod : cluster_.pods()) {
+    if (pod->phase() == k8s::PodPhase::kTerminated) continue;
+    if (!enis_.allocate(*pod)) ++failed;
+  }
+  return failed;
+}
+
+std::uint32_t ProxylessMesh::vni_of(net::ServiceId service) const {
+  const auto it = vnis_.find(service);
+  return it == vnis_.end() ? 0 : it->second;
+}
+
+void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
+                                 mesh::RequestCallback done) {
+  struct State {
+    http::Request req;
+    net::FiveTuple tuple;
+    sim::TimePoint start = 0;
+    mesh::RequestOptions opts;
+    mesh::RequestCallback done;
+    GatewayReplica* replica = nullptr;
+    GatewayBackend* backend = nullptr;
+    proxy::UpstreamEndpoint* endpoint = nullptr;
+    k8s::Pod* target = nullptr;
+  };
+  auto st = std::make_shared<State>();
+  st->req = mesh::build_request(opts);
+  st->start = loop_.now();
+  st->opts = opts;
+  st->done = std::move(done);
+  st->tuple =
+      net::FiveTuple{opts.client->ip(), mesh::service_vip(opts.dst_service),
+                     next_port_++, 443, net::Protocol::kTcp};
+  if (next_port_ < 40000) next_port_ = 40000;
+
+  auto finish = [this, st](int status) {
+    if (st->endpoint != nullptr && st->endpoint->active_requests > 0) {
+      --st->endpoint->active_requests;
+    }
+    if (st->opts.close_after && st->replica != nullptr) {
+      st->replica->engine().close_connection(st->tuple);
+    }
+    mesh::RequestResult result;
+    result.status = status;
+    result.latency = loop_.now() - st->start;
+    if (st->target != nullptr) result.served_by = st->target->id();
+    st->done(result);
+  };
+
+  // Authentication: the ENI attached to the container vouches for the
+  // traffic; pods without one cannot be verified and are rejected.
+  if (!enis_.authenticated(opts.client->id())) {
+    loop_.schedule(0, [finish]() mutable { finish(403); });
+    return;
+  }
+
+  // Client-side TLS in the app's own library when the customer manages
+  // certificates; this burns the user's node CPU (there is no proxy).
+  sim::Duration app_crypto = 0;
+  if (config_.user_managed_certs) {
+    app_crypto = config_.app_tls_costs.crypto.symmetric_cost(
+        st->req.wire_size() + 512);
+    if (opts.new_connection) {
+      app_crypto += config_.app_tls_costs.crypto.software_asym_cost;
+    }
+    app_tls_core_seconds_ += sim::to_seconds(app_crypto);
+  }
+  opts.client->node().cpu().execute(app_crypto, [this, st, finish]() mutable {
+    // DNS already resolves the service name to the gateway VIP; the packet
+    // rides the tenant's VXLAN network to the gateway.
+    net::Packet packet;
+    packet.tuple = st->tuple;
+    packet.payload_bytes = static_cast<std::uint32_t>(st->req.wire_size());
+    if (st->opts.new_connection) packet.set_flag(net::TcpFlag::kSyn);
+    net::VxlanHeader vxlan;
+    vxlan.vni = vni_of(st->opts.dst_service);
+    vxlan.outer = net::FiveTuple{st->opts.client->node().ip(),
+                                 net::Ipv4Addr(100, 64, 0, 1),
+                                 st->tuple.src_port, 4789,
+                                 net::Protocol::kUdp};
+    packet.vxlan = vxlan;
+
+    const net::AzId client_az = st->opts.client->node().az();
+    loop_.schedule(config_.network.intra_az, [this, st, finish, packet,
+                                              client_az]() mutable {
+      gateway_.handle_request(
+          packet, st->opts.new_connection, config_.user_managed_certs,
+          st->req, client_az, [this, st, finish](GatewayOutcome outcome) mutable {
+            if (!outcome.ok) {
+              finish(outcome.status);
+              return;
+            }
+            ++gateway_requests_;
+            st->replica = outcome.replica;
+            st->backend = outcome.backend;
+            st->endpoint = outcome.endpoint;
+            st->target = cluster_.find_pod(
+                static_cast<net::PodId>(outcome.endpoint->key));
+            if (st->target == nullptr || !st->target->ready()) {
+              finish(503);
+              return;
+            }
+            // Server side has no proxy either: gateway -> server app.
+            loop_.schedule(config_.network.intra_az, [this, st,
+                                                      finish]() mutable {
+              st->target->handle_request(
+                  st->req, [this, st, finish](http::Response resp) mutable {
+                    const std::uint64_t bytes = resp.wire_size();
+                    const int status = resp.status;
+                    st->backend->handle_response(
+                        *st->replica, st->tuple, bytes,
+                        [this, st, finish, status]() mutable {
+                          loop_.schedule(2 * config_.network.intra_az,
+                                         [finish, status]() mutable {
+                                           finish(status);
+                                         });
+                        });
+                  });
+            });
+          });
+    });
+  });
+}
+
+std::vector<k8s::ConfigTarget> ProxylessMesh::routing_update_targets() const {
+  std::vector<k8s::ConfigTarget> targets;
+  const std::size_t tenant_config = mesh::full_config_bytes(cluster_);
+  for (GatewayBackend* backend :
+       const_cast<MeshGateway&>(gateway_).all_backends()) {
+    if (!backend->services().empty()) {
+      targets.push_back(
+          {"gw-backend-" + std::to_string(net::id_value(backend->id())),
+           tenant_config});
+    }
+  }
+  return targets;
+}
+
+std::vector<k8s::ConfigTarget> ProxylessMesh::pod_create_targets(
+    const std::vector<k8s::Pod*>& new_pods) const {
+  std::vector<k8s::ConfigTarget> targets;
+  std::vector<net::ServiceId> affected;
+  for (const k8s::Pod* pod : new_pods) {
+    if (std::find(affected.begin(), affected.end(), pod->service()) ==
+        affected.end()) {
+      affected.push_back(pod->service());
+    }
+    // DNS record + ENI registration per pod.
+    targets.push_back(
+        {"dns-eni-" + std::to_string(net::id_value(pod->id())), 256});
+  }
+  for (const auto service_id : affected) {
+    const k8s::Service* service = gateway_.service_object(service_id);
+    for (GatewayBackend* backend :
+         const_cast<MeshGateway&>(gateway_).placement_of(service_id)) {
+      targets.push_back(
+          {"gw-backend-" + std::to_string(net::id_value(backend->id())),
+           service != nullptr ? mesh::service_config_bytes(*service) : 512});
+    }
+  }
+  return targets;
+}
+
+double ProxylessMesh::user_cpu_core_seconds() const {
+  return app_tls_core_seconds_;
+}
+
+double ProxylessMesh::total_cpu_core_seconds() const {
+  return app_tls_core_seconds_ + gateway_.total_cpu_core_seconds();
+}
+
+}  // namespace canal::core

@@ -1,0 +1,79 @@
+#include "canal/sharding.h"
+
+#include <algorithm>
+
+namespace canal::core {
+
+std::optional<std::vector<net::BackendId>> ShuffleShardAssigner::assign(
+    net::ServiceId service) {
+  if (const auto* existing = assignment_of(service)) return *existing;
+  if (pool_.size() < shard_size_) return std::nullopt;
+
+  constexpr int kMaxAttempts = 256;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Partial Fisher–Yates draw of shard_size_ distinct backends.
+    std::vector<net::BackendId> candidates = pool_;
+    std::vector<net::BackendId> combination;
+    combination.reserve(shard_size_);
+    for (std::size_t i = 0; i < shard_size_; ++i) {
+      const auto j = static_cast<std::size_t>(rng_.uniform_int(
+          static_cast<std::int64_t>(i),
+          static_cast<std::int64_t>(candidates.size()) - 1));
+      std::swap(candidates[i], candidates[j]);
+      combination.push_back(candidates[i]);
+    }
+    std::sort(combination.begin(), combination.end(),
+              [](net::BackendId a, net::BackendId b) {
+                return net::id_value(a) < net::id_value(b);
+              });
+    if (used_combinations_.insert(combination).second) {
+      assignments_.emplace_back(service, combination);
+      return combination;
+    }
+  }
+  return std::nullopt;  // combination space exhausted for this pool
+}
+
+const std::vector<net::BackendId>* ShuffleShardAssigner::assignment_of(
+    net::ServiceId service) const {
+  for (const auto& [svc, combination] : assignments_) {
+    if (svc == service) return &combination;
+  }
+  return nullptr;
+}
+
+std::size_t ShuffleShardAssigner::max_pairwise_overlap() const {
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i < assignments_.size(); ++i) {
+    for (std::size_t j = i + 1; j < assignments_.size(); ++j) {
+      std::vector<net::BackendId> shared;
+      std::set_intersection(
+          assignments_[i].second.begin(), assignments_[i].second.end(),
+          assignments_[j].second.begin(), assignments_[j].second.end(),
+          std::back_inserter(shared),
+          [](net::BackendId a, net::BackendId b) {
+            return net::id_value(a) < net::id_value(b);
+          });
+      worst = std::max(worst, shared.size());
+    }
+  }
+  return worst;
+}
+
+bool ShuffleShardAssigner::isolated(net::ServiceId service) const {
+  const auto* mine = assignment_of(service);
+  if (mine == nullptr) return false;
+  for (const auto& [svc, combination] : assignments_) {
+    if (svc == service) continue;
+    if (std::includes(mine->begin(), mine->end(), combination.begin(),
+                      combination.end(),
+                      [](net::BackendId a, net::BackendId b) {
+                        return net::id_value(a) < net::id_value(b);
+                      })) {
+      return false;  // another service's backends are a subset of ours
+    }
+  }
+  return true;
+}
+
+}  // namespace canal::core

@@ -1,0 +1,62 @@
+// Shuffle sharding of services onto gateway backends (§4.2, Fig 19).
+//
+// Each service gets a *unique combination* of backends so that even a
+// query-of-death that kills every backend of one service leaves every other
+// service with at least one healthy backend. The assigner draws random
+// k-of-n combinations (seeded, deterministic) and rejects exact duplicates;
+// with n choose k combinations available, duplicates are vanishingly rare
+// at production scale and retried here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/rng.h"
+
+namespace canal::core {
+
+class ShuffleShardAssigner {
+ public:
+  /// `shard_size` backends per service drawn from a pool announced via
+  /// set_pool(); combinations are unique across services.
+  ShuffleShardAssigner(std::size_t shard_size, sim::Rng rng)
+      : shard_size_(shard_size), rng_(rng) {}
+
+  /// Replaces the backend pool (scale events). Existing assignments keep
+  /// their combinations; new draws use the new pool.
+  void set_pool(std::vector<net::BackendId> pool) { pool_ = std::move(pool); }
+  [[nodiscard]] const std::vector<net::BackendId>& pool() const noexcept {
+    return pool_;
+  }
+
+  /// Draws a unique combination for `service`. Returns nullopt only when
+  /// the pool is smaller than the shard size or combinations are exhausted.
+  std::optional<std::vector<net::BackendId>> assign(net::ServiceId service);
+
+  [[nodiscard]] const std::vector<net::BackendId>* assignment_of(
+      net::ServiceId service) const;
+
+  /// Largest backend-set overlap between any two assigned services.
+  [[nodiscard]] std::size_t max_pairwise_overlap() const;
+
+  /// True if no other service shares *all* backends with `service` —
+  /// the isolation guarantee shuffle sharding provides.
+  [[nodiscard]] bool isolated(net::ServiceId service) const;
+
+  [[nodiscard]] std::size_t assigned_services() const noexcept {
+    return assignments_.size();
+  }
+
+ private:
+  std::size_t shard_size_;
+  sim::Rng rng_;
+  std::vector<net::BackendId> pool_;
+  std::vector<std::pair<net::ServiceId, std::vector<net::BackendId>>>
+      assignments_;
+  std::set<std::vector<net::BackendId>> used_combinations_;
+};
+
+}  // namespace canal::core

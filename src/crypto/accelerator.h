@@ -1,0 +1,68 @@
+// Asymmetric-crypto execution engines.
+//
+// Three ways a handshake's expensive modular exponentiation can run:
+//   kSoftware — plain CPU cost (old instance types without QAT/AVX-512),
+//   kBatched  — hardware batch engine: 8-slot buffer, flushes when full or
+//               after a 1 ms timeout. Reproduces the Fig 25 pathology: fewer
+//               than 8 concurrent new connections => every op waits out the
+//               flush timer.
+// The remote key server (keyserver.h) wraps a kBatched engine behind an RPC.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "crypto/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/event_loop.h"
+#include "sim/stats.h"
+
+namespace canal::crypto {
+
+enum class AccelMode : std::uint8_t { kSoftware, kBatched };
+
+/// Completes asymmetric operations with modeled latency, invoking the
+/// completion callback on the simulation event loop.
+class AsymmetricAccelerator {
+ public:
+  AsymmetricAccelerator(sim::EventLoop& loop, sim::CpuSet& cpu, AccelMode mode,
+                        CryptoCostModel model = {})
+      : loop_(loop), cpu_(cpu), mode_(mode), model_(model) {}
+
+  AsymmetricAccelerator(const AsymmetricAccelerator&) = delete;
+  AsymmetricAccelerator& operator=(const AsymmetricAccelerator&) = delete;
+
+  /// Submits one asymmetric operation; `done` fires at modeled completion.
+  void submit(std::function<void()> done);
+
+  [[nodiscard]] AccelMode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t batches_flushed() const noexcept {
+    return batches_flushed_;
+  }
+  /// Per-op latency from submit to completion (microseconds).
+  [[nodiscard]] const sim::Histogram& op_latency_us() const noexcept {
+    return op_latency_us_;
+  }
+
+ private:
+  struct PendingOp {
+    sim::TimePoint submitted;
+    std::function<void()> done;
+  };
+
+  void flush_batch();
+
+  sim::EventLoop& loop_;
+  sim::CpuSet& cpu_;
+  AccelMode mode_;
+  CryptoCostModel model_;
+  std::deque<PendingOp> batch_;
+  sim::EventHandle flush_timer_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_flushed_ = 0;
+  sim::Histogram op_latency_us_;
+};
+
+}  // namespace canal::crypto

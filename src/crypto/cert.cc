@@ -1,0 +1,63 @@
+#include "crypto/cert.h"
+
+#include <cstring>
+
+namespace canal::crypto {
+
+std::string Certificate::to_be_signed() const {
+  std::string out;
+  out.reserve(identity.size() + issuer.size() + 32);
+  out.append(identity);
+  out.push_back('\0');
+  out.append(issuer);
+  out.push_back('\0');
+  char fixed[24];
+  std::memcpy(fixed, &public_key, 8);
+  std::memcpy(fixed + 8, &not_before, 8);
+  std::memcpy(fixed + 16, &not_after, 8);
+  out.append(fixed, sizeof(fixed));
+  return out;
+}
+
+std::size_t Certificate::wire_size() const noexcept {
+  return identity.size() + issuer.size() + 8 /*key*/ + 16 /*validity*/ +
+         16 /*signature*/ + 16 /*framing*/;
+}
+
+Certificate CertificateAuthority::issue(std::string identity,
+                                        std::uint64_t subject_public_key,
+                                        sim::TimePoint now,
+                                        sim::Duration validity,
+                                        sim::Rng& rng) {
+  Certificate cert;
+  cert.identity = std::move(identity);
+  cert.public_key = subject_public_key;
+  cert.issuer = name_;
+  cert.not_before = now;
+  cert.not_after = now + validity;
+  cert.signature = sign(keypair_.private_key, cert.to_be_signed(), rng);
+  return cert;
+}
+
+bool CertificateAuthority::verify_certificate(const Certificate& cert,
+                                              std::uint64_t ca_public_key,
+                                              std::string_view expected_issuer,
+                                              sim::TimePoint now) noexcept {
+  if (cert.issuer != expected_issuer) return false;
+  if (now < cert.not_before || now > cert.not_after) return false;
+  return verify(ca_public_key, cert.to_be_signed(), cert.signature);
+}
+
+std::optional<std::string_view> spiffe_trust_domain(
+    std::string_view identity) noexcept {
+  constexpr std::string_view kScheme = "spiffe://";
+  if (!identity.starts_with(kScheme)) return std::nullopt;
+  std::string_view rest = identity.substr(kScheme.size());
+  const auto slash = rest.find('/');
+  const std::string_view domain =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  if (domain.empty()) return std::nullopt;
+  return domain;
+}
+
+}  // namespace canal::crypto

@@ -1,0 +1,64 @@
+// Workload certificates and the mesh certificate authority.
+//
+// Identities follow the SPIFFE convention the mesh uses for zero-trust
+// authorization ("spiffe://tenant-1/ns/default/sa/frontend"). Certificates
+// bind an identity to a public key under a Schnorr signature from the CA.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "crypto/keyexchange.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace canal::crypto {
+
+struct Certificate {
+  std::string identity;          // SPIFFE-style URI
+  std::uint64_t public_key = 0;  // subject's long-term public key
+  std::string issuer;
+  sim::TimePoint not_before = 0;
+  sim::TimePoint not_after = 0;
+  Signature signature;  // CA signature over to_be_signed()
+
+  /// The byte string the CA signs.
+  [[nodiscard]] std::string to_be_signed() const;
+  /// Approximate wire size, for control-plane bandwidth accounting.
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+};
+
+/// Issues and verifies workload certificates.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, sim::Rng& rng)
+      : name_(std::move(name)), keypair_(generate_keypair(rng)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t public_key() const noexcept {
+    return keypair_.public_key;
+  }
+
+  /// Issues a certificate for `identity` bound to `subject_public_key`.
+  Certificate issue(std::string identity, std::uint64_t subject_public_key,
+                    sim::TimePoint now, sim::Duration validity, sim::Rng& rng);
+
+  /// Full verification against a trusted CA key: signature, issuer, validity.
+  static bool verify_certificate(const Certificate& cert,
+                                 std::uint64_t ca_public_key,
+                                 std::string_view expected_issuer,
+                                 sim::TimePoint now) noexcept;
+
+ private:
+  std::string name_;
+  KeyPair keypair_;
+};
+
+/// Parses "spiffe://<trust-domain>/..." and returns the trust domain
+/// (tenant) component, or nullopt on malformed identities.
+std::optional<std::string_view> spiffe_trust_domain(
+    std::string_view identity) noexcept;
+
+}  // namespace canal::crypto

@@ -1,0 +1,88 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace canal::crypto {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const Key256& key,
+                                            std::uint32_t counter,
+                                            const Nonce96& nonce) {
+  std::uint32_t state[16];
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, working[i] + state[i]);
+  }
+  return out;
+}
+
+void chacha20_xor(const Key256& key, const Nonce96& nonce,
+                  std::uint32_t initial_counter, std::span<std::uint8_t> data) {
+  std::uint32_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const auto block = chacha20_block(key, counter++, nonce);
+    const std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= block[i];
+    offset += n;
+  }
+}
+
+std::string chacha20_apply(const Key256& key, const Nonce96& nonce,
+                           std::string_view data,
+                           std::uint32_t initial_counter) {
+  std::string out(data);
+  chacha20_xor(key, nonce, initial_counter,
+               std::span<std::uint8_t>(
+                   reinterpret_cast<std::uint8_t*>(out.data()), out.size()));
+  return out;
+}
+
+}  // namespace canal::crypto

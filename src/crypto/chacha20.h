@@ -1,0 +1,34 @@
+// ChaCha20 stream cipher (RFC 8439 core).
+//
+// This is the real cipher — used for record protection on mesh mTLS
+// sessions and for encrypting tenant private keys at rest in the key
+// server's memory (§4.1.3). Key schedule and block function follow RFC 8439;
+// the 32-bit counter variant is used.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace canal::crypto {
+
+using Key256 = std::array<std::uint8_t, 32>;
+using Nonce96 = std::array<std::uint8_t, 12>;
+
+/// Produces one 64-byte keystream block for (key, counter, nonce).
+std::array<std::uint8_t, 64> chacha20_block(const Key256& key,
+                                            std::uint32_t counter,
+                                            const Nonce96& nonce);
+
+/// XORs the keystream into `data` in place. Encryption == decryption.
+void chacha20_xor(const Key256& key, const Nonce96& nonce,
+                  std::uint32_t initial_counter, std::span<std::uint8_t> data);
+
+/// Convenience: returns the transformed copy of a byte string.
+std::string chacha20_apply(const Key256& key, const Nonce96& nonce,
+                           std::string_view data,
+                           std::uint32_t initial_counter = 1);
+
+}  // namespace canal::crypto

@@ -1,0 +1,38 @@
+// Calibrated crypto cost constants (see DESIGN.md §4).
+//
+// These are the simulation's analogue of measured hardware numbers:
+// Fig 23 (completion ≈ 1 ms local accel / ≈ 2 ms software / ≈ 1.7 ms remote)
+// and Fig 25 (AVX-512 batch of 8 with a 1 ms minimum flush timeout).
+#pragma once
+
+#include "sim/time.h"
+
+namespace canal::crypto {
+
+struct CryptoCostModel {
+  /// Software modular exponentiation path on an old CPU model.
+  sim::Duration software_asym_cost = sim::microseconds(2000);
+  /// Accelerated (AVX-512/QAT) CPU cost per operation. AVX multi-buffer
+  /// gives a ~3.5x speedup over the software path, not orders of
+  /// magnitude — matching Fig 12's 43%-70% CPU saving from local offload.
+  sim::Duration accel_per_op_cost = sim::microseconds(560);
+  /// Ops per hardware batch (AVX-512 buffer holds 8 lanes).
+  std::size_t accel_batch_size = 8;
+  /// Minimum wait before a partial batch is flushed.
+  sim::Duration accel_flush_timeout = sim::milliseconds(1);
+  /// One-way network latency from requester to the in-AZ key server
+  /// (0.7 ms measured round-trip overhead => 350 us per direction).
+  sim::Duration key_server_one_way = sim::microseconds(350);
+  /// Key-server request handling cost (decrypt key, marshal) per op.
+  sim::Duration key_server_overhead = sim::microseconds(30);
+  /// Symmetric record crypto cost per KiB of payload.
+  sim::Duration symmetric_per_kib = sim::nanoseconds(1200);
+
+  [[nodiscard]] sim::Duration symmetric_cost(std::uint64_t bytes) const {
+    return static_cast<sim::Duration>(
+        static_cast<double>(symmetric_per_kib) *
+        (static_cast<double>(bytes) / 1024.0));
+  }
+};
+
+}  // namespace canal::crypto

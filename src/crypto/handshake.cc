@@ -1,0 +1,255 @@
+#include "crypto/handshake.h"
+
+#include <cstring>
+
+namespace canal::crypto {
+namespace {
+
+std::string pack_u64(std::uint64_t a, std::uint64_t b) {
+  std::string out(16, '\0');
+  std::memcpy(out.data(), &a, 8);
+  std::memcpy(out.data() + 8, &b, 8);
+  return out;
+}
+
+std::array<std::uint8_t, 32> finished_mac(const Key256& base_key,
+                                          std::string_view transcript,
+                                          std::string_view label) {
+  const Key256 mac_key = derive_key(
+      std::string_view(reinterpret_cast<const char*>(base_key.data()),
+                       base_key.size()),
+      label);
+  return mac256(mac_key, transcript);
+}
+
+}  // namespace
+
+std::string_view handshake_error_name(HandshakeError e) noexcept {
+  switch (e) {
+    case HandshakeError::kNone: return "none";
+    case HandshakeError::kBadCertificate: return "bad-certificate";
+    case HandshakeError::kBadSignature: return "bad-signature";
+    case HandshakeError::kBadFinished: return "bad-finished";
+    case HandshakeError::kUnauthorizedPeer: return "unauthorized-peer";
+    case HandshakeError::kStateViolation: return "state-violation";
+  }
+  return "unknown";
+}
+
+std::string ClientHello::serialize() const {
+  return pack_u64(random, ephemeral_public);
+}
+
+std::string ServerHello::serialize() const {
+  return pack_u64(random, ephemeral_public) + certificate.to_be_signed() +
+         cert_verify.serialize();
+}
+
+std::string ClientFinished::serialize() const {
+  std::string out = certificate.to_be_signed() + cert_verify.serialize();
+  out.append(reinterpret_cast<const char*>(finished_mac.data()),
+             finished_mac.size());
+  return out;
+}
+
+SessionKeys derive_session_keys(std::uint64_t shared_secret,
+                                std::uint64_t client_random,
+                                std::uint64_t server_random) {
+  std::string ikm(24, '\0');
+  std::memcpy(ikm.data(), &shared_secret, 8);
+  std::memcpy(ikm.data() + 8, &client_random, 8);
+  std::memcpy(ikm.data() + 16, &server_random, 8);
+  SessionKeys keys;
+  keys.client_to_server = derive_key(ikm, "c2s");
+  keys.server_to_client = derive_key(ikm, "s2c");
+  return keys;
+}
+
+ClientHandshake::ClientHandshake(EndpointConfig config, sim::Rng& rng)
+    : config_(std::move(config)), rng_(rng) {}
+
+ClientHello ClientHandshake::start() {
+  ephemeral_ = generate_keypair(rng_);
+  client_random_ = rng_.next();
+  started_ = true;
+  ClientHello hello{client_random_, ephemeral_.public_key};
+  transcript_ = hello.serialize();
+  return hello;
+}
+
+std::optional<ClientFinished> ClientHandshake::on_server_hello(
+    const ServerHello& hello, sim::TimePoint now) {
+  if (!started_ || complete_) {
+    error_ = HandshakeError::kStateViolation;
+    return std::nullopt;
+  }
+  // Transcript covered by the server's CertVerify: ClientHello + the
+  // server hello fields + the server certificate.
+  std::string covered = transcript_ +
+                        pack_u64(hello.random, hello.ephemeral_public) +
+                        hello.certificate.to_be_signed();
+  if (!CertificateAuthority::verify_certificate(
+          hello.certificate, config_.ca_public_key, config_.ca_name, now)) {
+    error_ = HandshakeError::kBadCertificate;
+    return std::nullopt;
+  }
+  if (!verify(hello.certificate.public_key, covered, hello.cert_verify)) {
+    error_ = HandshakeError::kBadSignature;
+    return std::nullopt;
+  }
+  if (config_.authorize_peer &&
+      !config_.authorize_peer(hello.certificate.identity)) {
+    error_ = HandshakeError::kUnauthorizedPeer;
+    return std::nullopt;
+  }
+
+  transcript_ = covered + hello.cert_verify.serialize();
+  shared_secret_ =
+      dh_shared_secret(ephemeral_.private_key, hello.ephemeral_public);
+  keys_ = derive_session_keys(shared_secret_, client_random_, hello.random);
+  keys_.peer_identity = hello.certificate.identity;
+
+  ClientFinished fin;
+  fin.certificate = config_.certificate;
+  const std::string client_covered =
+      transcript_ + fin.certificate.to_be_signed();
+  fin.cert_verify = config_.signer(client_covered);
+  transcript_ = client_covered + fin.cert_verify.serialize();
+  fin.finished_mac =
+      finished_mac(keys_.client_to_server, transcript_, "client-finished");
+  transcript_ += std::string(
+      reinterpret_cast<const char*>(fin.finished_mac.data()),
+      fin.finished_mac.size());
+  return fin;
+}
+
+bool ClientHandshake::on_server_finished(const ServerFinished& fin) {
+  if (complete_ || shared_secret_ == 0) {
+    error_ = HandshakeError::kStateViolation;
+    return false;
+  }
+  const auto expected =
+      finished_mac(keys_.server_to_client, transcript_, "server-finished");
+  if (!tags_equal(expected, fin.finished_mac)) {
+    error_ = HandshakeError::kBadFinished;
+    return false;
+  }
+  complete_ = true;
+  return true;
+}
+
+ServerHandshake::ServerHandshake(EndpointConfig config, sim::Rng& rng)
+    : config_(std::move(config)), rng_(rng) {}
+
+std::optional<ServerHello> ServerHandshake::on_client_hello(
+    const ClientHello& hello) {
+  if (hello_done_) {
+    error_ = HandshakeError::kStateViolation;
+    return std::nullopt;
+  }
+  ephemeral_ = generate_keypair(rng_);
+  ServerHello out;
+  out.random = rng_.next();
+  out.ephemeral_public = ephemeral_.public_key;
+  out.certificate = config_.certificate;
+
+  const std::string covered = hello.serialize() +
+                              pack_u64(out.random, out.ephemeral_public) +
+                              out.certificate.to_be_signed();
+  out.cert_verify = config_.signer(covered);
+  transcript_ = covered + out.cert_verify.serialize();
+
+  shared_secret_ =
+      dh_shared_secret(ephemeral_.private_key, hello.ephemeral_public);
+  keys_ = derive_session_keys(shared_secret_, hello.random, out.random);
+  hello_done_ = true;
+  return out;
+}
+
+std::optional<ServerFinished> ServerHandshake::on_client_finished(
+    const ClientFinished& fin, sim::TimePoint now) {
+  if (!hello_done_ || complete_) {
+    error_ = HandshakeError::kStateViolation;
+    return std::nullopt;
+  }
+  if (!CertificateAuthority::verify_certificate(
+          fin.certificate, config_.ca_public_key, config_.ca_name, now)) {
+    error_ = HandshakeError::kBadCertificate;
+    return std::nullopt;
+  }
+  const std::string client_covered =
+      transcript_ + fin.certificate.to_be_signed();
+  if (!verify(fin.certificate.public_key, client_covered, fin.cert_verify)) {
+    error_ = HandshakeError::kBadSignature;
+    return std::nullopt;
+  }
+  if (config_.authorize_peer &&
+      !config_.authorize_peer(fin.certificate.identity)) {
+    error_ = HandshakeError::kUnauthorizedPeer;
+    return std::nullopt;
+  }
+  std::string transcript = client_covered + fin.cert_verify.serialize();
+  const auto expected =
+      finished_mac(keys_.client_to_server, transcript, "client-finished");
+  if (!tags_equal(expected, fin.finished_mac)) {
+    error_ = HandshakeError::kBadFinished;
+    return std::nullopt;
+  }
+  transcript += std::string(
+      reinterpret_cast<const char*>(fin.finished_mac.data()),
+      fin.finished_mac.size());
+  keys_.peer_identity = fin.certificate.identity;
+
+  ServerFinished out;
+  out.finished_mac =
+      finished_mac(keys_.server_to_client, transcript, "server-finished");
+  complete_ = true;
+  return out;
+}
+
+std::string RecordChannel::seal(std::string_view plaintext) {
+  const Nonce96 nonce = derive_nonce("record", seal_seq_);
+  std::string ciphertext = chacha20_apply(key_, nonce, plaintext);
+  const Key256 mac_key = derive_key(
+      std::string_view(reinterpret_cast<const char*>(key_.data()), key_.size()),
+      "record-mac");
+  std::string seq_and_ct(8, '\0');
+  std::memcpy(seq_and_ct.data(), &seal_seq_, 8);
+  seq_and_ct += ciphertext;
+  const auto tag = mac256(mac_key, seq_and_ct);
+  ++seal_seq_;
+
+  std::string record;
+  record.reserve(8 + 32 + ciphertext.size());
+  record.append(seq_and_ct.data(), 8);
+  record.append(reinterpret_cast<const char*>(tag.data()), tag.size());
+  record.append(ciphertext);
+  return record;
+}
+
+std::optional<std::string> RecordChannel::open(std::string_view record) {
+  if (record.size() < 40) return std::nullopt;
+  std::uint64_t seq = 0;
+  std::memcpy(&seq, record.data(), 8);
+  if (seq != open_seq_) return std::nullopt;  // strict ordering, no replay
+  const std::string_view tag = record.substr(8, 32);
+  const std::string_view ciphertext = record.substr(40);
+
+  const Key256 mac_key = derive_key(
+      std::string_view(reinterpret_cast<const char*>(key_.data()), key_.size()),
+      "record-mac");
+  std::string seq_and_ct(record.substr(0, 8));
+  seq_and_ct += std::string(ciphertext);
+  const auto expected = mac256(mac_key, seq_and_ct);
+  if (!tags_equal(expected,
+                  std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(tag.data()),
+                      tag.size()))) {
+    return std::nullopt;
+  }
+  const Nonce96 nonce = derive_nonce("record", seq);
+  ++open_seq_;
+  return chacha20_apply(key_, nonce, ciphertext);
+}
+
+}  // namespace canal::crypto

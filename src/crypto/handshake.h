@@ -1,0 +1,185 @@
+// Mutual-TLS handshake state machine and record protection.
+//
+// A TLS-1.3-shaped flight structure over the toy asymmetric primitives:
+//
+//   client                                   server
+//   ClientHello{random, eph_pub}     ->
+//                                    <-      ServerHello{random, eph_pub}
+//                                            + Certificate + CertVerify
+//   Certificate + CertVerify
+//   + Finished                       ->
+//                                    <-      Finished
+//
+// Both sides verify the peer certificate against the trusted CA, check the
+// CertVerify signature over the running transcript (proof of key
+// possession), and derive directional ChaCha20 record keys from the
+// ephemeral DH secret. The long-term-key signing operation is the
+// *offloadable* asymmetric step: in key-server mode it is produced remotely
+// (§4.1.3) and in keyless mode by a customer-premises signer (Appendix B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "crypto/cert.h"
+#include "crypto/chacha20.h"
+#include "crypto/keyexchange.h"
+#include "crypto/mac.h"
+#include "sim/rng.h"
+
+namespace canal::crypto {
+
+struct ClientHello {
+  std::uint64_t random = 0;
+  std::uint64_t ephemeral_public = 0;
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct ServerHello {
+  std::uint64_t random = 0;
+  std::uint64_t ephemeral_public = 0;
+  Certificate certificate;
+  Signature cert_verify;  // over the transcript so far
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct ClientFinished {
+  Certificate certificate;
+  Signature cert_verify;
+  std::array<std::uint8_t, 32> finished_mac{};
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct ServerFinished {
+  std::array<std::uint8_t, 32> finished_mac{};
+};
+
+/// Directional record keys established by a completed handshake.
+struct SessionKeys {
+  Key256 client_to_server{};
+  Key256 server_to_client{};
+  std::string peer_identity;
+};
+
+enum class HandshakeError : std::uint8_t {
+  kNone,
+  kBadCertificate,
+  kBadSignature,
+  kBadFinished,
+  kUnauthorizedPeer,
+  kStateViolation,
+};
+
+[[nodiscard]] std::string_view handshake_error_name(HandshakeError e) noexcept;
+
+/// Signs a transcript with a long-term private key. Local mode captures the
+/// key directly; key-server / keyless modes forward to a remote signer.
+using TranscriptSigner =
+    std::function<Signature(std::string_view transcript)>;
+
+/// Configuration shared by both handshake roles.
+struct EndpointConfig {
+  Certificate certificate;
+  TranscriptSigner signer;        // produces CertVerify signatures
+  std::uint64_t ca_public_key = 0;
+  std::string ca_name;
+  /// Authorization predicate over the peer SPIFFE identity; empty = allow.
+  std::function<bool(std::string_view identity)> authorize_peer;
+};
+
+/// Client role of the mTLS handshake.
+class ClientHandshake {
+ public:
+  ClientHandshake(EndpointConfig config, sim::Rng& rng);
+
+  /// Flight 1. Must be called exactly once, first.
+  ClientHello start();
+
+  /// Processes the server flight, producing the client's final flight.
+  /// Returns nullopt (and sets error()) on any verification failure.
+  std::optional<ClientFinished> on_server_hello(const ServerHello& hello,
+                                                sim::TimePoint now);
+
+  /// Verifies the server Finished; the handshake is complete on success.
+  bool on_server_finished(const ServerFinished& fin);
+
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] HandshakeError error() const noexcept { return error_; }
+  /// Valid only when complete().
+  [[nodiscard]] const SessionKeys& keys() const noexcept { return keys_; }
+
+ private:
+  EndpointConfig config_;
+  sim::Rng& rng_;
+  KeyPair ephemeral_;
+  std::uint64_t client_random_ = 0;
+  std::string transcript_;
+  std::uint64_t shared_secret_ = 0;
+  SessionKeys keys_;
+  bool started_ = false;
+  bool complete_ = false;
+  HandshakeError error_ = HandshakeError::kNone;
+};
+
+/// Server role of the mTLS handshake.
+class ServerHandshake {
+ public:
+  ServerHandshake(EndpointConfig config, sim::Rng& rng);
+
+  /// Processes flight 1 and produces flight 2.
+  std::optional<ServerHello> on_client_hello(const ClientHello& hello);
+
+  /// Verifies the client's final flight; on success returns the server
+  /// Finished and the handshake is complete.
+  std::optional<ServerFinished> on_client_finished(const ClientFinished& fin,
+                                                   sim::TimePoint now);
+
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] HandshakeError error() const noexcept { return error_; }
+  [[nodiscard]] const SessionKeys& keys() const noexcept { return keys_; }
+
+ private:
+  EndpointConfig config_;
+  sim::Rng& rng_;
+  KeyPair ephemeral_;
+  std::string transcript_;
+  std::uint64_t shared_secret_ = 0;
+  SessionKeys keys_;
+  bool hello_done_ = false;
+  bool complete_ = false;
+  HandshakeError error_ = HandshakeError::kNone;
+};
+
+/// One direction of an established session: ChaCha20 + MAC records with
+/// sequence-numbered nonces (encrypt-then-MAC).
+class RecordChannel {
+ public:
+  explicit RecordChannel(Key256 key) : key_(key) {}
+
+  /// Encrypts and authenticates one record.
+  [[nodiscard]] std::string seal(std::string_view plaintext);
+
+  /// Verifies and decrypts one record; nullopt on tamper or replay-skew.
+  [[nodiscard]] std::optional<std::string> open(std::string_view record);
+
+  [[nodiscard]] std::uint64_t sealed_records() const noexcept {
+    return seal_seq_;
+  }
+
+ private:
+  Key256 key_;
+  std::uint64_t seal_seq_ = 0;
+  std::uint64_t open_seq_ = 0;
+};
+
+/// Derives the directional session keys both sides must agree on.
+SessionKeys derive_session_keys(std::uint64_t shared_secret,
+                                std::uint64_t client_random,
+                                std::uint64_t server_random);
+
+}  // namespace canal::crypto

@@ -1,0 +1,114 @@
+#include "crypto/mac.h"
+
+#include <cstring>
+
+namespace canal::crypto {
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+              std::uint64_t& v3) noexcept {
+  v0 += v1; v1 = rotl64(v1, 13); v1 ^= v0; v0 = rotl64(v0, 32);
+  v2 += v3; v3 = rotl64(v3, 16); v3 ^= v2;
+  v0 += v3; v3 = rotl64(v3, 21); v3 ^= v0;
+  v2 += v1; v1 = rotl64(v1, 17); v1 ^= v2; v2 = rotl64(v2, 32);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data) {
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t len = data.size();
+  const std::size_t whole = len & ~std::size_t{7};
+  for (std::size_t i = 0; i < whole; i += 8) {
+    const std::uint64_t m = load_le64(data.data() + i);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+  std::uint64_t last = std::uint64_t{len & 0xFF} << 56;
+  for (std::size_t i = whole; i < len; ++i) {
+    last |= std::uint64_t{data[i]} << (8 * (i - whole));
+  }
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+  v2 ^= 0xFF;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t siphash24(const Key128& key, std::string_view data) {
+  return siphash24(key, std::span<const std::uint8_t>(
+                            reinterpret_cast<const std::uint8_t*>(data.data()),
+                            data.size()));
+}
+
+std::array<std::uint8_t, 32> mac256(const Key256& key, std::string_view data) {
+  std::array<std::uint8_t, 32> out{};
+  for (int lane = 0; lane < 4; ++lane) {
+    Key128 lane_key{};
+    std::memcpy(lane_key.data(), key.data() + (lane % 2) * 16, 16);
+    lane_key[0] ^= static_cast<std::uint8_t>(0xA5 + lane);  // domain separation
+    const std::uint64_t h = siphash24(lane_key, data);
+    std::memcpy(out.data() + lane * 8, &h, 8);
+  }
+  return out;
+}
+
+Key256 derive_key(std::string_view ikm, std::string_view label) {
+  Key256 out{};
+  for (int lane = 0; lane < 4; ++lane) {
+    Key128 lane_key{};
+    lane_key[0] = static_cast<std::uint8_t>(lane);
+    lane_key[1] = 0x5C;
+    std::string material;
+    material.reserve(ikm.size() + label.size() + 1);
+    material.append(ikm);
+    material.push_back('|');
+    material.append(label);
+    const std::uint64_t h = siphash24(lane_key, material);
+    std::memcpy(out.data() + lane * 8, &h, 8);
+  }
+  return out;
+}
+
+Nonce96 derive_nonce(std::string_view label, std::uint64_t sequence) {
+  Nonce96 out{};
+  Key128 key{};
+  key[0] = 0x36;
+  const std::uint64_t h = siphash24(key, label);
+  std::memcpy(out.data(), &h, 4);
+  std::memcpy(out.data() + 4, &sequence, 8);
+  return out;
+}
+
+bool tags_equal(std::span<const std::uint8_t> a,
+                std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace canal::crypto

@@ -1,0 +1,37 @@
+// Keyed hashing: SipHash-2-4 and a hash-based key-derivation helper.
+//
+// SipHash-2-4 is implemented per the Aumasson–Bernstein reference and backs
+// message authentication on handshake transcripts plus the KDF that expands
+// the Diffie–Hellman shared secret into record-protection keys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/chacha20.h"  // Key256 / Nonce96 aliases
+
+namespace canal::crypto {
+
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// SipHash-2-4 of `data` under a 128-bit key.
+std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data);
+std::uint64_t siphash24(const Key128& key, std::string_view data);
+
+/// 256-bit MAC tag: four SipHash lanes with domain-separated keys.
+std::array<std::uint8_t, 32> mac256(const Key256& key, std::string_view data);
+
+/// Derives a 256-bit key from input keying material and a label
+/// (HKDF-like expand built on SipHash lanes).
+Key256 derive_key(std::string_view ikm, std::string_view label);
+
+/// Derives a 96-bit nonce from a label and a sequence number.
+Nonce96 derive_nonce(std::string_view label, std::uint64_t sequence);
+
+/// Constant-time comparison of equal-length tags.
+bool tags_equal(std::span<const std::uint8_t> a,
+                std::span<const std::uint8_t> b) noexcept;
+
+}  // namespace canal::crypto

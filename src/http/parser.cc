@@ -1,0 +1,265 @@
+#include "http/parser.h"
+
+#include <charconv>
+
+namespace canal::http {
+namespace detail {
+namespace {
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+ParseStatus ParserBase::feed(std::string_view bytes) {
+  if (status_ == ParseStatus::kError) return status_;
+  buffer_.append(bytes);
+  return advance();
+}
+
+std::string_view ParserBase::remainder() const noexcept {
+  return std::string_view(buffer_).substr(pos_);
+}
+
+void ParserBase::fail(std::string message) {
+  error_ = std::move(message);
+  state_ = State::kError;
+  status_ = ParseStatus::kError;
+}
+
+void ParserBase::reset_base() {
+  // Keep pipelined bytes that follow the completed message.
+  buffer_.erase(0, pos_);
+  pos_ = 0;
+  state_ = State::kStartLine;
+  status_ = ParseStatus::kNeedMore;
+  body_expected_ = 0;
+  chunked_ = false;
+  body_.clear();
+  chunk_remaining_ = 0;
+  error_.clear();
+  if (!buffer_.empty()) advance();
+}
+
+std::optional<std::string_view> ParserBase::take_line() {
+  const auto nl = buffer_.find("\r\n", pos_);
+  if (nl == std::string::npos) return std::nullopt;
+  std::string_view line(buffer_.data() + pos_, nl - pos_);
+  pos_ = nl + 2;
+  return line;
+}
+
+bool ParserBase::handle_header_line(std::string_view line) {
+  const auto colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail("malformed header line");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (name.back() == ' ' || name.back() == '\t') {
+    fail("whitespace before header colon");  // RFC 9112 §5.1
+    return false;
+  }
+  headers().add(std::string(name), std::string(trim(line.substr(colon + 1))));
+  return true;
+}
+
+void ParserBase::finish_headers() {
+  const auto te = headers().get("Transfer-Encoding");
+  if (te && iequals(*te, "chunked")) {
+    chunked_ = true;
+    state_ = State::kChunkSize;
+    return;
+  }
+  const auto cl = headers().get("Content-Length");
+  if (cl) {
+    std::size_t length = 0;
+    const auto [p, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), length);
+    if (ec != std::errc{} || p != cl->data() + cl->size()) {
+      fail("bad Content-Length");
+      return;
+    }
+    if (length > kMaxBodyBytes) {
+      fail("body too large");
+      return;
+    }
+    body_expected_ = length;
+  }
+  state_ = body_expected_ > 0 ? State::kBody : State::kDone;
+}
+
+ParseStatus ParserBase::advance() {
+  for (;;) {
+    switch (state_) {
+      case State::kStartLine: {
+        const auto line = take_line();
+        if (!line) {
+          if (buffer_.size() - pos_ > kMaxStartLine) {
+            fail("start line too long");
+            return status_;
+          }
+          return status_ = ParseStatus::kNeedMore;
+        }
+        if (line->empty()) continue;  // tolerate leading CRLF (RFC 9112 §2.2)
+        if (!on_start_line(*line)) return status_;
+        state_ = State::kHeaders;
+        break;
+      }
+      case State::kHeaders: {
+        const auto line = take_line();
+        if (!line) {
+          if (buffer_.size() - pos_ > kMaxHeaderBytes) {
+            fail("headers too large");
+            return status_;
+          }
+          return status_ = ParseStatus::kNeedMore;
+        }
+        if (line->empty()) {
+          finish_headers();
+          if (state_ == State::kError) return status_;
+          break;
+        }
+        if (!handle_header_line(*line)) return status_;
+        break;
+      }
+      case State::kBody: {
+        const std::size_t available = buffer_.size() - pos_;
+        if (available < body_expected_) {
+          return status_ = ParseStatus::kNeedMore;
+        }
+        body_ = buffer_.substr(pos_, body_expected_);
+        pos_ += body_expected_;
+        state_ = State::kDone;
+        break;
+      }
+      case State::kChunkSize: {
+        const auto line = take_line();
+        if (!line) return status_ = ParseStatus::kNeedMore;
+        std::size_t size = 0;
+        const std::string_view digits =
+            line->substr(0, line->find(';'));  // ignore chunk extensions
+        const auto [p, ec] = std::from_chars(
+            digits.data(), digits.data() + digits.size(), size, 16);
+        if (ec != std::errc{} || p == digits.data()) {
+          fail("bad chunk size");
+          return status_;
+        }
+        if (body_.size() + size > kMaxBodyBytes) {
+          fail("body too large");
+          return status_;
+        }
+        chunk_remaining_ = size;
+        state_ = size == 0 ? State::kChunkTrailer : State::kChunkData;
+        break;
+      }
+      case State::kChunkData: {
+        const std::size_t available = buffer_.size() - pos_;
+        if (available < chunk_remaining_ + 2) {
+          return status_ = ParseStatus::kNeedMore;
+        }
+        body_.append(buffer_, pos_, chunk_remaining_);
+        pos_ += chunk_remaining_;
+        if (buffer_[pos_] != '\r' || buffer_[pos_ + 1] != '\n') {
+          fail("missing CRLF after chunk");
+          return status_;
+        }
+        pos_ += 2;
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kChunkTrailer: {
+        const auto line = take_line();
+        if (!line) return status_ = ParseStatus::kNeedMore;
+        if (line->empty()) {
+          state_ = State::kDone;
+          break;
+        }
+        if (!handle_header_line(*line)) return status_;
+        break;
+      }
+      case State::kDone:
+        set_body(std::move(body_));
+        body_.clear();
+        return status_ = ParseStatus::kComplete;
+      case State::kError:
+        return status_;
+    }
+  }
+}
+
+}  // namespace detail
+
+bool RequestParser::on_start_line(std::string_view line) {
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    fail("malformed request line");
+    return false;
+  }
+  const auto method = parse_method(line.substr(0, sp1));
+  if (!method) {
+    fail("unknown method");
+    return false;
+  }
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (target.empty() || (version != "HTTP/1.1" && version != "HTTP/1.0")) {
+    fail("malformed request line");
+    return false;
+  }
+  request_.method = *method;
+  request_.path = std::string(target);
+  request_.version = std::string(version);
+  return true;
+}
+
+void RequestParser::reset() {
+  request_ = Request{};
+  reset_base();
+}
+
+bool ResponseParser::on_start_line(std::string_view line) {
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    fail("malformed status line");
+    return false;
+  }
+  const std::string_view version = line.substr(0, sp1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    fail("bad version");
+    return false;
+  }
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code_text =
+      sp2 == std::string_view::npos ? line.substr(sp1 + 1)
+                                    : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  int code = 0;
+  const auto [p, ec] =
+      std::from_chars(code_text.data(), code_text.data() + code_text.size(), code);
+  if (ec != std::errc{} || p != code_text.data() + code_text.size() ||
+      code < 100 || code > 599) {
+    fail("bad status code");
+    return false;
+  }
+  response_.version = std::string(version);
+  response_.status = code;
+  response_.reason = sp2 == std::string_view::npos
+                         ? std::string{}
+                         : std::string(line.substr(sp2 + 1));
+  return true;
+}
+
+void ResponseParser::reset() {
+  response_ = Response{};
+  reset_base();
+}
+
+}  // namespace canal::http

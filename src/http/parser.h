@@ -1,0 +1,114 @@
+// Incremental HTTP/1.1 parser.
+//
+// Feed arbitrary byte chunks; the parser yields a complete Request/Response
+// when one is available. Supports Content-Length and chunked
+// transfer-coding bodies. Malformed input drives the parser into a sticky
+// error state — a proxy must fail closed on garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace canal::http {
+
+enum class ParseStatus : std::uint8_t {
+  kNeedMore,   ///< More bytes required.
+  kComplete,   ///< A full message was parsed; retrieve and reset.
+  kError,      ///< Malformed input; parser must be reset.
+};
+
+namespace detail {
+
+/// Common parsing machinery for requests and responses.
+class ParserBase {
+ public:
+  /// Appends bytes and attempts to advance. Safe to call with partial data.
+  ParseStatus feed(std::string_view bytes);
+
+  [[nodiscard]] ParseStatus status() const noexcept { return status_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes consumed beyond the completed message (pipelined data).
+  [[nodiscard]] std::string_view remainder() const noexcept;
+
+ protected:
+  ParserBase() = default;
+  ~ParserBase() = default;
+
+  virtual bool on_start_line(std::string_view line) = 0;
+  virtual HeaderMap& headers() = 0;
+  virtual void set_body(std::string body) = 0;
+
+  void reset_base();
+  void fail(std::string message);
+
+ private:
+  enum class State : std::uint8_t {
+    kStartLine,
+    kHeaders,
+    kBody,
+    kChunkSize,
+    kChunkData,
+    kChunkTrailer,
+    kDone,
+    kError,
+  };
+
+  ParseStatus advance();
+  std::optional<std::string_view> take_line();
+  bool handle_header_line(std::string_view line);
+  void finish_headers();
+
+  State state_ = State::kStartLine;
+  ParseStatus status_ = ParseStatus::kNeedMore;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  std::size_t body_expected_ = 0;
+  bool chunked_ = false;
+  std::string body_;
+  std::size_t chunk_remaining_ = 0;
+  std::string error_;
+
+  static constexpr std::size_t kMaxStartLine = 16 * 1024;
+  static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
+};
+
+}  // namespace detail
+
+/// Parses HTTP/1.1 requests.
+class RequestParser final : public detail::ParserBase {
+ public:
+  /// The parsed request once status() == kComplete.
+  [[nodiscard]] Request& request() noexcept { return request_; }
+
+  /// Resets for the next message, retaining pipelined remainder bytes.
+  void reset();
+
+ private:
+  bool on_start_line(std::string_view line) override;
+  HeaderMap& headers() override { return request_.headers; }
+  void set_body(std::string body) override { request_.body = std::move(body); }
+
+  Request request_;
+};
+
+/// Parses HTTP/1.1 responses.
+class ResponseParser final : public detail::ParserBase {
+ public:
+  [[nodiscard]] Response& response() noexcept { return response_; }
+  void reset();
+
+ private:
+  bool on_start_line(std::string_view line) override;
+  HeaderMap& headers() override { return response_.headers; }
+  void set_body(std::string body) override { response_.body = std::move(body); }
+
+  Response response_;
+};
+
+}  // namespace canal::http

@@ -1,0 +1,103 @@
+#include "http/route.h"
+
+namespace canal::http {
+
+bool RouteMatch::matches(const Request& req) const {
+  switch (path_kind) {
+    case PathKind::kAny:
+      break;
+    case PathKind::kExact:
+      if (req.path_only() != path) return false;
+      break;
+    case PathKind::kPrefix:
+      if (!req.path_only().starts_with(path)) return false;
+      break;
+  }
+  if (method && req.method != *method) return false;
+  for (const auto& h : headers) {
+    const auto value = req.headers.get(h.name);
+    const bool hit = h.value.empty() ? value.has_value()
+                                     : (value && *value == h.value);
+    if (hit == h.invert) return false;
+  }
+  for (const auto& q : query_params) {
+    const auto value = req.query_param(q.key);
+    if (!value) return false;
+    if (!q.value.empty() && *value != q.value) return false;
+  }
+  return true;
+}
+
+const std::string* RouteAction::pick_cluster(double uniform_draw) const {
+  if (clusters.empty()) return nullptr;
+  std::uint64_t total = 0;
+  for (const auto& wc : clusters) total += wc.weight;
+  if (total == 0) return &clusters.front().cluster;
+  const auto threshold =
+      static_cast<std::uint64_t>(uniform_draw * static_cast<double>(total));
+  std::uint64_t acc = 0;
+  for (const auto& wc : clusters) {
+    acc += wc.weight;
+    if (threshold < acc) return &wc.cluster;
+  }
+  return &clusters.back().cluster;
+}
+
+std::optional<RouteResult> RouteTable::resolve(Request& req,
+                                               double uniform_draw) const {
+  for (const auto& rule : rules_) {
+    if (!rule.match.matches(req)) continue;
+
+    RouteResult result;
+    result.rule = &rule;
+    if (rule.action.direct_response_status) {
+      result.direct_response = true;
+      result.direct_status = *rule.action.direct_response_status;
+      return result;
+    }
+    const std::string* cluster = rule.action.pick_cluster(uniform_draw);
+    if (cluster == nullptr) return std::nullopt;
+    result.cluster = *cluster;
+
+    for (const auto& name : rule.action.request_headers_to_remove) {
+      req.headers.remove(name);
+    }
+    for (const auto& [name, value] : rule.action.request_headers_to_set) {
+      req.headers.set(name, value);
+    }
+    if (rule.action.prefix_rewrite &&
+        rule.match.path_kind == RouteMatch::PathKind::kPrefix) {
+      req.path = *rule.action.prefix_rewrite +
+                 req.path.substr(rule.match.path.size());
+    }
+    return result;
+  }
+  return std::nullopt;
+}
+
+std::size_t RouteTable::config_bytes() const noexcept {
+  // Rough serialized footprint: rule framing + strings. This drives the
+  // control-plane southbound bandwidth model; absolute scale matters less
+  // than growth with rule count.
+  std::size_t total = 0;
+  for (const auto& rule : rules_) {
+    total += 64;  // framing, enums, weights, timeouts
+    total += rule.name.size() + rule.match.path.size();
+    for (const auto& h : rule.match.headers) {
+      total += h.name.size() + h.value.size() + 8;
+    }
+    for (const auto& q : rule.match.query_params) {
+      total += q.key.size() + q.value.size() + 8;
+    }
+    for (const auto& wc : rule.action.clusters) total += wc.cluster.size() + 8;
+    for (const auto& [n, v] : rule.action.request_headers_to_set) {
+      total += n.size() + v.size() + 8;
+    }
+    for (const auto& n : rule.action.request_headers_to_remove) {
+      total += n.size() + 8;
+    }
+  }
+  return total;
+}
+
+}  // namespace canal::http

@@ -1,0 +1,22 @@
+#include "k8s/health.h"
+
+#include <algorithm>
+
+namespace canal::k8s {
+
+void HealthProber::probe_all() {
+  unhealthy_.clear();
+  for (Pod* pod : targets_) {
+    if (pod == nullptr) continue;
+    ++probes_sent_;
+    pod->handle_health_probe();
+    if (!pod->ready()) unhealthy_.push_back(pod);
+  }
+}
+
+bool HealthProber::last_healthy(const Pod* pod) const {
+  return std::find(unhealthy_.begin(), unhealthy_.end(), pod) ==
+         unhealthy_.end();
+}
+
+}  // namespace canal::k8s

@@ -1,0 +1,50 @@
+// Periodic health probing.
+//
+// Every mesh proxy health-checks the app endpoints it may route to. With a
+// consolidated multi-backend, multi-replica, multi-core gateway this
+// multiplies into the probe storm of Table 6; Canal's multi-level
+// aggregation (src/canal/health_aggregation.h) collapses it back down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "k8s/objects.h"
+#include "sim/event_loop.h"
+
+namespace canal::k8s {
+
+/// One probing entity (a sidecar, a gateway core, a health-check proxy).
+class HealthProber {
+ public:
+  HealthProber(sim::EventLoop& loop, sim::Duration interval)
+      : timer_(loop, interval, [this] { probe_all(); }) {}
+
+  void add_target(Pod* pod) { targets_.push_back(pod); }
+  void set_targets(std::vector<Pod*> pods) { targets_ = std::move(pods); }
+  [[nodiscard]] const std::vector<Pod*>& targets() const noexcept {
+    return targets_;
+  }
+
+  void start(sim::Duration initial_delay = 0) { timer_.start(initial_delay); }
+  void stop() noexcept { timer_.stop(); }
+
+  [[nodiscard]] std::uint64_t probes_sent() const noexcept {
+    return probes_sent_;
+  }
+
+  /// Latest health verdict per target (true = healthy).
+  [[nodiscard]] bool last_healthy(const Pod* pod) const;
+
+ private:
+  void probe_all();
+
+  sim::PeriodicTimer timer_;
+  std::vector<Pod*> targets_;
+  std::vector<const Pod*> unhealthy_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace canal::k8s

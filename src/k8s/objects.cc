@@ -1,0 +1,71 @@
+#include "k8s/objects.h"
+
+#include <cmath>
+
+namespace canal::k8s {
+
+sim::Duration AppProfile::sample_service_time(sim::Rng& rng) const {
+  const sim::Duration mode_mean =
+      rng.chance(fast_fraction) ? fast_service_mean : slow_service_mean;
+  // Lognormal around the mode mean: mu chosen so E[X] == mode_mean.
+  const double mean_s = sim::to_seconds(mode_mean);
+  const double mu = std::log(mean_s) - sigma * sigma / 2.0;
+  return sim::seconds(rng.lognormal(mu, sigma));
+}
+
+Pod::Pod(sim::EventLoop& loop, net::PodId id, net::ServiceId service,
+         net::TenantId tenant, Node& node, net::Ipv4Addr ip,
+         AppProfile profile, sim::Rng rng)
+    : loop_(loop),
+      id_(id),
+      service_(service),
+      tenant_(tenant),
+      node_(node),
+      ip_(ip),
+      profile_(profile),
+      rng_(rng) {}
+
+void Pod::handle_request(const http::Request& req,
+                         std::function<void(http::Response)> done) {
+  if (phase_ != PodPhase::kRunning) {
+    http::Response resp;
+    resp.status = 503;
+    resp.reason = std::string(http::reason_phrase(503));
+    loop_.schedule(0, [done = std::move(done), resp = std::move(resp)] {
+      done(resp);
+    });
+    return;
+  }
+  ++requests_served_;
+  const bool app_error = rng_.chance(profile_.app_error_rate);
+  const sim::Duration think = profile_.sample_service_time(rng_);
+  const std::uint32_t body_bytes = profile_.response_bytes;
+  // CPU work is charged to the node; think time (I/O, downstream calls)
+  // elapses without occupying a core.
+  node_.cpu().execute(profile_.cpu_per_request, [this, think, app_error,
+                                                 body_bytes, req,
+                                                 done = std::move(done)] {
+    loop_.schedule(think, [app_error, body_bytes, req,
+                           done = std::move(done)] {
+      http::Response resp;
+      resp.status = app_error ? 500 : 200;
+      resp.reason = std::string(http::reason_phrase(resp.status));
+      resp.body.assign(body_bytes, 'x');
+      resp.headers.set("Content-Length", std::to_string(body_bytes));
+      resp.headers.set("X-Request-Path", req.path);
+      done(std::move(resp));
+    });
+  });
+}
+
+void Pod::handle_health_probe() { ++health_probes_; }
+
+std::vector<Pod*> Service::ready_endpoints() const {
+  std::vector<Pod*> out;
+  for (Pod* p : endpoints) {
+    if (p != nullptr && p->ready()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace canal::k8s

@@ -1,0 +1,43 @@
+#include "lb/aggregation.h"
+
+namespace canal::lb {
+
+std::uint32_t SessionAggregator::tunnel_index(
+    const net::FiveTuple& inner) const {
+  return static_cast<std::uint32_t>(net::flow_hash(inner) %
+                                    config_.tunnels_per_replica);
+}
+
+net::FiveTuple SessionAggregator::outer_tuple(const net::FiveTuple& inner,
+                                              net::Ipv4Addr replica_ip) const {
+  net::FiveTuple outer;
+  outer.src_ip = config_.router_ip;
+  outer.dst_ip = replica_ip;
+  outer.src_port =
+      static_cast<std::uint16_t>(config_.base_src_port + tunnel_index(inner));
+  outer.dst_port = 4789;  // VXLAN
+  outer.protocol = net::Protocol::kUdp;
+  return outer;
+}
+
+void SessionAggregator::encapsulate(net::Packet& packet,
+                                    net::Ipv4Addr replica_ip) const {
+  net::VxlanHeader header;
+  header.outer = outer_tuple(packet.tuple, replica_ip);
+  header.vni = config_.vni;
+  packet.vxlan = header;
+}
+
+bool SessionAggregator::decapsulate(net::Packet& packet) {
+  if (!packet.vxlan) return false;
+  packet.vxlan.reset();
+  return true;
+}
+
+void NicSessionCounter::observe(const net::FiveTuple& inner_session,
+                                const net::FiveTuple& outer_tunnel) {
+  inner_.insert(inner_session);
+  outer_.insert(outer_tunnel);
+}
+
+}  // namespace canal::lb

@@ -1,0 +1,113 @@
+#include "lb/bucket_table.h"
+
+#include <algorithm>
+
+namespace canal::lb {
+
+BucketTable::BucketTable(std::size_t buckets, std::size_t max_chain)
+    : max_chain_(max_chain), chains_(buckets) {}
+
+std::size_t BucketTable::bucket_for(const net::FiveTuple& tuple) const {
+  return net::flow_hash(tuple) % chains_.size();
+}
+
+void BucketTable::assign_round_robin(
+    const std::vector<net::ReplicaId>& replicas) {
+  if (replicas.empty()) return;
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    chains_[i].clear();
+    chains_[i].push_back(replicas[i % replicas.size()]);
+  }
+}
+
+void BucketTable::prepend(std::size_t bucket, net::ReplicaId replica) {
+  auto& chain = chains_[bucket];
+  chain.insert(chain.begin(), replica);
+  if (chain.size() > max_chain_) chain.resize(max_chain_);
+}
+
+void BucketTable::prepare_offline(net::ReplicaId leaving,
+                                  const std::vector<net::ReplicaId>& available) {
+  if (available.empty()) return;
+  for (std::size_t b = 0; b < chains_.size(); ++b) {
+    auto& chain = chains_[b];
+    if (chain.empty() || chain.front() != leaving) continue;
+    // Round-robin across available replicas to spread the takeover load.
+    net::ReplicaId takeover = available[takeover_cursor_ % available.size()];
+    ++takeover_cursor_;
+    if (takeover == leaving) {
+      takeover = available[takeover_cursor_ % available.size()];
+      ++takeover_cursor_;
+    }
+    prepend(b, takeover);
+  }
+}
+
+void BucketTable::add_replica(net::ReplicaId incoming,
+                              std::size_t takeover_buckets) {
+  // Empty chains (all prior replicas purged) must be claimed regardless of
+  // the takeover quota, or those buckets would blackhole flows.
+  for (auto& chain : chains_) {
+    if (chain.empty()) chain.push_back(incoming);
+  }
+  std::size_t taken = 0;
+  for (std::size_t b = 0; b < chains_.size() && taken < takeover_buckets; ++b) {
+    // Spread takeovers across the table deterministically.
+    const std::size_t bucket =
+        (b * 2654435761u + takeover_cursor_) % chains_.size();
+    auto& chain = chains_[bucket];
+    if (!chain.empty() && chain.front() == incoming) continue;
+    prepend(bucket, incoming);
+    ++taken;
+  }
+  ++takeover_cursor_;
+}
+
+void BucketTable::purge(net::ReplicaId replica) {
+  for (auto& chain : chains_) {
+    chain.erase(std::remove(chain.begin(), chain.end(), replica), chain.end());
+  }
+}
+
+std::vector<net::ReplicaId> BucketTable::active_replicas() const {
+  std::vector<net::ReplicaId> out;
+  for (const auto& chain : chains_) {
+    for (const auto replica : chain) {
+      if (std::find(out.begin(), out.end(), replica) == out.end()) {
+        out.push_back(replica);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t BucketTable::buckets_headed_by(net::ReplicaId replica) const {
+  std::size_t n = 0;
+  for (const auto& chain : chains_) {
+    if (!chain.empty() && chain.front() == replica) ++n;
+  }
+  return n;
+}
+
+std::optional<RedirectDecision> Redirector::resolve(
+    const net::FiveTuple& tuple, bool is_syn, const FlowLookup& flow_at) const {
+  const std::size_t bucket = table_.bucket_for(tuple);
+  const auto& chain = table_.chain(bucket);
+  if (chain.empty()) return std::nullopt;
+
+  if (is_syn) {
+    // New flows always land on the highest-priority replica.
+    return RedirectDecision{chain.front(), 0, true};
+  }
+  // Existing flows chase the chain until the replica holding the flow
+  // record is found; each hop beyond the head is one redirection.
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (flow_at(chain[i], tuple)) {
+      return RedirectDecision{chain[i], static_cast<std::uint32_t>(i), false};
+    }
+  }
+  // No replica knows the flow (fully aged out): treat as new at the head.
+  return RedirectDecision{chain.front(), 0, true};
+}
+
+}  // namespace canal::lb

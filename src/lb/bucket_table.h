@@ -1,0 +1,105 @@
+// Beamer-style bucket table for stateless LB with session consistency.
+//
+// LB disaggregation (§4.4) replaces dedicated LB VMs with (a) the ECMP
+// router already in front of the replicas for load distribution and (b) a
+// redirector embedded in each replica for session consistency. The bucket
+// table is the redirector's state: a fixed number of buckets, each holding
+// a priority-ordered replica chain. Canal's modifications over Beamer:
+//   (i)  chains longer than 2 to survive multiple scale events in a short
+//        period (consecutive query-of-death crashes),
+//   (ii) one bucket table per service, indexed by service ID,
+//   (iii) an eBPF-accelerated redirector (cost model in the gateway).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/ids.h"
+
+namespace canal::lb {
+
+/// One service's bucket table. All replicas of the service hold identical
+/// copies, updated by the centralized controller.
+class BucketTable {
+ public:
+  /// `buckets` is fixed for the table's lifetime so a flow always hashes to
+  /// the same bucket; `max_chain` bounds replica-chain length (Canal uses
+  /// > 2; Beamer used 2).
+  BucketTable(std::size_t buckets, std::size_t max_chain);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return chains_.size();
+  }
+  [[nodiscard]] std::size_t max_chain() const noexcept { return max_chain_; }
+
+  /// Bucket index for a flow: hash(5-tuple) mod #buckets.
+  [[nodiscard]] std::size_t bucket_for(const net::FiveTuple& tuple) const;
+
+  /// Priority-ordered replica chain of a bucket (front = highest priority).
+  [[nodiscard]] const std::vector<net::ReplicaId>& chain(
+      std::size_t bucket) const {
+    return chains_.at(bucket);
+  }
+
+  /// Initial assignment: bucket i -> replicas[i mod n], single-entry chains.
+  void assign_round_robin(const std::vector<net::ReplicaId>& replicas);
+
+  /// Scale-in/drain: for every bucket headed by `leaving`, prepend the
+  /// bucket's takeover replica (chosen round-robin from `available`).
+  /// Existing flows keep finding `leaving` lower in the chain.
+  void prepare_offline(net::ReplicaId leaving,
+                       const std::vector<net::ReplicaId>& available);
+
+  /// Scale-out: the new replica takes over ~1/(n+1) of the buckets by
+  /// prepending itself; old heads remain in the chain for existing flows.
+  void add_replica(net::ReplicaId incoming, std::size_t takeover_buckets);
+
+  /// Removes a replica from every chain (flows fully drained / crashed).
+  void purge(net::ReplicaId replica);
+
+  /// Every distinct replica currently present in any chain.
+  [[nodiscard]] std::vector<net::ReplicaId> active_replicas() const;
+
+  /// Buckets whose chain head is `replica`.
+  [[nodiscard]] std::size_t buckets_headed_by(net::ReplicaId replica) const;
+
+ private:
+  void prepend(std::size_t bucket, net::ReplicaId replica);
+
+  std::size_t max_chain_;
+  std::vector<std::vector<net::ReplicaId>> chains_;
+  std::size_t takeover_cursor_ = 0;
+};
+
+/// Outcome of a redirector decision.
+struct RedirectDecision {
+  net::ReplicaId target{};
+  /// Chain hops taken beyond the first replica (0 = handled at head).
+  std::uint32_t redirections = 0;
+  bool is_new_flow = false;
+};
+
+/// The redirector logic run at each replica (Fig 26). Given where flow
+/// state actually lives (via `flow_at`), decides which replica must process
+/// the packet: SYNs go to the chain head; packets of existing flows chase
+/// the chain until the owning replica is found.
+class Redirector {
+ public:
+  explicit Redirector(const BucketTable& table) : table_(table) {}
+
+  using FlowLookup =
+      std::function<bool(net::ReplicaId replica, const net::FiveTuple& tuple)>;
+
+  [[nodiscard]] std::optional<RedirectDecision> resolve(
+      const net::FiveTuple& tuple, bool is_syn,
+      const FlowLookup& flow_at) const;
+
+ private:
+  const BucketTable& table_;
+};
+
+}  // namespace canal::lb

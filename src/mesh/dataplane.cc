@@ -1,0 +1,114 @@
+#include "mesh/dataplane.h"
+
+namespace canal::mesh {
+
+std::size_t service_config_bytes(const k8s::Service& service) {
+  // Route rules + authz policy + per-endpoint entries. Matches the
+  // footprint install_service_config() creates, plus security metadata.
+  constexpr std::size_t kRouteBytes = 680;
+  constexpr std::size_t kAuthzBytes = 420;
+  constexpr std::size_t kPerEndpointBytes = 96;
+  return kRouteBytes + kAuthzBytes +
+         service.endpoints.size() * kPerEndpointBytes;
+}
+
+std::size_t full_config_bytes(const k8s::Cluster& cluster) {
+  std::size_t total = 1024;  // bootstrap/listener framing
+  for (const auto& service : cluster.services()) {
+    total += service_config_bytes(*service);
+  }
+  return total;
+}
+
+std::string service_cluster_name(net::ServiceId id) {
+  return "service-" + std::to_string(net::id_value(id));
+}
+
+net::Ipv4Addr service_vip(net::ServiceId id) {
+  const auto v = net::id_value(id);
+  return net::Ipv4Addr(10, 255, static_cast<std::uint8_t>((v >> 8) & 0xFF),
+                       static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void refresh_endpoints(proxy::ProxyEngine& engine,
+                       const k8s::Service& service) {
+  const std::string name = service_cluster_name(service.id);
+  engine.clusters().remove_cluster(name);
+  auto& cluster =
+      engine.clusters().add_cluster(name, proxy::LbPolicy::kRoundRobin);
+  for (const k8s::Pod* pod : service.endpoints) {
+    cluster.add_endpoint(net::Endpoint{pod->ip(), 8080},
+                         net::id_value(pod->id()));
+  }
+}
+
+void install_service_config(proxy::ProxyEngine& engine,
+                            const k8s::Service& service) {
+  http::RouteTable table;
+  http::RouteRule rule;
+  rule.name = service.name + "-default";
+  rule.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+  rule.match.path = "/";
+  rule.action.clusters.push_back({service_cluster_name(service.id), 1});
+  table.add_rule(std::move(rule));
+  engine.set_route_table(service.id, std::move(table));
+  refresh_endpoints(engine, service);
+}
+
+void install_full_config(proxy::ProxyEngine& engine,
+                         const k8s::Cluster& cluster) {
+  for (const auto& service : cluster.services()) {
+    install_service_config(engine, *service);
+  }
+}
+
+http::Request build_request(const RequestOptions& opts) {
+  http::Request req;
+  req.method = opts.method;
+  req.path = opts.path;
+  req.headers.set("Host", service_cluster_name(opts.dst_service));
+  for (const auto& [name, value] : opts.headers) {
+    req.headers.add(name, value);
+  }
+  if (opts.request_bytes > 0) {
+    req.body.assign(opts.request_bytes, 'q');
+    req.headers.set("Content-Length", std::to_string(opts.request_bytes));
+  }
+  return req;
+}
+
+void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
+  const sim::TimePoint start = loop_.now();
+  k8s::Service* service = cluster_.find_service(opts.dst_service);
+  auto finish = [this, start, done = std::move(done)](
+                    int status, net::PodId served_by) {
+    RequestResult result;
+    result.status = status;
+    result.latency = loop_.now() - start;
+    result.served_by = served_by;
+    done(result);
+  };
+  if (service == nullptr) {
+    finish(404, net::PodId{});
+    return;
+  }
+  const auto endpoints = service->ready_endpoints();
+  if (endpoints.empty()) {
+    finish(503, net::PodId{});
+    return;
+  }
+  k8s::Pod* target = endpoints[rr_++ % endpoints.size()];
+  const sim::Duration hop = net_.hop(opts.client->node(), target->node());
+  auto req = std::make_shared<http::Request>(build_request(opts));
+  loop_.schedule(hop, [this, req, target, hop,
+                       finish = std::move(finish)]() mutable {
+    target->handle_request(*req, [this, req, target, hop,
+                                  finish = std::move(finish)](
+                                     http::Response resp) mutable {
+      loop_.schedule(hop, [finish = std::move(finish), status = resp.status,
+                           id = target->id()] { finish(status, id); });
+    });
+  });
+}
+
+}  // namespace canal::mesh

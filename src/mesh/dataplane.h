@@ -1,0 +1,150 @@
+// Common mesh-dataplane interface shared by the NoMesh/Istio/Ambient
+// baselines and the Canal architecture (src/canal).
+//
+// Each architecture composes the same proxy engine (src/proxy) into a
+// different topology; this interface lets the benchmark harness drive any
+// of them identically (Figs 10/11/13/14/15).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+#include "k8s/cluster.h"
+#include "k8s/controller.h"
+#include "net/flow.h"
+#include "net/ids.h"
+#include "proxy/engine.h"
+#include "sim/time.h"
+
+namespace canal::mesh {
+
+/// Latency profile of the underlying network fabric.
+struct NetworkProfile {
+  sim::Duration intra_node = sim::microseconds(20);
+  sim::Duration intra_az = sim::microseconds(100);
+  sim::Duration cross_az = sim::microseconds(500);
+
+  /// One-way transit between two nodes.
+  [[nodiscard]] sim::Duration hop(const k8s::Node& a, const k8s::Node& b) const {
+    if (&a == &b) return intra_node;
+    return a.az() == b.az() ? intra_az : cross_az;
+  }
+};
+
+struct RequestOptions {
+  k8s::Pod* client = nullptr;
+  net::ServiceId dst_service{};
+  std::string path = "/";
+  http::Method method = http::Method::kGet;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::uint32_t request_bytes = 256;
+  /// New connection => handshake costs on every mTLS hop.
+  bool new_connection = true;
+  /// Tear down connection state after the response.
+  bool close_after = true;
+};
+
+struct RequestResult {
+  int status = 0;
+  sim::Duration latency = 0;
+  net::PodId served_by{};
+  [[nodiscard]] bool ok() const noexcept {
+    return status >= 200 && status < 400;
+  }
+};
+
+using RequestCallback = std::function<void(RequestResult)>;
+
+/// A service mesh dataplane + its control-plane footprint.
+class MeshDataplane {
+ public:
+  virtual ~MeshDataplane() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Sends one request from `opts.client` to `opts.dst_service`; `done`
+  /// fires when the response arrives back at the client.
+  virtual void send_request(const RequestOptions& opts,
+                            RequestCallback done) = 0;
+
+  /// Proxies that must be configured when a routing policy changes.
+  [[nodiscard]] virtual std::vector<k8s::ConfigTarget>
+  routing_update_targets() const = 0;
+
+  /// Proxies that must be configured when `new_pods` are created
+  /// (before the pods are reachable).
+  [[nodiscard]] virtual std::vector<k8s::ConfigTarget> pod_create_targets(
+      const std::vector<k8s::Pod*>& new_pods) const = 0;
+
+  /// Mesh CPU burned inside the user cluster (core-seconds since start).
+  [[nodiscard]] virtual double user_cpu_core_seconds() const = 0;
+  /// Mesh CPU including any cloud-side components.
+  [[nodiscard]] virtual double total_cpu_core_seconds() const = 0;
+
+  /// Number of proxy instances the control plane manages.
+  [[nodiscard]] virtual std::size_t proxy_count() const = 0;
+};
+
+/// Serialized size of one service's routes + endpoints ("per-service
+/// config"), and of the union over all services ("full config" — what
+/// Istio pushes to every sidecar).
+[[nodiscard]] std::size_t service_config_bytes(const k8s::Service& service);
+[[nodiscard]] std::size_t full_config_bytes(const k8s::Cluster& cluster);
+
+/// Default cluster name for a service's endpoint pool.
+[[nodiscard]] std::string service_cluster_name(net::ServiceId id);
+
+/// Installs the default route table ("/" prefix -> service cluster) and
+/// endpoint pool for `service` into `engine`.
+void install_service_config(proxy::ProxyEngine& engine,
+                            const k8s::Service& service);
+
+/// Installs configuration for every service of the cluster (full config).
+void install_full_config(proxy::ProxyEngine& engine,
+                         const k8s::Cluster& cluster);
+
+/// Refreshes the endpoint pool of `service` in `engine` (pods added or
+/// removed).
+void refresh_endpoints(proxy::ProxyEngine& engine, const k8s::Service& service);
+
+/// Virtual IP for a service (used as connection destination address).
+[[nodiscard]] net::Ipv4Addr service_vip(net::ServiceId id);
+
+/// Direct pod-to-pod dataplane: the "No service mesh" baseline of Fig 10.
+class NoMesh final : public MeshDataplane {
+ public:
+  NoMesh(sim::EventLoop& loop, k8s::Cluster& cluster, NetworkProfile net = {})
+      : loop_(loop), cluster_(cluster), net_(net) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "no-mesh";
+  }
+  void send_request(const RequestOptions& opts, RequestCallback done) override;
+  [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
+      const override {
+    return {};
+  }
+  [[nodiscard]] std::vector<k8s::ConfigTarget> pod_create_targets(
+      const std::vector<k8s::Pod*>&) const override {
+    return {};
+  }
+  [[nodiscard]] double user_cpu_core_seconds() const override { return 0.0; }
+  [[nodiscard]] double total_cpu_core_seconds() const override { return 0.0; }
+  [[nodiscard]] std::size_t proxy_count() const override { return 0; }
+
+ private:
+  sim::EventLoop& loop_;
+  k8s::Cluster& cluster_;
+  NetworkProfile net_;
+  std::size_t rr_ = 0;
+};
+
+/// Builds the HTTP request described by `opts`.
+[[nodiscard]] http::Request build_request(const RequestOptions& opts);
+
+}  // namespace canal::mesh

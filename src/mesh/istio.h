@@ -1,0 +1,90 @@
+// Istio-style per-pod sidecar mesh (the paper's primary baseline, §2.1).
+//
+// Every pod carries a full-featured L7 sidecar. Traffic is redirected into
+// the sidecar with iptables on both ends, so each request crosses two L7
+// proxies. Sidecars draw CPU from a per-node pool (modeling pod-resource
+// consumption on the node), and the control plane must push the *full*
+// configuration set to *every* sidecar on any change — the O(N^2)
+// southbound blowup of §2.1.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "crypto/accelerator.h"
+#include "mesh/dataplane.h"
+#include "sim/rng.h"
+
+namespace canal::mesh {
+
+class IstioMesh final : public MeshDataplane {
+ public:
+  struct Config {
+    /// CPU pool per node shared by that node's sidecars.
+    std::size_t sidecar_cores_per_node = 4;
+    /// Sidecar processing cost profile (Envoy-like, iptables redirected).
+    proxy::ProxyCostModel costs = default_sidecar_costs();
+    NetworkProfile network;
+    bool mtls = true;
+
+    [[nodiscard]] static proxy::ProxyCostModel default_sidecar_costs();
+  };
+
+  IstioMesh(sim::EventLoop& loop, k8s::Cluster& cluster, Config config,
+            sim::Rng rng);
+  ~IstioMesh() override;
+
+  /// Creates sidecars for all current pods and installs full config.
+  void install();
+
+  /// Injects a sidecar for a newly created pod.
+  void add_sidecar(k8s::Pod& pod);
+
+  /// Re-installs endpoint/route config into every sidecar (what a config
+  /// push achieves once delivered).
+  void reinstall_all();
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "istio";
+  }
+  void send_request(const RequestOptions& opts, RequestCallback done) override;
+  [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
+      const override;
+  [[nodiscard]] std::vector<k8s::ConfigTarget> pod_create_targets(
+      const std::vector<k8s::Pod*>& new_pods) const override;
+  [[nodiscard]] double user_cpu_core_seconds() const override;
+  [[nodiscard]] double total_cpu_core_seconds() const override {
+    return user_cpu_core_seconds();
+  }
+  [[nodiscard]] std::size_t proxy_count() const override {
+    return sidecars_.size();
+  }
+
+  [[nodiscard]] proxy::ProxyEngine* sidecar_engine(net::PodId pod);
+  /// Mean utilization of all sidecar CPU pools over the window.
+  [[nodiscard]] double sidecar_utilization(sim::Duration window) const;
+
+ private:
+  struct NodePool {
+    explicit NodePool(sim::EventLoop& loop, std::size_t cores)
+        : cpu(loop, cores) {}
+    sim::CpuSet cpu;
+    std::unique_ptr<crypto::AsymmetricAccelerator> accel;
+  };
+  struct Sidecar {
+    std::unique_ptr<proxy::ProxyEngine> engine;
+    k8s::Pod* pod = nullptr;
+  };
+
+  NodePool& pool_for(const k8s::Node& node);
+
+  sim::EventLoop& loop_;
+  k8s::Cluster& cluster_;
+  Config config_;
+  sim::Rng rng_;
+  std::unordered_map<const k8s::Node*, std::unique_ptr<NodePool>> pools_;
+  std::unordered_map<net::PodId, Sidecar, net::IdHash> sidecars_;
+  std::uint16_t next_port_ = 10000;
+};
+
+}  // namespace canal::mesh

@@ -1,0 +1,38 @@
+#include "net/address.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace canal::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned part = 0;
+    auto [next, ec] = std::from_chars(p, end, part);
+    if (ec != std::errc{} || part > 255 || next == p) return std::nullopt;
+    value = (value << 8) | part;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace canal::net

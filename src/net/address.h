@@ -1,0 +1,63 @@
+// IPv4 addresses and transport endpoints.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace canal::net {
+
+/// An IPv4 address stored host-order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// True for 0.0.0.0.
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept {
+    return value_ == 0;
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// (address, port) pair.
+struct Endpoint {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  constexpr auto operator<=>(const Endpoint&) const = default;
+};
+
+}  // namespace canal::net
+
+template <>
+struct std::hash<canal::net::Ipv4Addr> {
+  std::size_t operator()(const canal::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<canal::net::Endpoint> {
+  std::size_t operator()(const canal::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{e.ip.value()} << 16) ^ e.port);
+  }
+};

@@ -1,0 +1,36 @@
+#include "net/flow.h"
+
+namespace canal::net {
+
+std::string FiveTuple::to_string() const {
+  return Endpoint{src_ip, src_port}.to_string() + "->" +
+         Endpoint{dst_ip, dst_port}.to_string() +
+         (protocol == Protocol::kTcp ? "/tcp" : "/udp");
+}
+
+FiveTuple FiveTuple::reversed() const noexcept {
+  return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t flow_hash(const FiveTuple& t) noexcept {
+  return flow_hash(t, 0x6A09E667F3BCC908ULL);
+}
+
+std::uint64_t flow_hash(const FiveTuple& t, std::uint64_t key) noexcept {
+  std::uint64_t h = key;
+  h = mix64(h ^ (std::uint64_t{t.src_ip.value()} << 32 | t.dst_ip.value()));
+  h = mix64(h ^ (std::uint64_t{t.src_port} << 32 | std::uint64_t{t.dst_port} << 8 |
+                 static_cast<std::uint64_t>(t.protocol)));
+  return h;
+}
+
+}  // namespace canal::net

@@ -1,0 +1,51 @@
+// Transport flows: 5-tuples and flow hashing.
+//
+// The flow hash is the basis of every stateless load-distribution decision
+// in the system: the ECMP router in front of gateway replicas, the Beamer
+// bucket table, and vSwitch tunnel-to-core spreading.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "net/address.h"
+
+namespace canal::net {
+
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+/// The classic connection 5-tuple.
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kTcp;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Tuple for the reverse direction of the same connection.
+  [[nodiscard]] FiveTuple reversed() const noexcept;
+  constexpr auto operator<=>(const FiveTuple&) const = default;
+};
+
+/// 64-bit avalanche mix (SplitMix64 finalizer). Stateless.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Symmetric-free flow hash over the full 5-tuple; deterministic across runs.
+[[nodiscard]] std::uint64_t flow_hash(const FiveTuple& t) noexcept;
+
+/// Flow hash with an extra key (e.g. per-router hash seed). Changing the key
+/// re-shuffles flow placement — this is what breaks session consistency when
+/// an ECMP group's membership changes.
+[[nodiscard]] std::uint64_t flow_hash(const FiveTuple& t,
+                                      std::uint64_t key) noexcept;
+
+}  // namespace canal::net
+
+template <>
+struct std::hash<canal::net::FiveTuple> {
+  std::size_t operator()(const canal::net::FiveTuple& t) const noexcept {
+    return canal::net::flow_hash(t);
+  }
+};

@@ -1,0 +1,34 @@
+// Identifier types shared across the cloud model.
+//
+// Strong enum-class IDs prevent mixing tenant/service/backend identifiers —
+// the exact confusion a multi-tenant gateway must never have.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace canal::net {
+
+enum class TenantId : std::uint32_t {};
+/// Globally unique service identifier; in Canal the vSwitch maps the VXLAN
+/// VNI to this ID before the outer header is stripped (§4.2).
+enum class ServiceId : std::uint64_t {};
+enum class NodeId : std::uint32_t {};
+enum class PodId : std::uint64_t {};
+enum class AzId : std::uint16_t {};
+enum class BackendId : std::uint32_t {};
+enum class ReplicaId : std::uint32_t {};
+
+template <typename E>
+constexpr auto id_value(E e) noexcept {
+  return static_cast<std::underlying_type_t<E>>(e);
+}
+
+struct IdHash {
+  template <typename E>
+  std::size_t operator()(E e) const noexcept {
+    return std::hash<std::underlying_type_t<E>>{}(id_value(e));
+  }
+};
+
+}  // namespace canal::net

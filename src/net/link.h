@@ -1,0 +1,48 @@
+// Point-to-point link model: propagation latency + serialization delay.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace canal::net {
+
+/// A unidirectional link. Transit time = propagation latency plus
+/// bytes / bandwidth. Bandwidth of 0 means "infinite" (latency only).
+class Link {
+ public:
+  Link() = default;
+  Link(sim::Duration latency, std::uint64_t bandwidth_bps)
+      : latency_(latency), bandwidth_bps_(bandwidth_bps) {}
+
+  [[nodiscard]] sim::Duration latency() const noexcept { return latency_; }
+  [[nodiscard]] std::uint64_t bandwidth_bps() const noexcept {
+    return bandwidth_bps_;
+  }
+
+  /// One-way transit time for a message of `bytes`.
+  [[nodiscard]] sim::Duration transit(std::uint64_t bytes) const noexcept {
+    sim::Duration serialization = 0;
+    if (bandwidth_bps_ > 0) {
+      serialization = static_cast<sim::Duration>(
+          static_cast<double>(bytes) * 8.0 / static_cast<double>(bandwidth_bps_) *
+          static_cast<double>(sim::kSecond));
+    }
+    return latency_ + serialization;
+  }
+
+ private:
+  sim::Duration latency_ = 0;
+  std::uint64_t bandwidth_bps_ = 0;
+};
+
+/// Canonical intra-cloud latencies used throughout the simulation
+/// (Appendix A: intra-AZ RTT < 1 ms).
+struct LinkProfiles {
+  static Link intra_node() { return Link(sim::microseconds(20), 0); }
+  static Link intra_az() { return Link(sim::microseconds(200), 0); }
+  static Link cross_az() { return Link(sim::microseconds(1000), 0); }
+  static Link cross_region() { return Link(sim::milliseconds(30), 0); }
+};
+
+}  // namespace canal::net

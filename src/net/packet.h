@@ -1,0 +1,63 @@
+// Packets and VXLAN encapsulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/flow.h"
+#include "net/ids.h"
+
+namespace canal::net {
+
+/// VXLAN outer header (RFC 7348): outer 5-tuple plus the 24-bit VNI that
+/// identifies the tenant network.
+struct VxlanHeader {
+  FiveTuple outer;
+  std::uint32_t vni = 0;  // 24 bits used
+
+  /// Bytes added on the wire: outer IPv4(20) + UDP(8) + VXLAN(8) + inner
+  /// Ethernet(14).
+  static constexpr std::uint32_t kOverheadBytes = 50;
+};
+
+enum class TcpFlag : std::uint8_t {
+  kNone = 0,
+  kSyn = 1,
+  kFin = 2,
+  kRst = 4,
+};
+
+/// A simulated packet. Payload is modeled by size; metadata the dataplane
+/// needs (service ID stamped by the vSwitch, tenant) rides along explicitly.
+struct Packet {
+  FiveTuple tuple;
+  std::uint32_t payload_bytes = 0;
+  std::uint8_t flags = 0;  // bitwise-or of TcpFlag
+
+  /// Outer encapsulation if the packet is currently in a VXLAN tunnel.
+  std::optional<VxlanHeader> vxlan;
+
+  /// Stamped by the vSwitch from the VNI before the outer header is
+  /// stripped, so VMs above the vSwitch can still differentiate tenants
+  /// with overlapping VPC address space (§4.2).
+  std::optional<ServiceId> service_id;
+  std::optional<TenantId> tenant_id;
+
+  [[nodiscard]] bool has_flag(TcpFlag f) const noexcept {
+    return (flags & static_cast<std::uint8_t>(f)) != 0;
+  }
+  void set_flag(TcpFlag f) noexcept { flags |= static_cast<std::uint8_t>(f); }
+
+  /// Total on-wire size including any active encapsulation.
+  [[nodiscard]] std::uint32_t wire_bytes() const noexcept {
+    constexpr std::uint32_t kL3L4Header = 40;  // IPv4 + TCP
+    return payload_bytes + kL3L4Header +
+           (vxlan ? VxlanHeader::kOverheadBytes : 0);
+  }
+};
+
+/// Standard Ethernet MTU used for fragmentation/MSS decisions.
+constexpr std::uint32_t kDefaultMtu = 1500;
+
+}  // namespace canal::net

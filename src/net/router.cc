@@ -1,0 +1,30 @@
+#include "net/router.h"
+
+#include <algorithm>
+
+namespace canal::net {
+
+std::size_t EcmpRouter::add_member(Endpoint ep) {
+  members_.push_back(ep);
+  return members_.size() - 1;
+}
+
+bool EcmpRouter::remove_member(Endpoint ep) {
+  const auto it = std::find(members_.begin(), members_.end(), ep);
+  if (it == members_.end()) return false;
+  members_.erase(it);
+  return true;
+}
+
+std::optional<Endpoint> EcmpRouter::route(const FiveTuple& flow) const {
+  const auto idx = route_index(flow);
+  if (!idx) return std::nullopt;
+  return members_[*idx];
+}
+
+std::optional<std::size_t> EcmpRouter::route_index(const FiveTuple& flow) const {
+  if (members_.empty()) return std::nullopt;
+  return flow_hash(flow, seed_) % members_.size();
+}
+
+}  // namespace canal::net

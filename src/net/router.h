@@ -1,0 +1,52 @@
+// ECMP router: stateless hash-based load distribution across live next-hops.
+//
+// Canal's LB disaggregation (§4.4) reuses this router for load distribution;
+// the Beamer-style redirectors (src/lb) repair the session-consistency break
+// that occurs when the membership (and thus the hash base) changes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/address.h"
+#include "net/flow.h"
+
+namespace canal::net {
+
+class EcmpRouter {
+ public:
+  explicit EcmpRouter(std::uint64_t hash_seed = 0xC0FFEE) : seed_(hash_seed) {}
+
+  /// Adds a next-hop; returns its stable slot index.
+  std::size_t add_member(Endpoint ep);
+
+  /// Removes a next-hop. The member list is compacted, changing the hash
+  /// base for all flows — exactly the consistency hazard Beamer repairs.
+  bool remove_member(Endpoint ep);
+
+  [[nodiscard]] const std::vector<Endpoint>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool contains(const Endpoint& ep) const noexcept {
+    for (const auto& member : members_) {
+      if (member == ep) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// Picks the next hop for a flow: hash(5-tuple) mod #members.
+  [[nodiscard]] std::optional<Endpoint> route(const FiveTuple& flow) const;
+
+  /// Slot index the flow maps to; nullopt if no members.
+  [[nodiscard]] std::optional<std::size_t> route_index(
+      const FiveTuple& flow) const;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<Endpoint> members_;
+};
+
+}  // namespace canal::net

@@ -1,0 +1,34 @@
+#include "net/vswitch.h"
+
+namespace canal::net {
+
+void VSwitch::bind_vni(std::uint32_t vni, ServiceId service, TenantId tenant) {
+  vni_map_[vni] = VniBinding{service, tenant};
+}
+
+void VSwitch::unbind_vni(std::uint32_t vni) { vni_map_.erase(vni); }
+
+std::optional<VSwitch::VniBinding> VSwitch::lookup(std::uint32_t vni) const {
+  const auto it = vni_map_.find(vni);
+  if (it == vni_map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool VSwitch::deliver_to_vm(Packet& packet) const {
+  if (!packet.vxlan) return true;  // not encapsulated; pass through
+  const auto binding = lookup(packet.vxlan->vni);
+  if (!binding) return false;
+  packet.service_id = binding->service;
+  packet.tenant_id = binding->tenant;
+  packet.vxlan.reset();  // strip outer header
+  return true;
+}
+
+std::size_t VSwitch::core_for(const Packet& packet,
+                              std::size_t num_cores) const {
+  if (num_cores == 0) return 0;
+  const FiveTuple& t = packet.vxlan ? packet.vxlan->outer : packet.tuple;
+  return flow_hash(t) % num_cores;
+}
+
+}  // namespace canal::net

@@ -1,0 +1,49 @@
+// Virtual switch model.
+//
+// The vSwitch sits under every VM. For Canal's multi-tenant gateway it
+// performs the key trick of §4.2: before stripping the outer VXLAN header it
+// maps the 24-bit VNI to a globally unique service ID and stamps it on the
+// inner packet, so VMs above the vSwitch can differentiate tenants whose
+// VPC address spaces overlap. It also hashes incoming tunnels across the
+// VM's cores (used by session aggregation, §4.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ids.h"
+#include "net/packet.h"
+
+namespace canal::net {
+
+class VSwitch {
+ public:
+  struct VniBinding {
+    ServiceId service;
+    TenantId tenant;
+  };
+
+  /// Registers the VNI → (service, tenant) mapping for a tenant network.
+  void bind_vni(std::uint32_t vni, ServiceId service, TenantId tenant);
+  void unbind_vni(std::uint32_t vni);
+
+  [[nodiscard]] std::optional<VniBinding> lookup(std::uint32_t vni) const;
+
+  /// Delivers a packet up to the VM: maps VNI → service ID, stamps it on the
+  /// inner header, strips the outer VXLAN header. Returns false (packet
+  /// dropped) for unknown VNIs.
+  bool deliver_to_vm(Packet& packet) const;
+
+  /// Picks the VM core for an encapsulated packet by hashing the outer
+  /// tuple — different outer source ports land on different cores.
+  [[nodiscard]] std::size_t core_for(const Packet& packet,
+                                     std::size_t num_cores) const;
+
+  [[nodiscard]] std::size_t bindings() const noexcept { return vni_map_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, VniBinding> vni_map_;
+};
+
+}  // namespace canal::net

@@ -1,0 +1,73 @@
+// Dataplane cost constants and traffic-redirection modes (DESIGN.md §4).
+//
+// Redirection cost structure follows Fig 21/22: iptables-based redirection
+// adds two extra kernel stack passes and two context switches on each side
+// of the proxy; eBPF sockmap redirection is a single socket-to-socket move
+// that bypasses the kernel stack (but loses Nagle aggregation, which
+// src/proxy/nagle.h restores).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/cost_model.h"
+#include "sim/time.h"
+
+namespace canal::proxy {
+
+enum class RedirectMode : std::uint8_t { kNone, kIptables, kEbpf };
+
+struct ProxyCostModel {
+  /// One traversal of the kernel protocol stack.
+  sim::Duration kernel_pass = sim::microseconds(10);
+  /// One context switch.
+  sim::Duration context_switch = sim::microseconds(5);
+  /// eBPF sockmap socket-to-socket redirect.
+  sim::Duration ebpf_redirect = sim::microseconds(2);
+  /// Full L7 work per request: parse, route-table lookup, header rewrite,
+  /// upstream selection, proxying.
+  sim::Duration l7_process = sim::microseconds(28);
+  /// L7 work on the response direction (response filters, telemetry).
+  sim::Duration l7_response_process = sim::microseconds(120);
+  /// L4 connection forwarding per request.
+  sim::Duration l4_forward = sim::microseconds(6);
+  /// Copy cost per KiB moved between sockets.
+  sim::Duration memcpy_per_kib = sim::nanoseconds(500);
+  /// TCP maximum segment size used by the Nagle aggregator.
+  std::uint32_t mss_bytes = 1448;
+
+  crypto::CryptoCostModel crypto;
+
+  [[nodiscard]] sim::Duration memcpy_cost(std::uint64_t bytes) const {
+    return static_cast<sim::Duration>(
+        static_cast<double>(memcpy_per_kib) *
+        (static_cast<double>(bytes) / 1024.0));
+  }
+
+  /// CPU cost of redirecting `bytes` of app traffic into a co-located proxy
+  /// (one side). `segments` is how many wire segments carry the bytes —
+  /// with Nagle aggregation small writes coalesce into fewer segments,
+  /// cutting per-segment context switches (Fig 22).
+  [[nodiscard]] sim::Duration redirect_cost(RedirectMode mode,
+                                            std::uint64_t bytes,
+                                            std::uint64_t segments) const {
+    if (segments == 0) segments = 1;
+    const auto per_segment = static_cast<sim::Duration>(segments);
+    switch (mode) {
+      case RedirectMode::kNone:
+        return 0;
+      case RedirectMode::kIptables:
+        // Two extra kernel passes + two context switches per segment, plus
+        // the copy in and out of the proxy.
+        return per_segment * (2 * kernel_pass + 2 * context_switch) +
+               2 * memcpy_cost(bytes);
+      case RedirectMode::kEbpf:
+        // Socket-to-socket: one redirect + one context switch per segment,
+        // single copy.
+        return per_segment * (ebpf_redirect + context_switch) +
+               memcpy_cost(bytes);
+    }
+    return 0;
+  }
+};
+
+}  // namespace canal::proxy

@@ -1,0 +1,211 @@
+#include "proxy/engine.h"
+
+#include <utility>
+
+namespace canal::proxy {
+
+ProxyEngine::ProxyEngine(sim::EventLoop& loop, sim::CpuSet& cpu, Config config,
+                         sim::Rng rng)
+    : loop_(loop),
+      cpu_(cpu),
+      config_(std::move(config)),
+      rng_(rng),
+      sessions_(config_.session_capacity) {}
+
+void ProxyEngine::set_route_table(net::ServiceId service,
+                                  http::RouteTable table) {
+  routes_[service] = std::move(table);
+}
+
+const http::RouteTable* ProxyEngine::route_table(
+    net::ServiceId service) const {
+  const auto it = routes_.find(service);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::size_t ProxyEngine::config_bytes() const {
+  std::size_t total = 512;  // listener/bootstrap framing
+  for (const auto& [service, table] : routes_) {
+    total += table.config_bytes() + 32;
+  }
+  return total;
+}
+
+sim::Duration ProxyEngine::request_cpu_cost(std::uint64_t bytes,
+                                            bool new_connection) const {
+  const auto& costs = config_.costs;
+  const std::uint64_t segments = bytes / costs.mss_bytes + 1;
+  sim::Duration cost = costs.redirect_cost(config_.redirect, bytes, segments);
+  cost += config_.l7 ? costs.l7_process : costs.l4_forward;
+  cost += costs.memcpy_cost(bytes);
+  if (config_.mtls) {
+    cost += costs.crypto.symmetric_cost(bytes);
+    if (new_connection) {
+      // Symmetric parts of the handshake (record protection setup);
+      // the asymmetric part goes through the handshake executor.
+      cost += costs.crypto.symmetric_cost(512);
+    }
+  }
+  return cost;
+}
+
+void ProxyEngine::handle_request(const net::FiveTuple& tuple,
+                                 net::ServiceId dst_service,
+                                 bool new_connection, http::Request& req,
+                                 RequestCallback done) {
+  ++requests_total_;
+  const std::uint64_t bytes = req.wire_size();
+  bytes_proxied_ += bytes;
+
+  if (new_connection) {
+    if (!sessions_.insert(tuple, dst_service, loop_.now())) {
+      ++requests_failed_;
+      RequestOutcome outcome;
+      outcome.status = 503;  // session table exhausted
+      loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+      return;
+    }
+  } else {
+    sessions_.touch(tuple, loop_.now());
+  }
+  if (observer_) observer_(dst_service, tuple, bytes, new_connection);
+
+  const std::uint64_t hash = net::flow_hash(tuple);
+  const sim::Duration cpu_cost = request_cpu_cost(bytes, new_connection);
+  const auto on_path = static_cast<sim::Duration>(
+      static_cast<double>(cpu_cost) * (1.0 - config_.off_path_fraction));
+  const sim::Duration off_path = cpu_cost - on_path;
+
+  auto continue_request = [this, hash, on_path, off_path, dst_service, &req,
+                           done = std::move(done)]() mutable {
+    cpu_.execute_pinned(hash, on_path,
+                        [this, dst_service, &req, done = std::move(done)]() mutable {
+                          finish_request(dst_service, req, std::move(done));
+                        });
+    // Off-path work (logging/stats) consumes pool capacity without gating
+    // this request's completion; it lands on the least-loaded core so the
+    // same flow's next hop through a shared pool isn't blocked by it.
+    if (off_path > 0) cpu_.execute(off_path);
+  };
+
+  if (config_.mtls && new_connection && handshake_executor_) {
+    ++handshakes_;
+    handshake_executor_(std::move(continue_request));
+  } else {
+    continue_request();
+  }
+}
+
+void ProxyEngine::finish_request(net::ServiceId dst_service,
+                                 http::Request& req, RequestCallback done) {
+  RequestOutcome outcome;
+  std::string cluster_name;
+
+  if (config_.l7) {
+    const auto it = routes_.find(dst_service);
+    if (it == routes_.end()) {
+      ++requests_failed_;
+      outcome.status = 404;
+      done(outcome);
+      return;
+    }
+    // Route resolution may mutate headers/path per the matched action.
+    const auto result = it->second.resolve(req, rng_.uniform());
+    if (!result) {
+      ++requests_failed_;
+      outcome.status = 404;
+      done(outcome);
+      return;
+    }
+    if (result->direct_response) {
+      outcome.status = result->direct_status;
+      outcome.ok = result->direct_status < 400;
+      done(outcome);
+      return;
+    }
+    cluster_name = result->cluster;
+  } else {
+    // L4: the "cluster" is the destination service itself.
+    cluster_name = "service-" + std::to_string(net::id_value(dst_service));
+  }
+
+  UpstreamCluster* cluster = clusters_.find(cluster_name);
+  if (cluster == nullptr) {
+    ++requests_failed_;
+    outcome.status = 502;
+    done(outcome);
+    return;
+  }
+  UpstreamEndpoint* endpoint = cluster->pick(rng_);
+  if (endpoint == nullptr) {
+    ++requests_failed_;
+    outcome.status = 503;
+    done(outcome);
+    return;
+  }
+  ++endpoint->active_requests;
+  outcome.ok = true;
+  outcome.status = 200;
+  outcome.cluster = std::move(cluster_name);
+  outcome.endpoint = endpoint;
+  done(outcome);
+}
+
+void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
+                                 net::ServiceId dst_service,
+                                 bool new_connection, std::uint64_t bytes,
+                                 std::function<void(bool, int)> done) {
+  ++requests_total_;
+  bytes_proxied_ += bytes;
+  if (new_connection) {
+    if (!sessions_.insert(tuple, dst_service, loop_.now())) {
+      ++requests_failed_;
+      loop_.schedule(0, [done = std::move(done)] { done(false, 503); });
+      return;
+    }
+  } else {
+    sessions_.touch(tuple, loop_.now());
+  }
+  if (observer_) observer_(dst_service, tuple, bytes, new_connection);
+
+  const std::uint64_t hash = net::flow_hash(tuple);
+  const sim::Duration cpu_cost = request_cpu_cost(bytes, new_connection);
+  const auto on_path = static_cast<sim::Duration>(
+      static_cast<double>(cpu_cost) * (1.0 - config_.off_path_fraction));
+  const sim::Duration off_path = cpu_cost - on_path;
+  auto continue_inbound = [this, hash, on_path, off_path,
+                           done = std::move(done)]() mutable {
+    cpu_.execute_pinned(hash, on_path,
+                        [done = std::move(done)] { done(true, 200); });
+    if (off_path > 0) cpu_.execute(off_path);
+  };
+  if (config_.mtls && new_connection && handshake_executor_) {
+    ++handshakes_;
+    handshake_executor_(std::move(continue_inbound));
+  } else {
+    continue_inbound();
+  }
+}
+
+void ProxyEngine::handle_response(const net::FiveTuple& tuple,
+                                  std::uint64_t bytes,
+                                  std::function<void()> done) {
+  bytes_proxied_ += bytes;
+  const auto& costs = config_.costs;
+  const std::uint64_t segments = bytes / costs.mss_bytes + 1;
+  sim::Duration cost = costs.redirect_cost(config_.redirect, bytes, segments);
+  cost += (config_.l7 ? costs.l7_response_process : costs.l4_forward) +
+          costs.memcpy_cost(bytes);
+  if (config_.mtls) cost += costs.crypto.symmetric_cost(bytes);
+  const auto on_path = static_cast<sim::Duration>(
+      static_cast<double>(cost) * (1.0 - config_.off_path_fraction));
+  const std::uint64_t hash = net::flow_hash(tuple);
+  cpu_.execute_pinned(hash, on_path, std::move(done));
+  if (cost > on_path) cpu_.execute(cost - on_path);
+}
+
+void ProxyEngine::close_connection(const net::FiveTuple& tuple) {
+  sessions_.remove(tuple);
+}
+
+}  // namespace canal::proxy

@@ -1,0 +1,151 @@
+// The proxy engine: the L4/L7 packet-processing core shared by every
+// dataplane in this repository.
+//
+// Istio sidecars, Ambient ztunnels and waypoints, and Canal gateway
+// replicas are all instances of this engine with different configurations
+// (L4-only vs L7, redirection mode, mTLS termination, session capacity,
+// core counts). Processing is charged to simulated cores; route resolution
+// runs the real RouteTable matcher over the real HTTP request.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "http/route.h"
+#include "net/flow.h"
+#include "net/ids.h"
+#include "proxy/cost_model.h"
+#include "proxy/session_table.h"
+#include "proxy/upstream.h"
+#include "sim/cpu.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace canal::proxy {
+
+class ProxyEngine {
+ public:
+  struct Config {
+    std::string name;
+    /// L7 (HTTP routing) vs pure L4 forwarding.
+    bool l7 = true;
+    /// How app traffic reaches this proxy when co-located with the app.
+    RedirectMode redirect = RedirectMode::kNone;
+    /// Terminate/originate mesh mTLS on this hop.
+    bool mtls = false;
+    ProxyCostModel costs;
+    std::size_t session_capacity = 1'000'000;
+    /// Fraction of per-request CPU that runs OFF the serialized request
+    /// path (access logging, stats flushing, telemetry export). It still
+    /// occupies the core — delaying subsequent requests and counting
+    /// toward CPU usage — but does not gate this request's completion.
+    /// Heavyweight Envoy-style chains have a large off-path share.
+    double off_path_fraction = 0.0;
+  };
+
+  /// Pluggable executor for the asymmetric part of a TLS handshake —
+  /// local software, a batched accelerator, or a remote key-server client.
+  using HandshakeExecutor = std::function<void(std::function<void()> done)>;
+
+  /// Observation hook fired for every accepted request (service telemetry).
+  using RequestObserver = std::function<void(
+      net::ServiceId service, const net::FiveTuple& tuple, std::uint64_t bytes,
+      bool new_connection)>;
+
+  ProxyEngine(sim::EventLoop& loop, sim::CpuSet& cpu, Config config,
+              sim::Rng rng);
+
+  ProxyEngine(const ProxyEngine&) = delete;
+  ProxyEngine& operator=(const ProxyEngine&) = delete;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] ClusterManager& clusters() noexcept { return clusters_; }
+  [[nodiscard]] SessionTable& sessions() noexcept { return sessions_; }
+  [[nodiscard]] sim::CpuSet& cpu() noexcept { return cpu_; }
+
+  /// Installs the per-service virtual-host route table.
+  void set_route_table(net::ServiceId service, http::RouteTable table);
+  [[nodiscard]] const http::RouteTable* route_table(
+      net::ServiceId service) const;
+  /// Total installed configuration footprint (bytes) — what the controller
+  /// must push to this proxy.
+  [[nodiscard]] std::size_t config_bytes() const;
+
+  void set_handshake_executor(HandshakeExecutor executor) {
+    handshake_executor_ = std::move(executor);
+  }
+  void set_request_observer(RequestObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  struct RequestOutcome {
+    bool ok = false;
+    int status = 0;              ///< Error/direct-response status when !ok
+    std::string cluster;         ///< Chosen upstream cluster when ok
+    UpstreamEndpoint* endpoint = nullptr;
+  };
+  using RequestCallback = std::function<void(RequestOutcome)>;
+
+  /// Processes one request arriving on connection `tuple` for
+  /// `dst_service`. Charges redirection/session/TLS/L4/L7 costs on a core
+  /// pinned by flow hash, resolves the route table (L7) and picks an
+  /// upstream endpoint. `req` may be mutated by route actions.
+  void handle_request(const net::FiveTuple& tuple, net::ServiceId dst_service,
+                      bool new_connection, http::Request& req,
+                      RequestCallback done);
+
+  /// Server-side inbound processing: same cost structure as
+  /// handle_request (redirection, session, TLS termination, L4/L7) but no
+  /// route resolution — the local workload is the destination. `done(ok,
+  /// status)` reports session-capacity rejections.
+  void handle_inbound(const net::FiveTuple& tuple, net::ServiceId dst_service,
+                      bool new_connection, std::uint64_t bytes,
+                      std::function<void(bool ok, int status)> done);
+
+  /// Response-direction forwarding for `bytes` of payload.
+  void handle_response(const net::FiveTuple& tuple, std::uint64_t bytes,
+                       std::function<void()> done);
+
+  /// Drops connection state (upstream endpoint bookkeeping is external).
+  void close_connection(const net::FiveTuple& tuple);
+
+  // --- statistics -----------------------------------------------------
+  [[nodiscard]] std::uint64_t requests_total() const noexcept {
+    return requests_total_;
+  }
+  [[nodiscard]] std::uint64_t requests_failed() const noexcept {
+    return requests_failed_;
+  }
+  [[nodiscard]] std::uint64_t handshakes() const noexcept {
+    return handshakes_;
+  }
+  [[nodiscard]] std::uint64_t bytes_proxied() const noexcept {
+    return bytes_proxied_;
+  }
+
+ private:
+  /// CPU cost of the request path, excluding the asymmetric handshake.
+  [[nodiscard]] sim::Duration request_cpu_cost(std::uint64_t bytes,
+                                               bool new_connection) const;
+
+  void finish_request(net::ServiceId dst_service, http::Request& req,
+                      RequestCallback done);
+
+  sim::EventLoop& loop_;
+  sim::CpuSet& cpu_;
+  Config config_;
+  sim::Rng rng_;
+  ClusterManager clusters_;
+  SessionTable sessions_;
+  std::unordered_map<net::ServiceId, http::RouteTable, net::IdHash> routes_;
+  HandshakeExecutor handshake_executor_;
+  RequestObserver observer_;
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t requests_failed_ = 0;
+  std::uint64_t handshakes_ = 0;
+  std::uint64_t bytes_proxied_ = 0;
+};
+
+}  // namespace canal::proxy

@@ -1,0 +1,65 @@
+// Nagle-style small-write aggregation for the eBPF redirection path.
+//
+// eBPF sockmap redirection bypasses the kernel stack and with it the Nagle
+// algorithm, so a chatty app writing 16-byte messages would trigger a
+// context switch per write (Fig 22). This buffer re-implements Nagle in
+// front of the redirect: writes coalesce until a full MSS accumulates or
+// the flush timer fires (RFC 896 semantics: flush immediately when nothing
+// is in flight).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace canal::proxy {
+
+class NagleBuffer {
+ public:
+  /// `on_flush(bytes, writes)` is invoked for every emitted segment batch.
+  NagleBuffer(sim::EventLoop& loop, std::uint32_t mss_bytes,
+              sim::Duration flush_timeout,
+              std::function<void(std::uint64_t bytes, std::uint32_t writes)>
+                  on_flush)
+      : loop_(loop),
+        mss_(mss_bytes),
+        timeout_(flush_timeout),
+        on_flush_(std::move(on_flush)) {}
+
+  NagleBuffer(const NagleBuffer&) = delete;
+  NagleBuffer& operator=(const NagleBuffer&) = delete;
+  ~NagleBuffer() { timer_.cancel(); }
+
+  /// Buffers one application write of `bytes`.
+  void write(std::uint64_t bytes);
+
+  /// Emits any buffered data immediately (connection close, PSH).
+  void flush();
+
+  [[nodiscard]] std::uint64_t buffered_bytes() const noexcept {
+    return buffered_bytes_;
+  }
+  [[nodiscard]] std::uint64_t segments_emitted() const noexcept {
+    return segments_emitted_;
+  }
+  [[nodiscard]] std::uint64_t writes_accepted() const noexcept {
+    return writes_accepted_;
+  }
+
+ private:
+  void emit(std::uint64_t bytes, std::uint32_t writes);
+
+  sim::EventLoop& loop_;
+  std::uint32_t mss_;
+  sim::Duration timeout_;
+  std::function<void(std::uint64_t, std::uint32_t)> on_flush_;
+  std::uint64_t buffered_bytes_ = 0;
+  std::uint32_t buffered_writes_ = 0;
+  std::uint64_t segments_emitted_ = 0;
+  std::uint64_t writes_accepted_ = 0;
+  sim::EventHandle timer_;
+};
+
+}  // namespace canal::proxy

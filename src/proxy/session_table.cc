@@ -1,0 +1,82 @@
+#include "proxy/session_table.h"
+
+namespace canal::proxy {
+
+bool SessionTable::insert(const net::FiveTuple& tuple, net::ServiceId service,
+                          sim::TimePoint now) {
+  if (sessions_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  sessions_[tuple] = Session{tuple, service, now, now};
+  return true;
+}
+
+Session* SessionTable::touch(const net::FiveTuple& tuple, sim::TimePoint now) {
+  const auto it = sessions_.find(tuple);
+  if (it == sessions_.end()) return nullptr;
+  it->second.last_active = now;
+  return &it->second;
+}
+
+const Session* SessionTable::find(const net::FiveTuple& tuple) const {
+  const auto it = sessions_.find(tuple);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+bool SessionTable::remove(const net::FiveTuple& tuple) {
+  return sessions_.erase(tuple) > 0;
+}
+
+std::size_t SessionTable::expire_idle(sim::TimePoint now,
+                                      sim::Duration idle_timeout) {
+  std::size_t dropped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_active > idle_timeout) {
+      it = sessions_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::size_t SessionTable::clear() noexcept {
+  const std::size_t n = sessions_.size();
+  sessions_.clear();
+  return n;
+}
+
+std::size_t SessionTable::count_for(net::ServiceId service) const {
+  std::size_t n = 0;
+  for (const auto& [tuple, session] : sessions_) {
+    if (session.service == service) ++n;
+  }
+  return n;
+}
+
+std::size_t SessionTable::count_older_than(net::ServiceId service,
+                                           sim::TimePoint now,
+                                           sim::Duration age) const {
+  std::size_t n = 0;
+  for (const auto& [tuple, session] : sessions_) {
+    if (session.service == service && now - session.created > age) ++n;
+  }
+  return n;
+}
+
+std::size_t SessionTable::remove_for(net::ServiceId service) {
+  std::size_t dropped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.service == service) {
+      it = sessions_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace canal::proxy

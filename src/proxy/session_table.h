@@ -1,0 +1,77 @@
+// Connection session table with finite capacity.
+//
+// Gateway replicas run on VMs whose session state lives in SmartNIC memory
+// (§3.2 Issue #4): capacity is a hard resource. The table supports idle
+// expiry and exposes occupancy — the signal behind both the session-flood
+// attack detection of §6.2 (sessions surge without RPS) and the
+// session-aggregation motivation (90% sessions at 20% CPU).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "net/flow.h"
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace canal::proxy {
+
+struct Session {
+  net::FiveTuple tuple;
+  net::ServiceId service{};
+  sim::TimePoint created = 0;
+  sim::TimePoint last_active = 0;
+};
+
+class SessionTable {
+ public:
+  explicit SessionTable(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts a new session; false when the table is full (flow rejected).
+  bool insert(const net::FiveTuple& tuple, net::ServiceId service,
+              sim::TimePoint now);
+
+  /// Looks up and refreshes last_active.
+  [[nodiscard]] Session* touch(const net::FiveTuple& tuple, sim::TimePoint now);
+  [[nodiscard]] const Session* find(const net::FiveTuple& tuple) const;
+
+  bool remove(const net::FiveTuple& tuple);
+
+  /// Drops sessions idle longer than `idle_timeout`; returns count dropped.
+  std::size_t expire_idle(sim::TimePoint now, sim::Duration idle_timeout);
+
+  /// Drops every session (lossy migration resets all state).
+  std::size_t clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double occupancy() const noexcept {
+    return capacity_ == 0
+               ? 0.0
+               : static_cast<double>(sessions_.size()) /
+                     static_cast<double>(capacity_);
+  }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+  /// Sessions belonging to `service`.
+  [[nodiscard]] std::size_t count_for(net::ServiceId service) const;
+
+  /// Drops every session of `service` (lossy migration of one tenant
+  /// service); returns count dropped.
+  std::size_t remove_for(net::ServiceId service);
+
+  /// Sessions of `service` established more than `age` ago — the
+  /// long-lasting sessions §6.3's migration selection avoids.
+  [[nodiscard]] std::size_t count_older_than(net::ServiceId service,
+                                             sim::TimePoint now,
+                                             sim::Duration age) const;
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<net::FiveTuple, Session> sessions_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace canal::proxy

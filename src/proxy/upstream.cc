@@ -1,0 +1,95 @@
+#include "proxy/upstream.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace canal::proxy {
+
+UpstreamEndpoint& UpstreamCluster::add_endpoint(net::Endpoint address,
+                                                std::uint64_t key,
+                                                std::uint32_t weight) {
+  endpoints_.push_back(UpstreamEndpoint{address, key, weight, true, 0});
+  return endpoints_.back();
+}
+
+bool UpstreamCluster::remove_endpoint(std::uint64_t key) {
+  const auto it = std::find_if(endpoints_.begin(), endpoints_.end(),
+                               [&](const auto& e) { return e.key == key; });
+  if (it == endpoints_.end()) return false;
+  endpoints_.erase(it);
+  if (rr_cursor_ >= endpoints_.size()) rr_cursor_ = 0;
+  return true;
+}
+
+UpstreamEndpoint* UpstreamCluster::find_endpoint(std::uint64_t key) {
+  for (auto& e : endpoints_) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t UpstreamCluster::healthy_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(endpoints_.begin(), endpoints_.end(),
+                    [](const auto& e) { return e.healthy; }));
+}
+
+UpstreamEndpoint* UpstreamCluster::pick(sim::Rng& rng) {
+  if (endpoints_.empty()) return nullptr;
+  switch (policy_) {
+    case LbPolicy::kRoundRobin: {
+      for (std::size_t tries = 0; tries < endpoints_.size(); ++tries) {
+        UpstreamEndpoint& e = endpoints_[rr_cursor_];
+        rr_cursor_ = (rr_cursor_ + 1) % endpoints_.size();
+        if (e.healthy) return &e;
+      }
+      return nullptr;
+    }
+    case LbPolicy::kRandom: {
+      // Weighted random over healthy endpoints.
+      std::uint64_t total = 0;
+      for (const auto& e : endpoints_) {
+        if (e.healthy) total += e.weight;
+      }
+      if (total == 0) return nullptr;
+      auto draw = static_cast<std::uint64_t>(rng.uniform() *
+                                             static_cast<double>(total));
+      for (auto& e : endpoints_) {
+        if (!e.healthy) continue;
+        if (draw < e.weight) return &e;
+        draw -= e.weight;
+      }
+      return nullptr;
+    }
+    case LbPolicy::kLeastRequest: {
+      UpstreamEndpoint* best = nullptr;
+      std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
+      for (auto& e : endpoints_) {
+        if (e.healthy && e.active_requests < best_load) {
+          best_load = e.active_requests;
+          best = &e;
+        }
+      }
+      return best;
+    }
+  }
+  return nullptr;
+}
+
+UpstreamCluster& ClusterManager::add_cluster(const std::string& name,
+                                             LbPolicy policy) {
+  auto& slot = clusters_[name];
+  if (!slot) slot = std::make_unique<UpstreamCluster>(name, policy);
+  return *slot;
+}
+
+UpstreamCluster* ClusterManager::find(const std::string& name) {
+  const auto it = clusters_.find(name);
+  return it == clusters_.end() ? nullptr : it->second.get();
+}
+
+void ClusterManager::remove_cluster(const std::string& name) {
+  clusters_.erase(name);
+}
+
+}  // namespace canal::proxy

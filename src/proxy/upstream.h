@@ -1,0 +1,70 @@
+// Upstream cluster management: endpoint pools and load-balancing policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.h"
+#include "sim/rng.h"
+
+namespace canal::proxy {
+
+/// One backend endpoint of an upstream cluster. `key` is an opaque handle
+/// the owner uses to map back to its own objects (e.g. a PodId).
+struct UpstreamEndpoint {
+  net::Endpoint address;
+  std::uint64_t key = 0;
+  std::uint32_t weight = 1;
+  bool healthy = true;
+  std::uint32_t active_requests = 0;
+};
+
+enum class LbPolicy : std::uint8_t { kRoundRobin, kRandom, kLeastRequest };
+
+/// A named pool of endpoints with a pick policy.
+class UpstreamCluster {
+ public:
+  UpstreamCluster(std::string name, LbPolicy policy)
+      : name_(std::move(name)), policy_(policy) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] LbPolicy policy() const noexcept { return policy_; }
+
+  UpstreamEndpoint& add_endpoint(net::Endpoint address, std::uint64_t key,
+                                 std::uint32_t weight = 1);
+  bool remove_endpoint(std::uint64_t key);
+  [[nodiscard]] UpstreamEndpoint* find_endpoint(std::uint64_t key);
+
+  /// Picks a healthy endpoint per policy; nullptr if none are healthy.
+  [[nodiscard]] UpstreamEndpoint* pick(sim::Rng& rng);
+
+  [[nodiscard]] const std::vector<UpstreamEndpoint>& endpoints() const {
+    return endpoints_;
+  }
+  [[nodiscard]] std::size_t healthy_count() const;
+
+ private:
+  std::string name_;
+  LbPolicy policy_;
+  std::vector<UpstreamEndpoint> endpoints_;
+  std::size_t rr_cursor_ = 0;
+};
+
+/// All upstream clusters known to one proxy.
+class ClusterManager {
+ public:
+  UpstreamCluster& add_cluster(const std::string& name,
+                               LbPolicy policy = LbPolicy::kRoundRobin);
+  [[nodiscard]] UpstreamCluster* find(const std::string& name);
+  void remove_cluster(const std::string& name);
+  [[nodiscard]] std::size_t size() const noexcept { return clusters_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<UpstreamCluster>> clusters_;
+};
+
+}  // namespace canal::proxy

@@ -1,0 +1,98 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+
+namespace canal::sim {
+
+TimePoint CpuCore::execute(Duration cost, std::function<void()> done) {
+  if (cost < 0) cost = 0;
+  const TimePoint start = std::max(free_at_, loop_.now());
+  const TimePoint end = start + cost;
+  free_at_ = end;
+  total_busy_ += cost;
+  ++jobs_;
+  if (cost > 0) {
+    if (!intervals_.empty() && intervals_.back().end == start) {
+      intervals_.back().end = end;  // coalesce back-to-back work
+    } else {
+      intervals_.push_back({start, end});
+    }
+    prune(loop_.now() - history_);
+  }
+  if (done) loop_.schedule_at(end, std::move(done));
+  return end;
+}
+
+void CpuCore::prune(TimePoint horizon) {
+  while (!intervals_.empty() && intervals_.front().end < horizon) {
+    intervals_.pop_front();
+  }
+}
+
+double CpuCore::utilization(Duration window) const {
+  if (window <= 0) return 0.0;
+  const TimePoint hi = loop_.now();
+  const TimePoint lo = hi - window;
+  // Intervals are appended in nondecreasing (start, end) order, so binary
+  // search for the first one overlapping the window instead of scanning
+  // the whole retained history (which can hold millions of entries).
+  const auto first = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [lo](const Interval& iv) { return iv.end <= lo; });
+  Duration busy = 0;
+  for (auto it = first; it != intervals_.end() && it->start < hi; ++it) {
+    const TimePoint s = std::max(it->start, lo);
+    const TimePoint e = std::min(it->end, hi);
+    if (e > s) busy += e - s;
+  }
+  return static_cast<double>(busy) / static_cast<double>(window);
+}
+
+CpuSet::CpuSet(EventLoop& loop, std::size_t cores, Duration history) {
+  cores_.reserve(cores);
+  for (std::size_t i = 0; i < cores; ++i) {
+    cores_.push_back(std::make_unique<CpuCore>(loop, history));
+  }
+}
+
+std::size_t CpuSet::least_loaded() const {
+  std::size_t best = 0;
+  TimePoint best_free = std::numeric_limits<TimePoint>::max();
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i]->free_at() < best_free) {
+      best_free = cores_[i]->free_at();
+      best = i;
+    }
+  }
+  return best;
+}
+
+TimePoint CpuSet::execute(Duration cost, std::function<void()> done) {
+  return cores_[least_loaded()]->execute(cost, std::move(done));
+}
+
+TimePoint CpuSet::execute_pinned(std::uint64_t hash, Duration cost,
+                                 std::function<void()> done) {
+  return cores_[hash % cores_.size()]->execute(cost, std::move(done));
+}
+
+double CpuSet::utilization(Duration window) const {
+  if (cores_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& c : cores_) sum += c->utilization(window);
+  return sum / static_cast<double>(cores_.size());
+}
+
+double CpuSet::max_core_utilization(Duration window) const {
+  double best = 0.0;
+  for (const auto& c : cores_) best = std::max(best, c->utilization(window));
+  return best;
+}
+
+double CpuSet::total_busy_core_seconds() const {
+  double sum = 0.0;
+  for (const auto& c : cores_) sum += to_seconds(c->total_busy());
+  return sum;
+}
+
+}  // namespace canal::sim

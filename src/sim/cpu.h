@@ -1,0 +1,109 @@
+// CPU cores as FCFS queueing servers.
+//
+// A core accepts work items with a service cost; completion time is
+// max(now, core-free-time) + cost, so queueing delay and saturation emerge
+// naturally. Busy intervals are retained (bounded) so callers can ask for
+// utilization over arbitrary trailing windows — the signal Canal's anomaly
+// detection and precise scaling operate on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace canal::sim {
+
+/// A single simulated CPU core with an unbounded FCFS run queue.
+class CpuCore {
+ public:
+  /// `history` bounds how far back utilization queries may reach.
+  explicit CpuCore(EventLoop& loop, Duration history = 5 * kMinute)
+      : loop_(loop), history_(history) {}
+
+  CpuCore(const CpuCore&) = delete;
+  CpuCore& operator=(const CpuCore&) = delete;
+
+  /// Enqueues a job costing `cost`; runs `done` (if any) at completion.
+  /// Returns the completion time.
+  TimePoint execute(Duration cost, std::function<void()> done = nullptr);
+
+  /// Completion time `execute(cost)` would return, without enqueueing.
+  [[nodiscard]] TimePoint completion_if(Duration cost) const noexcept {
+    const TimePoint start = free_at_ > loop_.now() ? free_at_ : loop_.now();
+    return start + cost;
+  }
+
+  /// Time at which the core next becomes idle.
+  [[nodiscard]] TimePoint free_at() const noexcept { return free_at_; }
+
+  /// Outstanding queued work (0 when idle).
+  [[nodiscard]] Duration backlog() const noexcept {
+    return free_at_ > loop_.now() ? free_at_ - loop_.now() : 0;
+  }
+
+  /// Fraction of [t - window, t] the core was (or is committed to be) busy.
+  [[nodiscard]] double utilization(Duration window) const;
+
+  /// Total busy time ever committed to this core.
+  [[nodiscard]] Duration total_busy() const noexcept { return total_busy_; }
+
+  /// Jobs accepted so far.
+  [[nodiscard]] std::uint64_t jobs() const noexcept { return jobs_; }
+
+ private:
+  struct Interval {
+    TimePoint start;
+    TimePoint end;
+  };
+  void prune(TimePoint horizon);
+
+  EventLoop& loop_;
+  Duration history_;
+  TimePoint free_at_ = 0;
+  Duration total_busy_ = 0;
+  std::uint64_t jobs_ = 0;
+  std::deque<Interval> intervals_;
+};
+
+/// A group of cores (a VM or a node). Dispatch is least-loaded by default,
+/// or pinned by hash for flow/core affinity.
+class CpuSet {
+ public:
+  CpuSet(EventLoop& loop, std::size_t cores, Duration history = 5 * kMinute);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cores_.size(); }
+
+  CpuCore& core(std::size_t i) { return *cores_.at(i); }
+  [[nodiscard]] const CpuCore& core(std::size_t i) const { return *cores_.at(i); }
+
+  /// Runs on the least-loaded core. Returns completion time.
+  TimePoint execute(Duration cost, std::function<void()> done = nullptr);
+
+  /// Runs on core `hash % size()` (flow pinning). Returns completion time.
+  TimePoint execute_pinned(std::uint64_t hash, Duration cost,
+                           std::function<void()> done = nullptr);
+
+  /// Index of the core that would next become free.
+  [[nodiscard]] std::size_t least_loaded() const;
+
+  /// Mean utilization across cores over the trailing window.
+  [[nodiscard]] double utilization(Duration window) const;
+
+  /// Peak single-core utilization over the trailing window.
+  [[nodiscard]] double max_core_utilization(Duration window) const;
+
+  /// Sum of busy time across cores, expressed in core-seconds.
+  [[nodiscard]] double total_busy_core_seconds() const;
+
+ private:
+  std::vector<std::unique_ptr<CpuCore>> cores_;
+};
+
+}  // namespace canal::sim

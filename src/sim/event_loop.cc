@@ -1,0 +1,55 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace canal::sim {
+
+EventHandle EventLoop::schedule_at(TimePoint when, Callback cb) {
+  if (when < now_) when = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(cb), alive});
+  return EventHandle(std::move(alive));
+}
+
+bool EventLoop::pop_and_run() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  if (*ev.alive) {
+    *ev.alive = false;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    if (pop_and_run()) ++count;
+  }
+  return count;
+}
+
+std::size_t EventLoop::run_until(TimePoint deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (pop_and_run()) ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+void PeriodicTimer::start(Duration initial_delay) {
+  stop();
+  arm(initial_delay);
+}
+
+void PeriodicTimer::arm(Duration delay) {
+  handle_ = loop_.schedule(delay, [this] {
+    tick_();
+    arm(period_);
+  });
+}
+
+}  // namespace canal::sim

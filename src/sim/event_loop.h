@@ -1,0 +1,119 @@
+// Discrete-event simulation core.
+//
+// A binary-heap scheduler over (time, sequence) keys. Ties are broken by
+// insertion order so runs are deterministic. Events are arbitrary callables;
+// higher-level components (CPU cores, links, timers) are built on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace canal::sim {
+
+/// Handle used to cancel a scheduled event. Cancelling is O(1); the event
+/// stays in the heap but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call repeatedly or on a
+  /// default-constructed handle.
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// The simulation event loop. Single-threaded and deterministic.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (clamped to now()).
+  EventHandle schedule_at(TimePoint when, Callback cb);
+
+  /// Schedules `cb` to run `delay` after now().
+  EventHandle schedule(Duration delay, Callback cb) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  /// Runs events until the queue empties. Returns the number of events run.
+  std::size_t run();
+
+  /// Runs events with time <= `deadline`, then advances now() to `deadline`.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Runs events for `span` of simulated time from now().
+  std::size_t run_for(Duration span) { return run_until(now_ + span); }
+
+  /// Number of pending (possibly cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint when = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Repeating timer built on EventLoop. Fires `period` apart until stopped.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(EventLoop& loop, Duration period, std::function<void()> tick)
+      : loop_(loop), period_(period), tick_(std::move(tick)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Schedules the first tick `initial_delay` from now.
+  void start(Duration initial_delay = 0);
+
+  /// Cancels future ticks.
+  void stop() noexcept { handle_.cancel(); }
+
+  [[nodiscard]] bool running() const noexcept { return handle_.pending(); }
+
+ private:
+  void arm(Duration delay);
+
+  EventLoop& loop_;
+  Duration period_;
+  std::function<void()> tick_;
+  EventHandle handle_;
+};
+
+}  // namespace canal::sim

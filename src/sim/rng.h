@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** seeded through SplitMix64: fast, high-quality, and fully
+// reproducible from a single 64-bit seed so every experiment can be rerun
+// bit-exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace canal::sim {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Normally distributed value (Box–Muller).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth / normal approx).
+  std::int64_t poisson(double mean) noexcept;
+
+  /// Log-normally distributed value parameterized by the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// True with probability p.
+  bool chance(double p) noexcept;
+
+  /// Forks an independent, deterministically derived generator.
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace canal::sim

@@ -1,0 +1,119 @@
+// Measurement primitives: histograms, time series, rate meters.
+//
+// These back both the benchmark harness (percentiles, CDFs) and the Canal
+// control plane itself (trend correlation for root-cause analysis, HWHM
+// sampling for in-phase service migration).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace canal::sim {
+
+/// Sample-retaining histogram with exact percentiles.
+class Histogram {
+ public:
+  void record(double value);
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// (value, cumulative fraction) pairs at `points` evenly spaced ranks.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      std::size_t points = 20) const;
+
+  [[nodiscard]] std::span<const double> samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Timestamped value series with trailing-window reductions.
+class TimeSeries {
+ public:
+  struct Sample {
+    TimePoint t;
+    double value;
+  };
+
+  /// `max_age` bounds retention; 0 keeps everything.
+  explicit TimeSeries(Duration max_age = 0) : max_age_(max_age) {}
+
+  void record(TimePoint t, double value);
+  void clear() noexcept { samples_.clear(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const std::deque<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  [[nodiscard]] double sum_in(TimePoint lo, TimePoint hi) const;
+  [[nodiscard]] double mean_in(TimePoint lo, TimePoint hi) const;
+  [[nodiscard]] double max_in(TimePoint lo, TimePoint hi) const;
+  [[nodiscard]] std::size_t count_in(TimePoint lo, TimePoint hi) const;
+
+  /// Latest value at or before `t`, if any.
+  [[nodiscard]] std::optional<double> value_at(TimePoint t) const;
+
+  /// Least-squares slope (value units per second) over [lo, hi].
+  [[nodiscard]] double trend_in(TimePoint lo, TimePoint hi) const;
+
+ private:
+  void prune(TimePoint now);
+  Duration max_age_;
+  std::deque<Sample> samples_;
+};
+
+/// Events-per-second meter over a sliding window. O(1) amortized per
+/// record/rate call (incremental window sum).
+class RateMeter {
+ public:
+  explicit RateMeter(Duration window = kSecond) : window_(window) {}
+
+  void record(TimePoint t, double weight = 1.0);
+  [[nodiscard]] double rate(TimePoint now) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  void prune(TimePoint now) const;
+
+  Duration window_;
+  mutable std::deque<std::pair<TimePoint, double>> events_;
+  mutable double window_sum_ = 0.0;
+  std::uint64_t total_ = 0;
+};
+
+/// Pearson correlation of two equal-length vectors; 0 if degenerate.
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Half-width-at-half-maximum window of a daily series: the contiguous
+/// period around the peak where values stay >= (max+min)/2. Returns
+/// [start, end] timestamps. Used by §6.3's migration target selection.
+struct HwhmWindow {
+  TimePoint start = 0;
+  TimePoint end = 0;
+  TimePoint peak = 0;
+};
+[[nodiscard]] HwhmWindow hwhm_window(const TimeSeries& series);
+
+}  // namespace canal::sim

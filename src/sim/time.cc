@@ -1,0 +1,25 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace canal::sim {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double abs_d = std::abs(static_cast<double>(d));
+  if (abs_d >= static_cast<double>(kMinute)) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", to_seconds(d) / 60.0);
+  } else if (abs_d >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", to_seconds(d));
+  } else if (abs_d >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", to_milliseconds(d));
+  } else if (abs_d >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", to_microseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace canal::sim

@@ -1,0 +1,56 @@
+// Simulated-time primitives.
+//
+// All simulation time is kept as integer nanoseconds to make event ordering
+// exact and runs bit-reproducible across platforms. Helpers convert to and
+// from the floating-point units used in reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace canal::sim {
+
+/// A span of simulated time in nanoseconds.
+using Duration = std::int64_t;
+
+/// An absolute simulated time in nanoseconds since simulation start.
+using TimePoint = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr Duration milliseconds(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+constexpr Duration minutes(double m) {
+  return static_cast<Duration>(m * static_cast<double>(kMinute));
+}
+constexpr Duration hours(double h) {
+  return static_cast<Duration>(h * static_cast<double>(kHour));
+}
+
+constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Renders a duration with an auto-selected unit, e.g. "1.25ms" or "55s".
+std::string format_duration(Duration d);
+
+}  // namespace canal::sim

@@ -1,0 +1,86 @@
+#include "telemetry/anomaly.h"
+
+#include <vector>
+
+namespace canal::telemetry {
+namespace {
+
+/// Ratio with a floor so division by near-zero baselines stays sane.
+double growth_ratio(double now, double before) {
+  constexpr double kFloor = 1e-6;
+  return now / (before > kFloor ? before : kFloor);
+}
+
+}  // namespace
+
+std::string_view anomaly_kind_name(AnomalyKind kind) noexcept {
+  switch (kind) {
+    case AnomalyKind::kNormalGrowth: return "normal-growth";
+    case AnomalyKind::kSessionFlood: return "session-flood";
+    case AnomalyKind::kExpensiveQuery: return "expensive-query";
+    case AnomalyKind::kUndetermined: return "undetermined";
+  }
+  return "unknown";
+}
+
+AnomalyKind classify_backend_anomaly(const BackendSnapshot& before,
+                                     const BackendSnapshot& now,
+                                     const AnomalyThresholds& thresholds) {
+  const double session_growth =
+      growth_ratio(now.new_session_rate, before.new_session_rate);
+  const double rps_growth = growth_ratio(now.total_rps, before.total_rps);
+  const double cpu_growth =
+      growth_ratio(now.cpu_utilization, before.cpu_utilization);
+
+  // Attack signature (§6.2 Case #1): sessions surge, RPS does not follow.
+  // "Does not follow" is relative — a flood with mild organic RPS growth is
+  // still a flood, so compare session growth against RPS growth.
+  const bool occupancy_alarm =
+      now.session_occupancy >= thresholds.session_occupancy_alarm;
+  if (occupancy_alarm && rps_growth < thresholds.rps_flat_ratio) {
+    // The table is nearly full yet request volume didn't move: the
+    // sessions came from somewhere other than legitimate traffic.
+    return AnomalyKind::kSessionFlood;
+  }
+  const bool sessions_surged =
+      session_growth >= thresholds.surge_ratio || occupancy_alarm;
+  if (sessions_surged &&
+      session_growth >= thresholds.surge_ratio * rps_growth) {
+    return AnomalyKind::kSessionFlood;
+  }
+
+  // Proportionate growth: RPS rose with the CPU — normal workload increase.
+  if (rps_growth >= thresholds.rps_flat_ratio) {
+    return AnomalyKind::kNormalGrowth;
+  }
+
+  // CPU rose but neither RPS nor sessions did: expensive query.
+  if (cpu_growth >= thresholds.surge_ratio &&
+      rps_growth < thresholds.rps_flat_ratio && !sessions_surged) {
+    return AnomalyKind::kExpensiveQuery;
+  }
+  return AnomalyKind::kUndetermined;
+}
+
+bool in_phase(const sim::TimeSeries& a, const sim::TimeSeries& b,
+              sim::TimePoint lo, sim::TimePoint hi, std::size_t sample_points,
+              double threshold) {
+  if (sample_points < 2 || hi <= lo) return false;
+  std::vector<double> va;
+  std::vector<double> vb;
+  va.reserve(sample_points);
+  vb.reserve(sample_points);
+  const sim::Duration step =
+      (hi - lo) / static_cast<sim::Duration>(sample_points - 1);
+  for (std::size_t i = 0; i < sample_points; ++i) {
+    const sim::TimePoint t = lo + static_cast<sim::Duration>(i) * step;
+    const auto sa = a.value_at(t);
+    const auto sb = b.value_at(t);
+    if (!sa || !sb) return false;
+    va.push_back(*sa);
+    vb.push_back(*sb);
+  }
+  return sim::pearson(va, vb) >= threshold;
+}
+
+}  // namespace canal::telemetry

@@ -1,0 +1,48 @@
+// Anomaly classification for backend-level alerts (§4.2, §6.2).
+//
+// When a backend's water level crosses the safety threshold the system must
+// decide *why* before acting: normal workload growth is met with scaling,
+// session floods (attack signature: #TCP sessions surges without a matching
+// RPS rise) with sandbox migration, expensive queries (CPU up, RPS flat)
+// with migration/throttling, and anything unclear is flagged for operators.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "telemetry/service_stats.h"
+
+namespace canal::telemetry {
+
+enum class AnomalyKind : std::uint8_t {
+  kNormalGrowth,    ///< workload rose with proportionate RPS — scale out
+  kSessionFlood,    ///< sessions surged without RPS — likely attack
+  kExpensiveQuery,  ///< CPU rose without RPS/session growth — query of death
+  kUndetermined,
+};
+
+[[nodiscard]] std::string_view anomaly_kind_name(AnomalyKind kind) noexcept;
+
+struct AnomalyThresholds {
+  /// Minimum relative increase treated as a "surge".
+  double surge_ratio = 1.5;
+  /// RPS growth below this ratio, while sessions surge, signals a flood.
+  double rps_flat_ratio = 1.2;
+  /// Session occupancy above this is alarming regardless of trend.
+  double session_occupancy_alarm = 0.8;
+};
+
+/// Classifies the transition from `before` to `now` at one backend.
+[[nodiscard]] AnomalyKind classify_backend_anomaly(
+    const BackendSnapshot& before, const BackendSnapshot& now,
+    const AnomalyThresholds& thresholds = {});
+
+/// Detects phase-synchronized traffic patterns between two services'
+/// RPS histories (§4.2 traffic pattern monitoring): Pearson correlation of
+/// aligned samples above `threshold`.
+[[nodiscard]] bool in_phase(const sim::TimeSeries& a, const sim::TimeSeries& b,
+                            sim::TimePoint lo, sim::TimePoint hi,
+                            std::size_t sample_points = 10,
+                            double threshold = 0.7);
+
+}  // namespace canal::telemetry

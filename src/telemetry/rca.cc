@@ -1,0 +1,86 @@
+#include "telemetry/rca.h"
+
+#include <algorithm>
+
+namespace canal::telemetry {
+namespace {
+
+/// Samples a series at fixed points, carrying the last value forward.
+std::vector<double> sample(const sim::TimeSeries& series, sim::TimePoint lo,
+                           sim::TimePoint hi, std::size_t points) {
+  std::vector<double> out;
+  if (points < 2 || hi <= lo) return out;
+  out.reserve(points);
+  const sim::Duration step = (hi - lo) / static_cast<sim::Duration>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const auto v = series.value_at(lo + static_cast<sim::Duration>(i) * step);
+    out.push_back(v.value_or(0.0));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<net::ServiceId> RootCauseAnalyzer::pinpoint(
+    const sim::TimeSeries& backend_load,
+    const std::map<net::ServiceId, const sim::TimeSeries*>& service_rps,
+    sim::TimePoint window_lo, sim::TimePoint window_hi) const {
+  const auto load_samples =
+      sample(backend_load, window_lo, window_hi, config_.sample_points);
+  if (load_samples.empty()) return {};
+
+  // Rank services by current RPS and keep the top-k candidates.
+  std::vector<std::pair<net::ServiceId, const sim::TimeSeries*>> candidates(
+      service_rps.begin(), service_rps.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const auto& a, const auto& b) {
+              const double ra =
+                  a.second->value_at(window_hi).value_or(0.0);
+              const double rb =
+                  b.second->value_at(window_hi).value_or(0.0);
+              if (ra != rb) return ra > rb;
+              return net::id_value(a.first) < net::id_value(b.first);
+            });
+  if (candidates.size() > config_.top_k) candidates.resize(config_.top_k);
+
+  std::vector<std::pair<net::ServiceId, double>> suspects;
+  for (const auto& [service, series] : candidates) {
+    if (series == nullptr) continue;
+    const auto rps_samples =
+        sample(*series, window_lo, window_hi, config_.sample_points);
+    const double corr = sim::pearson(rps_samples, load_samples);
+    const double trend = series->trend_in(window_lo, window_hi);
+    if (corr >= config_.correlation_threshold && trend >= config_.min_trend) {
+      suspects.emplace_back(service, corr);
+    }
+  }
+  std::sort(suspects.begin(), suspects.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return net::id_value(a.first) < net::id_value(b.first);
+  });
+
+  std::vector<net::ServiceId> out;
+  out.reserve(suspects.size());
+  for (const auto& [service, corr] : suspects) out.push_back(service);
+  return out;
+}
+
+std::vector<net::ServiceId> RootCauseAnalyzer::intersect(
+    const std::vector<std::vector<net::ServiceId>>& per_backend_suspects) {
+  if (per_backend_suspects.empty()) return {};
+  std::vector<net::ServiceId> acc = per_backend_suspects.front();
+  for (std::size_t i = 1; i < per_backend_suspects.size(); ++i) {
+    const auto& next = per_backend_suspects[i];
+    std::vector<net::ServiceId> kept;
+    for (const auto service : acc) {
+      if (std::find(next.begin(), next.end(), service) != next.end()) {
+        kept.push_back(service);
+      }
+    }
+    acc = std::move(kept);
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+}  // namespace canal::telemetry

@@ -1,0 +1,54 @@
+// Root-cause analysis for precise scaling (§4.3).
+//
+// When a backend's water level crosses the threshold, blind scaling of
+// every hosted service is wasteful. RCA pinpoints the culprit:
+//   basic algorithm — sample per-service RPS on the hot backend and keep
+//   the top services whose RPS *trend* aligns with the backend's
+//   water-level trend;
+//   intersection algorithm — when several backends heat up together,
+//   intersect their per-backend suspects (run once, speculatively; fall
+//   back to the basic algorithm if the intersection is empty).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/stats.h"
+
+namespace canal::telemetry {
+
+struct RcaConfig {
+  /// Services examined per backend (top by RPS).
+  std::size_t top_k = 5;
+  /// Minimum Pearson correlation between service RPS and backend load.
+  double correlation_threshold = 0.6;
+  /// Minimum positive RPS slope (requests/s per second) to be a suspect.
+  double min_trend = 0.1;
+  /// Samples taken across the analysis window.
+  std::size_t sample_points = 12;
+};
+
+class RootCauseAnalyzer {
+ public:
+  explicit RootCauseAnalyzer(RcaConfig config = {}) : config_(config) {}
+
+  /// Basic algorithm over one backend. `service_rps` maps the backend's
+  /// services to their RPS histories; `backend_load` is the water-level
+  /// history. Returns suspected services ordered by correlation strength.
+  [[nodiscard]] std::vector<net::ServiceId> pinpoint(
+      const sim::TimeSeries& backend_load,
+      const std::map<net::ServiceId, const sim::TimeSeries*>& service_rps,
+      sim::TimePoint window_lo, sim::TimePoint window_hi) const;
+
+  /// Intersection algorithm across simultaneously hot backends: services
+  /// suspected on *every* backend. Empty result => caller reverts to the
+  /// basic algorithm (§4.3).
+  [[nodiscard]] static std::vector<net::ServiceId> intersect(
+      const std::vector<std::vector<net::ServiceId>>& per_backend_suspects);
+
+ private:
+  RcaConfig config_;
+};
+
+}  // namespace canal::telemetry

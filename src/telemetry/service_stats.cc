@@ -1,0 +1,19 @@
+#include "telemetry/service_stats.h"
+
+#include <algorithm>
+
+namespace canal::telemetry {
+
+std::vector<std::pair<net::ServiceId, double>> BackendSnapshot::top_services(
+    std::size_t k) const {
+  std::vector<std::pair<net::ServiceId, double>> out(service_rps.begin(),
+                                                     service_rps.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return net::id_value(a.first) < net::id_value(b.first);
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace canal::telemetry

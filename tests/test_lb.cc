@@ -1,0 +1,289 @@
+// Unit tests for LB disaggregation: Beamer-style bucket tables, the
+// redirector (Fig 26 session-consistency scenario), session aggregation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lb/aggregation.h"
+#include "lb/bucket_table.h"
+
+namespace canal::lb {
+namespace {
+
+constexpr auto R1 = static_cast<net::ReplicaId>(1);
+constexpr auto R2 = static_cast<net::ReplicaId>(2);
+constexpr auto R3 = static_cast<net::ReplicaId>(3);
+
+net::FiveTuple tuple_of(std::uint16_t sport) {
+  return net::FiveTuple{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                        sport, 443, net::Protocol::kTcp};
+}
+
+TEST(BucketTable, RoundRobinAssignment) {
+  BucketTable table(8, 4);
+  table.assign_round_robin({R1, R2});
+  EXPECT_EQ(table.buckets_headed_by(R1), 4u);
+  EXPECT_EQ(table.buckets_headed_by(R2), 4u);
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(table.chain(b).size(), 1u);
+  }
+}
+
+TEST(BucketTable, BucketForIsStable) {
+  BucketTable table(64, 4);
+  const auto t = tuple_of(77);
+  EXPECT_EQ(table.bucket_for(t), table.bucket_for(t));
+}
+
+TEST(BucketTable, PrepareOfflinePrependsTakeover) {
+  BucketTable table(8, 4);
+  table.assign_round_robin({R1, R2});
+  table.prepare_offline(R1, {R2, R3});
+  EXPECT_EQ(table.buckets_headed_by(R1), 0u);
+  // Every ex-R1 bucket now has a chain [takeover, R1].
+  for (std::size_t b = 0; b < 8; ++b) {
+    const auto& chain = table.chain(b);
+    if (chain.size() == 2) {
+      EXPECT_EQ(chain[1], R1);
+      EXPECT_NE(chain[0], R1);
+    }
+  }
+}
+
+TEST(BucketTable, ChainLengthBounded) {
+  BucketTable table(4, 2);
+  table.assign_round_robin({R1});
+  table.prepare_offline(R1, {R2});
+  table.prepare_offline(R2, {R3});
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_LE(table.chain(b).size(), 2u);
+  }
+}
+
+TEST(BucketTable, LongerChainsSurviveConsecutiveEvents) {
+  // Canal's modification (i): chain length > 2 keeps the full history
+  // through multiple rapid scale events; length 2 drops it.
+  BucketTable deep(4, 4);
+  deep.assign_round_robin({R1});
+  deep.prepare_offline(R1, {R2});
+  deep.prepare_offline(R2, {R3});
+  // With a length-4 chain, R1 is still reachable at depth 2.
+  bool r1_reachable = false;
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto& chain = deep.chain(b);
+    if (std::find(chain.begin(), chain.end(), R1) != chain.end()) {
+      r1_reachable = true;
+    }
+  }
+  EXPECT_TRUE(r1_reachable);
+}
+
+TEST(BucketTable, AddReplicaTakesOverShare) {
+  BucketTable table(12, 4);
+  table.assign_round_robin({R1, R2});
+  table.add_replica(R3, 4);
+  EXPECT_EQ(table.buckets_headed_by(R3), 4u);
+  const auto active = table.active_replicas();
+  EXPECT_EQ(active.size(), 3u);
+}
+
+TEST(BucketTable, PurgeRemovesEverywhere) {
+  BucketTable table(8, 4);
+  table.assign_round_robin({R1, R2});
+  table.prepare_offline(R1, {R2});
+  table.purge(R1);
+  for (std::size_t b = 0; b < 8; ++b) {
+    const auto& chain = table.chain(b);
+    EXPECT_EQ(std::find(chain.begin(), chain.end(), R1), chain.end());
+  }
+}
+
+TEST(Redirector, SynGoesToChainHead) {
+  BucketTable table(8, 4);
+  table.assign_round_robin({R1, R2});
+  const Redirector redirector(table);
+  const auto t = tuple_of(1);
+  const auto decision = redirector.resolve(
+      t, /*is_syn=*/true,
+      [](net::ReplicaId, const net::FiveTuple&) { return false; });
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->is_new_flow);
+  EXPECT_EQ(decision->target, table.chain(table.bucket_for(t)).front());
+  EXPECT_EQ(decision->redirections, 0u);
+}
+
+TEST(Redirector, ExistingFlowChasesChain) {
+  BucketTable table(8, 4);
+  table.assign_round_robin({R2});
+  table.prepare_offline(R2, {R3});  // chains now [R3, R2]
+  const Redirector redirector(table);
+  const auto t = tuple_of(9);
+  // Flow state lives at R2 (established before the drain).
+  const auto decision = redirector.resolve(
+      t, false, [&](net::ReplicaId replica, const net::FiveTuple&) {
+        return replica == R2;
+      });
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->target, R2);
+  EXPECT_EQ(decision->redirections, 1u);
+  EXPECT_FALSE(decision->is_new_flow);
+}
+
+TEST(Redirector, AgedFlowTreatedAsNew) {
+  BucketTable table(8, 4);
+  table.assign_round_robin({R1});
+  table.prepare_offline(R1, {R3});
+  const Redirector redirector(table);
+  const auto decision = redirector.resolve(
+      tuple_of(3), false,
+      [](net::ReplicaId, const net::FiveTuple&) { return false; });
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->is_new_flow);
+  EXPECT_EQ(decision->target, R3);  // new highest-priority replica
+}
+
+TEST(Redirector, EmptyChainIsNull) {
+  BucketTable table(4, 2);
+  const Redirector redirector(table);
+  EXPECT_FALSE(redirector
+                   .resolve(tuple_of(1), true,
+                            [](net::ReplicaId, const net::FiveTuple&) {
+                              return false;
+                            })
+                   .has_value());
+}
+
+// Fig 26 end-to-end scenario: replica going offline keeps serving its old
+// flows while new flows land on the replacement.
+TEST(Redirector, Fig26SessionConsistencyScenario) {
+  BucketTable table(32, 4);
+  table.assign_round_robin({R1, R2});
+  const Redirector redirector(table);
+
+  // Establish 200 flows; remember which replica owns each.
+  std::map<std::uint16_t, net::ReplicaId> owners;
+  std::map<net::ReplicaId, std::set<std::uint16_t>> state;
+  for (std::uint16_t p = 0; p < 200; ++p) {
+    const auto d = redirector.resolve(
+        tuple_of(p), true,
+        [](net::ReplicaId, const net::FiveTuple&) { return false; });
+    owners[p] = d->target;
+    state[d->target].insert(p);
+  }
+
+  // R2 prepares to go offline.
+  table.prepare_offline(R2, {R1, R3});
+
+  auto flow_at = [&](net::ReplicaId replica, const net::FiveTuple& t) {
+    const auto it = state.find(replica);
+    return it != state.end() && it->second.contains(t.src_port);
+  };
+
+  // Existing flows still reach their original owner.
+  for (std::uint16_t p = 0; p < 200; ++p) {
+    const auto d = redirector.resolve(tuple_of(p), false, flow_at);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->target, owners[p]) << "flow " << p << " broke consistency";
+    EXPECT_FALSE(d->is_new_flow);
+  }
+  // New flows never land on R2.
+  for (std::uint16_t p = 200; p < 400; ++p) {
+    const auto d = redirector.resolve(tuple_of(p), true, flow_at);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NE(d->target, R2);
+  }
+}
+
+// ---- Session aggregation --------------------------------------------------
+
+SessionAggregator make_aggregator(std::uint32_t tunnels = 40) {
+  SessionAggregator::Config config;
+  config.router_ip = net::Ipv4Addr(100, 64, 0, 1);
+  config.tunnels_per_replica = tunnels;
+  config.vni = 7;
+  return SessionAggregator(config);
+}
+
+TEST(Aggregation, TunnelIndexStable) {
+  const auto agg = make_aggregator();
+  EXPECT_EQ(agg.tunnel_index(tuple_of(5)), agg.tunnel_index(tuple_of(5)));
+}
+
+TEST(Aggregation, OuterTupleIdentifiesTunnelNotSession) {
+  const auto agg = make_aggregator(4);
+  const net::Ipv4Addr replica(172, 16, 0, 1);
+  std::set<net::FiveTuple> outers;
+  for (std::uint16_t p = 0; p < 1000; ++p) {
+    outers.insert(agg.outer_tuple(tuple_of(p), replica));
+  }
+  // 1000 inner sessions collapse onto at most 4 tunnels.
+  EXPECT_LE(outers.size(), 4u);
+}
+
+TEST(Aggregation, EncapDecapRoundTrip) {
+  const auto agg = make_aggregator();
+  net::Packet p;
+  p.tuple = tuple_of(9);
+  p.payload_bytes = 100;
+  agg.encapsulate(p, net::Ipv4Addr(172, 16, 0, 1));
+  ASSERT_TRUE(p.vxlan.has_value());
+  EXPECT_EQ(p.vxlan->vni, 7u);
+  EXPECT_EQ(p.vxlan->outer.dst_port, 4789);
+  EXPECT_EQ(p.vxlan->outer.protocol, net::Protocol::kUdp);
+  EXPECT_TRUE(SessionAggregator::decapsulate(p));
+  EXPECT_FALSE(p.vxlan.has_value());
+  EXPECT_FALSE(SessionAggregator::decapsulate(p));
+}
+
+TEST(Aggregation, SourcePortsSpreadTunnelsAcrossCores) {
+  const auto agg = make_aggregator(40);
+  const net::Ipv4Addr replica(172, 16, 0, 1);
+  std::set<std::uint16_t> sports;
+  for (std::uint16_t p = 0; p < 2000; ++p) {
+    sports.insert(agg.outer_tuple(tuple_of(p), replica).src_port);
+  }
+  // ~40 distinct outer source ports (10x a 4-core replica).
+  EXPECT_GE(sports.size(), 30u);
+  EXPECT_LE(sports.size(), 40u);
+}
+
+TEST(Aggregation, NicSessionCounterShowsReduction) {
+  const auto agg = make_aggregator(8);
+  const net::Ipv4Addr replica(172, 16, 0, 1);
+  NicSessionCounter counter;
+  for (std::uint16_t p = 0; p < 5000; ++p) {
+    counter.observe(tuple_of(p), agg.outer_tuple(tuple_of(p), replica));
+  }
+  EXPECT_EQ(counter.inner_sessions(), 5000u);
+  EXPECT_LE(counter.tunnel_sessions(), 8u);
+}
+
+// Property sweep: load spread across chain heads stays balanced for
+// different replica counts.
+class ChainBalanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainBalanceSweep, HeadsBalanced) {
+  const int replicas = GetParam();
+  BucketTable table(256, 4);
+  std::vector<net::ReplicaId> ids;
+  for (int i = 1; i <= replicas; ++i) {
+    ids.push_back(static_cast<net::ReplicaId>(i));
+  }
+  table.assign_round_robin(ids);
+  std::map<net::ReplicaId, int> hits;
+  for (std::uint16_t p = 0; p < 4000; ++p) {
+    const auto& chain = table.chain(table.bucket_for(tuple_of(p)));
+    ++hits[chain.front()];
+  }
+  const double expected = 4000.0 / replicas;
+  for (const auto& [replica, count] : hits) {
+    EXPECT_NEAR(count, expected, expected * 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicaCounts, ChainBalanceSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace canal::lb

@@ -1,0 +1,331 @@
+// Integration tests for the baseline dataplanes: NoMesh, Istio (per-pod
+// sidecars), Ambient (ztunnel + waypoint).
+#include <gtest/gtest.h>
+
+#include "mesh/ambient.h"
+#include "mesh/dataplane.h"
+#include "mesh/istio.h"
+
+namespace canal::mesh {
+namespace {
+
+struct Testbed {
+  sim::EventLoop loop;
+  k8s::Cluster cluster{loop, static_cast<net::TenantId>(1), sim::Rng(167)};
+  k8s::Service* frontend = nullptr;
+  k8s::Service* backend = nullptr;
+
+  explicit Testbed(std::size_t nodes = 2, std::size_t pods_per_service = 3) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      cluster.add_node(static_cast<net::AzId>(0), 8);
+    }
+    frontend = &cluster.add_service("frontend");
+    backend = &cluster.add_service("backend");
+    k8s::AppProfile profile;
+    profile.fast_fraction = 1.0;
+    profile.fast_service_mean = sim::milliseconds(1);
+    profile.sigma = 0.05;
+    for (std::size_t i = 0; i < pods_per_service; ++i) {
+      cluster.add_pod(*frontend, profile).set_phase(k8s::PodPhase::kRunning);
+      cluster.add_pod(*backend, profile).set_phase(k8s::PodPhase::kRunning);
+    }
+  }
+
+  k8s::Pod* client() { return frontend->endpoints.front(); }
+
+  RequestOptions request_to_backend() {
+    RequestOptions opts;
+    opts.client = client();
+    opts.dst_service = backend->id;
+    opts.path = "/api/items";
+    return opts;
+  }
+};
+
+RequestResult run_one(sim::EventLoop& loop, MeshDataplane& mesh,
+                      const RequestOptions& opts) {
+  std::optional<RequestResult> result;
+  mesh.send_request(opts, [&](RequestResult r) { result = r; });
+  loop.run();
+  EXPECT_TRUE(result.has_value());
+  return result.value_or(RequestResult{});
+}
+
+TEST(NoMesh, DirectRequestSucceeds) {
+  Testbed bed;
+  NoMesh mesh(bed.loop, bed.cluster);
+  const auto result = run_one(bed.loop, mesh, bed.request_to_backend());
+  EXPECT_EQ(result.status, 200);
+  EXPECT_GT(result.latency, 0);
+  EXPECT_EQ(mesh.proxy_count(), 0u);
+  EXPECT_DOUBLE_EQ(mesh.user_cpu_core_seconds(), 0.0);
+}
+
+TEST(NoMesh, UnknownServiceIs404) {
+  Testbed bed;
+  NoMesh mesh(bed.loop, bed.cluster);
+  RequestOptions opts = bed.request_to_backend();
+  opts.dst_service = static_cast<net::ServiceId>(0xDEAD);
+  EXPECT_EQ(run_one(bed.loop, mesh, opts).status, 404);
+}
+
+TEST(NoMesh, NoReadyEndpointsIs503) {
+  Testbed bed;
+  NoMesh mesh(bed.loop, bed.cluster);
+  for (k8s::Pod* pod : bed.backend->endpoints) {
+    pod->set_phase(k8s::PodPhase::kTerminated);
+  }
+  EXPECT_EQ(run_one(bed.loop, mesh, bed.request_to_backend()).status, 503);
+}
+
+TEST(Istio, RequestTraversesTwoSidecars) {
+  Testbed bed;
+  IstioMesh mesh(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(171));
+  mesh.install();
+  EXPECT_EQ(mesh.proxy_count(), bed.cluster.pod_count());
+
+  const auto result = run_one(bed.loop, mesh, bed.request_to_backend());
+  EXPECT_EQ(result.status, 200);
+  EXPECT_GT(mesh.user_cpu_core_seconds(), 0.0);
+
+  // Both the client's and the server's sidecars processed traffic.
+  auto* client_engine = mesh.sidecar_engine(bed.client()->id());
+  ASSERT_NE(client_engine, nullptr);
+  EXPECT_EQ(client_engine->requests_total(), 1u);
+  auto* server_engine = mesh.sidecar_engine(result.served_by);
+  ASSERT_NE(server_engine, nullptr);
+  EXPECT_EQ(server_engine->requests_total(), 1u);
+}
+
+TEST(Istio, SlowerThanNoMesh) {
+  Testbed bed;
+  NoMesh bare(bed.loop, bed.cluster);
+  IstioMesh istio(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(173));
+  istio.install();
+  const auto bare_result = run_one(bed.loop, bare, bed.request_to_backend());
+  const auto istio_result = run_one(bed.loop, istio, bed.request_to_backend());
+  EXPECT_GT(istio_result.latency, bare_result.latency);
+}
+
+TEST(Istio, CloseAfterTearsDownSessions) {
+  Testbed bed;
+  IstioMesh mesh(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(175));
+  mesh.install();
+  RequestOptions opts = bed.request_to_backend();
+  opts.close_after = true;
+  run_one(bed.loop, mesh, opts);
+  EXPECT_EQ(mesh.sidecar_engine(bed.client()->id())->sessions().size(), 0u);
+}
+
+TEST(Istio, FullConfigPushedToEverySidecar) {
+  Testbed bed;
+  IstioMesh mesh(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(177));
+  mesh.install();
+  const auto targets = mesh.routing_update_targets();
+  EXPECT_EQ(targets.size(), bed.cluster.pod_count());
+  const std::size_t full = full_config_bytes(bed.cluster);
+  for (const auto& target : targets) {
+    EXPECT_EQ(target.config_bytes, full);
+  }
+}
+
+TEST(Istio, PodCreateTouchesAllSidecars) {
+  Testbed bed;
+  IstioMesh mesh(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(179));
+  mesh.install();
+  k8s::Pod& fresh = bed.cluster.add_pod(*bed.backend, k8s::AppProfile{});
+  const auto targets = mesh.pod_create_targets({&fresh});
+  // Existing sidecars + the new one.
+  EXPECT_EQ(targets.size(), bed.cluster.pod_count());
+}
+
+TEST(Istio, MtlsHandshakePerNewConnection) {
+  Testbed bed;
+  IstioMesh mesh(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(181));
+  mesh.install();
+  RequestOptions opts = bed.request_to_backend();
+  opts.new_connection = true;
+  run_one(bed.loop, mesh, opts);
+  EXPECT_GE(mesh.sidecar_engine(bed.client()->id())->handshakes(), 1u);
+}
+
+TEST(Ambient, RequestTraversesZtunnelsAndWaypoint) {
+  Testbed bed;
+  AmbientMesh mesh(bed.loop, bed.cluster, AmbientMesh::Config{},
+                   sim::Rng(191));
+  mesh.install();
+  // nodes ztunnels + services waypoints.
+  EXPECT_EQ(mesh.proxy_count(),
+            bed.cluster.nodes().size() + bed.cluster.services().size());
+
+  const auto result = run_one(bed.loop, mesh, bed.request_to_backend());
+  EXPECT_EQ(result.status, 200);
+  auto* waypoint = mesh.waypoint_engine(bed.backend->id);
+  ASSERT_NE(waypoint, nullptr);
+  EXPECT_EQ(waypoint->requests_total(), 1u);
+  auto* client_zt = mesh.ztunnel_engine(bed.client()->node());
+  ASSERT_NE(client_zt, nullptr);
+  EXPECT_EQ(client_zt->requests_total(), 1u);
+}
+
+TEST(Ambient, FewerProxiesThanIstio) {
+  Testbed bed(2, 5);
+  IstioMesh istio(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(193));
+  AmbientMesh ambient(bed.loop, bed.cluster, AmbientMesh::Config{},
+                      sim::Rng(195));
+  istio.install();
+  ambient.install();
+  EXPECT_LT(ambient.proxy_count(), istio.proxy_count());
+}
+
+TEST(Ambient, RoutingUpdateCheaperThanIstio) {
+  Testbed bed(2, 5);
+  IstioMesh istio(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(197));
+  AmbientMesh ambient(bed.loop, bed.cluster, AmbientMesh::Config{},
+                      sim::Rng(199));
+  istio.install();
+  ambient.install();
+  auto bytes = [](const std::vector<k8s::ConfigTarget>& targets) {
+    std::size_t total = 0;
+    for (const auto& t : targets) total += t.config_bytes;
+    return total;
+  };
+  EXPECT_LT(bytes(ambient.routing_update_targets()),
+            bytes(istio.routing_update_targets()));
+}
+
+TEST(Ambient, LatencyBetweenNoMeshAndIstio) {
+  Testbed bed;
+  NoMesh bare(bed.loop, bed.cluster);
+  IstioMesh istio(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(211));
+  AmbientMesh ambient(bed.loop, bed.cluster, AmbientMesh::Config{},
+                      sim::Rng(213));
+  istio.install();
+  ambient.install();
+
+  // Warm (established) connections isolate per-request path costs.
+  // Average several requests: endpoint/waypoint placement varies hops.
+  auto mean_latency = [&](MeshDataplane& mesh) {
+    sim::Duration total = 0;
+    for (int i = 0; i < 20; ++i) {
+      RequestOptions opts = bed.request_to_backend();
+      opts.new_connection = false;
+      total += run_one(bed.loop, mesh, opts).latency;
+    }
+    return total / 20;
+  };
+  const auto t_bare = mean_latency(bare);
+  const auto t_ambient = mean_latency(ambient);
+  const auto t_istio = mean_latency(istio);
+  EXPECT_LT(t_bare, t_ambient);
+  EXPECT_LT(t_ambient, t_istio);
+}
+
+TEST(Ambient, WaypointIsSingleL7Point) {
+  // Istio runs the request through TWO L7 proxies; Ambient through one.
+  Testbed bed;
+  IstioMesh istio(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(217));
+  AmbientMesh ambient(bed.loop, bed.cluster, AmbientMesh::Config{},
+                      sim::Rng(219));
+  istio.install();
+  ambient.install();
+  RequestOptions opts = bed.request_to_backend();
+  opts.new_connection = false;
+  run_one(bed.loop, istio, opts);
+  run_one(bed.loop, ambient, opts);
+  // Count L7 engines that processed a request.
+  int istio_l7 = 0;
+  for (const auto& pod : bed.cluster.pods()) {
+    auto* engine = istio.sidecar_engine(pod->id());
+    if (engine != nullptr && engine->requests_total() > 0) ++istio_l7;
+  }
+  int ambient_l7 = 0;
+  for (const auto& service : bed.cluster.services()) {
+    auto* engine = ambient.waypoint_engine(service->id);
+    if (engine != nullptr && engine->requests_total() > 0) ++ambient_l7;
+  }
+  EXPECT_EQ(istio_l7, 2);
+  EXPECT_EQ(ambient_l7, 1);
+}
+
+TEST(Ambient, PodCreationRefreshesWaypoint) {
+  Testbed bed;
+  AmbientMesh mesh(bed.loop, bed.cluster, AmbientMesh::Config{},
+                   sim::Rng(223));
+  mesh.install();
+  k8s::AppProfile profile;
+  profile.fast_service_mean = sim::milliseconds(1);
+  k8s::Pod& fresh = bed.cluster.add_pod(*bed.backend, profile);
+  fresh.set_phase(k8s::PodPhase::kRunning);
+  mesh.on_pod_created(fresh);
+  // The waypoint's endpoint pool now includes the new pod.
+  auto* waypoint = mesh.waypoint_engine(bed.backend->id);
+  auto* cluster = waypoint->clusters().find(
+      service_cluster_name(bed.backend->id));
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->endpoints().size(), bed.backend->endpoints.size());
+}
+
+TEST(ConfigHelpers, FullConfigCoversAllServices) {
+  Testbed bed;
+  const std::size_t full = full_config_bytes(bed.cluster);
+  const std::size_t frontend_only = service_config_bytes(*bed.frontend);
+  EXPECT_GT(full, frontend_only);
+  EXPECT_GE(full, service_config_bytes(*bed.frontend) +
+                      service_config_bytes(*bed.backend));
+}
+
+TEST(ConfigHelpers, ServiceVipDeterministic) {
+  EXPECT_EQ(service_vip(static_cast<net::ServiceId>(5)),
+            service_vip(static_cast<net::ServiceId>(5)));
+  EXPECT_NE(service_vip(static_cast<net::ServiceId>(5)),
+            service_vip(static_cast<net::ServiceId>(6)));
+}
+
+TEST(ConfigHelpers, BuildRequestCarriesOptions) {
+  RequestOptions opts;
+  opts.path = "/checkout";
+  opts.method = http::Method::kPost;
+  opts.headers = {{"X-User", "42"}};
+  opts.request_bytes = 100;
+  const http::Request req = build_request(opts);
+  EXPECT_EQ(req.path, "/checkout");
+  EXPECT_EQ(req.method, http::Method::kPost);
+  EXPECT_EQ(req.headers.get("X-User"), "42");
+  EXPECT_EQ(req.body.size(), 100u);
+}
+
+// Throughput property: Istio saturates earlier than Ambient under the same
+// offered load (the Fig 11 ordering).
+TEST(Comparative, IstioSaturatesBeforeAmbient) {
+  Testbed bed(2, 3);
+  IstioMesh istio(bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(227));
+  AmbientMesh ambient(bed.loop, bed.cluster, AmbientMesh::Config{},
+                      sim::Rng(229));
+  istio.install();
+  ambient.install();
+
+  auto drive = [&](MeshDataplane& mesh) {
+    sim::Histogram latency_ms;
+    constexpr int kRequests = 600;
+    const sim::Duration spacing = sim::microseconds(500);  // 2000 RPS
+    const sim::TimePoint start = bed.loop.now();
+    for (int i = 0; i < kRequests; ++i) {
+      bed.loop.schedule_at(start + i * spacing, [&, i] {
+        RequestOptions opts = bed.request_to_backend();
+        opts.new_connection = false;
+        mesh.send_request(opts, [&](RequestResult r) {
+          latency_ms.record(sim::to_milliseconds(r.latency));
+        });
+      });
+    }
+    bed.loop.run();
+    return latency_ms.percentile(99);
+  };
+  const double istio_p99 = drive(istio);
+  const double ambient_p99 = drive(ambient);
+  EXPECT_GT(istio_p99, ambient_p99);
+}
+
+}  // namespace
+}  // namespace canal::mesh

@@ -1,0 +1,429 @@
+// Unit tests for the simulation core: event loop, RNG, CPU model, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace canal::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), kSecond);
+  EXPECT_EQ(minutes(2), 120 * kSecond);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+}
+
+TEST(Time, FormatPicksUnit) {
+  EXPECT_EQ(format_duration(nanoseconds(5)), "5ns");
+  EXPECT_EQ(format_duration(microseconds(42)), "42.00us");
+  EXPECT_EQ(format_duration(milliseconds(1.25)), "1.25ms");
+  EXPECT_EQ(format_duration(seconds(55)), "55.00s");
+  EXPECT_EQ(format_duration(minutes(17)), "17.0min");
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(microseconds(30), [&] { order.push_back(3); });
+  loop.schedule(microseconds(10), [&] { order.push_back(1); });
+  loop.schedule(microseconds(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), microseconds(30));
+}
+
+TEST(EventLoop, TieBrokenByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(microseconds(10), [&] { ++fired; });
+  loop.schedule(microseconds(30), [&] { ++fired; });
+  loop.run_until(microseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), microseconds(20));
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  auto handle = loop.schedule(microseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  loop.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  TimePoint inner_fired = -1;
+  loop.schedule(microseconds(10), [&] {
+    loop.schedule(microseconds(5), [&] { inner_fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(inner_fired, microseconds(15));
+}
+
+TEST(EventLoop, PastDeadlineClampedToNow) {
+  EventLoop loop;
+  loop.run_until(microseconds(100));
+  TimePoint fired_at = -1;
+  loop.schedule_at(microseconds(50), [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired_at, microseconds(100));
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  EventLoop loop;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer(loop, milliseconds(10), [&] {
+    fires.push_back(loop.now());
+  });
+  timer.start();
+  loop.run_until(milliseconds(35));
+  ASSERT_EQ(fires.size(), 4u);  // t=0,10,20,30
+  EXPECT_EQ(fires[1] - fires[0], milliseconds(10));
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  EventLoop loop;
+  int ticks = 0;
+  PeriodicTimer timer(loop, milliseconds(10), [&] { ++ticks; });
+  timer.start(milliseconds(10));
+  loop.run_until(milliseconds(25));
+  timer.stop();
+  loop.run_until(milliseconds(100));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(17);
+  for (const double mean : {3.0, 200.0}) {
+    double sum = 0;
+    constexpr int kN = 5000;
+    for (int i = 0; i < kN; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / kN, mean, mean * 0.05);
+  }
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // Child stream must differ from the parent's continuation.
+  EXPECT_NE(child.next(), parent.next());
+}
+
+TEST(CpuCore, IdleCoreRunsImmediately) {
+  EventLoop loop;
+  CpuCore core(loop);
+  const TimePoint done = core.execute(microseconds(100));
+  EXPECT_EQ(done, microseconds(100));
+}
+
+TEST(CpuCore, QueueingDelaysSecondJob) {
+  EventLoop loop;
+  CpuCore core(loop);
+  core.execute(microseconds(100));
+  const TimePoint done = core.execute(microseconds(50));
+  EXPECT_EQ(done, microseconds(150));
+  EXPECT_EQ(core.backlog(), microseconds(150));
+}
+
+TEST(CpuCore, CallbackFiresAtCompletion) {
+  EventLoop loop;
+  CpuCore core(loop);
+  TimePoint fired = -1;
+  core.execute(microseconds(80), [&] { fired = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired, microseconds(80));
+}
+
+TEST(CpuCore, UtilizationOverWindow) {
+  EventLoop loop;
+  CpuCore core(loop);
+  core.execute(milliseconds(50));  // busy [0, 50ms)
+  loop.run_until(milliseconds(100));
+  EXPECT_NEAR(core.utilization(milliseconds(100)), 0.5, 0.01);
+  EXPECT_NEAR(core.utilization(milliseconds(50)), 0.0, 0.01);
+}
+
+TEST(CpuCore, TotalBusyAccumulates) {
+  EventLoop loop;
+  CpuCore core(loop);
+  core.execute(microseconds(30));
+  core.execute(microseconds(70));
+  EXPECT_EQ(core.total_busy(), microseconds(100));
+  EXPECT_EQ(core.jobs(), 2u);
+}
+
+TEST(CpuSet, LeastLoadedDispatch) {
+  EventLoop loop;
+  CpuSet set(loop, 2);
+  set.execute(microseconds(100));  // core 0 busy
+  const TimePoint done = set.execute(microseconds(10));
+  EXPECT_EQ(done, microseconds(10));  // ran on idle core 1
+}
+
+TEST(CpuSet, PinnedDispatchIsStable) {
+  EventLoop loop;
+  CpuSet set(loop, 4);
+  const std::uint64_t hash = 0xDEADBEEF;
+  set.execute_pinned(hash, microseconds(100));
+  const TimePoint done = set.execute_pinned(hash, microseconds(100));
+  EXPECT_EQ(done, microseconds(200));  // same core: serialized
+}
+
+TEST(CpuSet, UtilizationAveragesCores) {
+  EventLoop loop;
+  CpuSet set(loop, 2);
+  set.core(0).execute(milliseconds(100));
+  loop.run_until(milliseconds(100));
+  EXPECT_NEAR(set.utilization(milliseconds(100)), 0.5, 0.01);
+  EXPECT_NEAR(set.max_core_utilization(milliseconds(100)), 1.0, 0.01);
+}
+
+TEST(Histogram, PercentilesExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.percentile(99), 99.01, 0.01);
+  EXPECT_NEAR(h.mean(), 50.5, 0.01);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h;
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) h.record(rng.uniform(0, 100));
+  const auto cdf = h.cdf(10);
+  ASSERT_EQ(cdf.size(), 10u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(TimeSeries, WindowedReductions) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.record(seconds(i), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(series.sum_in(seconds(0), seconds(4)), 10.0);
+  EXPECT_DOUBLE_EQ(series.mean_in(seconds(0), seconds(4)), 2.0);
+  EXPECT_DOUBLE_EQ(series.max_in(seconds(2), seconds(9)), 9.0);
+  EXPECT_EQ(series.count_in(seconds(5), seconds(7)), 3u);
+}
+
+TEST(TimeSeries, ValueAtCarriesForward) {
+  TimeSeries series;
+  series.record(seconds(1), 10.0);
+  series.record(seconds(5), 20.0);
+  EXPECT_FALSE(series.value_at(seconds(0)).has_value());
+  EXPECT_DOUBLE_EQ(series.value_at(seconds(3)).value(), 10.0);
+  EXPECT_DOUBLE_EQ(series.value_at(seconds(9)).value(), 20.0);
+}
+
+TEST(TimeSeries, TrendSlope) {
+  TimeSeries series;
+  for (int i = 0; i <= 10; ++i) {
+    series.record(seconds(i), 3.0 * i + 1.0);
+  }
+  EXPECT_NEAR(series.trend_in(seconds(0), seconds(10)), 3.0, 1e-9);
+}
+
+TEST(TimeSeries, MaxAgePrunes) {
+  TimeSeries series(seconds(5));
+  for (int i = 0; i <= 10; ++i) {
+    series.record(seconds(i), 1.0);
+  }
+  EXPECT_LE(series.size(), 6u);
+}
+
+TEST(RateMeter, WindowedRate) {
+  RateMeter meter(seconds(1));
+  for (int i = 0; i < 100; ++i) {
+    meter.record(milliseconds(i * 10));
+  }
+  EXPECT_NEAR(meter.rate(milliseconds(990)), 100.0, 5.0);
+  EXPECT_NEAR(meter.rate(seconds(10)), 0.0, 0.01);
+  EXPECT_EQ(meter.total(), 100u);
+}
+
+TEST(RateMeter, WeightedEvents) {
+  RateMeter meter(seconds(1));
+  meter.record(0, 50.0);
+  EXPECT_NEAR(meter.rate(milliseconds(500)), 50.0, 0.01);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-9);
+  std::vector<double> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-9);
+}
+
+TEST(Pearson, DegenerateIsZero) {
+  std::vector<double> a{1, 1, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1}, std::vector<double>{2}),
+                   0.0);
+}
+
+TEST(Hwhm, FindsPeakWindow) {
+  TimeSeries series;
+  // Triangle peaking at t=12h, values 0..100..0.
+  for (int h = 0; h <= 24; ++h) {
+    const double v = 100.0 - std::abs(h - 12) * (100.0 / 12.0);
+    series.record(hours(h), v);
+  }
+  const auto window = hwhm_window(series);
+  EXPECT_EQ(window.peak, hours(12));
+  // Half max = 50 -> crossing at h=6 and h=18.
+  EXPECT_EQ(window.start, hours(6));
+  EXPECT_EQ(window.end, hours(18));
+}
+
+TEST(Hwhm, EmptySeries) {
+  TimeSeries series;
+  const auto window = hwhm_window(series);
+  EXPECT_EQ(window.start, 0);
+  EXPECT_EQ(window.end, 0);
+}
+
+// Property sweep: CPU utilization equals offered load below saturation.
+class CpuLoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CpuLoadSweep, UtilizationTracksOfferedLoad) {
+  const double load = GetParam();
+  EventLoop loop;
+  CpuCore core(loop, minutes(2));
+  Rng rng(31);
+  // Poisson arrivals of 100us jobs at `load` erlangs for 10 s.
+  const double rate_per_s = load / 100e-6;
+  TimePoint t = 0;
+  while (t < seconds(10)) {
+    t += static_cast<Duration>(rng.exponential(1.0 / rate_per_s) *
+                               static_cast<double>(kSecond));
+    loop.schedule_at(t, [&core] { core.execute(microseconds(100)); });
+  }
+  loop.run();
+  loop.run_until(std::max<TimePoint>(loop.now(), seconds(10)));
+  const double util =
+      to_seconds(core.total_busy()) / to_seconds(loop.now());
+  EXPECT_NEAR(util, load, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, CpuLoadSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace canal::sim

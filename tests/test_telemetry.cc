@@ -1,0 +1,176 @@
+// Unit tests for telemetry: service stats, anomaly classification, RCA.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/anomaly.h"
+#include "telemetry/rca.h"
+#include "telemetry/service_stats.h"
+
+namespace canal::telemetry {
+namespace {
+
+constexpr auto S1 = static_cast<net::ServiceId>(1);
+constexpr auto S2 = static_cast<net::ServiceId>(2);
+constexpr auto S3 = static_cast<net::ServiceId>(3);
+
+TEST(ServiceStats, RatesTrackEvents) {
+  ServiceStats stats(sim::seconds(1));
+  for (int i = 0; i < 100; ++i) {
+    stats.on_request(sim::milliseconds(i * 10), i % 10 == 0, i % 2 == 0);
+  }
+  const auto now = sim::milliseconds(990);
+  EXPECT_NEAR(stats.rps(now), 100.0, 5.0);
+  EXPECT_NEAR(stats.new_session_rate(now), 10.0, 2.0);
+  EXPECT_NEAR(stats.https_rate(now), 50.0, 5.0);
+  EXPECT_EQ(stats.total_requests(), 100u);
+}
+
+TEST(ServiceStats, BulkRecording) {
+  ServiceStats stats(sim::seconds(1));
+  stats.on_requests(sim::milliseconds(500), 1000.0, 100.0, 300.0);
+  EXPECT_NEAR(stats.rps(sim::milliseconds(600)), 1000.0, 1.0);
+  EXPECT_NEAR(stats.new_session_rate(sim::milliseconds(600)), 100.0, 1.0);
+}
+
+TEST(ServiceStats, LatencyHistogram) {
+  ServiceStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.on_latency(static_cast<double>(i));
+  }
+  EXPECT_NEAR(stats.latency_us().percentile(99), 99.0, 1.0);
+}
+
+TEST(BackendSnapshot, TopServicesOrdered) {
+  BackendSnapshot snap;
+  snap.service_rps[S1] = 10.0;
+  snap.service_rps[S2] = 30.0;
+  snap.service_rps[S3] = 20.0;
+  const auto top = snap.top_services(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, S2);
+  EXPECT_EQ(top[1].first, S3);
+}
+
+BackendSnapshot snapshot(double cpu, double rps, double new_sessions,
+                         double occupancy = 0.1) {
+  BackendSnapshot snap;
+  snap.cpu_utilization = cpu;
+  snap.total_rps = rps;
+  snap.new_session_rate = new_sessions;
+  snap.session_occupancy = occupancy;
+  return snap;
+}
+
+TEST(Anomaly, NormalGrowth) {
+  const auto before = snapshot(0.4, 1000, 100);
+  const auto now = snapshot(0.8, 2500, 250);
+  EXPECT_EQ(classify_backend_anomaly(before, now),
+            AnomalyKind::kNormalGrowth);
+}
+
+TEST(Anomaly, SessionFloodAttack) {
+  // §6.2 Case #1: sessions surge without a matching RPS increase.
+  const auto before = snapshot(0.4, 1000, 100, 0.2);
+  const auto now = snapshot(0.7, 1050, 5000, 0.85);
+  EXPECT_EQ(classify_backend_anomaly(before, now),
+            AnomalyKind::kSessionFlood);
+}
+
+TEST(Anomaly, ExpensiveQuery) {
+  const auto before = snapshot(0.3, 1000, 100);
+  const auto now = snapshot(0.9, 1020, 102);
+  EXPECT_EQ(classify_backend_anomaly(before, now),
+            AnomalyKind::kExpensiveQuery);
+}
+
+TEST(Anomaly, Undetermined) {
+  const auto before = snapshot(0.5, 1000, 100);
+  const auto now = snapshot(0.55, 1010, 101);
+  EXPECT_EQ(classify_backend_anomaly(before, now),
+            AnomalyKind::kUndetermined);
+}
+
+TEST(Anomaly, KindNames) {
+  EXPECT_EQ(anomaly_kind_name(AnomalyKind::kSessionFlood), "session-flood");
+  EXPECT_EQ(anomaly_kind_name(AnomalyKind::kNormalGrowth), "normal-growth");
+}
+
+TEST(InPhase, DetectsSynchronizedSeries) {
+  sim::TimeSeries a, b, c;
+  for (int i = 0; i <= 100; ++i) {
+    const double phase = i / 100.0 * 6.28;
+    a.record(sim::seconds(i), 100 + 50 * std::sin(phase));
+    b.record(sim::seconds(i), 200 + 80 * std::sin(phase));      // in phase
+    c.record(sim::seconds(i), 100 + 50 * std::sin(phase + 3.14));  // anti
+  }
+  EXPECT_TRUE(in_phase(a, b, sim::seconds(0), sim::seconds(100)));
+  EXPECT_FALSE(in_phase(a, c, sim::seconds(0), sim::seconds(100)));
+}
+
+TEST(InPhase, MissingDataIsNotInPhase) {
+  sim::TimeSeries a, empty;
+  a.record(sim::seconds(1), 1.0);
+  EXPECT_FALSE(in_phase(a, empty, sim::seconds(0), sim::seconds(10)));
+}
+
+TEST(Rca, PinpointsCorrelatedService) {
+  sim::TimeSeries load;
+  sim::TimeSeries rising, flat, small;
+  for (int i = 0; i <= 60; ++i) {
+    const auto t = sim::seconds(i);
+    load.record(t, 0.3 + 0.01 * i);        // backend heating up
+    rising.record(t, 1000.0 + 50.0 * i);   // the culprit
+    flat.record(t, 800.0);                 // busy but steady
+    small.record(t, 5.0);                  // tiny service
+  }
+  RootCauseAnalyzer rca;
+  const auto suspects = rca.pinpoint(
+      load, {{S1, &rising}, {S2, &flat}, {S3, &small}}, sim::seconds(0),
+      sim::seconds(60));
+  ASSERT_FALSE(suspects.empty());
+  EXPECT_EQ(suspects.front(), S1);
+  // The flat service must not be blamed.
+  EXPECT_EQ(std::find(suspects.begin(), suspects.end(), S2), suspects.end());
+}
+
+TEST(Rca, TopKLimitsCandidates) {
+  sim::TimeSeries load;
+  sim::TimeSeries rising_small;
+  sim::TimeSeries big1, big2;
+  for (int i = 0; i <= 60; ++i) {
+    const auto t = sim::seconds(i);
+    load.record(t, 0.3 + 0.01 * i);
+    rising_small.record(t, 1.0 + 0.2 * i);  // correlated but tiny
+    big1.record(t, 10000.0);
+    big2.record(t, 9000.0);
+  }
+  RcaConfig config;
+  config.top_k = 2;  // only the two big services are examined
+  RootCauseAnalyzer rca(config);
+  const auto suspects =
+      rca.pinpoint(load, {{S1, &rising_small}, {S2, &big1}, {S3, &big2}},
+                   sim::seconds(0), sim::seconds(60));
+  EXPECT_EQ(std::find(suspects.begin(), suspects.end(), S1), suspects.end());
+}
+
+TEST(Rca, IntersectionAcrossBackends) {
+  const auto result = RootCauseAnalyzer::intersect({{S1, S2}, {S2, S3}, {S2}});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.front(), S2);
+}
+
+TEST(Rca, EmptyIntersectionFallsThrough) {
+  EXPECT_TRUE(RootCauseAnalyzer::intersect({{S1}, {S2}}).empty());
+  EXPECT_TRUE(RootCauseAnalyzer::intersect({}).empty());
+}
+
+TEST(Rca, NoDataNoSuspects) {
+  sim::TimeSeries load;
+  RootCauseAnalyzer rca;
+  EXPECT_TRUE(rca.pinpoint(load, {}, 0, sim::seconds(60)).empty());
+}
+
+}  // namespace
+}  // namespace canal::telemetry
