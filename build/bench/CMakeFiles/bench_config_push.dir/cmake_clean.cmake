@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_config_push.dir/bench_config_push.cc.o"
+  "CMakeFiles/bench_config_push.dir/bench_config_push.cc.o.d"
+  "bench_config_push"
+  "bench_config_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_config_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

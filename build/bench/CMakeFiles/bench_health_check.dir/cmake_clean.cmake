@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_health_check.dir/bench_health_check.cc.o"
+  "CMakeFiles/bench_health_check.dir/bench_health_check.cc.o.d"
+  "bench_health_check"
+  "bench_health_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_health_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inphase.dir/bench_inphase.cc.o"
+  "CMakeFiles/bench_inphase.dir/bench_inphase.cc.o.d"
+  "bench_inphase"
+  "bench_inphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb.dir/bench_lb.cc.o"
+  "CMakeFiles/bench_lb.dir/bench_lb.cc.o.d"
+  "bench_lb"
+  "bench_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_motivation.cc" "bench/CMakeFiles/bench_motivation.dir/bench_motivation.cc.o" "gcc" "bench/CMakeFiles/bench_motivation.dir/bench_motivation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/canal/CMakeFiles/canal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/canal_mesh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/canal_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/canal_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/canal_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/canal_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/canal_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/canal_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/canal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redirection.dir/bench_redirection.cc.o"
+  "CMakeFiles/bench_redirection.dir/bench_redirection.cc.o.d"
+  "bench_redirection"
+  "bench_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

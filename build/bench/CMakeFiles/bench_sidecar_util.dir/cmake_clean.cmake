@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sidecar_util.dir/bench_sidecar_util.cc.o"
+  "CMakeFiles/bench_sidecar_util.dir/bench_sidecar_util.cc.o.d"
+  "bench_sidecar_util"
+  "bench_sidecar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sidecar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_special_modes.dir/bench_special_modes.cc.o"
+  "CMakeFiles/bench_special_modes.dir/bench_special_modes.cc.o.d"
+  "bench_special_modes"
+  "bench_special_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_special_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_release.dir/canary_release.cpp.o"
+  "CMakeFiles/canary_release.dir/canary_release.cpp.o.d"
+  "canary_release"
+  "canary_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

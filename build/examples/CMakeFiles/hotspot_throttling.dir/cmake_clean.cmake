@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_throttling.dir/hotspot_throttling.cpp.o"
+  "CMakeFiles/hotspot_throttling.dir/hotspot_throttling.cpp.o.d"
+  "hotspot_throttling"
+  "hotspot_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/canal/canal_mesh.cc" "src/canal/CMakeFiles/canal_core.dir/canal_mesh.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/canal_mesh.cc.o.d"
+  "/root/repo/src/canal/cost_model.cc" "src/canal/CMakeFiles/canal_core.dir/cost_model.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/canal/gateway.cc" "src/canal/CMakeFiles/canal_core.dir/gateway.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/gateway.cc.o.d"
+  "/root/repo/src/canal/health_aggregation.cc" "src/canal/CMakeFiles/canal_core.dir/health_aggregation.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/health_aggregation.cc.o.d"
+  "/root/repo/src/canal/innocence.cc" "src/canal/CMakeFiles/canal_core.dir/innocence.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/innocence.cc.o.d"
+  "/root/repo/src/canal/inphase_migration.cc" "src/canal/CMakeFiles/canal_core.dir/inphase_migration.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/inphase_migration.cc.o.d"
+  "/root/repo/src/canal/intervention.cc" "src/canal/CMakeFiles/canal_core.dir/intervention.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/intervention.cc.o.d"
+  "/root/repo/src/canal/onnode.cc" "src/canal/CMakeFiles/canal_core.dir/onnode.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/onnode.cc.o.d"
+  "/root/repo/src/canal/pattern_monitor.cc" "src/canal/CMakeFiles/canal_core.dir/pattern_monitor.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/pattern_monitor.cc.o.d"
+  "/root/repo/src/canal/population.cc" "src/canal/CMakeFiles/canal_core.dir/population.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/population.cc.o.d"
+  "/root/repo/src/canal/proxyless.cc" "src/canal/CMakeFiles/canal_core.dir/proxyless.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/proxyless.cc.o.d"
+  "/root/repo/src/canal/scaling.cc" "src/canal/CMakeFiles/canal_core.dir/scaling.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/scaling.cc.o.d"
+  "/root/repo/src/canal/sharding.cc" "src/canal/CMakeFiles/canal_core.dir/sharding.cc.o" "gcc" "src/canal/CMakeFiles/canal_core.dir/sharding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/canal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/canal_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/canal_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/canal_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/canal_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/canal_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/canal_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/canal_mesh_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_core.dir/canal_mesh.cc.o"
+  "CMakeFiles/canal_core.dir/canal_mesh.cc.o.d"
+  "CMakeFiles/canal_core.dir/cost_model.cc.o"
+  "CMakeFiles/canal_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/canal_core.dir/gateway.cc.o"
+  "CMakeFiles/canal_core.dir/gateway.cc.o.d"
+  "CMakeFiles/canal_core.dir/health_aggregation.cc.o"
+  "CMakeFiles/canal_core.dir/health_aggregation.cc.o.d"
+  "CMakeFiles/canal_core.dir/innocence.cc.o"
+  "CMakeFiles/canal_core.dir/innocence.cc.o.d"
+  "CMakeFiles/canal_core.dir/inphase_migration.cc.o"
+  "CMakeFiles/canal_core.dir/inphase_migration.cc.o.d"
+  "CMakeFiles/canal_core.dir/intervention.cc.o"
+  "CMakeFiles/canal_core.dir/intervention.cc.o.d"
+  "CMakeFiles/canal_core.dir/onnode.cc.o"
+  "CMakeFiles/canal_core.dir/onnode.cc.o.d"
+  "CMakeFiles/canal_core.dir/pattern_monitor.cc.o"
+  "CMakeFiles/canal_core.dir/pattern_monitor.cc.o.d"
+  "CMakeFiles/canal_core.dir/population.cc.o"
+  "CMakeFiles/canal_core.dir/population.cc.o.d"
+  "CMakeFiles/canal_core.dir/proxyless.cc.o"
+  "CMakeFiles/canal_core.dir/proxyless.cc.o.d"
+  "CMakeFiles/canal_core.dir/scaling.cc.o"
+  "CMakeFiles/canal_core.dir/scaling.cc.o.d"
+  "CMakeFiles/canal_core.dir/sharding.cc.o"
+  "CMakeFiles/canal_core.dir/sharding.cc.o.d"
+  "libcanal_core.a"
+  "libcanal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/accelerator.cc" "src/crypto/CMakeFiles/canal_crypto.dir/accelerator.cc.o" "gcc" "src/crypto/CMakeFiles/canal_crypto.dir/accelerator.cc.o.d"
+  "/root/repo/src/crypto/cert.cc" "src/crypto/CMakeFiles/canal_crypto.dir/cert.cc.o" "gcc" "src/crypto/CMakeFiles/canal_crypto.dir/cert.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "src/crypto/CMakeFiles/canal_crypto.dir/chacha20.cc.o" "gcc" "src/crypto/CMakeFiles/canal_crypto.dir/chacha20.cc.o.d"
+  "/root/repo/src/crypto/handshake.cc" "src/crypto/CMakeFiles/canal_crypto.dir/handshake.cc.o" "gcc" "src/crypto/CMakeFiles/canal_crypto.dir/handshake.cc.o.d"
+  "/root/repo/src/crypto/keyexchange.cc" "src/crypto/CMakeFiles/canal_crypto.dir/keyexchange.cc.o" "gcc" "src/crypto/CMakeFiles/canal_crypto.dir/keyexchange.cc.o.d"
+  "/root/repo/src/crypto/keyserver.cc" "src/crypto/CMakeFiles/canal_crypto.dir/keyserver.cc.o" "gcc" "src/crypto/CMakeFiles/canal_crypto.dir/keyserver.cc.o.d"
+  "/root/repo/src/crypto/mac.cc" "src/crypto/CMakeFiles/canal_crypto.dir/mac.cc.o" "gcc" "src/crypto/CMakeFiles/canal_crypto.dir/mac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/canal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_crypto.dir/accelerator.cc.o"
+  "CMakeFiles/canal_crypto.dir/accelerator.cc.o.d"
+  "CMakeFiles/canal_crypto.dir/cert.cc.o"
+  "CMakeFiles/canal_crypto.dir/cert.cc.o.d"
+  "CMakeFiles/canal_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/canal_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/canal_crypto.dir/handshake.cc.o"
+  "CMakeFiles/canal_crypto.dir/handshake.cc.o.d"
+  "CMakeFiles/canal_crypto.dir/keyexchange.cc.o"
+  "CMakeFiles/canal_crypto.dir/keyexchange.cc.o.d"
+  "CMakeFiles/canal_crypto.dir/keyserver.cc.o"
+  "CMakeFiles/canal_crypto.dir/keyserver.cc.o.d"
+  "CMakeFiles/canal_crypto.dir/mac.cc.o"
+  "CMakeFiles/canal_crypto.dir/mac.cc.o.d"
+  "libcanal_crypto.a"
+  "libcanal_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_http.dir/message.cc.o"
+  "CMakeFiles/canal_http.dir/message.cc.o.d"
+  "CMakeFiles/canal_http.dir/parser.cc.o"
+  "CMakeFiles/canal_http.dir/parser.cc.o.d"
+  "CMakeFiles/canal_http.dir/route.cc.o"
+  "CMakeFiles/canal_http.dir/route.cc.o.d"
+  "libcanal_http.a"
+  "libcanal_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

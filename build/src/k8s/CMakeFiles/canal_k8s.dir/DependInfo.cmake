@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/k8s/cluster.cc" "src/k8s/CMakeFiles/canal_k8s.dir/cluster.cc.o" "gcc" "src/k8s/CMakeFiles/canal_k8s.dir/cluster.cc.o.d"
+  "/root/repo/src/k8s/controller.cc" "src/k8s/CMakeFiles/canal_k8s.dir/controller.cc.o" "gcc" "src/k8s/CMakeFiles/canal_k8s.dir/controller.cc.o.d"
+  "/root/repo/src/k8s/health.cc" "src/k8s/CMakeFiles/canal_k8s.dir/health.cc.o" "gcc" "src/k8s/CMakeFiles/canal_k8s.dir/health.cc.o.d"
+  "/root/repo/src/k8s/objects.cc" "src/k8s/CMakeFiles/canal_k8s.dir/objects.cc.o" "gcc" "src/k8s/CMakeFiles/canal_k8s.dir/objects.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/canal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/canal_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

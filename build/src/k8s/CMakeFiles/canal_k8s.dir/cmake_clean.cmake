@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_k8s.dir/cluster.cc.o"
+  "CMakeFiles/canal_k8s.dir/cluster.cc.o.d"
+  "CMakeFiles/canal_k8s.dir/controller.cc.o"
+  "CMakeFiles/canal_k8s.dir/controller.cc.o.d"
+  "CMakeFiles/canal_k8s.dir/health.cc.o"
+  "CMakeFiles/canal_k8s.dir/health.cc.o.d"
+  "CMakeFiles/canal_k8s.dir/objects.cc.o"
+  "CMakeFiles/canal_k8s.dir/objects.cc.o.d"
+  "libcanal_k8s.a"
+  "libcanal_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

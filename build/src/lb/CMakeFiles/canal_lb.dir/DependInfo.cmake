@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/aggregation.cc" "src/lb/CMakeFiles/canal_lb.dir/aggregation.cc.o" "gcc" "src/lb/CMakeFiles/canal_lb.dir/aggregation.cc.o.d"
+  "/root/repo/src/lb/bucket_table.cc" "src/lb/CMakeFiles/canal_lb.dir/bucket_table.cc.o" "gcc" "src/lb/CMakeFiles/canal_lb.dir/bucket_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/canal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

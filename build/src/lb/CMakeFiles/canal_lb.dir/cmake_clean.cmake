@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_lb.dir/aggregation.cc.o"
+  "CMakeFiles/canal_lb.dir/aggregation.cc.o.d"
+  "CMakeFiles/canal_lb.dir/bucket_table.cc.o"
+  "CMakeFiles/canal_lb.dir/bucket_table.cc.o.d"
+  "libcanal_lb.a"
+  "libcanal_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_mesh_baselines.dir/ambient.cc.o"
+  "CMakeFiles/canal_mesh_baselines.dir/ambient.cc.o.d"
+  "CMakeFiles/canal_mesh_baselines.dir/dataplane.cc.o"
+  "CMakeFiles/canal_mesh_baselines.dir/dataplane.cc.o.d"
+  "CMakeFiles/canal_mesh_baselines.dir/istio.cc.o"
+  "CMakeFiles/canal_mesh_baselines.dir/istio.cc.o.d"
+  "libcanal_mesh_baselines.a"
+  "libcanal_mesh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_mesh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

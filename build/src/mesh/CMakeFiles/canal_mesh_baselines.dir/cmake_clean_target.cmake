@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcanal_mesh_baselines.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/net/CMakeFiles/canal_net.dir/address.cc.o" "gcc" "src/net/CMakeFiles/canal_net.dir/address.cc.o.d"
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/canal_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/canal_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/router.cc" "src/net/CMakeFiles/canal_net.dir/router.cc.o" "gcc" "src/net/CMakeFiles/canal_net.dir/router.cc.o.d"
+  "/root/repo/src/net/vswitch.cc" "src/net/CMakeFiles/canal_net.dir/vswitch.cc.o" "gcc" "src/net/CMakeFiles/canal_net.dir/vswitch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

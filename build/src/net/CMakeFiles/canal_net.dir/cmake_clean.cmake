@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_net.dir/address.cc.o"
+  "CMakeFiles/canal_net.dir/address.cc.o.d"
+  "CMakeFiles/canal_net.dir/flow.cc.o"
+  "CMakeFiles/canal_net.dir/flow.cc.o.d"
+  "CMakeFiles/canal_net.dir/router.cc.o"
+  "CMakeFiles/canal_net.dir/router.cc.o.d"
+  "CMakeFiles/canal_net.dir/vswitch.cc.o"
+  "CMakeFiles/canal_net.dir/vswitch.cc.o.d"
+  "libcanal_net.a"
+  "libcanal_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/engine.cc" "src/proxy/CMakeFiles/canal_proxy.dir/engine.cc.o" "gcc" "src/proxy/CMakeFiles/canal_proxy.dir/engine.cc.o.d"
+  "/root/repo/src/proxy/nagle.cc" "src/proxy/CMakeFiles/canal_proxy.dir/nagle.cc.o" "gcc" "src/proxy/CMakeFiles/canal_proxy.dir/nagle.cc.o.d"
+  "/root/repo/src/proxy/session_table.cc" "src/proxy/CMakeFiles/canal_proxy.dir/session_table.cc.o" "gcc" "src/proxy/CMakeFiles/canal_proxy.dir/session_table.cc.o.d"
+  "/root/repo/src/proxy/upstream.cc" "src/proxy/CMakeFiles/canal_proxy.dir/upstream.cc.o" "gcc" "src/proxy/CMakeFiles/canal_proxy.dir/upstream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/canal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/canal_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/canal_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

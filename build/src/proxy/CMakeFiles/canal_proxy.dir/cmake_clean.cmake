@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_proxy.dir/engine.cc.o"
+  "CMakeFiles/canal_proxy.dir/engine.cc.o.d"
+  "CMakeFiles/canal_proxy.dir/nagle.cc.o"
+  "CMakeFiles/canal_proxy.dir/nagle.cc.o.d"
+  "CMakeFiles/canal_proxy.dir/session_table.cc.o"
+  "CMakeFiles/canal_proxy.dir/session_table.cc.o.d"
+  "CMakeFiles/canal_proxy.dir/upstream.cc.o"
+  "CMakeFiles/canal_proxy.dir/upstream.cc.o.d"
+  "libcanal_proxy.a"
+  "libcanal_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcanal_proxy.a"
+)

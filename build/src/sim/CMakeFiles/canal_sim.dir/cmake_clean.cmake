@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_sim.dir/cpu.cc.o"
+  "CMakeFiles/canal_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/canal_sim.dir/event_loop.cc.o"
+  "CMakeFiles/canal_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/canal_sim.dir/rng.cc.o"
+  "CMakeFiles/canal_sim.dir/rng.cc.o.d"
+  "CMakeFiles/canal_sim.dir/stats.cc.o"
+  "CMakeFiles/canal_sim.dir/stats.cc.o.d"
+  "CMakeFiles/canal_sim.dir/time.cc.o"
+  "CMakeFiles/canal_sim.dir/time.cc.o.d"
+  "libcanal_sim.a"
+  "libcanal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/anomaly.cc" "src/telemetry/CMakeFiles/canal_telemetry.dir/anomaly.cc.o" "gcc" "src/telemetry/CMakeFiles/canal_telemetry.dir/anomaly.cc.o.d"
+  "/root/repo/src/telemetry/rca.cc" "src/telemetry/CMakeFiles/canal_telemetry.dir/rca.cc.o" "gcc" "src/telemetry/CMakeFiles/canal_telemetry.dir/rca.cc.o.d"
+  "/root/repo/src/telemetry/service_stats.cc" "src/telemetry/CMakeFiles/canal_telemetry.dir/service_stats.cc.o" "gcc" "src/telemetry/CMakeFiles/canal_telemetry.dir/service_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/canal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/canal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canal_telemetry.dir/anomaly.cc.o"
+  "CMakeFiles/canal_telemetry.dir/anomaly.cc.o.d"
+  "CMakeFiles/canal_telemetry.dir/rca.cc.o"
+  "CMakeFiles/canal_telemetry.dir/rca.cc.o.d"
+  "CMakeFiles/canal_telemetry.dir/service_stats.cc.o"
+  "CMakeFiles/canal_telemetry.dir/service_stats.cc.o.d"
+  "libcanal_telemetry.a"
+  "libcanal_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canal_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canal.dir/test_canal.cc.o"
+  "CMakeFiles/test_canal.dir/test_canal.cc.o.d"
+  "test_canal"
+  "test_canal.pdb"
+  "test_canal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gateway_ops.dir/test_gateway_ops.cc.o"
+  "CMakeFiles/test_gateway_ops.dir/test_gateway_ops.cc.o.d"
+  "test_gateway_ops"
+  "test_gateway_ops.pdb"
+  "test_gateway_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gateway_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

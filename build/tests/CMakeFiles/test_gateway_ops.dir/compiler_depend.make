@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_gateway_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_k8s.dir/test_k8s.cc.o"
+  "CMakeFiles/test_k8s.dir/test_k8s.cc.o.d"
+  "test_k8s"
+  "test_k8s.pdb"
+  "test_k8s[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_monitor.dir/test_pattern_monitor.cc.o"
+  "CMakeFiles/test_pattern_monitor.dir/test_pattern_monitor.cc.o.d"
+  "test_pattern_monitor"
+  "test_pattern_monitor.pdb"
+  "test_pattern_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

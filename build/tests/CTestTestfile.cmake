@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_k8s[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy[1]_include.cmake")
+include("/root/repo/build/tests/test_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_canal[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_pattern_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_gateway_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
