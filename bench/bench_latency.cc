@@ -6,13 +6,18 @@
 //         (bimodal app think time: 40-50 ms and 100-200 ms), showing the
 //         key server's 0.7 ms and the gateway hairpin are negligible.
 #include <cstdio>
+#include <cstring>
 
 #include "bench/harness.h"
+#include "bench/json_report.h"
 
 namespace canal::bench {
 namespace {
 
-double light_workload_mean_us(Testbed& bed, mesh::MeshDataplane& mesh) {
+double light_workload_mean_us(Testbed& bed, mesh::MeshDataplane& mesh,
+                              telemetry::MetricsRegistry* registry = nullptr,
+                              const telemetry::MetricsRegistry::Labels&
+                                  trace_labels = {}) {
   // 1 thread, 1 connection, 1 request per second, repeated 100 times
   // (established connection isolates the per-request path).
   sim::Histogram latency;
@@ -20,8 +25,12 @@ double light_workload_mean_us(Testbed& bed, mesh::MeshDataplane& mesh) {
   for (int i = 0; i < 100; ++i) {
     bed.loop.schedule_at(start + i * sim::kSecond, [&] {
       mesh::RequestOptions opts = bed.request(/*new_connection=*/false);
+      opts.trace = registry != nullptr;
       mesh.send_request(opts, [&](mesh::RequestResult r) {
         latency.record(sim::to_microseconds(r.latency));
+        if (registry != nullptr && r.trace) {
+          registry->record_trace(*r.trace, trace_labels);
+        }
       });
     });
   }
@@ -29,16 +38,24 @@ double light_workload_mean_us(Testbed& bed, mesh::MeshDataplane& mesh) {
   return latency.mean();
 }
 
-void fig10() {
+void fig10(bool json) {
   Testbed::Options options;
   options.app_service_time = sim::microseconds(100);  // echo-style app
   Testbed bed(options);
   bed.build_all();
 
-  const double no_mesh = light_workload_mean_us(bed, *bed.nomesh);
-  const double canal = light_workload_mean_us(bed, *bed.canal);
-  const double ambient = light_workload_mean_us(bed, *bed.ambient);
-  const double istio = light_workload_mean_us(bed, *bed.istio);
+  // Tracing is enabled only in --json mode; the default run exercises the
+  // untraced hot path, keeping it comparable across commits.
+  telemetry::MetricsRegistry registry;
+  telemetry::MetricsRegistry* reg = json ? &registry : nullptr;
+  const double no_mesh = light_workload_mean_us(bed, *bed.nomesh, reg,
+                                                {{"dataplane", "no-mesh"}});
+  const double canal = light_workload_mean_us(bed, *bed.canal, reg,
+                                              {{"dataplane", "canal"}});
+  const double ambient = light_workload_mean_us(bed, *bed.ambient, reg,
+                                                {{"dataplane", "ambient"}});
+  const double istio = light_workload_mean_us(bed, *bed.istio, reg,
+                                              {{"dataplane", "istio"}});
 
   Table table("Fig 10: latency under light workloads");
   table.header({"dataplane", "mean latency", "vs canal", "paper"});
@@ -48,6 +65,20 @@ void fig10() {
   table.row({"ambient", fmt_us(ambient), fmt_x(ambient / canal), "~1.3x"});
   table.row({"istio", fmt_us(istio), fmt_x(istio / canal), "~1.7x"});
   table.print();
+
+  if (json) {
+    JsonReport report;
+    for (const char* dataplane : {"no-mesh", "canal", "ambient", "istio"}) {
+      report.add_latency_decomposition(dataplane, registry,
+                                       {{"dataplane", dataplane}});
+    }
+    const char* path = "BENCH_latency.json";
+    if (report.write_file(path)) {
+      std::printf("  -> latency decomposition written to %s\n", path);
+    } else {
+      std::printf("  -> failed to write %s\n", path);
+    }
+  }
 }
 
 void fig24() {
@@ -94,8 +125,12 @@ void fig24() {
 }  // namespace
 }  // namespace canal::bench
 
-int main() {
-  canal::bench::fig10();
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  canal::bench::fig10(json);
   canal::bench::fig24();
   return 0;
 }

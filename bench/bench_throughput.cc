@@ -7,8 +7,10 @@
 // node (4 total); Ambient 1-core ztunnels + a 4-core waypoint; Canal 1-core
 // on-node proxies + a single 2-core gateway replica.
 #include <cstdio>
+#include <cstring>
 
 #include "bench/harness.h"
+#include "bench/json_report.h"
 
 namespace canal::bench {
 namespace {
@@ -20,11 +22,14 @@ struct SweepPoint {
 };
 
 std::vector<SweepPoint> sweep(Testbed& bed, mesh::MeshDataplane& mesh,
-                              double start_rps, double max_rps) {
+                              double start_rps, double max_rps,
+                              telemetry::MetricsRegistry* registry = nullptr,
+                              const telemetry::MetricsRegistry::Labels&
+                                  trace_labels = {}) {
   std::vector<SweepPoint> points;
   for (double rps = start_rps; rps <= max_rps; rps *= 1.3) {
-    LoadResult result =
-        drive_open_loop(bed, mesh, rps, sim::seconds(2), false);
+    LoadResult result = drive_open_loop(bed, mesh, rps, sim::seconds(2),
+                                        false, registry, trace_labels);
     SweepPoint point{rps, result.latency_us.percentile(99),
                      result.error_rate()};
     points.push_back(point);
@@ -46,7 +51,7 @@ double knee_rps(const std::vector<SweepPoint>& points) {
   return knee;
 }
 
-void fig11() {
+void fig11(bool json) {
   Testbed::Options options;
   options.app_service_time = sim::microseconds(100);
   options.node_cores = 64;  // apps must not be the bottleneck
@@ -90,8 +95,12 @@ void fig11() {
   std::vector<MeshRun> runs = {{"istio", bed.istio.get(), {}, 0},
                                {"ambient", bed.ambient.get(), {}, 0},
                                {"canal", bed.canal.get(), {}, 0}};
+  // --json: trace every swept request and aggregate per-component latency
+  // (the default run keeps tracing off so the hot path stays untraced).
+  telemetry::MetricsRegistry registry;
   for (auto& run : runs) {
-    run.points = sweep(bed, *run.mesh, 200.0, 40'000.0);
+    run.points = sweep(bed, *run.mesh, 200.0, 40'000.0,
+                       json ? &registry : nullptr, {{"dataplane", run.name}});
     run.knee = knee_rps(run.points);
   }
 
@@ -124,12 +133,33 @@ void fig11() {
   summary.print();
   std::printf("  canal vs ambient: %s (paper ~2.3x)\n",
               fmt_x(runs[2].knee / runs[1].knee).c_str());
+
+  if (json) {
+    JsonReport report;
+    for (const auto& run : runs) {
+      report.set(run.name, "knee_rps", run.knee);
+      report.set(run.name, "sweep_points",
+                 static_cast<double>(run.points.size()));
+      report.add_latency_decomposition(run.name, registry,
+                                       {{"dataplane", run.name}});
+    }
+    const char* path = "BENCH_throughput.json";
+    if (report.write_file(path)) {
+      std::printf("  -> throughput report written to %s\n", path);
+    } else {
+      std::printf("  -> failed to write %s\n", path);
+    }
+  }
 }
 
 }  // namespace
 }  // namespace canal::bench
 
-int main() {
-  canal::bench::fig11();
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  canal::bench::fig11(json);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "mesh/dataplane.h"
 #include "mesh/istio.h"
 #include "sim/stats.h"
+#include "telemetry/registry.h"
 
 namespace canal::bench {
 
@@ -190,9 +191,15 @@ struct LoadResult {
 };
 
 /// Open-loop constant-rate driver: `rps` requests/s for `duration`.
-inline LoadResult drive_open_loop(Testbed& bed, mesh::MeshDataplane& mesh,
-                                  double rps, sim::Duration duration,
-                                  bool new_connections = false) {
+/// When `registry` is non-null, every request is traced and its spans are
+/// rolled into the registry under `trace_labels` (per-component latency
+/// decomposition); when null, tracing stays off and the hot path is
+/// identical to the untraced driver.
+inline LoadResult drive_open_loop(
+    Testbed& bed, mesh::MeshDataplane& mesh, double rps,
+    sim::Duration duration, bool new_connections = false,
+    telemetry::MetricsRegistry* registry = nullptr,
+    const telemetry::MetricsRegistry::Labels& trace_labels = {}) {
   LoadResult result;
   const double user_cpu_before = mesh.user_cpu_core_seconds();
   const double total_cpu_before = mesh.total_cpu_core_seconds();
@@ -203,14 +210,18 @@ inline LoadResult drive_open_loop(Testbed& bed, mesh::MeshDataplane& mesh,
       sim::to_seconds(duration) * rps);
   for (std::uint64_t i = 0; i < count; ++i) {
     bed.loop.schedule_at(
-        start + static_cast<sim::Duration>(i) * spacing, [&bed, &mesh,
-                                                          &result,
-                                                          new_connections] {
+        start + static_cast<sim::Duration>(i) * spacing,
+        [&bed, &mesh, &result, new_connections, registry, &trace_labels] {
           mesh::RequestOptions opts = bed.request(new_connections);
-          mesh.send_request(opts, [&result](mesh::RequestResult r) {
+          opts.trace = registry != nullptr;
+          mesh.send_request(opts, [&result, registry,
+                                   &trace_labels](mesh::RequestResult r) {
             ++result.sent;
             if (r.ok()) ++result.ok;
             result.latency_us.record(sim::to_microseconds(r.latency));
+            if (registry != nullptr && r.trace) {
+              registry->record_trace(*r.trace, trace_labels);
+            }
           });
         });
   }

@@ -1,0 +1,125 @@
+// Deterministic JSON report writer for the bench harness (--json mode).
+//
+// Benches append (section, key, value) entries; the writer emits them in
+// insertion order so successive runs of the same binary produce
+// byte-identical files (BENCH_latency.json, BENCH_throughput.json) and the
+// perf trajectory can be diffed across commits.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace canal::bench {
+
+class JsonReport {
+ public:
+  void set(const std::string& section, const std::string& key, double value) {
+    entry(section).second.emplace_back(key, format_number(value));
+  }
+  void set(const std::string& section, const std::string& key,
+           const std::string& value) {
+    entry(section).second.emplace_back(key, "\"" + escape(value) + "\"");
+  }
+
+  /// Pulls the request-latency percentiles and per-component span means for
+  /// one dataplane out of a registry populated via record_trace.
+  void add_latency_decomposition(const std::string& section,
+                                 const telemetry::MetricsRegistry& registry,
+                                 const telemetry::MetricsRegistry::Labels&
+                                     labels) {
+    if (const auto* latency =
+            registry.find_histogram("request_latency_us", labels)) {
+      set(section, "requests", static_cast<double>(latency->count()));
+      set(section, "mean_us", latency->mean());
+      set(section, "p50_us", latency->percentile(50));
+      set(section, "p99_us", latency->percentile(99));
+      set(section, "p999_us", latency->percentile(99.9));
+    }
+    if (const auto* wait =
+            registry.find_histogram("request_queue_wait_us", labels)) {
+      set(section, "queue_wait_mean_us", wait->mean());
+    }
+    for (int c = 0; c <= static_cast<int>(telemetry::Component::kApp); ++c) {
+      const auto component = static_cast<telemetry::Component>(c);
+      telemetry::MetricsRegistry::Labels span_labels = labels;
+      span_labels["component"] =
+          std::string(telemetry::component_name(component));
+      if (const auto* span =
+              registry.find_histogram("span_latency_us", span_labels)) {
+        set(section,
+            "span_mean_us." +
+                std::string(telemetry::component_name(component)),
+            span->mean());
+      }
+    }
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{";
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      if (s > 0) out += ",";
+      out += "\n  \"" + escape(sections_[s].first) + "\": {";
+      const auto& keys = sections_[s].second;
+      for (std::size_t k = 0; k < keys.size(); ++k) {
+        if (k > 0) out += ",";
+        out += "\n    \"" + escape(keys[k].first) + "\": " + keys[k].second;
+      }
+      out += "\n  }";
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Returns false (and leaves no partial file contents unflushed) on I/O
+  /// failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = to_json();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+  [[nodiscard]] static std::string format_number(double value) {
+    char buf[64];
+    if (value == static_cast<double>(static_cast<long long>(value)) &&
+        value > -1e15 && value < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    }
+    return buf;
+  }
+
+ private:
+  using Section =
+      std::pair<std::string, std::vector<std::pair<std::string, std::string>>>;
+
+  Section& entry(const std::string& section) {
+    for (auto& s : sections_) {
+      if (s.first == section) return s;
+    }
+    sections_.emplace_back(section, std::vector<std::pair<std::string,
+                                                          std::string>>{});
+    return sections_.back();
+  }
+
+  static std::string escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<Section> sections_;
+};
+
+}  // namespace canal::bench

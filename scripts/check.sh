@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure, build (src/ is -Wall -Wextra -Werror),
+# and run the full test suite. Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure

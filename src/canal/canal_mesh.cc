@@ -114,12 +114,15 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
     GatewayBackend* backend = nullptr;
     proxy::UpstreamEndpoint* endpoint = nullptr;
     k8s::Pod* target = nullptr;
+    std::shared_ptr<telemetry::Trace> trace;
+    [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
   };
   auto st = std::make_shared<State>();
   st->req = mesh::build_request(opts);
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
+  if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
   st->tuple =
       net::FiveTuple{opts.client->ip(), mesh::service_vip(opts.dst_service),
                      next_port_++, 443, net::Protocol::kTcp};
@@ -146,6 +149,7 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
     result.status = status;
     result.latency = latency;
     if (st->target != nullptr) result.served_by = st->target->id();
+    result.trace = st->trace;
     st->done(result);
   };
 
@@ -160,7 +164,8 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
   // On-node L4 hop (eBPF redirected, mTLS originate via key server).
   st->client_proxy->engine().handle_request(
       st->tuple, opts.dst_service, opts.new_connection, st->req,
-      [this, st, finish](proxy::ProxyEngine::RequestOutcome outcome) mutable {
+      [this, st,
+       finish](proxy::ProxyEngine::RequestOutcome outcome) mutable {
         if (!outcome.ok) {
           finish(outcome.status);
           return;
@@ -182,11 +187,18 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
 
         const net::AzId client_az = st->opts.client->node().az();
         const sim::Duration hop1 = config_.network.intra_az;
-        loop_.schedule(hop1, [this, st, finish, packet,
-                              client_az]() mutable {
+        const sim::TimePoint wire1 = loop_.now();
+        loop_.schedule(hop1, [this, st, finish, packet, client_az,
+                              wire1]() mutable {
+          if (st->trace) {
+            st->trace->add("link/client-gateway",
+                           telemetry::Component::kLink, wire1, loop_.now(), 0,
+                           packet.payload_bytes);
+          }
           gateway_.handle_request(
               packet, st->opts.new_connection, config_.https, st->req,
-              client_az, [this, st, finish](GatewayOutcome outcome) mutable {
+              client_az,
+              [this, st, finish](GatewayOutcome outcome) mutable {
                 if (!outcome.ok) {
                   finish(outcome.status);
                   return;
@@ -202,7 +214,14 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                 }
                 st->server_proxy = &ensure_proxy(st->target->node());
                 const sim::Duration hop2 = config_.network.intra_az;
-                loop_.schedule(hop2, [this, st, finish, hop2]() mutable {
+                const sim::TimePoint wire2 = loop_.now();
+                loop_.schedule(hop2, [this, st, finish, hop2,
+                                      wire2]() mutable {
+                  if (st->trace) {
+                    st->trace->add("link/gateway-server",
+                                   telemetry::Component::kLink, wire2,
+                                   loop_.now(), 0, st->req.wire_size());
+                  }
                   st->server_proxy->engine().handle_inbound(
                       st->tuple, st->opts.dst_service,
                       st->opts.new_connection, st->req.wire_size(),
@@ -213,9 +232,18 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                         }
                         st->server_proxy->record_pod_traffic(
                             st->target->id(), st->req.wire_size());
+                        const sim::TimePoint app_start = loop_.now();
                         st->target->handle_request(
-                            st->req, [this, st, finish,
-                                      hop2](http::Response resp) mutable {
+                            st->req, [this, st, finish, hop2,
+                                      app_start](http::Response resp) mutable {
+                              if (st->trace) {
+                                st->trace->add(
+                                    "app/" + std::to_string(net::id_value(
+                                                 st->target->id())),
+                                    telemetry::Component::kApp, app_start,
+                                    loop_.now(), 0, resp.wire_size(),
+                                    resp.status);
+                              }
                               const std::uint64_t bytes = resp.wire_size();
                               const int status = resp.status;
                               // Response path: server proxy -> gateway
@@ -224,36 +252,59 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                                   st->tuple, bytes,
                                   [this, st, finish, bytes, status,
                                    hop2]() mutable {
+                                    const sim::TimePoint wire3 = loop_.now();
                                     loop_.schedule(hop2, [this, st, finish,
-                                                          bytes,
-                                                          status]() mutable {
+                                                          bytes, status,
+                                                          wire3]() mutable {
+                                      if (st->trace) {
+                                        st->trace->add(
+                                            "link/server-gateway",
+                                            telemetry::Component::kLink,
+                                            wire3, loop_.now(), 0, bytes);
+                                      }
                                       st->backend->handle_response(
                                           *st->replica, st->tuple, bytes,
                                           [this, st, finish, bytes,
                                            status]() mutable {
                                             const sim::Duration hop1 =
                                                 config_.network.intra_az;
+                                            const sim::TimePoint wire4 =
+                                                loop_.now();
                                             loop_.schedule(
                                                 hop1,
-                                                [st, finish, bytes,
-                                                 status]() mutable {
+                                                [this, st, finish, bytes,
+                                                 status, wire4]() mutable {
+                                                  if (st->trace) {
+                                                    st->trace->add(
+                                                        "link/gateway-client",
+                                                        telemetry::Component::
+                                                            kLink,
+                                                        wire4, loop_.now(), 0,
+                                                        bytes);
+                                                  }
                                                   st->client_proxy->engine()
                                                       .handle_response(
                                                           st->tuple, bytes,
                                                           [finish,
                                                            status]() mutable {
                                                             finish(status);
-                                                          });
+                                                          },
+                                                          st->tracer());
                                                 });
-                                          });
+                                          },
+                                          st->tracer());
                                     });
-                                  });
+                                  },
+                                  st->tracer());
                             });
-                      });
+                      },
+                      st->tracer());
                 });
-              });
+              },
+              st->tracer());
         });
-      });
+      },
+      st->tracer());
 }
 
 std::vector<k8s::ConfigTarget> CanalMesh::routing_update_targets() const {

@@ -155,7 +155,8 @@ void GatewayBackend::install_service(const k8s::Service& service) {
   auto [it, inserted] = bucket_tables_.try_emplace(
       service.id, config_.bucket_count, config_.bucket_chain_length);
   if (inserted) it->second.assign_round_robin(alive_replica_ids());
-  stats_.try_emplace(service.id);
+  // Creates the stats entry (and its service_rps registry link) eagerly.
+  static_cast<void>(stats_for(service.id));
 }
 
 void GatewayBackend::remove_service(net::ServiceId service) {
@@ -179,7 +180,18 @@ const lb::BucketTable* GatewayBackend::bucket_table(
 }
 
 telemetry::ServiceStats& GatewayBackend::stats_for(net::ServiceId service) {
-  return stats_.try_emplace(service).first->second;
+  auto [it, inserted] = stats_.try_emplace(service);
+  if (inserted) {
+    // Map nodes are stable, so linking the history into the registry is
+    // safe for the backend's lifetime. Consumers (e.g. RCA) discover every
+    // service's RPS series via metrics().series_named(kServiceRpsSeries).
+    registry_.link_time_series(
+        std::string(telemetry::kServiceRpsSeries),
+        {{std::string(telemetry::kServiceLabel),
+          std::to_string(net::id_value(service))}},
+        &it->second.rps_history());
+  }
+  return it->second;
 }
 
 void GatewayBackend::set_throttle(net::ServiceId service, double rps_limit) {
@@ -203,7 +215,8 @@ void GatewayBackend::handle_request(const net::FiveTuple& tuple,
                                     net::ServiceId service,
                                     bool new_connection, bool https,
                                     http::Request& req,
-                                    std::function<void(GatewayOutcome)> done) {
+                                    std::function<void(GatewayOutcome)> done,
+                                    telemetry::Trace* trace) {
   GatewayOutcome outcome;
   if (!services_.contains(service)) {
     outcome.status = 404;
@@ -267,11 +280,17 @@ void GatewayBackend::handle_request(const net::FiveTuple& tuple,
   const std::uint32_t hops = decision->redirections;
   const sim::Duration chain_latency =
       static_cast<sim::Duration>(hops) * config_.redirect_hop_latency;
+  const sim::TimePoint chain_start = loop_.now();
   loop_.schedule(chain_latency, [this, target, tuple, service, new_connection,
-                                 https, &req, hops,
+                                 https, &req, hops, trace, chain_start,
                                  done = std::move(done)]() mutable {
+    if (trace != nullptr && hops > 0) {
+      // Replica-to-replica forwarding along the bucket chain (§4.4).
+      trace->add("gw/redirect-chain", telemetry::Component::kRedirect,
+                 chain_start, loop_.now());
+    }
     deliver_at_replica(*target, tuple, service, new_connection, https, req,
-                       hops, std::move(done));
+                       hops, std::move(done), trace);
   });
 }
 
@@ -279,16 +298,27 @@ void GatewayBackend::deliver_at_replica(
     GatewayReplica& replica, const net::FiveTuple& tuple,
     net::ServiceId service, bool new_connection, bool /*https*/,
     http::Request& req, std::uint32_t redirections,
-    std::function<void(GatewayOutcome)> done) {
+    std::function<void(GatewayOutcome)> done, telemetry::Trace* trace) {
   // Redirector lookup at each visited replica + tunnel disaggregation.
-  const sim::Duration pre_cost =
-      static_cast<sim::Duration>(redirections + 1) * config_.redirector_cost +
-      config_.disaggregation_cost;
+  const sim::Duration lookup_cost =
+      static_cast<sim::Duration>(redirections + 1) * config_.redirector_cost;
+  const sim::Duration pre_cost = lookup_cost + config_.disaggregation_cost;
   const std::uint64_t hash = net::flow_hash(tuple);
+  const sim::TimePoint pre_start = loop_.now();
   replica.cpu().execute_pinned(hash, pre_cost, [this, &replica, tuple, service,
                                                 new_connection, &req,
-                                                redirections,
+                                                redirections, trace, pre_start,
+                                                lookup_cost,
                                                 done = std::move(done)]() mutable {
+    if (trace != nullptr) {
+      // Completion = pre_start + FCFS queue wait + pre_cost, so the wait
+      // falls out of the elapsed time; charge it to the lookup span.
+      const sim::TimePoint split = loop_.now() - config_.disaggregation_cost;
+      trace->add("gw/redirector", telemetry::Component::kRedirect, pre_start,
+                 split, (split - pre_start) - lookup_cost);
+      trace->add("gw/disaggregation", telemetry::Component::kDisaggregation,
+                 split, loop_.now());
+    }
     replica.engine().handle_request(
         tuple, service, new_connection, req,
         [this, &replica, redirections,
@@ -301,15 +331,17 @@ void GatewayBackend::deliver_at_replica(
           outcome.backend = this;
           outcome.chain_redirections = redirections;
           done(outcome);
-        });
+        },
+        trace);
   });
 }
 
 void GatewayBackend::handle_response(GatewayReplica& replica,
                                      const net::FiveTuple& tuple,
                                      std::uint64_t bytes,
-                                     std::function<void()> done) {
-  replica.engine().handle_response(tuple, bytes, std::move(done));
+                                     std::function<void()> done,
+                                     telemetry::Trace* trace) {
+  replica.engine().handle_response(tuple, bytes, std::move(done), trace);
 }
 
 double GatewayBackend::cpu_utilization(sim::Duration window) const {
@@ -669,7 +701,8 @@ GatewayBackend* MeshGateway::resolve(net::ServiceId service,
 void MeshGateway::handle_request(net::Packet packet, bool new_connection,
                                  bool https, http::Request& req,
                                  net::AzId client_az,
-                                 std::function<void(GatewayOutcome)> done) {
+                                 std::function<void(GatewayOutcome)> done,
+                                 telemetry::Trace* trace) {
   // The vSwitch maps the VNI to the global service ID before stripping the
   // outer header — tenant differentiation despite overlapping VPC space.
   if (!vswitch_.deliver_to_vm(packet)) {
@@ -696,11 +729,17 @@ void MeshGateway::handle_request(net::Packet packet, bool new_connection,
       backend->az() == client_az
           ? 0
           : config_.network.cross_az - config_.network.intra_az;
-  loop_.schedule(extra, [backend, tuple = packet.tuple, service,
-                         new_connection, https, &req,
+  const sim::TimePoint extra_start = loop_.now();
+  loop_.schedule(extra, [this, backend, tuple = packet.tuple, service,
+                         new_connection, https, &req, trace, extra_start,
                          done = std::move(done)]() mutable {
+    if (trace != nullptr && loop_.now() > extra_start) {
+      // Cross-AZ detour to a remote backend (DNS failover, §4.2).
+      trace->add("link/cross-az-extra", telemetry::Component::kLink,
+                 extra_start, loop_.now());
+    }
     backend->handle_request(tuple, service, new_connection, https, req,
-                            std::move(done));
+                            std::move(done), trace);
   });
 }
 

@@ -32,7 +32,9 @@
 #include "net/router.h"
 #include "net/vswitch.h"
 #include "proxy/engine.h"
+#include "telemetry/registry.h"
 #include "telemetry/service_stats.h"
+#include "telemetry/trace.h"
 #include "sim/cpu.h"
 #include "sim/event_loop.h"
 
@@ -152,14 +154,17 @@ class GatewayBackend {
 
   /// Full request path inside the backend: ECMP arrival -> redirector
   /// (bucket-table chain walk, possibly replica-to-replica hops) -> L7
-  /// processing at the owning replica.
+  /// processing at the owning replica. When `trace` is non-null, records
+  /// redirect-chain, redirector-lookup, disaggregation and engine spans.
   void handle_request(const net::FiveTuple& tuple, net::ServiceId service,
                       bool new_connection, bool https, http::Request& req,
-                      std::function<void(GatewayOutcome)> done);
+                      std::function<void(GatewayOutcome)> done,
+                      telemetry::Trace* trace = nullptr);
 
   /// Response-direction processing at the replica that served the request.
   void handle_response(GatewayReplica& replica, const net::FiveTuple& tuple,
-                       std::uint64_t bytes, std::function<void()> done);
+                       std::uint64_t bytes, std::function<void()> done,
+                       telemetry::Trace* trace = nullptr);
 
   // --- elasticity & failure ------------------------------------------
   GatewayReplica& add_replica();
@@ -183,6 +188,15 @@ class GatewayBackend {
   [[nodiscard]] telemetry::BackendSnapshot snapshot(sim::Duration window);
   [[nodiscard]] const sim::TimeSeries& util_history() const noexcept {
     return util_history_;
+  }
+  /// Label-keyed metrics for this backend. Per-service RPS histories are
+  /// linked here (series `service_rps{service="<id>"}`) so consumers like
+  /// the root-cause analyzer can discover them without touching stats_.
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const noexcept {
+    return registry_;
   }
   /// Starts periodic water-level sampling (also expires idle sessions).
   void start_sampling(sim::Duration period);
@@ -221,7 +235,8 @@ class GatewayBackend {
                           net::ServiceId service, bool new_connection,
                           bool https, http::Request& req,
                           std::uint32_t redirections,
-                          std::function<void(GatewayOutcome)> done);
+                          std::function<void(GatewayOutcome)> done,
+                          telemetry::Trace* trace);
 
   sim::EventLoop& loop_;
   net::BackendId id_;
@@ -236,6 +251,7 @@ class GatewayBackend {
   std::unordered_map<net::ServiceId, const k8s::Service*, net::IdHash>
       service_objects_;
   std::map<net::ServiceId, telemetry::ServiceStats> stats_;
+  telemetry::MetricsRegistry registry_;
   std::map<net::ServiceId, double> throttles_;
   std::map<net::ServiceId, sim::RateMeter> throttle_meters_;
   sim::TimeSeries util_history_{sim::hours(25)};
@@ -286,7 +302,8 @@ class MeshGateway {
   /// resolved backend's ECMP/redirector/L7 path.
   void handle_request(net::Packet packet, bool new_connection, bool https,
                       http::Request& req, net::AzId client_az,
-                      std::function<void(GatewayOutcome)> done);
+                      std::function<void(GatewayOutcome)> done,
+                      telemetry::Trace* trace = nullptr);
 
   [[nodiscard]] net::VSwitch& vswitch() noexcept { return vswitch_; }
   [[nodiscard]] ShuffleShardAssigner& assigner(net::AzId az);

@@ -70,11 +70,9 @@ void PreciseScaler::sweep() {
 std::vector<net::ServiceId> PreciseScaler::analyze(GatewayBackend& backend) {
   const sim::TimePoint hi = loop_.now();
   const sim::TimePoint lo = hi - config_.analysis_window;
-  std::map<net::ServiceId, const sim::TimeSeries*> series;
-  for (const auto& [service, stats] : backend.service_stats()) {
-    series[service] = &stats.rps_history();
-  }
-  return rca_.pinpoint(backend.util_history(), series, lo, hi);
+  // The backend publishes one service_rps{service="<id>"} series per
+  // hosted service into its registry; RCA discovers them from there.
+  return rca_.pinpoint(backend.util_history(), backend.metrics(), lo, hi);
 }
 
 void PreciseScaler::handle_alert(

@@ -137,12 +137,15 @@ void AmbientMesh::send_request(const RequestOptions& opts,
     const k8s::Node* waypoint_host = nullptr;
     proxy::UpstreamEndpoint* endpoint = nullptr;
     k8s::Pod* target = nullptr;
+    std::shared_ptr<telemetry::Trace> trace;
+    [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
   };
   auto st = std::make_shared<State>();
   st->req = build_request(opts);
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
+  if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
   st->tuple = net::FiveTuple{opts.client->ip(), service_vip(opts.dst_service),
                              next_port_++, 80, net::Protocol::kTcp};
   if (next_port_ < 20000) next_port_ = 20000;
@@ -160,6 +163,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
     result.status = status;
     result.latency = loop_.now() - st->start;
     if (st->target != nullptr) result.served_by = st->target->id();
+    result.trace = st->trace;
     st->done(result);
   };
 
@@ -183,7 +187,12 @@ void AmbientMesh::send_request(const RequestOptions& opts,
         }
         const sim::Duration hop1 = config_.network.hop(
             st->opts.client->node(), *st->waypoint_host);
-        loop_.schedule(hop1, [this, st, finish]() mutable {
+        const sim::TimePoint wire1 = loop_.now();
+        loop_.schedule(hop1, [this, st, finish, wire1]() mutable {
+          if (st->trace) {
+            st->trace->add("link/client-waypoint", telemetry::Component::kLink,
+                           wire1, loop_.now(), 0, st->req.wire_size());
+          }
           // L7 routing at the shared waypoint.
           st->waypoint->handle_request(
               st->tuple, st->opts.dst_service, st->opts.new_connection,
@@ -204,7 +213,14 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                 st->server_zt = ztunnel_for(st->target->node()).engine.get();
                 const sim::Duration hop2 = config_.network.hop(
                     *st->waypoint_host, st->target->node());
-                loop_.schedule(hop2, [this, st, finish, hop2]() mutable {
+                const sim::TimePoint wire2 = loop_.now();
+                loop_.schedule(hop2, [this, st, finish, hop2,
+                                      wire2]() mutable {
+                  if (st->trace) {
+                    st->trace->add("link/waypoint-server",
+                                   telemetry::Component::kLink, wire2,
+                                   loop_.now(), 0, st->req.wire_size());
+                  }
                   // L4 termination at the server-node ztunnel.
                   st->server_zt->handle_inbound(
                       st->tuple, st->opts.dst_service,
@@ -214,10 +230,19 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                           finish(status);
                           return;
                         }
+                        const sim::TimePoint app_start = loop_.now();
                         st->target->handle_request(
                             st->req,
-                            [this, st, finish,
-                             hop2](http::Response resp) mutable {
+                            [this, st, finish, hop2,
+                             app_start](http::Response resp) mutable {
+                              if (st->trace) {
+                                st->trace->add(
+                                    "app/" + std::to_string(net::id_value(
+                                                 st->target->id())),
+                                    telemetry::Component::kApp, app_start,
+                                    loop_.now(), 0, resp.wire_size(),
+                                    resp.status);
+                              }
                               const std::uint64_t bytes = resp.wire_size();
                               const int status = resp.status;
                               const sim::Duration hop1 = config_.network.hop(
@@ -227,33 +252,56 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                                   st->tuple, bytes,
                                   [this, st, finish, bytes, status, hop1,
                                    hop2]() mutable {
+                                    const sim::TimePoint wire3 = loop_.now();
                                     loop_.schedule(hop2, [this, st, finish,
-                                                          bytes, status,
-                                                          hop1]() mutable {
+                                                          bytes, status, hop1,
+                                                          wire3]() mutable {
+                                      if (st->trace) {
+                                        st->trace->add(
+                                            "link/server-waypoint",
+                                            telemetry::Component::kLink, wire3,
+                                            loop_.now(), 0, bytes);
+                                      }
                                       st->waypoint->handle_response(
                                           st->tuple, bytes,
                                           [this, st, finish, bytes, status,
                                            hop1]() mutable {
+                                            const sim::TimePoint wire4 =
+                                                loop_.now();
                                             loop_.schedule(
                                                 hop1,
                                                 [this, st, finish, bytes,
-                                                 status]() mutable {
+                                                 status, wire4]() mutable {
+                                                  if (st->trace) {
+                                                    st->trace->add(
+                                                        "link/waypoint-client",
+                                                        telemetry::Component::
+                                                            kLink,
+                                                        wire4, loop_.now(), 0,
+                                                        bytes);
+                                                  }
                                                   st->client_zt
                                                       ->handle_response(
                                                           st->tuple, bytes,
                                                           [finish, status]() mutable {
                                                             finish(status);
-                                                          });
+                                                          },
+                                                          st->tracer());
                                                 });
-                                          });
+                                          },
+                                          st->tracer());
                                     });
-                                  });
+                                  },
+                                  st->tracer());
                             });
-                      });
+                      },
+                      st->tracer());
                 });
-              });
+              },
+              st->tracer());
         });
-      });
+      },
+      st->tracer());
 }
 
 std::size_t AmbientMesh::ztunnel_config_bytes() const {

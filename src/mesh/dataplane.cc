@@ -48,7 +48,9 @@ void install_service_config(proxy::ProxyEngine& engine,
   http::RouteRule rule;
   rule.name = service.name + "-default";
   rule.match.path_kind = http::RouteMatch::PathKind::kPrefix;
-  rule.match.path = "/";
+  // Fill-construct rather than assign from a literal: GCC 12's inliner
+  // flags the literal path with a spurious -Wrestrict (GCC PR 105329).
+  rule.match.path = std::string(1, '/');
   rule.action.clusters.push_back({service_cluster_name(service.id), 1});
   table.add_rule(std::move(rule));
   engine.set_route_table(service.id, std::move(table));
@@ -80,12 +82,15 @@ http::Request build_request(const RequestOptions& opts) {
 void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
   const sim::TimePoint start = loop_.now();
   k8s::Service* service = cluster_.find_service(opts.dst_service);
-  auto finish = [this, start, done = std::move(done)](
+  auto trace =
+      opts.trace ? std::make_shared<telemetry::Trace>() : nullptr;
+  auto finish = [this, start, trace, done = std::move(done)](
                     int status, net::PodId served_by) {
     RequestResult result;
     result.status = status;
     result.latency = loop_.now() - start;
     result.served_by = served_by;
+    result.trace = trace;
     done(result);
   };
   if (service == nullptr) {
@@ -100,13 +105,31 @@ void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
   k8s::Pod* target = endpoints[rr_++ % endpoints.size()];
   const sim::Duration hop = net_.hop(opts.client->node(), target->node());
   auto req = std::make_shared<http::Request>(build_request(opts));
-  loop_.schedule(hop, [this, req, target, hop,
+  loop_.schedule(hop, [this, req, target, hop, trace, start,
                        finish = std::move(finish)]() mutable {
-    target->handle_request(*req, [this, req, target, hop,
+    if (trace) {
+      trace->add("link/client-server", telemetry::Component::kLink, start,
+                 loop_.now());
+    }
+    const sim::TimePoint app_start = loop_.now();
+    target->handle_request(*req, [this, req, target, hop, trace, app_start,
                                   finish = std::move(finish)](
                                      http::Response resp) mutable {
-      loop_.schedule(hop, [finish = std::move(finish), status = resp.status,
-                           id = target->id()] { finish(status, id); });
+      if (trace) {
+        trace->add("app/" + std::to_string(net::id_value(target->id())),
+                   telemetry::Component::kApp, app_start, loop_.now(), 0,
+                   resp.wire_size(), resp.status);
+      }
+      const sim::TimePoint back_start = loop_.now();
+      loop_.schedule(hop, [this, trace, back_start,
+                           finish = std::move(finish), status = resp.status,
+                           id = target->id()]() mutable {
+        if (trace) {
+          trace->add("link/server-client", telemetry::Component::kLink,
+                     back_start, loop_.now());
+        }
+        finish(status, id);
+      });
     });
   });
 }

@@ -20,6 +20,7 @@
 #include "net/ids.h"
 #include "proxy/engine.h"
 #include "sim/time.h"
+#include "telemetry/trace.h"
 
 namespace canal::mesh {
 
@@ -47,12 +48,18 @@ struct RequestOptions {
   bool new_connection = true;
   /// Tear down connection state after the response.
   bool close_after = true;
+  /// Collect a per-hop Trace for this request (opt-in: the hot path stays
+  /// allocation-free when false). The trace arrives on RequestResult.
+  bool trace = false;
 };
 
 struct RequestResult {
   int status = 0;
   sim::Duration latency = 0;
   net::PodId served_by{};
+  /// Populated iff RequestOptions.trace was set: ordered spans whose
+  /// durations tile [send, done] — they sum exactly to `latency`.
+  std::shared_ptr<telemetry::Trace> trace;
   [[nodiscard]] bool ok() const noexcept {
     return status >= 200 && status < 400;
   }

@@ -83,12 +83,15 @@ void IstioMesh::send_request(const RequestOptions& opts,
     proxy::ProxyEngine* server_sc = nullptr;
     proxy::UpstreamEndpoint* endpoint = nullptr;
     k8s::Pod* target = nullptr;
+    std::shared_ptr<telemetry::Trace> trace;
+    [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
   };
   auto st = std::make_shared<State>();
   st->req = build_request(opts);
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
+  if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
   st->tuple = net::FiveTuple{opts.client->ip(), service_vip(opts.dst_service),
                              next_port_++, 80, net::Protocol::kTcp};
   if (next_port_ < 10000) next_port_ = 10000;
@@ -105,6 +108,7 @@ void IstioMesh::send_request(const RequestOptions& opts,
     result.status = status;
     result.latency = loop_.now() - st->start;
     if (st->target != nullptr) result.served_by = st->target->id();
+    result.trace = st->trace;
     st->done(result);
   };
 
@@ -140,7 +144,12 @@ void IstioMesh::send_request(const RequestOptions& opts,
             config_.network.hop(st->opts.client->node(), st->target->node());
 
         // Wire transit, then inbound through the server-side sidecar.
-        loop_.schedule(hop, [this, st, finish, hop]() mutable {
+        const sim::TimePoint wire_out = loop_.now();
+        loop_.schedule(hop, [this, st, finish, hop, wire_out]() mutable {
+          if (st->trace) {
+            st->trace->add("link/client-server", telemetry::Component::kLink,
+                           wire_out, loop_.now(), 0, st->req.wire_size());
+          }
           st->server_sc->handle_inbound(
               st->tuple, st->opts.dst_service, st->opts.new_connection,
               st->req.wire_size(),
@@ -149,27 +158,47 @@ void IstioMesh::send_request(const RequestOptions& opts,
                   finish(status);
                   return;
                 }
+                const sim::TimePoint app_start = loop_.now();
                 st->target->handle_request(
-                    st->req, [this, st, finish, hop](http::Response resp) mutable {
+                    st->req, [this, st, finish, hop,
+                              app_start](http::Response resp) mutable {
+                      if (st->trace) {
+                        st->trace->add(
+                            "app/" +
+                                std::to_string(net::id_value(st->target->id())),
+                            telemetry::Component::kApp, app_start, loop_.now(),
+                            0, resp.wire_size(), resp.status);
+                      }
                       const std::uint64_t resp_bytes = resp.wire_size();
                       const int status = resp.status;
                       // Response: server sidecar -> wire -> client sidecar.
                       st->server_sc->handle_response(
                           st->tuple, resp_bytes,
                           [this, st, finish, hop, resp_bytes, status]() mutable {
+                            const sim::TimePoint wire_back = loop_.now();
                             loop_.schedule(hop, [this, st, finish, resp_bytes,
-                                                 status]() mutable {
+                                                 status, wire_back]() mutable {
+                              if (st->trace) {
+                                st->trace->add("link/server-client",
+                                               telemetry::Component::kLink,
+                                               wire_back, loop_.now(), 0,
+                                               resp_bytes);
+                              }
                               st->client_sc->handle_response(
                                   st->tuple, resp_bytes,
                                   [finish, status]() mutable {
                                     finish(status);
-                                  });
+                                  },
+                                  st->tracer());
                             });
-                          });
+                          },
+                          st->tracer());
                     });
-              });
+              },
+              st->tracer());
         });
-      });
+      },
+      st->tracer());
 }
 
 std::vector<k8s::ConfigTarget> IstioMesh::routing_update_targets() const {

@@ -52,21 +52,29 @@ sim::Duration ProxyEngine::request_cpu_cost(std::uint64_t bytes,
 void ProxyEngine::handle_request(const net::FiveTuple& tuple,
                                  net::ServiceId dst_service,
                                  bool new_connection, http::Request& req,
-                                 RequestCallback done) {
+                                 RequestCallback done,
+                                 telemetry::Trace* trace) {
   ++requests_total_;
   const std::uint64_t bytes = req.wire_size();
   bytes_proxied_ += bytes;
+  const telemetry::Component component =
+      config_.l7 ? telemetry::Component::kL7 : telemetry::Component::kL4;
 
   if (new_connection) {
     if (!sessions_.insert(tuple, dst_service, loop_.now())) {
       ++requests_failed_;
       RequestOutcome outcome;
       outcome.status = 503;  // session table exhausted
+      if (trace != nullptr) {
+        trace->add(config_.name + "/reject", component, loop_.now(),
+                   loop_.now(), 0, bytes, outcome.status);
+      }
       loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
       return;
     }
   } else {
-    sessions_.touch(tuple, loop_.now());
+    // Keep-alive refresh only; the session pointer is not needed here.
+    static_cast<void>(sessions_.touch(tuple, loop_.now()));
   }
   if (observer_) observer_(dst_service, tuple, bytes, new_connection);
 
@@ -77,9 +85,23 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
   const sim::Duration off_path = cpu_cost - on_path;
 
   auto continue_request = [this, hash, on_path, off_path, dst_service, &req,
+                           bytes, component, trace,
                            done = std::move(done)]() mutable {
+    // The pinned core is deterministic, so its backlog before enqueueing is
+    // exactly the FCFS queue wait this job will experience.
+    const sim::TimePoint cpu_start = loop_.now();
+    const sim::Duration queue_wait =
+        trace != nullptr ? cpu_.core(hash % cpu_.size()).backlog() : 0;
     cpu_.execute_pinned(hash, on_path,
-                        [this, dst_service, &req, done = std::move(done)]() mutable {
+                        [this, dst_service, &req, bytes, component, trace,
+                         cpu_start, queue_wait,
+                         done = std::move(done)]() mutable {
+                          if (trace != nullptr) {
+                            trace->add(config_.name +
+                                           (config_.l7 ? "/l7" : "/l4"),
+                                       component, cpu_start, loop_.now(),
+                                       queue_wait, bytes);
+                          }
                           finish_request(dst_service, req, std::move(done));
                         });
     // Off-path work (logging/stats) consumes pool capacity without gating
@@ -90,7 +112,17 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
 
   if (config_.mtls && new_connection && handshake_executor_) {
     ++handshakes_;
-    handshake_executor_(std::move(continue_request));
+    if (trace == nullptr) {
+      handshake_executor_(std::move(continue_request));
+    } else {
+      const sim::TimePoint hs_start = loop_.now();
+      handshake_executor_([this, hs_start, trace,
+                           cont = std::move(continue_request)]() mutable {
+        trace->add(config_.name + "/handshake",
+                   telemetry::Component::kHandshake, hs_start, loop_.now());
+        cont();
+      });
+    }
   } else {
     continue_request();
   }
@@ -154,17 +186,25 @@ void ProxyEngine::finish_request(net::ServiceId dst_service,
 void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
                                  net::ServiceId dst_service,
                                  bool new_connection, std::uint64_t bytes,
-                                 std::function<void(bool, int)> done) {
+                                 std::function<void(bool, int)> done,
+                                 telemetry::Trace* trace) {
   ++requests_total_;
   bytes_proxied_ += bytes;
+  const telemetry::Component component =
+      config_.l7 ? telemetry::Component::kL7 : telemetry::Component::kL4;
   if (new_connection) {
     if (!sessions_.insert(tuple, dst_service, loop_.now())) {
       ++requests_failed_;
+      if (trace != nullptr) {
+        trace->add(config_.name + "/inbound-reject", component, loop_.now(),
+                   loop_.now(), 0, bytes, 503);
+      }
       loop_.schedule(0, [done = std::move(done)] { done(false, 503); });
       return;
     }
   } else {
-    sessions_.touch(tuple, loop_.now());
+    // Keep-alive refresh only; the session pointer is not needed here.
+    static_cast<void>(sessions_.touch(tuple, loop_.now()));
   }
   if (observer_) observer_(dst_service, tuple, bytes, new_connection);
 
@@ -173,15 +213,36 @@ void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
   const auto on_path = static_cast<sim::Duration>(
       static_cast<double>(cpu_cost) * (1.0 - config_.off_path_fraction));
   const sim::Duration off_path = cpu_cost - on_path;
-  auto continue_inbound = [this, hash, on_path, off_path,
-                           done = std::move(done)]() mutable {
+  auto continue_inbound = [this, hash, on_path, off_path, bytes, component,
+                           trace, done = std::move(done)]() mutable {
+    const sim::TimePoint cpu_start = loop_.now();
+    const sim::Duration queue_wait =
+        trace != nullptr ? cpu_.core(hash % cpu_.size()).backlog() : 0;
     cpu_.execute_pinned(hash, on_path,
-                        [done = std::move(done)] { done(true, 200); });
+                        [this, bytes, component, trace, cpu_start, queue_wait,
+                         done = std::move(done)] {
+                          if (trace != nullptr) {
+                            trace->add(config_.name + "/inbound", component,
+                                       cpu_start, loop_.now(), queue_wait,
+                                       bytes);
+                          }
+                          done(true, 200);
+                        });
     if (off_path > 0) cpu_.execute(off_path);
   };
   if (config_.mtls && new_connection && handshake_executor_) {
     ++handshakes_;
-    handshake_executor_(std::move(continue_inbound));
+    if (trace == nullptr) {
+      handshake_executor_(std::move(continue_inbound));
+    } else {
+      const sim::TimePoint hs_start = loop_.now();
+      handshake_executor_([this, hs_start, trace,
+                           cont = std::move(continue_inbound)]() mutable {
+        trace->add(config_.name + "/handshake",
+                   telemetry::Component::kHandshake, hs_start, loop_.now());
+        cont();
+      });
+    }
   } else {
     continue_inbound();
   }
@@ -189,7 +250,8 @@ void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
 
 void ProxyEngine::handle_response(const net::FiveTuple& tuple,
                                   std::uint64_t bytes,
-                                  std::function<void()> done) {
+                                  std::function<void()> done,
+                                  telemetry::Trace* trace) {
   bytes_proxied_ += bytes;
   const auto& costs = config_.costs;
   const std::uint64_t segments = bytes / costs.mss_bytes + 1;
@@ -200,7 +262,22 @@ void ProxyEngine::handle_response(const net::FiveTuple& tuple,
   const auto on_path = static_cast<sim::Duration>(
       static_cast<double>(cost) * (1.0 - config_.off_path_fraction));
   const std::uint64_t hash = net::flow_hash(tuple);
-  cpu_.execute_pinned(hash, on_path, std::move(done));
+  if (trace == nullptr) {
+    cpu_.execute_pinned(hash, on_path, std::move(done));
+  } else {
+    const sim::TimePoint cpu_start = loop_.now();
+    const sim::Duration queue_wait = cpu_.core(hash % cpu_.size()).backlog();
+    const telemetry::Component component =
+        config_.l7 ? telemetry::Component::kL7 : telemetry::Component::kL4;
+    cpu_.execute_pinned(
+        hash, on_path,
+        [this, bytes, component, trace, cpu_start, queue_wait,
+         done = std::move(done)] {
+          trace->add(config_.name + (config_.l7 ? "/l7-resp" : "/l4-resp"),
+                     component, cpu_start, loop_.now(), queue_wait, bytes);
+          done();
+        });
+  }
   if (cost > on_path) cpu_.execute(cost - on_path);
 }
 

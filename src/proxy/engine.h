@@ -22,6 +22,7 @@
 #include "sim/cpu.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
+#include "telemetry/trace.h"
 
 namespace canal::proxy {
 
@@ -91,10 +92,13 @@ class ProxyEngine {
   /// Processes one request arriving on connection `tuple` for
   /// `dst_service`. Charges redirection/session/TLS/L4/L7 costs on a core
   /// pinned by flow hash, resolves the route table (L7) and picks an
-  /// upstream endpoint. `req` may be mutated by route actions.
+  /// upstream endpoint. `req` may be mutated by route actions. When `trace`
+  /// is non-null, appends handshake and L4/L7 spans (with queue-wait vs
+  /// service-time split) covering the whole time until `done` fires.
   void handle_request(const net::FiveTuple& tuple, net::ServiceId dst_service,
                       bool new_connection, http::Request& req,
-                      RequestCallback done);
+                      RequestCallback done,
+                      telemetry::Trace* trace = nullptr);
 
   /// Server-side inbound processing: same cost structure as
   /// handle_request (redirection, session, TLS termination, L4/L7) but no
@@ -102,11 +106,13 @@ class ProxyEngine {
   /// status)` reports session-capacity rejections.
   void handle_inbound(const net::FiveTuple& tuple, net::ServiceId dst_service,
                       bool new_connection, std::uint64_t bytes,
-                      std::function<void(bool ok, int status)> done);
+                      std::function<void(bool ok, int status)> done,
+                      telemetry::Trace* trace = nullptr);
 
   /// Response-direction forwarding for `bytes` of payload.
   void handle_response(const net::FiveTuple& tuple, std::uint64_t bytes,
-                       std::function<void()> done);
+                       std::function<void()> done,
+                       telemetry::Trace* trace = nullptr);
 
   /// Drops connection state (upstream endpoint bookkeeping is external).
   void close_connection(const net::FiveTuple& tuple);

@@ -4,9 +4,11 @@
 
 namespace canal::sim {
 
-TimePoint CpuCore::execute(Duration cost, std::function<void()> done) {
+TimePoint CpuCore::execute(Duration cost, std::function<void()> done,
+                           Duration* queue_wait) {
   if (cost < 0) cost = 0;
   const TimePoint start = std::max(free_at_, loop_.now());
+  if (queue_wait != nullptr) *queue_wait = start - loop_.now();
   const TimePoint end = start + cost;
   free_at_ = end;
   total_busy_ += cost;
@@ -67,13 +69,16 @@ std::size_t CpuSet::least_loaded() const {
   return best;
 }
 
-TimePoint CpuSet::execute(Duration cost, std::function<void()> done) {
-  return cores_[least_loaded()]->execute(cost, std::move(done));
+TimePoint CpuSet::execute(Duration cost, std::function<void()> done,
+                          Duration* queue_wait) {
+  return cores_[least_loaded()]->execute(cost, std::move(done), queue_wait);
 }
 
 TimePoint CpuSet::execute_pinned(std::uint64_t hash, Duration cost,
-                                 std::function<void()> done) {
-  return cores_[hash % cores_.size()]->execute(cost, std::move(done));
+                                 std::function<void()> done,
+                                 Duration* queue_wait) {
+  return cores_[hash % cores_.size()]->execute(cost, std::move(done),
+                                               queue_wait);
 }
 
 double CpuSet::utilization(Duration window) const {

@@ -31,8 +31,12 @@ class CpuCore {
   CpuCore& operator=(const CpuCore&) = delete;
 
   /// Enqueues a job costing `cost`; runs `done` (if any) at completion.
-  /// Returns the completion time.
-  TimePoint execute(Duration cost, std::function<void()> done = nullptr);
+  /// Returns the completion time. When `queue_wait` is non-null it receives
+  /// the FCFS wait this job spends queued behind earlier work (completion ==
+  /// now + *queue_wait + cost) — the split request tracing uses to separate
+  /// waiting from working.
+  TimePoint execute(Duration cost, std::function<void()> done = nullptr,
+                    Duration* queue_wait = nullptr);
 
   /// Completion time `execute(cost)` would return, without enqueueing.
   [[nodiscard]] TimePoint completion_if(Duration cost) const noexcept {
@@ -83,12 +87,15 @@ class CpuSet {
   CpuCore& core(std::size_t i) { return *cores_.at(i); }
   [[nodiscard]] const CpuCore& core(std::size_t i) const { return *cores_.at(i); }
 
-  /// Runs on the least-loaded core. Returns completion time.
-  TimePoint execute(Duration cost, std::function<void()> done = nullptr);
+  /// Runs on the least-loaded core. Returns completion time. `queue_wait`,
+  /// when non-null, receives the job's FCFS queueing delay.
+  TimePoint execute(Duration cost, std::function<void()> done = nullptr,
+                    Duration* queue_wait = nullptr);
 
   /// Runs on core `hash % size()` (flow pinning). Returns completion time.
   TimePoint execute_pinned(std::uint64_t hash, Duration cost,
-                           std::function<void()> done = nullptr);
+                           std::function<void()> done = nullptr,
+                           Duration* queue_wait = nullptr);
 
   /// Index of the core that would next become free.
   [[nodiscard]] std::size_t least_loaded() const;

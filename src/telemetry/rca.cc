@@ -65,6 +65,24 @@ std::vector<net::ServiceId> RootCauseAnalyzer::pinpoint(
   return out;
 }
 
+std::vector<net::ServiceId> RootCauseAnalyzer::pinpoint(
+    const sim::TimeSeries& backend_load, const MetricsRegistry& metrics,
+    sim::TimePoint window_lo, sim::TimePoint window_hi) const {
+  std::map<net::ServiceId, const sim::TimeSeries*> service_rps;
+  for (const auto& [labels, series] :
+       metrics.series_named(kServiceRpsSeries)) {
+    const auto label_it = labels.find(std::string(kServiceLabel));
+    if (label_it == labels.end() || series == nullptr) continue;
+    const std::string& value = label_it->second;
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    service_rps[static_cast<net::ServiceId>(std::stoull(value))] = series;
+  }
+  return pinpoint(backend_load, service_rps, window_lo, window_hi);
+}
+
 std::vector<net::ServiceId> RootCauseAnalyzer::intersect(
     const std::vector<std::vector<net::ServiceId>>& per_backend_suspects) {
   if (per_backend_suspects.empty()) return {};

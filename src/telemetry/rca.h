@@ -15,6 +15,7 @@
 
 #include "net/ids.h"
 #include "sim/stats.h"
+#include "telemetry/registry.h"
 
 namespace canal::telemetry {
 
@@ -39,6 +40,14 @@ class RootCauseAnalyzer {
   [[nodiscard]] std::vector<net::ServiceId> pinpoint(
       const sim::TimeSeries& backend_load,
       const std::map<net::ServiceId, const sim::TimeSeries*>& service_rps,
+      sim::TimePoint window_lo, sim::TimePoint window_hi) const;
+
+  /// Registry-driven variant: discovers every `service_rps{service="<id>"}`
+  /// series in `metrics` (the backend links one per hosted service) and
+  /// runs the basic algorithm over them. Series without a parseable
+  /// service label are ignored.
+  [[nodiscard]] std::vector<net::ServiceId> pinpoint(
+      const sim::TimeSeries& backend_load, const MetricsRegistry& metrics,
       sim::TimePoint window_lo, sim::TimePoint window_hi) const;
 
   /// Intersection algorithm across simultaneously hot backends: services

@@ -1,0 +1,189 @@
+#include "telemetry/registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace canal::telemetry {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+std::string num(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::key_of(std::string_view name,
+                                    const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  key.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key.push_back(',');
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  key.push_back('}');
+  return key;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name,
+                                                   const Labels& labels) {
+  return counters_[key_of(name, labels)];
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name,
+                                               const Labels& labels) {
+  return gauges_[key_of(name, labels)];
+}
+
+sim::Histogram& MetricsRegistry::histogram(std::string_view name,
+                                           const Labels& labels) {
+  return histograms_[key_of(name, labels)];
+}
+
+sim::TimeSeries& MetricsRegistry::time_series(std::string_view name,
+                                              const Labels& labels,
+                                              sim::Duration max_age) {
+  const std::string key = key_of(name, labels);
+  auto& entry = series_[key];
+  if (!entry.owned) {
+    // Absent, or previously linked read-only: (re)create an owned series.
+    entry.owned = std::make_unique<sim::TimeSeries>(max_age);
+    entry.series = entry.owned.get();
+    series_meta_[key] = {std::string(name), labels};
+  }
+  return *entry.owned;
+}
+
+void MetricsRegistry::link_time_series(std::string_view name,
+                                       const Labels& labels,
+                                       const sim::TimeSeries* series) {
+  const std::string key = key_of(name, labels);
+  auto& entry = series_[key];
+  entry.owned.reset();
+  entry.series = series;
+  series_meta_[key] = {std::string(name), labels};
+}
+
+const MetricsRegistry::Counter* MetricsRegistry::find_counter(
+    std::string_view name, const Labels& labels) const {
+  const auto it = counters_.find(key_of(name, labels));
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const sim::Histogram* MetricsRegistry::find_histogram(
+    std::string_view name, const Labels& labels) const {
+  const auto it = histograms_.find(key_of(name, labels));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const sim::TimeSeries* MetricsRegistry::find_time_series(
+    std::string_view name, const Labels& labels) const {
+  const auto it = series_.find(key_of(name, labels));
+  return it == series_.end() ? nullptr : it->second.series;
+}
+
+std::vector<std::pair<MetricsRegistry::Labels, const sim::TimeSeries*>>
+MetricsRegistry::series_named(std::string_view name) const {
+  std::vector<std::pair<Labels, const sim::TimeSeries*>> out;
+  for (const auto& [key, meta] : series_meta_) {
+    if (meta.first != name) continue;
+    const auto it = series_.find(key);
+    if (it != series_.end() && it->second.series != nullptr) {
+      out.emplace_back(meta.second, it->second.series);
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::record_trace(const Trace& trace, const Labels& base) {
+  counter("requests_total", base).inc();
+  histogram("request_latency_us", base)
+      .record(sim::to_microseconds(trace.total_duration()));
+  histogram("request_queue_wait_us", base)
+      .record(sim::to_microseconds(trace.total_queue_wait()));
+  for (const Span& span : trace.spans()) {
+    Labels labels = base;
+    labels["component"] = std::string(component_name(span.component));
+    histogram("span_latency_us", labels)
+        .record(sim::to_microseconds(span.duration()));
+    histogram("span_queue_wait_us", labels)
+        .record(sim::to_microseconds(span.queue_wait));
+    if (span.bytes > 0) {
+      counter("span_bytes_total", labels)
+          .inc(static_cast<double>(span.bytes));
+    }
+    if (span.status >= 400) counter("span_errors_total", labels).inc();
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, key);
+    out += "\":" + num(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, key);
+    out += "\":" + num(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, key);
+    out += "\":{\"count\":" + std::to_string(h.count());
+    if (!h.empty()) {
+      out += ",\"mean\":" + num(h.mean());
+      out += ",\"p50\":" + num(h.percentile(50));
+      out += ",\"p99\":" + num(h.percentile(99));
+      out += ",\"p999\":" + num(h.percentile(99.9));
+    }
+    out += "}";
+  }
+  out += "},\"time_series\":{";
+  first = true;
+  for (const auto& [key, entry] : series_) {
+    if (entry.series == nullptr) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, key);
+    out += "\":{\"size\":" + std::to_string(entry.series->size());
+    if (!entry.series->empty()) {
+      out += ",\"last\":" + num(entry.series->samples().back().value);
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace canal::telemetry

@@ -1,0 +1,111 @@
+// Label-keyed metrics registry: counters, gauges, histograms, time series.
+//
+// The registry is the aggregation point between per-request traces and the
+// control plane's consumers: Trace spans roll up into per-component latency
+// histograms (record_trace), gateway backends publish per-service RPS
+// histories under kServiceRpsSeries (which RootCauseAnalyzer::pinpoint
+// reads directly), and everything exports as deterministic JSON for the
+// bench trajectory files.
+//
+// Metrics are keyed by (name, labels); labels are an ordered map so the
+// canonical key — name{k="v",...} — and the JSON export are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.h"
+#include "telemetry/trace.h"
+
+namespace canal::telemetry {
+
+/// Well-known series name: per-service request rate histories published by
+/// gateway backends and consumed by root-cause analysis.
+inline constexpr std::string_view kServiceRpsSeries = "service_rps";
+/// Label carrying the numeric service id on per-service metrics.
+inline constexpr std::string_view kServiceLabel = "service";
+
+class MetricsRegistry {
+ public:
+  /// Ordered so canonical keys and exports are deterministic.
+  using Labels = std::map<std::string, std::string>;
+
+  class Counter {
+   public:
+    void inc(double delta = 1.0) noexcept { value_ += delta; }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+   private:
+    double value_ = 0.0;
+  };
+
+  class Gauge {
+   public:
+    void set(double value) noexcept { value_ = value; }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+   private:
+    double value_ = 0.0;
+  };
+
+  /// Finds or creates the metric for (name, labels).
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  sim::Histogram& histogram(std::string_view name, const Labels& labels = {});
+  /// Registry-owned series (created with `max_age` retention on first use).
+  sim::TimeSeries& time_series(std::string_view name, const Labels& labels = {},
+                               sim::Duration max_age = 0);
+
+  /// Publishes an externally-owned series (e.g. ServiceStats::rps_history)
+  /// under (name, labels) without copying. The series must outlive the
+  /// registry entry (or be re-linked).
+  void link_time_series(std::string_view name, const Labels& labels,
+                        const sim::TimeSeries* series);
+
+  /// Lookup without creation; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const sim::Histogram* find_histogram(
+      std::string_view name, const Labels& labels = {}) const;
+  [[nodiscard]] const sim::TimeSeries* find_time_series(
+      std::string_view name, const Labels& labels = {}) const;
+
+  /// Every series registered under `name` (owned or linked), with labels,
+  /// in deterministic key order.
+  [[nodiscard]] std::vector<std::pair<Labels, const sim::TimeSeries*>>
+  series_named(std::string_view name) const;
+
+  /// Rolls a finished trace into the registry: per-component latency and
+  /// queue-wait histograms ("span_latency_us"/"span_queue_wait_us" with a
+  /// "component" label), request/byte counters, and an end-to-end latency
+  /// histogram ("request_latency_us"). `base` labels (tenant, service,
+  /// dataplane, ...) are attached to every metric touched.
+  void record_trace(const Trace& trace, const Labels& base = {});
+
+  /// Deterministic JSON of every metric. Histograms export count/mean/
+  /// p50/p99/p999; time series export their size and last value.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Canonical metric key: name{k="v",k2="v2"} (no braces when unlabeled).
+  [[nodiscard]] static std::string key_of(std::string_view name,
+                                          const Labels& labels);
+
+ private:
+  struct SeriesEntry {
+    std::unique_ptr<sim::TimeSeries> owned;
+    const sim::TimeSeries* series = nullptr;  ///< owned.get() or external
+  };
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, sim::Histogram> histograms_;
+  std::map<std::string, SeriesEntry> series_;
+  /// key -> (name, labels), for series_named and labeled lookups.
+  std::map<std::string, std::pair<std::string, Labels>> series_meta_;
+};
+
+}  // namespace canal::telemetry

@@ -1,0 +1,149 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace canal::telemetry {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+std::string i64(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string_view component_name(Component c) {
+  switch (c) {
+    case Component::kLink: return "link";
+    case Component::kRedirect: return "redirect";
+    case Component::kHandshake: return "handshake";
+    case Component::kL4: return "l4";
+    case Component::kL7: return "l7";
+    case Component::kDisaggregation: return "disaggregation";
+    case Component::kApp: return "app";
+  }
+  return "unknown";
+}
+
+Span& Trace::add(std::string name, Component component, sim::TimePoint start,
+                 sim::TimePoint end, sim::Duration queue_wait,
+                 std::uint64_t bytes, int status) {
+  Span span;
+  span.name = std::move(name);
+  span.component = component;
+  span.start = start;
+  span.end = end;
+  span.queue_wait = std::min(queue_wait, end - start);
+  span.service_time = (end - start) - span.queue_wait;
+  span.bytes = bytes;
+  span.status = status;
+  spans_.push_back(std::move(span));
+  return spans_.back();
+}
+
+sim::Duration Trace::total_duration() const {
+  sim::Duration total = 0;
+  for (const Span& s : spans_) total += s.duration();
+  return total;
+}
+
+sim::Duration Trace::total_queue_wait() const {
+  sim::Duration total = 0;
+  for (const Span& s : spans_) total += s.queue_wait;
+  return total;
+}
+
+sim::Duration Trace::total_service_time() const {
+  sim::Duration total = 0;
+  for (const Span& s : spans_) total += s.service_time;
+  return total;
+}
+
+sim::Duration Trace::duration_of(Component component) const {
+  sim::Duration total = 0;
+  for (const Span& s : spans_) {
+    if (s.component == component) total += s.duration();
+  }
+  return total;
+}
+
+std::size_t Trace::count_of(Component component) const {
+  return static_cast<std::size_t>(
+      std::count_if(spans_.begin(), spans_.end(), [component](const Span& s) {
+        return s.component == component;
+      }));
+}
+
+bool Trace::contiguous() const {
+  for (std::size_t i = 1; i < spans_.size(); ++i) {
+    if (spans_[i].start != spans_[i - 1].end) return false;
+  }
+  return true;
+}
+
+std::string Trace::to_json() const {
+  std::string out = "{\"spans\":[";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"component\":\"";
+    out += component_name(s.component);
+    out += "\",\"start_ns\":" + i64(s.start);
+    out += ",\"end_ns\":" + i64(s.end);
+    out += ",\"queue_wait_ns\":" + i64(s.queue_wait);
+    out += ",\"service_ns\":" + i64(s.service_time);
+    out += ",\"bytes\":" + std::to_string(s.bytes);
+    out += ",\"status\":" + std::to_string(s.status);
+    out += "}";
+  }
+  out += "],\"total_ns\":" + i64(total_duration());
+  out += ",\"queue_wait_ns\":" + i64(total_queue_wait());
+  out += ",\"service_ns\":" + i64(total_service_time());
+  out += "}";
+  return out;
+}
+
+std::string Trace::to_chrome_trace() const {
+  // Complete ("X") events; timestamps in microseconds as chrome expects.
+  // Each component gets its own tid so stages stack as parallel rows; the
+  // queue-wait part of a span is emitted as a separate slice so waiting is
+  // visually distinct from working.
+  std::string out = "[";
+  bool first = true;
+  auto emit = [&](std::string_view name, std::string_view cat,
+                  sim::TimePoint start, sim::Duration dur, int tid) {
+    if (!first) out.push_back(',');
+    first = false;
+    char buf[64];
+    out += "{\"name\":\"";
+    append_escaped(out, name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, cat);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                  static_cast<double>(start) / 1000.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f}",
+                  static_cast<double>(dur) / 1000.0);
+    out += buf;
+  };
+  for (const Span& s : spans_) {
+    const int tid = static_cast<int>(s.component) + 1;
+    if (s.queue_wait > 0) {
+      emit(s.name + " [queue]", "queue", s.start, s.queue_wait, tid);
+    }
+    emit(s.name, component_name(s.component), s.start + s.queue_wait,
+         s.service_time, tid);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace canal::telemetry

@@ -1,0 +1,102 @@
+// Per-request distributed tracing.
+//
+// A Trace is an ordered list of Spans covering every stage of a request's
+// journey through a dataplane: link transit, redirector/eBPF lookup, mTLS
+// handshake, L7 parse+route, bucket-table walk, VXLAN disaggregation,
+// application service time. Each span separates FCFS core queue-wait from
+// actual service time, so end-to-end latency decomposes exactly into
+// where the microseconds went (the measurement §4.2/§4.3 alerting and RCA
+// consume, and the decomposition that makes mesh-overhead claims
+// explainable).
+//
+// Tracing is opt-in per request (mesh::RequestOptions.trace); when off, no
+// Trace is allocated and the hot path is untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace canal::telemetry {
+
+/// What kind of work a span covers.
+enum class Component {
+  kLink,            ///< wire transit between nodes / AZs / replicas
+  kRedirect,        ///< redirector / eBPF / bucket-table lookup
+  kHandshake,       ///< asymmetric mTLS handshake (key server or software)
+  kL4,              ///< L4 forwarding (on-node proxy, ztunnel)
+  kL7,              ///< L7 parse + route (sidecar, waypoint, gw replica)
+  kDisaggregation,  ///< VXLAN session-aggregation tunnel disaggregation
+  kApp,             ///< application service time
+};
+
+[[nodiscard]] std::string_view component_name(Component c);
+
+/// One hop/stage of a traced request. Invariant: for CPU-charged spans,
+/// queue_wait + service_time == end - start (waiting vs working); for
+/// link/app spans queue_wait is 0 and service_time spans the whole
+/// duration, so the invariant holds for every span.
+struct Span {
+  std::string name;               ///< hop name, e.g. "onnode-1/l4"
+  Component component = Component::kLink;
+  sim::TimePoint start = 0;
+  sim::TimePoint end = 0;
+  sim::Duration queue_wait = 0;   ///< FCFS core-queue wait before service
+  sim::Duration service_time = 0; ///< time actually working (or in transit)
+  std::uint64_t bytes = 0;
+  int status = 0;                 ///< nonzero on error stages
+
+  [[nodiscard]] sim::Duration duration() const noexcept {
+    return end - start;
+  }
+};
+
+/// Ordered spans of one request. Spans are appended in simulated-time
+/// order as the request progresses, so the list is chronological.
+class Trace {
+ public:
+  /// Appends a span; `queue_wait` is subtracted from the wall duration to
+  /// derive service time.
+  Span& add(std::string name, Component component, sim::TimePoint start,
+            sim::TimePoint end, sim::Duration queue_wait = 0,
+            std::uint64_t bytes = 0, int status = 0);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+
+  /// Sum of span durations (== end-to-end latency when spans tile the
+  /// request interval, which traced dataplane paths guarantee).
+  [[nodiscard]] sim::Duration total_duration() const;
+  /// Sum of FCFS queue-wait across spans (waiting, not working).
+  [[nodiscard]] sim::Duration total_queue_wait() const;
+  /// Sum of service time across spans.
+  [[nodiscard]] sim::Duration total_service_time() const;
+  /// Total duration of spans of one component kind.
+  [[nodiscard]] sim::Duration duration_of(Component component) const;
+  [[nodiscard]] std::size_t count_of(Component component) const;
+  [[nodiscard]] bool has(Component component) const {
+    return count_of(component) > 0;
+  }
+
+  /// Spans tile [first.start, last.end] with no gaps or overlaps.
+  [[nodiscard]] bool contiguous() const;
+
+  /// Deterministic JSON: {"spans":[{...},...],"total_ns":N,...}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// chrome://tracing "trace event" JSON array ("X" complete events, one
+  /// row per component; queue-wait rendered as its own slice). Load via
+  /// chrome://tracing or https://ui.perfetto.dev.
+  [[nodiscard]] std::string to_chrome_trace() const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace canal::telemetry

@@ -148,6 +148,40 @@ TEST(CrossMesh, UserCpuOrderingUnderLoad) {
             world.canal->user_cpu_core_seconds());
 }
 
+TEST(CrossMesh, TraceShowsCanalStagesAbsentFromNoMesh) {
+  World world;
+  world.build_canal();
+  mesh::NoMesh nomesh(world.loop, world.cluster);
+
+  auto traced = [&](mesh::MeshDataplane& mesh) {
+    std::optional<mesh::RequestResult> result;
+    mesh::RequestOptions opts;
+    opts.client = world.client;
+    opts.dst_service = world.api->id;
+    opts.new_connection = true;
+    opts.trace = true;
+    mesh.send_request(opts, [&](mesh::RequestResult r) { result = r; });
+    world.loop.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(mesh::RequestResult{});
+  };
+
+  // The Canal path pays the redirector, gateway L7, and VXLAN
+  // disaggregation stages; the no-mesh path is links + app only.
+  const auto canal = traced(*world.canal);
+  ASSERT_NE(canal.trace, nullptr);
+  EXPECT_TRUE(canal.trace->has(telemetry::Component::kRedirect));
+  EXPECT_TRUE(canal.trace->has(telemetry::Component::kL7));
+  EXPECT_TRUE(canal.trace->has(telemetry::Component::kDisaggregation));
+
+  const auto bare = traced(nomesh);
+  ASSERT_NE(bare.trace, nullptr);
+  EXPECT_FALSE(bare.trace->has(telemetry::Component::kRedirect));
+  EXPECT_FALSE(bare.trace->has(telemetry::Component::kL7));
+  EXPECT_FALSE(bare.trace->has(telemetry::Component::kDisaggregation));
+  EXPECT_TRUE(bare.trace->has(telemetry::Component::kApp));
+}
+
 // ---- Controller-driven configuration flow ----------------------------------
 
 TEST(ControllerFlow, PodCreationEndToEnd) {

@@ -169,7 +169,8 @@ TEST(Rca, EmptyIntersectionFallsThrough) {
 TEST(Rca, NoDataNoSuspects) {
   sim::TimeSeries load;
   RootCauseAnalyzer rca;
-  EXPECT_TRUE(rca.pinpoint(load, {}, 0, sim::seconds(60)).empty());
+  const std::map<net::ServiceId, const sim::TimeSeries*> no_series;
+  EXPECT_TRUE(rca.pinpoint(load, no_series, 0, sim::seconds(60)).empty());
 }
 
 }  // namespace
