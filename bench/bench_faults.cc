@@ -1,0 +1,278 @@
+// Robustness under injected faults: drives the §5.1 testbed through a
+// sim::FaultPlan and reports success rate and p99 latency before, during,
+// and after the fault window, with the client retry layer on and off.
+//
+// Three scenarios:
+//   1. Pod-kill outage — two target-service pods crash mid-run but stay
+//      listed in the (stale) endpoint tables, so mesh proxies keep picking
+//      them and eat 503s until retries route around the holes.
+//   2. Gateway replica crash (Canal) — a gateway data plane dies while its
+//      ECMP/bucket state lingers; the GatewayHealthMonitor closes the 503
+//      window by evicting it after a few failed probes.
+//   3. Link loss + latency spike — a lossy window where dropped requests
+//      never complete on their own; only per-try timeouts recover them.
+//
+// All randomness is seeded and time is virtual, so every run prints
+// identical numbers.
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "canal/fault_injector.h"
+#include "sim/fault.h"
+
+namespace canal::bench {
+namespace {
+
+constexpr sim::TimePoint kFaultStart = 2 * sim::kSecond;
+constexpr sim::TimePoint kFaultEnd = 5 * sim::kSecond;
+constexpr sim::Duration kRunLength = 8 * sim::kSecond;
+constexpr double kRps = 400.0;
+
+/// Per-phase accounting, bucketed by request *send* time.
+struct Window {
+  std::uint64_t issued = 0;
+  std::uint64_t done = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t timeouts = 0;
+  sim::Histogram ok_latency_us;
+
+  [[nodiscard]] double success() const {
+    return issued == 0 ? 1.0
+                       : static_cast<double>(ok) / static_cast<double>(issued);
+  }
+  [[nodiscard]] double mean_attempts() const {
+    return done == 0 ? 0.0
+                     : static_cast<double>(attempts) /
+                           static_cast<double>(done);
+  }
+  [[nodiscard]] std::string p99() const {
+    return ok == 0 ? "-" : fmt_us(ok_latency_us.percentile(99.0));
+  }
+};
+
+struct RunResult {
+  Window before;
+  Window during;
+  Window after;
+
+  Window& at(sim::TimePoint send_time) {
+    if (send_time < kFaultStart) return before;
+    if (send_time < kFaultEnd) return during;
+    return after;
+  }
+  [[nodiscard]] std::uint64_t unanswered() const {
+    return (before.issued + during.issued + after.issued) -
+           (before.done + during.done + after.done);
+  }
+};
+
+mesh::RetryPolicy retry_policy(bool retries) {
+  mesh::RetryPolicy policy;
+  // Both rows get the same per-try timeout so dropped requests resolve as
+  // 504 either way; only the attempt count differs.
+  policy.max_attempts = retries ? 3 : 1;
+  policy.per_try_timeout = sim::milliseconds(25);
+  policy.base_backoff = sim::milliseconds(1);
+  policy.max_backoff = sim::milliseconds(8);
+  policy.jitter = 0.5;
+  return policy;
+}
+
+/// Open-loop driver over the retry layer, splitting results into the
+/// before/during/after windows of the fault timeline.
+RunResult drive_with_faults(Testbed& bed, mesh::MeshDataplane& mesh,
+                            const mesh::RetryPolicy& policy,
+                            bool new_connections,
+                            mesh::RetryBudget* budget = nullptr) {
+  RunResult result;
+  sim::Rng retry_rng(0xfa017);
+  const auto spacing =
+      static_cast<sim::Duration>(static_cast<double>(sim::kSecond) / kRps);
+  const auto count =
+      static_cast<std::uint64_t>(sim::to_seconds(kRunLength) * kRps);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const sim::TimePoint send_time =
+        bed.loop.now() + static_cast<sim::Duration>(i) * spacing;
+    bed.loop.schedule_at(
+        send_time, [&bed, &mesh, &result, &policy, &retry_rng, budget,
+                    send_time, new_connections] {
+          mesh::RequestOptions opts = bed.request(new_connections);
+          Window& window = result.at(send_time);
+          ++window.issued;
+          mesh.send_request_with_retries(
+              opts, policy, retry_rng,
+              [&window](mesh::RequestResult r) {
+                ++window.done;
+                window.attempts += r.attempts;
+                if (r.timed_out) ++window.timeouts;
+                if (r.ok()) {
+                  ++window.ok;
+                  window.ok_latency_us.record(
+                      sim::to_microseconds(r.latency));
+                }
+              },
+              budget);
+        });
+  }
+  // Health monitors keep periodic probes pending forever, so run for a
+  // fixed horizon (with drain slack for in-flight retries) instead of
+  // draining the loop.
+  bed.loop.run_for(kRunLength + sim::milliseconds(500));
+  return result;
+}
+
+enum class Plane { kNoMesh, kIstio, kAmbient, kCanal };
+
+mesh::MeshDataplane& build_plane(Testbed& bed, Plane plane) {
+  switch (plane) {
+    case Plane::kNoMesh:
+      bed.build_nomesh();
+      return *bed.nomesh;
+    case Plane::kIstio:
+      bed.build_istio();
+      return *bed.istio;
+    case Plane::kAmbient:
+      bed.build_ambient();
+      return *bed.ambient;
+    case Plane::kCanal:
+      break;
+  }
+  bed.build_canal();
+  return *bed.canal;
+}
+
+std::vector<std::string> phase_cells(const RunResult& r) {
+  return {fmt_pct(r.before.success()), fmt_pct(r.during.success()),
+          fmt_pct(r.after.success()),  r.before.p99(),
+          r.during.p99(),              r.after.p99(),
+          fmt("%.2f", r.during.mean_attempts())};
+}
+
+void pod_kill_scenario() {
+  Table table("Fault 1: 2/10 target pods crash at 2s, restart at 5s "
+              "(stale endpoints)");
+  table.header({"dataplane", "retries", "ok(pre)", "ok(fault)", "ok(post)",
+                "p99(pre)", "p99(fault)", "p99(post)", "tries/req"});
+  const struct {
+    Plane plane;
+    const char* name;
+    bool retries;
+  } rows[] = {
+      {Plane::kNoMesh, "nomesh", true},   {Plane::kIstio, "istio", false},
+      {Plane::kIstio, "istio", true},     {Plane::kAmbient, "ambient", false},
+      {Plane::kAmbient, "ambient", true}, {Plane::kCanal, "canal", false},
+      {Plane::kCanal, "canal", true},
+  };
+  for (const auto& row : rows) {
+    Testbed bed;
+    mesh::MeshDataplane& mesh = build_plane(bed, row.plane);
+    // Victims spread apart in round-robin order so adjacent-pick retries
+    // land on live pods.
+    sim::FaultPlan plan;
+    const auto& pods = bed.services.back()->endpoints;
+    for (std::size_t index : {std::size_t{2}, std::size_t{7}}) {
+      plan.kill_pod_for(kFaultStart,
+                        static_cast<std::uint64_t>(pods[index]->id()),
+                        kFaultEnd - kFaultStart);
+    }
+    core::FaultInjector injector(bed.loop, bed.cluster, bed.gateway.get());
+    injector.arm(plan);
+    mesh::RetryBudget budget(0.5, 10);
+    const RunResult r = drive_with_faults(
+        bed, mesh, retry_policy(row.retries), /*new_connections=*/false,
+        &budget);
+    std::vector<std::string> cells = {row.name, row.retries ? "on" : "off"};
+    for (auto& cell : phase_cells(r)) cells.push_back(std::move(cell));
+    table.row(cells);
+  }
+  table.print();
+  std::printf("  nomesh resolves endpoints at send time, so it routes "
+              "around dead pods instantly;\n");
+  std::printf("  the proxied planes hold stale endpoint tables and need "
+              "retries to mask the holes.\n");
+}
+
+void gateway_crash_scenario() {
+  Table table("Fault 2: Canal gateway replica crashes at 2s, revives at 5s");
+  table.header({"monitor", "retries", "ok(pre)", "ok(fault)", "ok(post)",
+                "p99(pre)", "p99(fault)", "p99(post)", "tries/req",
+                "evict/readmit"});
+  const struct {
+    bool monitor;
+    bool retries;
+  } rows[] = {{false, false}, {true, false}, {true, true}};
+  for (const auto& row : rows) {
+    Testbed bed;
+    bed.build_canal();
+    sim::FaultPlan plan;
+    const auto backend =
+        static_cast<std::uint32_t>(bed.gateway->all_backends().front()->id());
+    plan.crash_gateway_replica(kFaultStart, backend, /*replica_index=*/0);
+    plan.recover_gateway_replica(kFaultEnd, backend, /*replica_index=*/0);
+    core::FaultInjector injector(bed.loop, bed.cluster, bed.gateway.get());
+    injector.arm(plan);
+    core::GatewayHealthMonitor monitor(bed.loop, *bed.gateway);
+    if (row.monitor) monitor.start();
+    // New connection per request so flows hash across all replicas and a
+    // single dead replica shows up as a partial dip, not all-or-nothing.
+    const RunResult r =
+        drive_with_faults(bed, *bed.canal, retry_policy(row.retries),
+                          /*new_connections=*/true);
+    std::vector<std::string> cells = {row.monitor ? "on" : "off",
+                                      row.retries ? "on" : "off"};
+    for (auto& cell : phase_cells(r)) cells.push_back(std::move(cell));
+    cells.push_back(fmt("%.0f", static_cast<double>(monitor.evictions())) +
+                    "/" +
+                    fmt("%.0f", static_cast<double>(monitor.readmissions())));
+    table.row(cells);
+  }
+  table.print();
+  std::printf("  without eviction the dead replica keeps owning its ECMP "
+              "buckets for the whole outage;\n");
+  std::printf("  the monitor evicts after 3 failed probes (~300ms), so only "
+              "the detection window 503s.\n");
+}
+
+void link_fault_scenario() {
+  Table table("Fault 3: 20% link loss + 2ms latency spike from 2s to 5s "
+              "(nomesh)");
+  table.header({"retries", "ok(pre)", "ok(fault)", "ok(post)", "p99(pre)",
+                "p99(fault)", "p99(post)", "tries/req", "timeouts",
+                "unanswered"});
+  for (const bool retries : {false, true}) {
+    Testbed bed;
+    sim::FaultPlan plan;
+    plan.link_loss(kFaultStart, kFaultEnd, 0.2);
+    plan.link_latency_spike(kFaultStart, kFaultEnd, sim::milliseconds(2));
+    mesh::NetworkProfile net;
+    net.faults = &plan;
+    bed.nomesh = std::make_unique<mesh::NoMesh>(bed.loop, bed.cluster, net);
+    mesh::RetryBudget budget(0.5, 10);
+    const RunResult r =
+        drive_with_faults(bed, *bed.nomesh, retry_policy(retries),
+                          /*new_connections=*/false, &budget);
+    std::vector<std::string> cells = {retries ? "on" : "off"};
+    for (auto& cell : phase_cells(r)) cells.push_back(std::move(cell));
+    cells.push_back(std::to_string(r.before.timeouts + r.during.timeouts +
+                                   r.after.timeouts));
+    cells.push_back(std::to_string(r.unanswered()));
+    table.row(cells);
+  }
+  table.print();
+  std::printf("  dropped requests never complete on their own: the per-try "
+              "timeout (25ms) converts them\n");
+  std::printf("  into 504s, and retries then re-send; without retries every "
+              "drop is a user-visible 504.\n");
+}
+
+}  // namespace
+}  // namespace canal::bench
+
+int main() {
+  canal::bench::pod_kill_scenario();
+  canal::bench::gateway_crash_scenario();
+  canal::bench::link_fault_scenario();
+  return 0;
+}

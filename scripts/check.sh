@@ -1,12 +1,35 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure, build (src/ is -Wall -Wextra -Werror),
-# and run the full test suite. Usage: scripts/check.sh [build-dir]
+# and run the full test suite.
+#
+# Usage: scripts/check.sh [--sanitize] [build-dir]
+#   --sanitize  build with AddressSanitizer + UndefinedBehaviorSanitizer
+#               (separate build dir, Debug-ish flags) and run the tests
+#               under them; any leak, overflow, or UB fails the gate.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "${jobs}"
-ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure
+sanitize=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  sanitize=1
+  shift
+fi
+
+if [[ "${sanitize}" == "1" ]]; then
+  build_dir="${1:-${repo_root}/build-asan}"
+  san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}"
+  cmake --build "${build_dir}" -j "${jobs}"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure
+else
+  build_dir="${1:-${repo_root}/build}"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}"
+  ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure
+fi

@@ -118,11 +118,20 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
     [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
   };
   auto st = std::make_shared<State>();
-  st->req = mesh::build_request(opts);
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
   if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
+  if (opts.client == nullptr) {
+    // Malformed request: no originating pod. Fail fast instead of
+    // dereferencing null below.
+    mesh::RequestResult result;
+    result.status = 400;
+    result.trace = st->trace;
+    st->done(result);
+    return;
+  }
+  st->req = mesh::build_request(opts);
   st->tuple =
       net::FiveTuple{opts.client->ip(), mesh::service_vip(opts.dst_service),
                      next_port_++, 443, net::Protocol::kTcp};
@@ -153,6 +162,13 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
     st->done(result);
   };
 
+  if (cluster_.find_service(opts.dst_service) == nullptr) {
+    // Unknown destination service: 404, matching every other dataplane
+    // (a known service with an unregistered VNI still yields the
+    // vSwitch-level 403 below).
+    finish(404);
+    return;
+  }
   st->client_proxy = proxy_for(opts.client->node());
   if (st->client_proxy == nullptr) {
     finish(500);
@@ -160,6 +176,12 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
   }
   st->client_proxy->record_pod_traffic(opts.client->id(),
                                        st->req.wire_size());
+
+  if (config_.network.dropped(rng_, st->start)) {
+    // Lost on the wire: `done` never fires; only a per-try timeout in the
+    // retry layer recovers.
+    return;
+  }
 
   // On-node L4 hop (eBPF redirected, mTLS originate via key server).
   st->client_proxy->engine().handle_request(
@@ -186,7 +208,8 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
         packet.vxlan = vxlan;
 
         const net::AzId client_az = st->opts.client->node().az();
-        const sim::Duration hop1 = config_.network.intra_az;
+        const sim::Duration hop1 = config_.network.intra_az +
+                                   config_.network.fault_latency(loop_.now());
         const sim::TimePoint wire1 = loop_.now();
         loop_.schedule(hop1, [this, st, finish, packet, client_az,
                               wire1]() mutable {
@@ -213,7 +236,9 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                   return;
                 }
                 st->server_proxy = &ensure_proxy(st->target->node());
-                const sim::Duration hop2 = config_.network.intra_az;
+                const sim::Duration hop2 =
+                    config_.network.intra_az +
+                    config_.network.fault_latency(loop_.now());
                 const sim::TimePoint wire2 = loop_.now();
                 loop_.schedule(hop2, [this, st, finish, hop2,
                                       wire2]() mutable {
@@ -267,7 +292,9 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                                           [this, st, finish, bytes,
                                            status]() mutable {
                                             const sim::Duration hop1 =
-                                                config_.network.intra_az;
+                                                config_.network.intra_az +
+                                                config_.network.fault_latency(
+                                                    loop_.now());
                                             const sim::TimePoint wire4 =
                                                 loop_.now();
                                             loop_.schedule(

@@ -46,6 +46,9 @@ class CanalMesh final : public mesh::MeshDataplane {
   }
   void send_request(const mesh::RequestOptions& opts,
                     mesh::RequestCallback done) override;
+  [[nodiscard]] sim::EventLoop& event_loop() noexcept override {
+    return loop_;
+  }
   [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
       const override;
   [[nodiscard]] std::vector<k8s::ConfigTarget> pod_create_targets(

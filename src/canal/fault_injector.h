@@ -1,0 +1,72 @@
+// Arms a sim::FaultPlan against live simulation objects.
+//
+// The plan itself is inert data (src/sim/fault.h); the injector walks it
+// once at arm() time and schedules the corresponding state changes on the
+// event loop:
+//   * pod crashes flip the pod to Terminated but leave it listed in its
+//     service's endpoints — proxies keep picking it and eat 503s until
+//     retries route around it (the stale-endpoint failure mode),
+//   * pod restarts flip the pod back to Running; the optional
+//     on_pod_restarted hook fires after the plan's stale-config delay,
+//     modeling a control plane that learns about the recovery late,
+//   * gateway replica crashes/recoveries call crash_replica /
+//     revive_replica — the data plane dies or returns, and only a
+//     GatewayHealthMonitor moves ECMP/bucket state to match.
+//
+// Link loss/latency windows are not armed here: NetworkProfile consults
+// the plan directly on the request path.
+#pragma once
+
+#include <functional>
+
+#include "canal/gateway.h"
+#include "k8s/cluster.h"
+#include "sim/event_loop.h"
+#include "sim/fault.h"
+
+namespace canal::core {
+
+class FaultInjector {
+ public:
+  /// Called (after any stale-config delay) when a pod restarts; use it to
+  /// refresh endpoint/config state in the dataplane under test.
+  using PodRestartHook = std::function<void(k8s::Pod&)>;
+
+  FaultInjector(sim::EventLoop& loop, k8s::Cluster& cluster,
+                MeshGateway* gateway = nullptr)
+      : loop_(loop), cluster_(cluster), gateway_(gateway) {}
+
+  void set_pod_restart_hook(PodRestartHook hook) {
+    on_pod_restarted_ = std::move(hook);
+  }
+
+  /// Schedules every pod and gateway event of `plan` on the event loop.
+  /// The plan must outlive the injector (its config-delay windows are
+  /// consulted when restart events fire).
+  void arm(const sim::FaultPlan& plan);
+
+  [[nodiscard]] std::uint64_t pods_crashed() const noexcept {
+    return pods_crashed_;
+  }
+  [[nodiscard]] std::uint64_t pods_restarted() const noexcept {
+    return pods_restarted_;
+  }
+  [[nodiscard]] std::uint64_t replicas_crashed() const noexcept {
+    return replicas_crashed_;
+  }
+
+ private:
+  void crash_pod(std::uint64_t pod);
+  void restart_pod(std::uint64_t pod, const sim::FaultPlan& plan);
+  void apply_gateway_event(const sim::GatewayFaultEvent& event);
+
+  sim::EventLoop& loop_;
+  k8s::Cluster& cluster_;
+  MeshGateway* gateway_;
+  PodRestartHook on_pod_restarted_;
+  std::uint64_t pods_crashed_ = 0;
+  std::uint64_t pods_restarted_ = 0;
+  std::uint64_t replicas_crashed_ = 0;
+};
+
+}  // namespace canal::core

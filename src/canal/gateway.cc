@@ -112,16 +112,38 @@ void GatewayBackend::drain_replica(net::ReplicaId id) {
   }
 }
 
-void GatewayBackend::fail_replica(net::ReplicaId id) {
+void GatewayBackend::crash_replica(net::ReplicaId id) {
+  GatewayReplica* replica = find_replica(id);
+  if (replica != nullptr) replica->fail();
+}
+
+void GatewayBackend::revive_replica(net::ReplicaId id) {
+  GatewayReplica* replica = find_replica(id);
+  if (replica != nullptr) replica->recover();
+}
+
+void GatewayBackend::evict_replica(net::ReplicaId id) {
   GatewayReplica* replica = find_replica(id);
   if (replica == nullptr) return;
-  replica->fail();
   router_.remove_member(net::Endpoint{replica->ip(), 443});
   auto available = alive_replica_ids();
+  available.erase(std::remove(available.begin(), available.end(), id),
+                  available.end());
   for (auto& [service_id, table] : bucket_tables_) {
     table.prepare_offline(id, available);
     table.purge(id);
   }
+}
+
+bool GatewayBackend::in_service(net::ReplicaId id) {
+  GatewayReplica* replica = find_replica(id);
+  return replica != nullptr &&
+         router_.contains(net::Endpoint{replica->ip(), 443});
+}
+
+void GatewayBackend::fail_replica(net::ReplicaId id) {
+  crash_replica(id);
+  evict_replica(id);
 }
 
 void GatewayBackend::recover_replica(net::ReplicaId id) {
@@ -771,6 +793,51 @@ std::size_t MeshGateway::config_bytes() const {
     }
   }
   return total;
+}
+
+GatewayHealthMonitor::GatewayHealthMonitor(sim::EventLoop& loop,
+                                           MeshGateway& gateway,
+                                           Config config)
+    : loop_(loop),
+      gateway_(gateway),
+      config_(config),
+      timer_(loop, config.probe_interval, [this] { probe_once(); }) {}
+
+GatewayHealthMonitor::GatewayHealthMonitor(sim::EventLoop& loop,
+                                           MeshGateway& gateway)
+    : GatewayHealthMonitor(loop, gateway, Config()) {}
+
+void GatewayHealthMonitor::start() { timer_.start(config_.probe_interval); }
+
+void GatewayHealthMonitor::stop() noexcept { timer_.stop(); }
+
+void GatewayHealthMonitor::probe_once() {
+  for (GatewayBackend* backend : gateway_.all_backends()) {
+    for (std::size_t i = 0; i < backend->replica_count(); ++i) {
+      GatewayReplica* replica = backend->replica(i);
+      const net::ReplicaId id = replica->id();
+      const bool serving = backend->in_service(id);
+      if (replica->alive()) {
+        dead_streak_.erase(id);
+        if (serving) {
+          alive_streak_.erase(id);
+        } else if (++alive_streak_[id] >= config_.healthy_after) {
+          backend->recover_replica(id);
+          alive_streak_.erase(id);
+          ++readmissions_;
+        }
+      } else {
+        alive_streak_.erase(id);
+        if (!serving) {
+          dead_streak_.erase(id);
+        } else if (++dead_streak_[id] >= config_.unhealthy_after) {
+          backend->evict_replica(id);
+          dead_streak_.erase(id);
+          ++evictions_;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace canal::core

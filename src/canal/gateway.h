@@ -171,11 +171,27 @@ class GatewayBackend {
   /// Graceful drain: new flows move away, existing flows keep working.
   void drain_replica(net::ReplicaId id);
   /// Crash: sessions lost, ECMP membership shrinks, chains updated.
+  /// Equivalent to crash_replica + evict_replica in one step (a fault where
+  /// the control plane notices instantly).
   void fail_replica(net::ReplicaId id);
   void fail_all_replicas();
+  /// Data-plane crash only: the VM dies and loses its sessions, but ECMP
+  /// and bucket tables still point at it — requests it owns fail with 503
+  /// until a health monitor notices and calls evict_replica. This is the
+  /// realistic failure mode (detection lags the crash).
+  void crash_replica(net::ReplicaId id);
+  /// The VM comes back up but receives no traffic until the health monitor
+  /// re-admits it (recover_replica).
+  void revive_replica(net::ReplicaId id);
+  /// Control-plane eviction: removes the replica from ECMP and remaps its
+  /// buckets onto the remaining alive replicas. Safe on dead or draining
+  /// replicas alike.
+  void evict_replica(net::ReplicaId id);
   /// Brings a failed replica back: re-admitted to ECMP and takes over a
   /// share of every bucket table again.
   void recover_replica(net::ReplicaId id);
+  /// Is the replica currently an ECMP member (eligible for new traffic)?
+  [[nodiscard]] bool in_service(net::ReplicaId id);
 
   // --- telemetry ------------------------------------------------------
   [[nodiscard]] double cpu_utilization(sim::Duration window) const;
@@ -343,6 +359,54 @@ class MeshGateway {
   std::uint32_t next_backend_ = 1;
   std::uint16_t next_az_ = 0;
   std::uint32_t next_vni_ = 100;
+};
+
+/// Health-driven replica eviction and re-admission (§4.2 failure handling).
+///
+/// Periodically probes every replica of every backend. A replica that is
+/// dead on `unhealthy_after` consecutive probes while still an ECMP member
+/// is evicted (evict_replica: ECMP membership + bucket remap), restoring
+/// service for the flows that hashed onto it. A replica that is alive on
+/// `healthy_after` consecutive probes while out of service is re-admitted
+/// (recover_replica). Detection therefore lags a crash by roughly
+/// probe_interval * unhealthy_after — the 503 window bench_faults measures.
+class GatewayHealthMonitor {
+ public:
+  struct Config {
+    sim::Duration probe_interval = sim::milliseconds(100);
+    std::uint32_t unhealthy_after = 3;
+    std::uint32_t healthy_after = 2;
+  };
+
+  GatewayHealthMonitor(sim::EventLoop& loop, MeshGateway& gateway,
+                       Config config);
+  // Separate overload rather than `= {}`: GCC rejects brace-default args
+  // of nested aggregates with member initializers (PR 96645).
+  GatewayHealthMonitor(sim::EventLoop& loop, MeshGateway& gateway);
+
+  /// Starts periodic probing (first probe one interval from now).
+  void start();
+  void stop() noexcept;
+
+  /// One probe sweep over all replicas; exposed for deterministic tests.
+  void probe_once();
+
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
+  [[nodiscard]] std::uint64_t readmissions() const noexcept {
+    return readmissions_;
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  MeshGateway& gateway_;
+  Config config_;
+  sim::PeriodicTimer timer_;
+  std::unordered_map<net::ReplicaId, std::uint32_t, net::IdHash> dead_streak_;
+  std::unordered_map<net::ReplicaId, std::uint32_t, net::IdHash> alive_streak_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t readmissions_ = 0;
 };
 
 }  // namespace canal::core

@@ -82,10 +82,27 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
     k8s::Pod* target = nullptr;
   };
   auto st = std::make_shared<State>();
-  st->req = mesh::build_request(opts);
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
+  if (opts.client == nullptr) {
+    // Malformed request: no originating pod. Fail fast instead of
+    // dereferencing null below.
+    mesh::RequestResult result;
+    result.status = 400;
+    st->done(result);
+    return;
+  }
+  if (cluster_.find_service(opts.dst_service) == nullptr) {
+    // DNS cannot resolve an unknown service to the gateway VIP: 404, not
+    // the gateway's unknown-VNI 403 (which is for known-but-unregistered
+    // services).
+    mesh::RequestResult result;
+    result.status = 404;
+    st->done(result);
+    return;
+  }
+  st->req = mesh::build_request(opts);
   st->tuple =
       net::FiveTuple{opts.client->ip(), mesh::service_vip(opts.dst_service),
                      next_port_++, 443, net::Protocol::kTcp};

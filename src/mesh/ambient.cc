@@ -141,11 +141,20 @@ void AmbientMesh::send_request(const RequestOptions& opts,
     [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
   };
   auto st = std::make_shared<State>();
-  st->req = build_request(opts);
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
   if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
+  if (opts.client == nullptr) {
+    // Malformed request: no originating pod. Fail fast instead of
+    // dereferencing null below.
+    RequestResult result;
+    result.status = 400;
+    result.trace = st->trace;
+    st->done(result);
+    return;
+  }
+  st->req = build_request(opts);
   st->tuple = net::FiveTuple{opts.client->ip(), service_vip(opts.dst_service),
                              next_port_++, 80, net::Protocol::kTcp};
   if (next_port_ < 20000) next_port_ = 20000;
@@ -167,6 +176,12 @@ void AmbientMesh::send_request(const RequestOptions& opts,
     st->done(result);
   };
 
+  if (cluster_.find_service(opts.dst_service) == nullptr) {
+    // Unknown destination service: 404, matching every other dataplane
+    // (a missing waypoint for a service that exists stays a 500 below).
+    finish(404);
+    return;
+  }
   const auto zt_it = ztunnels_.find(&opts.client->node());
   const auto wp_it = waypoints_.find(opts.dst_service);
   if (zt_it == ztunnels_.end() || wp_it == waypoints_.end()) {
@@ -177,6 +192,12 @@ void AmbientMesh::send_request(const RequestOptions& opts,
   st->waypoint = wp_it->second->engine.get();
   st->waypoint_host = wp_it->second->host;
 
+  if (config_.network.dropped(rng_, st->start)) {
+    // Lost on the wire: `done` never fires; only a per-try timeout in the
+    // retry layer recovers.
+    return;
+  }
+
   // L4 hop through the client-node ztunnel (mTLS originate).
   st->client_zt->handle_request(
       st->tuple, opts.dst_service, opts.new_connection, st->req,
@@ -185,8 +206,8 @@ void AmbientMesh::send_request(const RequestOptions& opts,
           finish(outcome.status);
           return;
         }
-        const sim::Duration hop1 = config_.network.hop(
-            st->opts.client->node(), *st->waypoint_host);
+        const sim::Duration hop1 = config_.network.hop_at(
+            st->opts.client->node(), *st->waypoint_host, loop_.now());
         const sim::TimePoint wire1 = loop_.now();
         loop_.schedule(hop1, [this, st, finish, wire1]() mutable {
           if (st->trace) {
@@ -211,8 +232,8 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                   return;
                 }
                 st->server_zt = ztunnel_for(st->target->node()).engine.get();
-                const sim::Duration hop2 = config_.network.hop(
-                    *st->waypoint_host, st->target->node());
+                const sim::Duration hop2 = config_.network.hop_at(
+                    *st->waypoint_host, st->target->node(), loop_.now());
                 const sim::TimePoint wire2 = loop_.now();
                 loop_.schedule(hop2, [this, st, finish, hop2,
                                       wire2]() mutable {
@@ -245,8 +266,10 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                               }
                               const std::uint64_t bytes = resp.wire_size();
                               const int status = resp.status;
-                              const sim::Duration hop1 = config_.network.hop(
-                                  st->opts.client->node(), *st->waypoint_host);
+                              const sim::Duration hop1 =
+                                  config_.network.hop_at(
+                                      st->opts.client->node(),
+                                      *st->waypoint_host, loop_.now());
                               // Response: server zt -> waypoint -> client zt.
                               st->server_zt->handle_response(
                                   st->tuple, bytes,

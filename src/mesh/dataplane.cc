@@ -1,5 +1,9 @@
 #include "mesh/dataplane.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
 namespace canal::mesh {
 
 std::size_t service_config_bytes(const k8s::Service& service) {
@@ -25,21 +29,54 @@ std::string service_cluster_name(net::ServiceId id) {
 }
 
 net::Ipv4Addr service_vip(net::ServiceId id) {
-  const auto v = net::id_value(id);
-  return net::Ipv4Addr(10, 255, static_cast<std::uint8_t>((v >> 8) & 0xFF),
-                       static_cast<std::uint8_t>(v & 0xFF));
+  // ServiceId is (tenant << 32) | per-tenant counter. The VIP encodes the
+  // low 24 counter bits in the 240.0.0.0/8 reserved range, which cannot
+  // collide with pod (10/8), gateway-replica (172.16/12) or gateway-VIP
+  // (100.64/10) addresses. VIPs deliberately overlap across tenants, like
+  // pod IPs: tenants are differentiated by VNI, not by address. Two
+  // services of the *same* tenant must never share a VIP, so counters that
+  // would wrap the 24-bit field are rejected loudly instead of silently
+  // aliasing another service's VIP (the old 16-bit mapping did exactly
+  // that for ids >= 2^16).
+  const std::uint64_t counter = net::id_value(id) & 0xFFFFFFFFULL;
+  if (counter >= (1ULL << 24)) {
+    throw std::invalid_argument(
+        "service_vip: per-tenant service counter " + std::to_string(counter) +
+        " exceeds the 24-bit VIP space (2^24 services per tenant); "
+        "widen the VIP encoding before allocating this many services");
+  }
+  return net::Ipv4Addr(240, static_cast<std::uint8_t>((counter >> 16) & 0xFF),
+                       static_cast<std::uint8_t>((counter >> 8) & 0xFF),
+                       static_cast<std::uint8_t>(counter & 0xFF));
 }
 
 void refresh_endpoints(proxy::ProxyEngine& engine,
                        const k8s::Service& service) {
+  // Diff the desired endpoint set against the live one instead of dropping
+  // and rebuilding the cluster: a rebuild would reset the round-robin
+  // cursor (skewing load every scale event) and invalidate UpstreamEndpoint
+  // state (in-flight request counts) mid-run.
   const std::string name = service_cluster_name(service.id);
-  engine.clusters().remove_cluster(name);
   auto& cluster =
       engine.clusters().add_cluster(name, proxy::LbPolicy::kRoundRobin);
+
+  std::unordered_set<std::uint64_t> desired;
+  desired.reserve(service.endpoints.size());
   for (const k8s::Pod* pod : service.endpoints) {
-    cluster.add_endpoint(net::Endpoint{pod->ip(), 8080},
-                         net::id_value(pod->id()));
+    const std::uint64_t key = net::id_value(pod->id());
+    desired.insert(key);
+    if (cluster.find_endpoint(key) == nullptr) {
+      cluster.add_endpoint(net::Endpoint{pod->ip(), 8080}, key);
+    }
   }
+
+  std::vector<std::uint64_t> stale;
+  for (const auto& endpoint : cluster.endpoints()) {
+    if (desired.find(endpoint->key) == desired.end()) {
+      stale.push_back(endpoint->key);
+    }
+  }
+  for (const std::uint64_t key : stale) cluster.remove_endpoint(key);
 }
 
 void install_service_config(proxy::ProxyEngine& engine,
@@ -64,6 +101,143 @@ void install_full_config(proxy::ProxyEngine& engine,
   }
 }
 
+sim::Duration RetryPolicy::backoff_before(std::uint32_t attempt,
+                                          sim::Rng& rng) const {
+  if (attempt <= 1 || base_backoff <= 0) return 0;
+  sim::Duration backoff = base_backoff;
+  for (std::uint32_t i = 2; i < attempt; ++i) {
+    if (max_backoff > 0 && backoff >= max_backoff) break;
+    backoff *= 2;
+  }
+  if (max_backoff > 0) backoff = std::min(backoff, max_backoff);
+  if (jitter > 0.0) {
+    const double scale = 1.0 - jitter + jitter * rng.uniform();
+    backoff = static_cast<sim::Duration>(static_cast<double>(backoff) * scale);
+  }
+  return backoff;
+}
+
+namespace {
+
+/// Shared state of one logical request moving through retry attempts.
+struct RetryState {
+  MeshDataplane* mesh = nullptr;
+  sim::EventLoop* loop = nullptr;
+  RequestOptions opts;
+  RetryPolicy policy;
+  sim::Rng* rng = nullptr;  ///< borrowed; must outlive the request
+  RetryBudget* budget = nullptr;
+  RequestCallback done;
+  sim::TimePoint send = 0;
+  std::uint32_t attempt = 0;
+  std::shared_ptr<telemetry::Trace> merged;  ///< null when tracing is off
+
+  void append_attempt_trace(const telemetry::Trace& attempt_trace) {
+    if (!merged) return;
+    for (const auto& span : attempt_trace.spans()) {
+      merged->add(span.name, span.component, span.start, span.end,
+                  span.queue_wait, span.bytes, span.status);
+    }
+  }
+
+  void finish(const RequestResult& last, bool timed_out) {
+    RequestResult result;
+    result.status = last.status;
+    result.latency = loop->now() - send;
+    result.served_by = last.served_by;
+    result.attempts = attempt;
+    result.timed_out = timed_out;
+    result.trace = merged;
+    done(result);
+  }
+};
+
+void run_attempt(std::shared_ptr<RetryState> st);
+
+/// Classifies `result` (produced at loop->now()): either it ends the
+/// request, or — retryable status, attempts left, budget admits — the next
+/// attempt is scheduled after backoff.
+void settle_attempt(const std::shared_ptr<RetryState>& st,
+                    const RequestResult& result, bool timed_out) {
+  const bool want_retry = st->policy.retryable(result.status) &&
+                          st->attempt < st->policy.max_attempts;
+  const bool admitted =
+      want_retry && (st->budget == nullptr || st->budget->try_acquire());
+  if (!admitted) {
+    st->finish(result, timed_out);
+    return;
+  }
+  const sim::Duration wait =
+      st->policy.backoff_before(st->attempt + 1, *st->rng);
+  const sim::TimePoint wait_start = st->loop->now();
+  st->loop->schedule(wait, [st, wait_start]() {
+    if (st->merged && st->loop->now() > wait_start) {
+      st->merged->add("retry/backoff", telemetry::Component::kRetry,
+                      wait_start, st->loop->now());
+    }
+    run_attempt(st);
+  });
+}
+
+void run_attempt(std::shared_ptr<RetryState> st) {
+  ++st->attempt;
+  const sim::TimePoint attempt_start = st->loop->now();
+  // First writer wins: either the dataplane's completion or the per-try
+  // timeout. The loser finds `*settled` set and backs off.
+  auto settled = std::make_shared<bool>(false);
+  auto timeout = std::make_shared<sim::EventHandle>();
+
+  if (st->policy.per_try_timeout > 0) {
+    *timeout = st->loop->schedule(
+        st->policy.per_try_timeout, [st, settled, attempt_start]() {
+          if (*settled) return;
+          *settled = true;
+          if (st->merged) {
+            // The abandoned attempt's own spans never arrive; one kRetry
+            // span covers its window so the merged trace stays gapless.
+            st->merged->add(
+                "retry/timeout-attempt-" + std::to_string(st->attempt),
+                telemetry::Component::kRetry, attempt_start, st->loop->now(),
+                0, 0, 504);
+          }
+          RequestResult timed_out;
+          timed_out.status = 504;
+          timed_out.timed_out = true;
+          settle_attempt(st, timed_out, /*timed_out=*/true);
+        });
+  }
+
+  st->mesh->send_request(st->opts, [st, settled,
+                                    timeout](RequestResult result) {
+    if (*settled) return;  // attempt already abandoned by the timeout
+    *settled = true;
+    timeout->cancel();
+    if (result.trace) st->append_attempt_trace(*result.trace);
+    settle_attempt(st, result, /*timed_out=*/false);
+  });
+}
+
+}  // namespace
+
+void MeshDataplane::send_request_with_retries(const RequestOptions& opts,
+                                              const RetryPolicy& policy,
+                                              sim::Rng& rng,
+                                              RequestCallback done,
+                                              RetryBudget* budget) {
+  auto st = std::make_shared<RetryState>();
+  st->mesh = this;
+  st->loop = &event_loop();
+  st->opts = opts;
+  st->policy = policy;
+  st->rng = &rng;
+  st->budget = budget;
+  st->done = std::move(done);
+  st->send = st->loop->now();
+  if (opts.trace) st->merged = std::make_shared<telemetry::Trace>();
+  if (budget != nullptr) budget->on_request();
+  run_attempt(std::move(st));
+}
+
 http::Request build_request(const RequestOptions& opts) {
   http::Request req;
   req.method = opts.method;
@@ -81,7 +255,6 @@ http::Request build_request(const RequestOptions& opts) {
 
 void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
   const sim::TimePoint start = loop_.now();
-  k8s::Service* service = cluster_.find_service(opts.dst_service);
   auto trace =
       opts.trace ? std::make_shared<telemetry::Trace>() : nullptr;
   auto finish = [this, start, trace, done = std::move(done)](
@@ -93,6 +266,11 @@ void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
     result.trace = trace;
     done(result);
   };
+  if (opts.client == nullptr) {
+    finish(400, net::PodId{});
+    return;
+  }
+  k8s::Service* service = cluster_.find_service(opts.dst_service);
   if (service == nullptr) {
     finish(404, net::PodId{});
     return;
@@ -102,8 +280,14 @@ void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
     finish(503, net::PodId{});
     return;
   }
+  if (net_.dropped(rng_, start)) {
+    // The request is lost on the wire: `done` never fires. Only a per-try
+    // timeout in the retry layer recovers from this.
+    return;
+  }
   k8s::Pod* target = endpoints[rr_++ % endpoints.size()];
-  const sim::Duration hop = net_.hop(opts.client->node(), target->node());
+  const sim::Duration hop =
+      net_.hop_at(opts.client->node(), target->node(), start);
   auto req = std::make_shared<http::Request>(build_request(opts));
   loop_.schedule(hop, [this, req, target, hop, trace, start,
                        finish = std::move(finish)]() mutable {

@@ -19,21 +19,47 @@
 #include "net/flow.h"
 #include "net/ids.h"
 #include "proxy/engine.h"
+#include "sim/fault.h"
+#include "sim/rng.h"
 #include "sim/time.h"
 #include "telemetry/trace.h"
 
 namespace canal::mesh {
 
-/// Latency profile of the underlying network fabric.
+/// Latency profile of the underlying network fabric, plus an optional
+/// fault schedule that degrades it (loss / latency spikes) during windows.
 struct NetworkProfile {
   sim::Duration intra_node = sim::microseconds(20);
   sim::Duration intra_az = sim::microseconds(100);
   sim::Duration cross_az = sim::microseconds(500);
+  /// Not owned; when set, link hops honour its loss/latency windows.
+  const sim::FaultPlan* faults = nullptr;
 
-  /// One-way transit between two nodes.
+  /// One-way transit between two nodes (fault-free baseline).
   [[nodiscard]] sim::Duration hop(const k8s::Node& a, const k8s::Node& b) const {
     if (&a == &b) return intra_node;
     return a.az() == b.az() ? intra_az : cross_az;
+  }
+
+  /// One-way transit at simulated time `now`, including any active
+  /// latency-spike windows from the fault plan.
+  [[nodiscard]] sim::Duration hop_at(const k8s::Node& a, const k8s::Node& b,
+                                     sim::TimePoint now) const {
+    return hop(a, b) + fault_latency(now);
+  }
+
+  /// Extra per-hop latency injected by the fault plan at `now`.
+  [[nodiscard]] sim::Duration fault_latency(sim::TimePoint now) const {
+    return faults != nullptr ? faults->extra_link_latency_at(now) : 0;
+  }
+
+  /// Draws one loss decision for a request entering the fabric at `now`.
+  /// A dropped request vanishes — the caller's completion never fires, so
+  /// only a per-try timeout (RetryPolicy) can recover from it.
+  [[nodiscard]] bool dropped(sim::Rng& rng, sim::TimePoint now) const {
+    if (faults == nullptr) return false;
+    const double loss = faults->link_loss_at(now);
+    return loss > 0.0 && rng.chance(loss);
   }
 };
 
@@ -57,6 +83,12 @@ struct RequestResult {
   int status = 0;
   sim::Duration latency = 0;
   net::PodId served_by{};
+  /// Attempts made to produce this result (1 = no retries). Only the
+  /// retry layer (send_request_with_retries) ever sets this above 1.
+  std::uint32_t attempts = 1;
+  /// True when the final attempt was abandoned by the per-try timeout
+  /// (status 504) rather than answered by the dataplane.
+  bool timed_out = false;
   /// Populated iff RequestOptions.trace was set: ordered spans whose
   /// durations tile [send, done] — they sum exactly to `latency`.
   std::shared_ptr<telemetry::Trace> trace;
@@ -66,6 +98,70 @@ struct RequestResult {
 };
 
 using RequestCallback = std::function<void(RequestResult)>;
+
+/// Client-side retry/timeout policy, applied identically on top of any
+/// dataplane by MeshDataplane::send_request_with_retries. Backoff is capped
+/// exponential with deterministic jitter drawn from the caller's Rng, so a
+/// fixed seed reproduces the exact retry schedule.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  std::uint32_t max_attempts = 3;
+  /// Abandon an attempt (classify as 504) after this long; 0 disables.
+  sim::Duration per_try_timeout = 0;
+  /// Backoff before attempt k (k >= 2) is base * 2^(k-2), capped.
+  sim::Duration base_backoff = sim::milliseconds(1);
+  sim::Duration max_backoff = sim::milliseconds(50);
+  /// Fraction of the backoff randomized: wait = backoff * (1 - jitter +
+  /// jitter * u), u ~ U[0,1). 0 = fixed schedule.
+  double jitter = 0.5;
+
+  /// Statuses worth another attempt: upstream connect failure (502), no
+  /// healthy endpoint / overload (503), per-try timeout (504).
+  [[nodiscard]] bool retryable(int status) const noexcept {
+    return status == 502 || status == 503 || status == 504;
+  }
+
+  /// Backoff wait before attempt `attempt` (2-based; attempt 1 never
+  /// waits). Deterministic given the Rng state.
+  [[nodiscard]] sim::Duration backoff_before(std::uint32_t attempt,
+                                             sim::Rng& rng) const;
+};
+
+/// Shared retry-rate limiter (Envoy-style budget): retries are admitted
+/// while outstanding retries stay within `ratio` of recent requests plus a
+/// fixed `burst` floor. Prevents retry storms from amplifying an outage.
+class RetryBudget {
+ public:
+  explicit RetryBudget(double ratio = 0.2, std::uint32_t burst = 3)
+      : ratio_(ratio), burst_(burst) {}
+
+  /// Records one logical request entering the retry layer.
+  void on_request() noexcept { ++requests_; }
+
+  /// Tries to admit one retry; false means the budget is exhausted and the
+  /// current result must stand.
+  [[nodiscard]] bool try_acquire() noexcept {
+    const double allowed =
+        ratio_ * static_cast<double>(requests_) + static_cast<double>(burst_);
+    if (static_cast<double>(retries_ + 1) > allowed) {
+      ++denied_;
+      return false;
+    }
+    ++retries_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t denied() const noexcept { return denied_; }
+
+ private:
+  double ratio_;
+  std::uint32_t burst_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t denied_ = 0;
+};
 
 /// A service mesh dataplane + its control-plane footprint.
 class MeshDataplane {
@@ -78,6 +174,24 @@ class MeshDataplane {
   /// fires when the response arrives back at the client.
   virtual void send_request(const RequestOptions& opts,
                             RequestCallback done) = 0;
+
+  /// The event loop this dataplane schedules on (used by the retry layer
+  /// for per-try timeouts and backoff waits).
+  [[nodiscard]] virtual sim::EventLoop& event_loop() noexcept = 0;
+
+  /// Sends one request with client-side retries/timeouts layered on top of
+  /// send_request(). Retryable failures (502/503/504 per `policy`) are
+  /// retried up to policy.max_attempts with capped exponential backoff;
+  /// attempts that exceed policy.per_try_timeout are abandoned and counted
+  /// as 504. When `budget` is non-null, each retry must be admitted by it.
+  /// The final RequestResult carries the total attempt count, and — when
+  /// tracing — a merged Trace whose spans still tile [send, done]: spans of
+  /// completed attempts verbatim, plus kRetry spans covering abandoned
+  /// attempts and backoff waits.
+  void send_request_with_retries(const RequestOptions& opts,
+                                 const RetryPolicy& policy, sim::Rng& rng,
+                                 RequestCallback done,
+                                 RetryBudget* budget = nullptr);
 
   /// Proxies that must be configured when a routing policy changes.
   [[nodiscard]] virtual std::vector<k8s::ConfigTarget>
@@ -125,13 +239,17 @@ void refresh_endpoints(proxy::ProxyEngine& engine, const k8s::Service& service);
 /// Direct pod-to-pod dataplane: the "No service mesh" baseline of Fig 10.
 class NoMesh final : public MeshDataplane {
  public:
-  NoMesh(sim::EventLoop& loop, k8s::Cluster& cluster, NetworkProfile net = {})
-      : loop_(loop), cluster_(cluster), net_(net) {}
+  NoMesh(sim::EventLoop& loop, k8s::Cluster& cluster, NetworkProfile net = {},
+         std::uint64_t seed = 0x6e6f2d6d657368ULL)
+      : loop_(loop), cluster_(cluster), net_(net), rng_(seed) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "no-mesh";
   }
   void send_request(const RequestOptions& opts, RequestCallback done) override;
+  [[nodiscard]] sim::EventLoop& event_loop() noexcept override {
+    return loop_;
+  }
   [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
       const override {
     return {};
@@ -148,6 +266,7 @@ class NoMesh final : public MeshDataplane {
   sim::EventLoop& loop_;
   k8s::Cluster& cluster_;
   NetworkProfile net_;
+  sim::Rng rng_;  ///< loss decisions under an armed fault plan
   std::size_t rr_ = 0;
 };
 

@@ -87,11 +87,20 @@ void IstioMesh::send_request(const RequestOptions& opts,
     [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
   };
   auto st = std::make_shared<State>();
-  st->req = build_request(opts);
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
   if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
+  if (opts.client == nullptr) {
+    // Malformed request: no originating pod. Fail fast instead of
+    // dereferencing null below.
+    RequestResult result;
+    result.status = 400;
+    result.trace = st->trace;
+    st->done(result);
+    return;
+  }
+  st->req = build_request(opts);
   st->tuple = net::FiveTuple{opts.client->ip(), service_vip(opts.dst_service),
                              next_port_++, 80, net::Protocol::kTcp};
   if (next_port_ < 10000) next_port_ = 10000;
@@ -119,6 +128,13 @@ void IstioMesh::send_request(const RequestOptions& opts,
   }
   st->client_sc = sc_it->second.engine.get();
 
+  if (config_.network.dropped(rng_, st->start)) {
+    // Lost on the wire: `done` never fires; only a per-try timeout in the
+    // retry layer recovers. One loss draw per attempt keeps runs
+    // reproducible for a fixed seed.
+    return;
+  }
+
   // Outbound: app -> (iptables) client sidecar: L7 route + endpoint pick.
   st->client_sc->handle_request(
       st->tuple, opts.dst_service, opts.new_connection, st->req,
@@ -140,8 +156,8 @@ void IstioMesh::send_request(const RequestOptions& opts,
           return;
         }
         st->server_sc = server_it->second.engine.get();
-        const sim::Duration hop =
-            config_.network.hop(st->opts.client->node(), st->target->node());
+        const sim::Duration hop = config_.network.hop_at(
+            st->opts.client->node(), st->target->node(), loop_.now());
 
         // Wire transit, then inbound through the server-side sidecar.
         const sim::TimePoint wire_out = loop_.now();

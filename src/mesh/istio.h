@@ -48,6 +48,9 @@ class IstioMesh final : public MeshDataplane {
     return "istio";
   }
   void send_request(const RequestOptions& opts, RequestCallback done) override;
+  [[nodiscard]] sim::EventLoop& event_loop() noexcept override {
+    return loop_;
+  }
   [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
       const override;
   [[nodiscard]] std::vector<k8s::ConfigTarget> pod_create_targets(

@@ -92,7 +92,9 @@ class ProxyEngine {
   /// Processes one request arriving on connection `tuple` for
   /// `dst_service`. Charges redirection/session/TLS/L4/L7 costs on a core
   /// pinned by flow hash, resolves the route table (L7) and picks an
-  /// upstream endpoint. `req` may be mutated by route actions. When `trace`
+  /// upstream endpoint. `req` may be mutated by route actions and is held
+  /// by reference across the (asynchronous) CPU hops: it must stay alive
+  /// and at a stable address until `done` fires. When `trace`
   /// is non-null, appends handshake and L4/L7 spans (with queue-wait vs
   /// service-time split) covering the whole time until `done` fires.
   void handle_request(const net::FiveTuple& tuple, net::ServiceId dst_service,

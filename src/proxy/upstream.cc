@@ -8,22 +8,26 @@ namespace canal::proxy {
 UpstreamEndpoint& UpstreamCluster::add_endpoint(net::Endpoint address,
                                                 std::uint64_t key,
                                                 std::uint32_t weight) {
-  endpoints_.push_back(UpstreamEndpoint{address, key, weight, true, 0});
-  return endpoints_.back();
+  endpoints_.push_back(std::make_unique<UpstreamEndpoint>(
+      UpstreamEndpoint{address, key, weight, true, 0}));
+  return *endpoints_.back();
 }
 
 bool UpstreamCluster::remove_endpoint(std::uint64_t key) {
   const auto it = std::find_if(endpoints_.begin(), endpoints_.end(),
-                               [&](const auto& e) { return e.key == key; });
+                               [&](const auto& e) { return e->key == key; });
   if (it == endpoints_.end()) return false;
+  const auto index = static_cast<std::size_t>(it - endpoints_.begin());
   endpoints_.erase(it);
+  // Keep the round-robin cursor pointing at the same next endpoint.
+  if (rr_cursor_ > index) --rr_cursor_;
   if (rr_cursor_ >= endpoints_.size()) rr_cursor_ = 0;
   return true;
 }
 
 UpstreamEndpoint* UpstreamCluster::find_endpoint(std::uint64_t key) {
   for (auto& e : endpoints_) {
-    if (e.key == key) return &e;
+    if (e->key == key) return e.get();
   }
   return nullptr;
 }
@@ -31,7 +35,7 @@ UpstreamEndpoint* UpstreamCluster::find_endpoint(std::uint64_t key) {
 std::size_t UpstreamCluster::healthy_count() const {
   return static_cast<std::size_t>(
       std::count_if(endpoints_.begin(), endpoints_.end(),
-                    [](const auto& e) { return e.healthy; }));
+                    [](const auto& e) { return e->healthy; }));
 }
 
 UpstreamEndpoint* UpstreamCluster::pick(sim::Rng& rng) {
@@ -39,7 +43,7 @@ UpstreamEndpoint* UpstreamCluster::pick(sim::Rng& rng) {
   switch (policy_) {
     case LbPolicy::kRoundRobin: {
       for (std::size_t tries = 0; tries < endpoints_.size(); ++tries) {
-        UpstreamEndpoint& e = endpoints_[rr_cursor_];
+        UpstreamEndpoint& e = *endpoints_[rr_cursor_];
         rr_cursor_ = (rr_cursor_ + 1) % endpoints_.size();
         if (e.healthy) return &e;
       }
@@ -49,15 +53,15 @@ UpstreamEndpoint* UpstreamCluster::pick(sim::Rng& rng) {
       // Weighted random over healthy endpoints.
       std::uint64_t total = 0;
       for (const auto& e : endpoints_) {
-        if (e.healthy) total += e.weight;
+        if (e->healthy) total += e->weight;
       }
       if (total == 0) return nullptr;
       auto draw = static_cast<std::uint64_t>(rng.uniform() *
                                              static_cast<double>(total));
       for (auto& e : endpoints_) {
-        if (!e.healthy) continue;
-        if (draw < e.weight) return &e;
-        draw -= e.weight;
+        if (!e->healthy) continue;
+        if (draw < e->weight) return e.get();
+        draw -= e->weight;
       }
       return nullptr;
     }
@@ -65,9 +69,9 @@ UpstreamEndpoint* UpstreamCluster::pick(sim::Rng& rng) {
       UpstreamEndpoint* best = nullptr;
       std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
       for (auto& e : endpoints_) {
-        if (e.healthy && e.active_requests < best_load) {
-          best_load = e.active_requests;
-          best = &e;
+        if (e->healthy && e->active_requests < best_load) {
+          best_load = e->active_requests;
+          best = e.get();
         }
       }
       return best;

@@ -42,7 +42,10 @@ class UpstreamCluster {
   /// Picks a healthy endpoint per policy; nullptr if none are healthy.
   [[nodiscard]] UpstreamEndpoint* pick(sim::Rng& rng);
 
-  [[nodiscard]] const std::vector<UpstreamEndpoint>& endpoints() const {
+  /// Endpoints are heap-allocated so UpstreamEndpoint* stays valid across
+  /// add/remove — callers hold raw pointers over async request lifetimes.
+  [[nodiscard]] const std::vector<std::unique_ptr<UpstreamEndpoint>>&
+  endpoints() const {
     return endpoints_;
   }
   [[nodiscard]] std::size_t healthy_count() const;
@@ -50,7 +53,7 @@ class UpstreamCluster {
  private:
   std::string name_;
   LbPolicy policy_;
-  std::vector<UpstreamEndpoint> endpoints_;
+  std::vector<std::unique_ptr<UpstreamEndpoint>> endpoints_;
   std::size_t rr_cursor_ = 0;
 };
 

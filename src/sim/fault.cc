@@ -1,0 +1,85 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+namespace canal::sim {
+
+FaultPlan& FaultPlan::crash_pod(TimePoint at, std::uint64_t pod) {
+  pod_events_.push_back({at, pod, /*restart=*/false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart_pod(TimePoint at, std::uint64_t pod) {
+  pod_events_.push_back({at, pod, /*restart=*/true});
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_pod_for(TimePoint at, std::uint64_t pod,
+                                   Duration outage) {
+  crash_pod(at, pod);
+  restart_pod(at + outage, pod);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_loss(TimePoint start, TimePoint end, double loss) {
+  link_windows_.push_back({start, end, std::clamp(loss, 0.0, 1.0), 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_latency_spike(TimePoint start, TimePoint end,
+                                         Duration extra) {
+  link_windows_.push_back({start, end, 0.0, extra});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_gateway_replica(TimePoint at,
+                                            std::uint32_t backend,
+                                            std::size_t replica_index) {
+  gateway_events_.push_back({at, backend, replica_index, /*recover=*/false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_gateway_replica(TimePoint at,
+                                              std::uint32_t backend,
+                                              std::size_t replica_index) {
+  gateway_events_.push_back({at, backend, replica_index, /*recover=*/true});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stale_config(TimePoint start, TimePoint end,
+                                   Duration delay) {
+  config_windows_.push_back({start, end, delay});
+  return *this;
+}
+
+namespace {
+constexpr bool active(TimePoint start, TimePoint end, TimePoint t) noexcept {
+  return t >= start && t < end;
+}
+}  // namespace
+
+double FaultPlan::link_loss_at(TimePoint t) const {
+  double loss = 0.0;
+  for (const auto& w : link_windows_) {
+    if (active(w.start, w.end, t)) loss = std::max(loss, w.loss);
+  }
+  return loss;
+}
+
+Duration FaultPlan::extra_link_latency_at(TimePoint t) const {
+  Duration extra = 0;
+  for (const auto& w : link_windows_) {
+    if (active(w.start, w.end, t)) extra += w.extra_latency;
+  }
+  return extra;
+}
+
+Duration FaultPlan::config_delay_at(TimePoint t) const {
+  Duration delay = 0;
+  for (const auto& w : config_windows_) {
+    if (active(w.start, w.end, t)) delay = std::max(delay, w.delay);
+  }
+  return delay;
+}
+
+}  // namespace canal::sim

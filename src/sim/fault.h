@@ -1,0 +1,111 @@
+// Declarative fault injection for simulations.
+//
+// A FaultPlan is a schedule of failures expressed purely in simulation
+// terms — pod crash/restart instants, per-link loss and latency-spike
+// windows, gateway replica crashes, and stale-configuration windows on the
+// control plane. The plan itself is inert data: higher layers (the mesh
+// NetworkProfile for link faults, canal::core::FaultInjector for pod and
+// gateway faults) consult or arm it. Keeping the plan in sim/ lets every
+// dataplane share one failure model without sim/ depending on k8s or mesh
+// types; object identifiers are carried as raw integers
+// (net::id_value(...) of the strong IDs).
+//
+// Determinism: the plan holds no randomness. Loss decisions are drawn by
+// the consumer from its own seeded Rng, so a fixed seed reproduces the
+// exact same failure behaviour run after run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace canal::sim {
+
+/// One scheduled pod lifecycle fault.
+struct PodFaultEvent {
+  TimePoint at = 0;
+  std::uint64_t pod = 0;  ///< net::id_value of the PodId
+  bool restart = false;   ///< false = crash (Terminated), true = restart
+};
+
+/// While active, every link hop may drop packets and/or run slower.
+struct LinkFaultWindow {
+  TimePoint start = 0;
+  TimePoint end = 0;
+  double loss = 0.0;           ///< drop probability per request packet
+  Duration extra_latency = 0;  ///< added to each link hop
+};
+
+/// One scheduled gateway replica fault (crash or recovery). The replica is
+/// addressed by backend id + index so plans can be written before replica
+/// IDs exist.
+struct GatewayFaultEvent {
+  TimePoint at = 0;
+  std::uint32_t backend = 0;  ///< net::id_value of the BackendId
+  std::size_t replica_index = 0;
+  bool recover = false;  ///< false = crash, true = recover
+};
+
+/// While active, control-plane notifications (endpoint refreshes after a
+/// pod restart) are delivered `delay` late — the stale-config failure mode.
+struct ConfigDelayWindow {
+  TimePoint start = 0;
+  TimePoint end = 0;
+  Duration delay = 0;
+};
+
+/// A complete, immutable-once-armed failure schedule.
+class FaultPlan {
+ public:
+  // --- builders -------------------------------------------------------
+  FaultPlan& crash_pod(TimePoint at, std::uint64_t pod);
+  FaultPlan& restart_pod(TimePoint at, std::uint64_t pod);
+  /// Crash at `at`, restart `outage` later.
+  FaultPlan& kill_pod_for(TimePoint at, std::uint64_t pod, Duration outage);
+  FaultPlan& link_loss(TimePoint start, TimePoint end, double loss);
+  FaultPlan& link_latency_spike(TimePoint start, TimePoint end,
+                                Duration extra);
+  FaultPlan& crash_gateway_replica(TimePoint at, std::uint32_t backend,
+                                   std::size_t replica_index);
+  FaultPlan& recover_gateway_replica(TimePoint at, std::uint32_t backend,
+                                     std::size_t replica_index);
+  FaultPlan& stale_config(TimePoint start, TimePoint end, Duration delay);
+
+  // --- schedule accessors --------------------------------------------
+  [[nodiscard]] const std::vector<PodFaultEvent>& pod_events() const noexcept {
+    return pod_events_;
+  }
+  [[nodiscard]] const std::vector<LinkFaultWindow>& link_windows()
+      const noexcept {
+    return link_windows_;
+  }
+  [[nodiscard]] const std::vector<GatewayFaultEvent>& gateway_events()
+      const noexcept {
+    return gateway_events_;
+  }
+  [[nodiscard]] const std::vector<ConfigDelayWindow>& config_windows()
+      const noexcept {
+    return config_windows_;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return pod_events_.empty() && link_windows_.empty() &&
+           gateway_events_.empty() && config_windows_.empty();
+  }
+
+  // --- point-in-time queries (used on the request hot path) -----------
+  /// Packet-drop probability at `t` (max over active windows).
+  [[nodiscard]] double link_loss_at(TimePoint t) const;
+  /// Extra per-hop latency at `t` (sum over active windows).
+  [[nodiscard]] Duration extra_link_latency_at(TimePoint t) const;
+  /// Control-plane notification delay at `t` (max over active windows).
+  [[nodiscard]] Duration config_delay_at(TimePoint t) const;
+
+ private:
+  std::vector<PodFaultEvent> pod_events_;
+  std::vector<LinkFaultWindow> link_windows_;
+  std::vector<GatewayFaultEvent> gateway_events_;
+  std::vector<ConfigDelayWindow> config_windows_;
+};
+
+}  // namespace canal::sim

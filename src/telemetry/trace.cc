@@ -26,6 +26,7 @@ std::string_view component_name(Component c) {
     case Component::kL7: return "l7";
     case Component::kDisaggregation: return "disaggregation";
     case Component::kApp: return "app";
+    case Component::kRetry: return "retry";
   }
   return "unknown";
 }

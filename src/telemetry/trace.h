@@ -31,6 +31,9 @@ enum class Component {
   kL7,              ///< L7 parse + route (sidecar, waypoint, gw replica)
   kDisaggregation,  ///< VXLAN session-aggregation tunnel disaggregation
   kApp,             ///< application service time
+  kRetry,           ///< retry-layer backoff wait or abandoned (timed-out)
+                    ///< attempt — the time a request spent on attempts that
+                    ///< did not produce its response
 };
 
 [[nodiscard]] std::string_view component_name(Component c);

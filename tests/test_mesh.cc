@@ -2,9 +2,16 @@
 // sidecars), Ambient (ztunnel + waypoint).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
+#include "canal/canal_mesh.h"
+#include "canal/gateway.h"
+#include "canal/proxyless.h"
 #include "mesh/ambient.h"
 #include "mesh/dataplane.h"
 #include "mesh/istio.h"
+#include "proxy/engine.h"
 
 namespace canal::mesh {
 namespace {
@@ -325,6 +332,200 @@ TEST(Comparative, IstioSaturatesBeforeAmbient) {
   const double istio_p99 = drive(istio);
   const double ambient_p99 = drive(ambient);
   EXPECT_GT(istio_p99, ambient_p99);
+}
+
+// ---- service_vip regression ----------------------------------------------
+
+TEST(ConfigHelpers, ServiceVipDistinctBeyond16BitCounters) {
+  // The old mapping truncated the counter to 16 bits, silently aliasing
+  // service 1 with service 2^16 + 1.
+  const auto low = service_vip(static_cast<net::ServiceId>(1));
+  const auto wrapped = service_vip(static_cast<net::ServiceId>(0x10001));
+  const auto high = service_vip(static_cast<net::ServiceId>(0x10000));
+  EXPECT_NE(low, wrapped);
+  EXPECT_NE(low, high);
+  EXPECT_NE(wrapped, high);
+}
+
+TEST(ConfigHelpers, ServiceVipIgnoresTenantBits) {
+  // ServiceId is (tenant << 32) | counter; tenants share the VIP range by
+  // design (VNIs differentiate them), so only the counter matters.
+  const auto tenant1 = service_vip(static_cast<net::ServiceId>(5));
+  const auto tenant2 =
+      service_vip(static_cast<net::ServiceId>((7ULL << 32) | 5ULL));
+  EXPECT_EQ(tenant1, tenant2);
+}
+
+TEST(ConfigHelpers, ServiceVipRejectsCounterOverflow) {
+  EXPECT_THROW(service_vip(static_cast<net::ServiceId>(1ULL << 24)),
+               std::invalid_argument);
+  // The largest encodable counter still works.
+  EXPECT_NO_THROW(service_vip(static_cast<net::ServiceId>((1ULL << 24) - 1)));
+}
+
+// ---- refresh_endpoints: LB state survives scale events -------------------
+
+TEST(RefreshEndpoints, ScaleUpPreservesLbState) {
+  Testbed bed;
+  sim::CpuSet cpu{bed.loop, 2};
+  proxy::ProxyEngine engine(bed.loop, cpu, proxy::ProxyEngine::Config{},
+                            sim::Rng(157));
+  refresh_endpoints(engine, *bed.backend);
+  auto* cluster =
+      engine.clusters().find(service_cluster_name(bed.backend->id));
+  ASSERT_NE(cluster, nullptr);
+  ASSERT_EQ(cluster->endpoints().size(), 3u);
+
+  // Advance the round-robin cursor past two endpoints and remember an
+  // endpoint object's identity.
+  sim::Rng rng(1);
+  static_cast<void>(cluster->pick(rng));
+  static_cast<void>(cluster->pick(rng));
+  const proxy::UpstreamEndpoint* original = cluster->find_endpoint(
+      net::id_value(bed.backend->endpoints[0]->id()));
+  ASSERT_NE(original, nullptr);
+
+  k8s::AppProfile profile;
+  profile.fast_fraction = 1.0;
+  profile.fast_service_mean = sim::milliseconds(1);
+  bed.cluster.add_pod(*bed.backend, profile)
+      .set_phase(k8s::PodPhase::kRunning);
+  refresh_endpoints(engine, *bed.backend);
+
+  EXPECT_EQ(cluster->endpoints().size(), 4u);
+  // A rebuild would have destroyed the old UpstreamEndpoint objects and
+  // reset the cursor; the in-place diff preserves both.
+  EXPECT_EQ(cluster->find_endpoint(
+                net::id_value(bed.backend->endpoints[0]->id())),
+            original);
+  EXPECT_EQ(cluster->pick(rng)->key,
+            net::id_value(bed.backend->endpoints[2]->id()));
+}
+
+// ---- Error-path matrix across every dataplane ----------------------------
+
+struct PlaneFixture {
+  Testbed bed;
+  std::unique_ptr<core::MeshGateway> gateway;
+  std::unique_ptr<crypto::KeyServer> key_server;
+  std::unique_ptr<MeshDataplane> plane;
+
+  explicit PlaneFixture(const std::string& name) {
+    if (name == "nomesh") {
+      plane = std::make_unique<NoMesh>(bed.loop, bed.cluster);
+    } else if (name == "istio") {
+      auto istio = std::make_unique<IstioMesh>(
+          bed.loop, bed.cluster, IstioMesh::Config{}, sim::Rng(31));
+      istio->install();
+      plane = std::move(istio);
+    } else if (name == "ambient") {
+      auto ambient = std::make_unique<AmbientMesh>(
+          bed.loop, bed.cluster, AmbientMesh::Config{}, sim::Rng(33));
+      ambient->install();
+      plane = std::move(ambient);
+    } else {
+      core::GatewayConfig config;
+      gateway =
+          std::make_unique<core::MeshGateway>(bed.loop, config, sim::Rng(37));
+      gateway->add_az(2);
+      key_server = std::make_unique<crypto::KeyServer>(
+          bed.loop, static_cast<net::AzId>(0), 8, sim::Rng(39));
+      if (name == "canal") {
+        auto canal = std::make_unique<core::CanalMesh>(
+            bed.loop, bed.cluster, *gateway, core::CanalMesh::Config{},
+            sim::Rng(41));
+        canal->install();
+        canal->attach_key_server(static_cast<net::AzId>(0),
+                                 key_server.get());
+        plane = std::move(canal);
+      } else {
+        auto proxyless = std::make_unique<core::ProxylessMesh>(
+            bed.loop, bed.cluster, *gateway, core::ProxylessMesh::Config{},
+            sim::Rng(43));
+        proxyless->install();
+        plane = std::move(proxyless);
+      }
+    }
+  }
+};
+
+const char* const kPlanes[] = {"nomesh", "istio", "ambient", "canal",
+                               "proxyless"};
+
+TEST(ErrorPaths, NullClientIs400OnEveryPlane) {
+  for (const char* name : kPlanes) {
+    SCOPED_TRACE(name);
+    PlaneFixture fx(name);
+    RequestOptions opts = fx.bed.request_to_backend();
+    opts.client = nullptr;
+    EXPECT_EQ(run_one(fx.bed.loop, *fx.plane, opts).status, 400);
+  }
+}
+
+TEST(ErrorPaths, UnknownServiceIs404OnEveryPlane) {
+  for (const char* name : kPlanes) {
+    SCOPED_TRACE(name);
+    PlaneFixture fx(name);
+    RequestOptions opts = fx.bed.request_to_backend();
+    opts.dst_service = static_cast<net::ServiceId>(0xDEAD);
+    EXPECT_EQ(run_one(fx.bed.loop, *fx.plane, opts).status, 404);
+  }
+}
+
+TEST(ErrorPaths, NoReadyEndpointsIs503OnEveryPlane) {
+  for (const char* name : kPlanes) {
+    SCOPED_TRACE(name);
+    PlaneFixture fx(name);
+    for (k8s::Pod* pod : fx.bed.backend->endpoints) {
+      pod->set_phase(k8s::PodPhase::kTerminated);
+    }
+    EXPECT_EQ(
+        run_one(fx.bed.loop, *fx.plane, fx.bed.request_to_backend()).status,
+        503);
+  }
+}
+
+TEST(ErrorPaths, TerminatedPodStillListedSurfaces503OnProxiedPlanes) {
+  // One of three pods dies after install; the proxies' endpoint tables
+  // still list it, so a round-robin cycle hits it once. NoMesh resolves
+  // endpoints at send time and never does.
+  for (const char* name : kPlanes) {
+    SCOPED_TRACE(name);
+    PlaneFixture fx(name);
+    fx.bed.backend->endpoints[0]->set_phase(k8s::PodPhase::kTerminated);
+    int errors = 0;
+    for (int i = 0; i < 3; ++i) {
+      const auto result =
+          run_one(fx.bed.loop, *fx.plane, fx.bed.request_to_backend());
+      if (result.status == 503) ++errors;
+    }
+    if (std::string(name) == "nomesh") {
+      EXPECT_EQ(errors, 0);
+    } else {
+      EXPECT_GE(errors, 1);
+    }
+  }
+}
+
+TEST(ErrorPaths, SessionTableExhaustionIs503) {
+  PlaneFixture fx("canal");
+  for (core::GatewayBackend* backend : fx.gateway->all_backends()) {
+    for (std::size_t r = 0; r < backend->replica_count(); ++r) {
+      auto& sessions = backend->replica(r)->engine().sessions();
+      for (std::uint32_t i = 0; i < sessions.capacity(); ++i) {
+        net::FiveTuple tuple{
+            net::Ipv4Addr(6, static_cast<std::uint8_t>(i >> 16),
+                          static_cast<std::uint8_t>(i >> 8),
+                          static_cast<std::uint8_t>(i)),
+            net::Ipv4Addr(10, 255, 0, 1), static_cast<std::uint16_t>(i), 443,
+            net::Protocol::kTcp};
+        sessions.insert(tuple, fx.bed.backend->id, fx.bed.loop.now());
+      }
+    }
+  }
+  RequestOptions opts = fx.bed.request_to_backend();
+  opts.new_connection = true;
+  EXPECT_EQ(run_one(fx.bed.loop, *fx.plane, opts).status, 503);
 }
 
 }  // namespace

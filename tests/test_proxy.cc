@@ -2,6 +2,8 @@
 // table, upstream pools, and the L4/L7 request path.
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "http/route.h"
 #include "proxy/cost_model.h"
 #include "proxy/engine.h"
@@ -487,8 +489,11 @@ TEST(Engine, CanaryWeightedSplit) {
 
   int canary = 0;
   constexpr int kN = 2000;
+  // The engine holds each request by reference until its callback fires,
+  // so the requests must outlive loop.run() at stable addresses.
+  std::deque<http::Request> requests;
   for (int i = 0; i < kN; ++i) {
-    http::Request req;
+    http::Request& req = requests.emplace_back();
     engine->handle_request(tuple_of(static_cast<std::uint16_t>(i)), kService,
                            true, req, [&](ProxyEngine::RequestOutcome o) {
                              if (o.cluster == "canary") ++canary;
