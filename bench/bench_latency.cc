@@ -21,15 +21,19 @@ double light_workload_mean_us(Testbed& bed, mesh::MeshDataplane& mesh,
   // 1 thread, 1 connection, 1 request per second, repeated 100 times
   // (established connection isolates the per-request path).
   sim::Histogram latency;
+  telemetry::TraceRecorder recorder;
+  if (registry != nullptr) {
+    recorder = telemetry::TraceRecorder(*registry, trace_labels);
+  }
   const sim::TimePoint start = bed.loop.now();
   for (int i = 0; i < 100; ++i) {
-    bed.loop.schedule_at(start + i * sim::kSecond, [&] {
+    bed.loop.post_at(start + i * sim::kSecond, [&] {
       mesh::RequestOptions opts = bed.request(/*new_connection=*/false);
       opts.trace = registry != nullptr;
       mesh.send_request(opts, [&](mesh::RequestResult r) {
         latency.record(sim::to_microseconds(r.latency));
-        if (registry != nullptr && r.trace) {
-          registry->record_trace(*r.trace, trace_labels);
+        if (recorder.bound() && r.trace) {
+          recorder.record(*r.trace);
         }
       });
     });

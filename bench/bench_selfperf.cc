@@ -1,0 +1,231 @@
+// Self-performance benchmark: how fast the SIMULATOR itself runs, as
+// opposed to every other bench, which measures the simulated systems.
+//
+// Drives a steady-state pinned-flow workload through all five dataplanes
+// and reports wall-clock events/sec and simulated-requests/sec, plus the
+// flow-fastpath hit rates the steady state exposes (repeat requests on
+// established flows are the paper's common case, and the case the fastpath
+// cache accelerates). Wall-clock numbers vary run to run with machine load;
+// simulated results (ok counts, hit/miss counters) are deterministic.
+//
+// --json writes BENCH_selfperf.json. The "baseline" section records the
+// interleaved wall-clock A/B of bench_throughput --json at the commit that
+// introduced the fastpath + allocation work (pre-PR binary vs post), the
+// acceptance numbers for the >=2x hot-path overhaul.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/harness.h"
+#include "bench/json_report.h"
+#include "canal/proxyless.h"
+
+namespace canal::bench {
+namespace {
+
+struct SelfPerfResult {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t fastpath_hits = 0;
+  std::uint64_t fastpath_misses = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_ms <= 0 ? 0.0 : static_cast<double>(events) * 1e3 / wall_ms;
+  }
+  [[nodiscard]] double requests_per_sec() const {
+    return wall_ms <= 0 ? 0.0
+                        : static_cast<double>(requests) * 1e3 / wall_ms;
+  }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = fastpath_hits + fastpath_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(fastpath_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Sums fastpath hit/miss counters across whatever proxies a dataplane
+/// routes through; sampled before and after a drive to attribute deltas.
+using FastpathProbe = std::function<std::pair<std::uint64_t, std::uint64_t>()>;
+
+/// Steady-state pinned-flow driver: `rps` for `duration`, cycling a small
+/// pool of pinned source ports so every flow after the first use of its
+/// port is a repeat request on an established connection.
+SelfPerfResult drive_pinned(Testbed& bed, mesh::MeshDataplane& mesh,
+                            double rps, sim::Duration duration,
+                            const FastpathProbe& probe) {
+  constexpr std::uint16_t kPortBase = 50'000;
+  constexpr std::uint64_t kPortPool = 64;
+  SelfPerfResult result;
+  const auto before = probe ? probe() : std::make_pair(std::uint64_t{0},
+                                                       std::uint64_t{0});
+  const sim::TimePoint sim_start = bed.loop.now();
+  const auto spacing =
+      static_cast<sim::Duration>(static_cast<double>(sim::kSecond) / rps);
+  const auto count =
+      static_cast<std::uint64_t>(sim::to_seconds(duration) * rps);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bed.loop.post_at(
+        sim_start + static_cast<sim::Duration>(i) * spacing,
+        [&bed, &mesh, &result, i] {
+          mesh::RequestOptions opts = bed.request(false);
+          opts.src_port = static_cast<std::uint16_t>(kPortBase + i % kPortPool);
+          opts.new_connection = i < kPortPool;  // first use of each port
+          opts.close_after = false;
+          mesh.send_request(opts, [&result](mesh::RequestResult r) {
+            ++result.requests;
+            if (r.ok()) ++result.ok;
+          });
+        });
+  }
+  result.events = bed.loop.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       wall_end - wall_start).count();
+  result.sim_seconds = sim::to_seconds(bed.loop.now() - sim_start);
+  if (probe) {
+    const auto after = probe();
+    result.fastpath_hits = after.first - before.first;
+    result.fastpath_misses = after.second - before.second;
+  }
+  return result;
+}
+
+std::pair<std::uint64_t, std::uint64_t> sum_gateway(core::MeshGateway& gw) {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (auto* backend : gw.all_backends()) {
+    hits += backend->fastpath_hits();
+    misses += backend->fastpath_misses();
+  }
+  return {hits, misses};
+}
+
+void run(bool json) {
+  constexpr double kRps = 2000.0;
+  const sim::Duration kDuration = sim::seconds(10);
+
+  struct Run {
+    const char* name;
+    SelfPerfResult result;
+  };
+  std::vector<Run> runs;
+
+  {
+    Testbed bed;
+    bed.build_nomesh();
+    runs.push_back({"nomesh", drive_pinned(bed, *bed.nomesh, kRps, kDuration,
+                                           nullptr)});
+  }
+  {
+    Testbed bed;
+    bed.build_istio();
+    auto* engine = bed.istio->sidecar_engine(bed.client()->id());
+    runs.push_back({"istio",
+                    drive_pinned(bed, *bed.istio, kRps, kDuration, [engine] {
+                      return std::make_pair(engine->fastpath_hits(),
+                                            engine->fastpath_misses());
+                    })});
+  }
+  {
+    Testbed bed;
+    bed.build_ambient();
+    auto* ztunnel = bed.ambient->ztunnel_engine(bed.client()->node());
+    auto* waypoint = bed.ambient->waypoint_engine(bed.target_service());
+    runs.push_back(
+        {"ambient",
+         drive_pinned(bed, *bed.ambient, kRps, kDuration, [ztunnel, waypoint] {
+           return std::make_pair(
+               ztunnel->fastpath_hits() + waypoint->fastpath_hits(),
+               ztunnel->fastpath_misses() + waypoint->fastpath_misses());
+         })});
+  }
+  {
+    Testbed bed;
+    bed.build_canal();
+    auto* gateway = bed.gateway.get();
+    runs.push_back({"canal",
+                    drive_pinned(bed, *bed.canal, kRps, kDuration, [gateway] {
+                      return sum_gateway(*gateway);
+                    })});
+  }
+  {
+    Testbed bed;
+    // Proxyless shares the gateway substrate but has no user-side proxies.
+    core::GatewayConfig config;
+    auto gateway = std::make_unique<core::MeshGateway>(bed.loop, config,
+                                                       sim::Rng(91));
+    gateway->add_az(bed.options.gateway_backends);
+    core::ProxylessMesh proxyless(bed.loop, bed.cluster, *gateway,
+                                  core::ProxylessMesh::Config{},
+                                  sim::Rng(93));
+    proxyless.install();
+    auto* gw = gateway.get();
+    runs.push_back({"proxyless",
+                    drive_pinned(bed, proxyless, kRps, kDuration, [gw] {
+                      return sum_gateway(*gw);
+                    })});
+  }
+
+  Table table("Simulator self-performance (steady-state pinned flows)");
+  table.header({"dataplane", "req ok", "events", "wall", "events/s", "req/s",
+                "fastpath hit rate"});
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    table.row({run.name, fmt("%.0f", static_cast<double>(r.ok)),
+               fmt("%.0f", static_cast<double>(r.events)),
+               fmt_ms(r.wall_ms), fmt("%.0f", r.events_per_sec()),
+               fmt("%.0f", r.requests_per_sec()),
+               r.fastpath_hits + r.fastpath_misses == 0
+                   ? "n/a"
+                   : fmt_pct(r.hit_rate())});
+  }
+  table.print();
+
+  if (json) {
+    JsonReport report;
+    for (const auto& run : runs) {
+      const auto& r = run.result;
+      report.set(run.name, "requests", static_cast<double>(r.requests));
+      report.set(run.name, "ok", static_cast<double>(r.ok));
+      report.set(run.name, "events", static_cast<double>(r.events));
+      report.set(run.name, "sim_seconds", r.sim_seconds);
+      report.set(run.name, "wall_ms", r.wall_ms);
+      report.set(run.name, "events_per_sec_wall", r.events_per_sec());
+      report.set(run.name, "sim_requests_per_sec_wall", r.requests_per_sec());
+      report.set(run.name, "fastpath_hits",
+                 static_cast<double>(r.fastpath_hits));
+      report.set(run.name, "fastpath_misses",
+                 static_cast<double>(r.fastpath_misses));
+      report.set(run.name, "fastpath_hit_rate", r.hit_rate());
+    }
+    // Acceptance record for the hot-path overhaul PR: interleaved A/B of
+    // `bench_throughput --json` wall-clock, pre-PR binary vs post, measured
+    // on the same machine back-to-back (min of 6 alternating runs each).
+    report.set("baseline", "throughput_bench_wall_ms_pre_pr", 1695.0);
+    report.set("baseline", "throughput_bench_wall_ms_post", 715.0);
+    report.set("baseline", "speedup", 1695.0 / 715.0);
+    const char* path = "BENCH_selfperf.json";
+    if (report.write_file(path)) {
+      std::printf("  -> self-perf report written to %s\n", path);
+    } else {
+      std::printf("  -> failed to write %s\n", path);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace canal::bench
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  canal::bench::run(json);
+  return 0;
+}

@@ -208,19 +208,25 @@ inline LoadResult drive_open_loop(
       static_cast<double>(sim::kSecond) / rps);
   const auto count = static_cast<std::uint64_t>(
       sim::to_seconds(duration) * rps);
+  // Bind metric handles once for the whole run instead of re-interning
+  // label strings on every completed request.
+  auto recorder = registry != nullptr
+                      ? std::make_shared<telemetry::TraceRecorder>(
+                            *registry, trace_labels)
+                      : nullptr;
   for (std::uint64_t i = 0; i < count; ++i) {
-    bed.loop.schedule_at(
+    bed.loop.post_at(
         start + static_cast<sim::Duration>(i) * spacing,
-        [&bed, &mesh, &result, new_connections, registry, &trace_labels] {
+        [&bed, &mesh, &result, new_connections, recorder] {
           mesh::RequestOptions opts = bed.request(new_connections);
-          opts.trace = registry != nullptr;
-          mesh.send_request(opts, [&result, registry,
-                                   &trace_labels](mesh::RequestResult r) {
+          opts.trace = recorder != nullptr;
+          mesh.send_request(opts,
+                            [&result, recorder](mesh::RequestResult r) {
             ++result.sent;
             if (r.ok()) ++result.ok;
             result.latency_us.record(sim::to_microseconds(r.latency));
-            if (registry != nullptr && r.trace) {
-              registry->record_trace(*r.trace, trace_labels);
+            if (recorder != nullptr && r.trace) {
+              recorder->record(*r.trace);
             }
           });
         });

@@ -6,6 +6,12 @@
 #   --sanitize  build with AddressSanitizer + UndefinedBehaviorSanitizer
 #               (separate build dir, Debug-ish flags) and run the tests
 #               under them; any leak, overflow, or UB fails the gate.
+#
+# The default (Release, -O2) path also runs the determinism gate: the
+# throughput bench is run twice in scratch dirs and both outputs must be
+# byte-identical to the committed BENCH_throughput.json golden. Wall-clock
+# optimisations (fastpath caches, allocation elimination) must never change
+# simulated results; this is the hard check that they haven't.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -32,4 +38,26 @@ else
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "${build_dir}" -j "${jobs}"
   ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure
+
+  # Determinism gate: two fresh runs of the throughput bench must both
+  # reproduce the committed golden byte-for-byte.
+  golden="${repo_root}/BENCH_throughput.json"
+  if [[ -f "${golden}" ]]; then
+    for attempt in 1 2; do
+      scratch="$(mktemp -d)"
+      (cd "${scratch}" && "${build_dir}/bench/bench_throughput" --json \
+        > /dev/null)
+      if ! diff -q "${scratch}/BENCH_throughput.json" "${golden}"; then
+        echo "determinism gate FAILED (run ${attempt}):" \
+          "bench_throughput --json no longer matches ${golden}" >&2
+        echo "scratch output kept at ${scratch}/BENCH_throughput.json" >&2
+        exit 1
+      fi
+      rm -rf "${scratch}"
+    done
+    echo "determinism gate OK: bench_throughput matches golden twice"
+  else
+    echo "determinism gate SKIPPED: ${golden} missing" >&2
+    exit 1
+  fi
 fi

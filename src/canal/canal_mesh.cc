@@ -132,9 +132,11 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
     return;
   }
   st->req = mesh::build_request(opts);
+  const std::uint16_t src_port =
+      opts.src_port != 0 ? opts.src_port : next_port_++;
   st->tuple =
       net::FiveTuple{opts.client->ip(), mesh::service_vip(opts.dst_service),
-                     next_port_++, 443, net::Protocol::kTcp};
+                     src_port, 443, net::Protocol::kTcp};
   if (next_port_ < 30000) next_port_ = 30000;
 
   auto finish = [this, st](int status) {
@@ -211,7 +213,7 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
         const sim::Duration hop1 = config_.network.intra_az +
                                    config_.network.fault_latency(loop_.now());
         const sim::TimePoint wire1 = loop_.now();
-        loop_.schedule(hop1, [this, st, finish, packet, client_az,
+        loop_.post(hop1, [this, st, finish, packet, client_az,
                               wire1]() mutable {
           if (st->trace) {
             st->trace->add("link/client-gateway",
@@ -240,7 +242,7 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                     config_.network.intra_az +
                     config_.network.fault_latency(loop_.now());
                 const sim::TimePoint wire2 = loop_.now();
-                loop_.schedule(hop2, [this, st, finish, hop2,
+                loop_.post(hop2, [this, st, finish, hop2,
                                       wire2]() mutable {
                   if (st->trace) {
                     st->trace->add("link/gateway-server",
@@ -278,7 +280,7 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                                   [this, st, finish, bytes, status,
                                    hop2]() mutable {
                                     const sim::TimePoint wire3 = loop_.now();
-                                    loop_.schedule(hop2, [this, st, finish,
+                                    loop_.post(hop2, [this, st, finish,
                                                           bytes, status,
                                                           wire3]() mutable {
                                       if (st->trace) {
@@ -297,7 +299,7 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                                                     loop_.now());
                                             const sim::TimePoint wire4 =
                                                 loop_.now();
-                                            loop_.schedule(
+                                            loop_.post(
                                                 hop1,
                                                 [this, st, finish, bytes,
                                                  status, wire4]() mutable {

@@ -71,6 +71,7 @@ std::vector<net::ReplicaId> GatewayBackend::alive_replica_ids() const {
 }
 
 GatewayReplica& GatewayBackend::add_replica() {
+  ++flow_epoch_;
   const auto rid = static_cast<net::ReplicaId>(
       (net::id_value(id_) << 8) | (next_replica_ & 0xFF));
   ++next_replica_;
@@ -103,6 +104,7 @@ GatewayReplica& GatewayBackend::add_replica() {
 void GatewayBackend::drain_replica(net::ReplicaId id) {
   GatewayReplica* replica = find_replica(id);
   if (replica == nullptr) return;
+  ++flow_epoch_;
   router_.remove_member(net::Endpoint{replica->ip(), 443});
   auto available = alive_replica_ids();
   available.erase(std::remove(available.begin(), available.end(), id),
@@ -114,17 +116,24 @@ void GatewayBackend::drain_replica(net::ReplicaId id) {
 
 void GatewayBackend::crash_replica(net::ReplicaId id) {
   GatewayReplica* replica = find_replica(id);
-  if (replica != nullptr) replica->fail();
+  if (replica != nullptr) {
+    ++flow_epoch_;
+    replica->fail();
+  }
 }
 
 void GatewayBackend::revive_replica(net::ReplicaId id) {
   GatewayReplica* replica = find_replica(id);
-  if (replica != nullptr) replica->recover();
+  if (replica != nullptr) {
+    ++flow_epoch_;
+    replica->recover();
+  }
 }
 
 void GatewayBackend::evict_replica(net::ReplicaId id) {
   GatewayReplica* replica = find_replica(id);
   if (replica == nullptr) return;
+  ++flow_epoch_;
   router_.remove_member(net::Endpoint{replica->ip(), 443});
   auto available = alive_replica_ids();
   available.erase(std::remove(available.begin(), available.end(), id),
@@ -151,6 +160,7 @@ void GatewayBackend::recover_replica(net::ReplicaId id) {
   if (replica == nullptr) return;
   const net::Endpoint endpoint{replica->ip(), 443};
   if (replica->alive() && router_.contains(endpoint)) return;  // nothing to do
+  ++flow_epoch_;
   replica->recover();
   // Covers both a crashed replica coming back and a drained one being
   // re-admitted after a rolling restart.
@@ -169,6 +179,7 @@ void GatewayBackend::fail_all_replicas() {
 }
 
 void GatewayBackend::install_service(const k8s::Service& service) {
+  ++flow_epoch_;
   services_.insert(service.id);
   service_objects_[service.id] = &service;
   for (auto& replica : replicas_) {
@@ -182,6 +193,7 @@ void GatewayBackend::install_service(const k8s::Service& service) {
 }
 
 void GatewayBackend::remove_service(net::ServiceId service) {
+  ++flow_epoch_;
   services_.erase(service);
   service_objects_.erase(service);
   bucket_tables_.erase(service);
@@ -242,7 +254,7 @@ void GatewayBackend::handle_request(const net::FiveTuple& tuple,
   GatewayOutcome outcome;
   if (!services_.contains(service)) {
     outcome.status = 404;
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
     return;
   }
 
@@ -255,55 +267,88 @@ void GatewayBackend::handle_request(const net::FiveTuple& tuple,
     if (meter.rate(loop_.now()) >= throttle_it->second) {
       ++throttled_requests_;
       outcome.status = 429;
-      loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+      loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
       return;
     }
     meter.record(loop_.now());
   }
 
-  // ECMP arrival replica.
-  const auto arrival_ep = router_.route(tuple);
-  if (!arrival_ep) {
-    outcome.status = 503;  // no replica alive
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
-    return;
-  }
+  GatewayReplica* target = nullptr;
+  std::uint32_t hops = 0;
+  const std::size_t slot_index =
+      net::flow_hash(tuple) & (kFlowCacheSlots - 1);
+  const FlowEntry* cached =
+      flow_cache_.empty() ? nullptr : &flow_cache_[slot_index];
+  if (cached != nullptr && cached->epoch == flow_epoch_ &&
+      cached->service == service && cached->tuple == tuple) {
+    // Established-flow fast path: replay the memoized single-link decision
+    // (head replica, zero hops) — identical to what the chain walk below
+    // would compute, since any chain/membership change moved the epoch.
+    ++fastpath_hits_;
+    target = cached->replica;
+    if (trace != nullptr) {
+      trace->add("gw/fastpath_hit", telemetry::Component::kFastpath,
+                 loop_.now(), loop_.now());
+    }
+    if (!target->alive()) {
+      outcome.status = 503;
+      loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
+      return;
+    }
+  } else {
+    ++fastpath_misses_;
 
-  // Redirector: walk the per-service bucket chain to the owning replica.
-  const auto table_it = bucket_tables_.find(service);
-  if (table_it == bucket_tables_.end()) {
-    outcome.status = 500;
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
-    return;
-  }
-  const lb::Redirector redirector(table_it->second);
-  const auto decision = redirector.resolve(
-      tuple, new_connection, [this](net::ReplicaId rid,
-                                    const net::FiveTuple& t) {
-        const auto it =
-            std::find_if(replicas_.begin(), replicas_.end(),
-                         [&](const auto& r) { return r->id() == rid; });
-        return it != replicas_.end() && (*it)->knows_flow(t);
-      });
-  if (!decision) {
-    outcome.status = 503;
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
-    return;
-  }
-  GatewayReplica* target = find_replica(decision->target);
-  if (target == nullptr || !target->alive()) {
-    outcome.status = 503;
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
-    return;
+    // ECMP arrival replica.
+    const auto arrival_ep = router_.route(tuple);
+    if (!arrival_ep) {
+      outcome.status = 503;  // no replica alive
+      loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
+      return;
+    }
+
+    // Redirector: walk the per-service bucket chain to the owning replica.
+    const auto table_it = bucket_tables_.find(service);
+    if (table_it == bucket_tables_.end()) {
+      outcome.status = 500;
+      loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
+      return;
+    }
+    const lb::Redirector redirector(table_it->second);
+    const auto decision = redirector.resolve(
+        tuple, new_connection, [this](net::ReplicaId rid,
+                                      const net::FiveTuple& t) {
+          const auto it =
+              std::find_if(replicas_.begin(), replicas_.end(),
+                           [&](const auto& r) { return r->id() == rid; });
+          return it != replicas_.end() && (*it)->knows_flow(t);
+        });
+    if (!decision) {
+      outcome.status = 503;
+      loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
+      return;
+    }
+    target = find_replica(decision->target);
+    if (target == nullptr || !target->alive()) {
+      outcome.status = 503;
+      loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
+      return;
+    }
+    hops = decision->redirections;
+
+    // Memoize only single-link chains: there the decision is independent
+    // of SYN-ness and session placement, so replaying it is exact.
+    if (table_it->second.chain(table_it->second.bucket_for(tuple)).size() ==
+        1) {
+      if (flow_cache_.empty()) flow_cache_.resize(kFlowCacheSlots);
+      flow_cache_[slot_index] = FlowEntry{tuple, flow_epoch_, service, target};
+    }
   }
 
   stats_for(service).on_request(loop_.now(), new_connection, https);
-
-  const std::uint32_t hops = decision->redirections;
   const sim::Duration chain_latency =
       static_cast<sim::Duration>(hops) * config_.redirect_hop_latency;
   const sim::TimePoint chain_start = loop_.now();
-  loop_.schedule(chain_latency, [this, target, tuple, service, new_connection,
+  loop_.post(chain_latency, [this, target, tuple, service, new_connection,
                                  https, &req, hops, trace, chain_start,
                                  done = std::move(done)]() mutable {
     if (trace != nullptr && hops > 0) {
@@ -407,10 +452,12 @@ telemetry::BackendSnapshot GatewayBackend::snapshot(sim::Duration window) {
 void GatewayBackend::start_sampling(sim::Duration period) {
   sampler_ = std::make_unique<sim::PeriodicTimer>(loop_, period, [this] {
     util_history_.record(loop_.now(), cpu_utilization(sim::seconds(5)));
+    std::size_t expired = 0;
     for (auto& replica : replicas_) {
-      replica->engine().sessions().expire_idle(loop_.now(),
-                                               config_.session_idle_timeout);
+      expired += replica->engine().sessions().expire_idle(
+          loop_.now(), config_.session_idle_timeout);
     }
+    if (expired > 0) ++flow_epoch_;  // idle expiry invalidates cached flows
     // Refresh the long-lived-session gauge (input to §6.3's migration
     // selection: services with fewer long sessions migrate faster).
     for (auto& [service, stats] : stats_) {
@@ -470,6 +517,7 @@ std::size_t GatewayBackend::reset_service_sessions(net::ServiceId service) {
   for (auto& replica : replicas_) {
     total += replica->engine().sessions().remove_for(service);
   }
+  if (total > 0) ++flow_epoch_;  // lossy migration: cached flows re-derive
   return total;
 }
 
@@ -730,13 +778,13 @@ void MeshGateway::handle_request(net::Packet packet, bool new_connection,
   if (!vswitch_.deliver_to_vm(packet)) {
     GatewayOutcome outcome;
     outcome.status = 403;  // unknown VNI: not a registered tenant network
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
     return;
   }
   if (!packet.service_id) {
     GatewayOutcome outcome;
     outcome.status = 400;
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
     return;
   }
   const net::ServiceId service = *packet.service_id;
@@ -744,7 +792,7 @@ void MeshGateway::handle_request(net::Packet packet, bool new_connection,
   if (backend == nullptr) {
     GatewayOutcome outcome;
     outcome.status = 503;
-    loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+    loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
     return;
   }
   const sim::Duration extra =
@@ -752,7 +800,7 @@ void MeshGateway::handle_request(net::Packet packet, bool new_connection,
           ? 0
           : config_.network.cross_az - config_.network.intra_az;
   const sim::TimePoint extra_start = loop_.now();
-  loop_.schedule(extra, [this, backend, tuple = packet.tuple, service,
+  loop_.post(extra, [this, backend, tuple = packet.tuple, service,
                          new_connection, https, &req, trace, extra_start,
                          done = std::move(done)]() mutable {
     if (trace != nullptr && loop_.now() > extra_start) {

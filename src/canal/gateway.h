@@ -237,6 +237,15 @@ class GatewayBackend {
     return throttled_requests_;
   }
 
+  /// Requests whose redirector decision (owning replica) came from the
+  /// per-flow fastpath cache instead of a bucket-chain walk.
+  [[nodiscard]] std::uint64_t fastpath_hits() const noexcept {
+    return fastpath_hits_;
+  }
+  [[nodiscard]] std::uint64_t fastpath_misses() const noexcept {
+    return fastpath_misses_;
+  }
+
   /// Resets every session belonging to `service` (lossy migration).
   std::size_t reset_service_sessions(net::ServiceId service);
   /// Sessions currently held for `service` across replicas.
@@ -246,6 +255,28 @@ class GatewayBackend {
       net::ServiceId service) const;
 
  private:
+  /// Per-flow memo of the redirector decision (the gateway half of the
+  /// paper's established-flow fast path). Entries are created only when
+  /// the flow's bucket chain has a single link: the decision is then
+  /// {chain head, zero hops} independent of SYN-ness and of which replica
+  /// holds session state, so a hit replays exactly what the chain walk
+  /// would compute now. Every replica/ECMP/bucket/service mutation and
+  /// session reset bumps flow_epoch_, invalidating all entries; replica
+  /// liveness is still re-checked per hit. Entries live in a direct-mapped
+  /// slot array — insertion is allocation-free, and a colliding flow just
+  /// evicts (the evicted flow takes the slow path: a miss, never a
+  /// behaviour change).
+  struct FlowEntry {
+    net::FiveTuple tuple{};  ///< slot key; value-initialized = empty slot
+    std::uint64_t epoch = 0;
+    net::ServiceId service{};
+    GatewayReplica* replica = nullptr;
+  };
+
+  /// Direct-mapped slot count (power of two); sized lazily on first insert
+  /// so backends driven only by aggregate load pay nothing.
+  static constexpr std::size_t kFlowCacheSlots = 1 << 12;
+
   [[nodiscard]] std::vector<net::ReplicaId> alive_replica_ids() const;
   void deliver_at_replica(GatewayReplica& replica, const net::FiveTuple& tuple,
                           net::ServiceId service, bool new_connection,
@@ -274,6 +305,10 @@ class GatewayBackend {
   std::unique_ptr<sim::PeriodicTimer> sampler_;
   std::uint64_t throttled_requests_ = 0;
   std::uint32_t next_replica_ = 1;
+  std::vector<FlowEntry> flow_cache_;
+  std::uint64_t flow_epoch_ = 0;
+  std::uint64_t fastpath_hits_ = 0;
+  std::uint64_t fastpath_misses_ = 0;
 };
 
 /// The region-level gateway: backends across AZs + placement + DNS.

@@ -103,9 +103,11 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
     return;
   }
   st->req = mesh::build_request(opts);
+  const std::uint16_t src_port =
+      opts.src_port != 0 ? opts.src_port : next_port_++;
   st->tuple =
       net::FiveTuple{opts.client->ip(), mesh::service_vip(opts.dst_service),
-                     next_port_++, 443, net::Protocol::kTcp};
+                     src_port, 443, net::Protocol::kTcp};
   if (next_port_ < 40000) next_port_ = 40000;
 
   auto finish = [this, st](int status) {
@@ -125,7 +127,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
   // Authentication: the ENI attached to the container vouches for the
   // traffic; pods without one cannot be verified and are rejected.
   if (!enis_.authenticated(opts.client->id())) {
-    loop_.schedule(0, [finish]() mutable { finish(403); });
+    loop_.post(0, [finish]() mutable { finish(403); });
     return;
   }
 
@@ -156,7 +158,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
     packet.vxlan = vxlan;
 
     const net::AzId client_az = st->opts.client->node().az();
-    loop_.schedule(config_.network.intra_az, [this, st, finish, packet,
+    loop_.post(config_.network.intra_az, [this, st, finish, packet,
                                               client_az]() mutable {
       gateway_.handle_request(
           packet, st->opts.new_connection, config_.user_managed_certs,
@@ -176,7 +178,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
               return;
             }
             // Server side has no proxy either: gateway -> server app.
-            loop_.schedule(config_.network.intra_az, [this, st,
+            loop_.post(config_.network.intra_az, [this, st,
                                                       finish]() mutable {
               st->target->handle_request(
                   st->req, [this, st, finish](http::Response resp) mutable {
@@ -185,7 +187,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
                     st->backend->handle_response(
                         *st->replica, st->tuple, bytes,
                         [this, st, finish, status]() mutable {
-                          loop_.schedule(2 * config_.network.intra_az,
+                          loop_.post(2 * config_.network.intra_az,
                                          [finish, status]() mutable {
                                            finish(status);
                                          });

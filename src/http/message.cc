@@ -101,6 +101,12 @@ std::optional<std::string_view> Request::query_param(
 
 std::string Request::serialize() const {
   std::string out;
+  serialize_to(out);
+  return out;
+}
+
+void Request::serialize_to(std::string& out) const {
+  out.clear();
   out.reserve(wire_size());
   out.append(method_name(method));
   out.push_back(' ');
@@ -113,7 +119,6 @@ std::string Request::serialize() const {
   }
   out.append("\r\n");
   out.append(body);
-  return out;
 }
 
 std::size_t Request::wire_size() const noexcept {
@@ -123,10 +128,21 @@ std::size_t Request::wire_size() const noexcept {
 
 std::string Response::serialize() const {
   std::string out;
+  serialize_to(out);
+  return out;
+}
+
+void Response::serialize_to(std::string& out) const {
+  out.clear();
   out.reserve(wire_size());
   out.append(version);
   out.push_back(' ');
-  out.append(std::to_string(status));
+  char code[4] = {static_cast<char>('0' + status / 100),
+                  static_cast<char>('0' + (status / 10) % 10),
+                  static_cast<char>('0' + status % 10), '\0'};
+  out.append(status >= 100 && status <= 999 ? std::string_view(code, 3)
+                                            : std::string_view());
+  if (status < 100 || status > 999) out.append(std::to_string(status));
   out.push_back(' ');
   out.append(reason);
   out.append("\r\n");
@@ -135,7 +151,6 @@ std::string Response::serialize() const {
   }
   out.append("\r\n");
   out.append(body);
-  return out;
 }
 
 std::size_t Response::wire_size() const noexcept {

@@ -65,6 +65,10 @@ struct Request {
   std::string body;
 
   [[nodiscard]] std::string serialize() const;
+  /// Serializes into `out` (cleared first), reusing its capacity — the
+  /// zero-allocation path for per-request serialization into a scratch
+  /// buffer.
+  void serialize_to(std::string& out) const;
   [[nodiscard]] std::size_t wire_size() const noexcept;
 
   /// Path without the query string.
@@ -82,6 +86,8 @@ struct Response {
   std::string body;
 
   [[nodiscard]] std::string serialize() const;
+  /// Serializes into `out` (cleared first), reusing its capacity.
+  void serialize_to(std::string& out) const;
   [[nodiscard]] std::size_t wire_size() const noexcept;
   [[nodiscard]] bool is_error() const noexcept { return status >= 400; }
 };

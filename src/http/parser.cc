@@ -20,6 +20,11 @@ std::string_view trim(std::string_view s) noexcept {
 
 ParseStatus ParserBase::feed(std::string_view bytes) {
   if (status_ == ParseStatus::kError) return status_;
+  if (buffer_.size() + bytes.size() > buffer_.capacity()) {
+    // Grow geometrically so repeated small feeds don't reallocate per call.
+    buffer_.reserve(
+        std::max(buffer_.size() + bytes.size(), buffer_.capacity() * 2));
+  }
   buffer_.append(bytes);
   return advance();
 }
@@ -35,9 +40,18 @@ void ParserBase::fail(std::string message) {
 }
 
 void ParserBase::reset_base() {
-  // Keep pipelined bytes that follow the completed message.
-  buffer_.erase(0, pos_);
-  pos_ = 0;
+  // Keep pipelined bytes that follow the completed message. Compact only
+  // when the consumed prefix is large (or the buffer is fully consumed);
+  // otherwise just advance pos_ — erasing the front of a long pipelined
+  // buffer on every message is quadratic.
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ >= kCompactThreshold) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  scan_hint_ = pos_;
   state_ = State::kStartLine;
   status_ = ParseStatus::kNeedMore;
   body_expected_ = 0;
@@ -49,10 +63,18 @@ void ParserBase::reset_base() {
 }
 
 std::optional<std::string_view> ParserBase::take_line() {
-  const auto nl = buffer_.find("\r\n", pos_);
-  if (nl == std::string::npos) return std::nullopt;
+  // Resume the CRLF search at the watermark (backed up one byte so a '\r'
+  // that ended the previous scan can pair with a newly arrived '\n').
+  std::size_t from = pos_;
+  if (scan_hint_ > pos_ + 1) from = scan_hint_ - 1;
+  const auto nl = buffer_.find("\r\n", from);
+  if (nl == std::string::npos) {
+    scan_hint_ = buffer_.size();
+    return std::nullopt;
+  }
   std::string_view line(buffer_.data() + pos_, nl - pos_);
   pos_ = nl + 2;
+  scan_hint_ = pos_;
   return line;
 }
 

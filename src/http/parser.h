@@ -67,6 +67,11 @@ class ParserBase {
   ParseStatus status_ = ParseStatus::kNeedMore;
   std::string buffer_;
   std::size_t pos_ = 0;
+  /// CRLF-scan watermark: every index in [pos_, scan_hint_) is known not to
+  /// start a "\r\n", so an incremental feed resumes the line search where
+  /// the last one gave up instead of rescanning the whole pending buffer
+  /// (the O(n^2) byte-at-a-time pathology).
+  std::size_t scan_hint_ = 0;
   std::size_t body_expected_ = 0;
   bool chunked_ = false;
   std::string body_;
@@ -76,6 +81,11 @@ class ParserBase {
   static constexpr std::size_t kMaxStartLine = 16 * 1024;
   static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
   static constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
+  /// Consumed-prefix size past which reset_base() compacts the buffer.
+  /// Compacting on every message makes a long pipelined burst quadratic
+  /// (each erase memmoves the whole tail); below the threshold the
+  /// consumed prefix is simply skipped via pos_.
+  static constexpr std::size_t kCompactThreshold = 16 * 1024;
 };
 
 }  // namespace detail

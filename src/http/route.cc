@@ -30,17 +30,34 @@ bool RouteMatch::matches(const Request& req) const {
 
 const std::string* RouteAction::pick_cluster(double uniform_draw) const {
   if (clusters.empty()) return nullptr;
+  return &clusters[pick_index(uniform_draw)].cluster;
+}
+
+std::size_t RouteAction::pick_index(double uniform_draw) const {
   std::uint64_t total = 0;
   for (const auto& wc : clusters) total += wc.weight;
-  if (total == 0) return &clusters.front().cluster;
+  if (total == 0) return 0;
   const auto threshold =
       static_cast<std::uint64_t>(uniform_draw * static_cast<double>(total));
   std::uint64_t acc = 0;
-  for (const auto& wc : clusters) {
-    acc += wc.weight;
-    if (threshold < acc) return &wc.cluster;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    acc += clusters[i].weight;
+    if (threshold < acc) return i;
   }
-  return &clusters.back().cluster;
+  return clusters.size() - 1;
+}
+
+void RouteRule::apply(Request& req) const {
+  for (const auto& name : action.request_headers_to_remove) {
+    req.headers.remove(name);
+  }
+  for (const auto& [name, value] : action.request_headers_to_set) {
+    req.headers.set(name, value);
+  }
+  if (action.prefix_rewrite &&
+      match.path_kind == RouteMatch::PathKind::kPrefix) {
+    req.path = *action.prefix_rewrite + req.path.substr(match.path.size());
+  }
 }
 
 std::optional<RouteResult> RouteTable::resolve(Request& req,
@@ -59,17 +76,7 @@ std::optional<RouteResult> RouteTable::resolve(Request& req,
     if (cluster == nullptr) return std::nullopt;
     result.cluster = *cluster;
 
-    for (const auto& name : rule.action.request_headers_to_remove) {
-      req.headers.remove(name);
-    }
-    for (const auto& [name, value] : rule.action.request_headers_to_set) {
-      req.headers.set(name, value);
-    }
-    if (rule.action.prefix_rewrite &&
-        rule.match.path_kind == RouteMatch::PathKind::kPrefix) {
-      req.path = *rule.action.prefix_rewrite +
-                 req.path.substr(rule.match.path.size());
-    }
+    rule.apply(req);
     return result;
   }
   return std::nullopt;

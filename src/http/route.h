@@ -69,12 +69,21 @@ struct RouteAction {
 
   /// Picks a destination cluster given a uniform [0,1) draw.
   [[nodiscard]] const std::string* pick_cluster(double uniform_draw) const;
+
+  /// Index into `clusters` the same draw selects (shared by pick_cluster
+  /// and the proxy fastpath cache, so both consume the draw identically).
+  /// Precondition: clusters is non-empty.
+  [[nodiscard]] std::size_t pick_index(double uniform_draw) const;
 };
 
 struct RouteRule {
   std::string name;
   RouteMatch match;
   RouteAction action;
+
+  /// Applies the action's request mutations (header removes/sets, prefix
+  /// rewrite) to `req` — the side effects of a successful resolve().
+  void apply(Request& req) const;
 };
 
 /// Result of route resolution.

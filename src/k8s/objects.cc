@@ -31,8 +31,8 @@ void Pod::handle_request(const http::Request& req,
     http::Response resp;
     resp.status = 503;
     resp.reason = std::string(http::reason_phrase(503));
-    loop_.schedule(0, [done = std::move(done), resp = std::move(resp)] {
-      done(resp);
+    loop_.post(0, [done = std::move(done), resp = std::move(resp)]() mutable {
+      done(std::move(resp));
     });
     return;
   }
@@ -41,18 +41,20 @@ void Pod::handle_request(const http::Request& req,
   const sim::Duration think = profile_.sample_service_time(rng_);
   const std::uint32_t body_bytes = profile_.response_bytes;
   // CPU work is charged to the node; think time (I/O, downstream calls)
-  // elapses without occupying a core.
-  node_.cpu().execute(profile_.cpu_per_request, [this, think, app_error,
-                                                 body_bytes, req,
-                                                 done = std::move(done)] {
-    loop_.schedule(think, [app_error, body_bytes, req,
-                           done = std::move(done)] {
+  // elapses without occupying a core. Only the request path survives into
+  // the response (echoed as X-Request-Path), so capture just that string
+  // rather than copying the whole Request through two continuations.
+  node_.cpu().execute(profile_.cpu_per_request,
+                      [this, think, app_error, body_bytes, path = req.path,
+                       done = std::move(done)]() mutable {
+    loop_.post(think, [app_error, body_bytes, path = std::move(path),
+                       done = std::move(done)]() mutable {
       http::Response resp;
       resp.status = app_error ? 500 : 200;
       resp.reason = std::string(http::reason_phrase(resp.status));
       resp.body.assign(body_bytes, 'x');
       resp.headers.set("Content-Length", std::to_string(body_bytes));
-      resp.headers.set("X-Request-Path", req.path);
+      resp.headers.set("X-Request-Path", std::move(path));
       done(std::move(resp));
     });
   });

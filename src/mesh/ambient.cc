@@ -155,8 +155,10 @@ void AmbientMesh::send_request(const RequestOptions& opts,
     return;
   }
   st->req = build_request(opts);
+  const std::uint16_t src_port =
+      opts.src_port != 0 ? opts.src_port : next_port_++;
   st->tuple = net::FiveTuple{opts.client->ip(), service_vip(opts.dst_service),
-                             next_port_++, 80, net::Protocol::kTcp};
+                             src_port, 80, net::Protocol::kTcp};
   if (next_port_ < 20000) next_port_ = 20000;
 
   auto finish = [this, st](int status) {
@@ -209,7 +211,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
         const sim::Duration hop1 = config_.network.hop_at(
             st->opts.client->node(), *st->waypoint_host, loop_.now());
         const sim::TimePoint wire1 = loop_.now();
-        loop_.schedule(hop1, [this, st, finish, wire1]() mutable {
+        loop_.post(hop1, [this, st, finish, wire1]() mutable {
           if (st->trace) {
             st->trace->add("link/client-waypoint", telemetry::Component::kLink,
                            wire1, loop_.now(), 0, st->req.wire_size());
@@ -235,7 +237,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                 const sim::Duration hop2 = config_.network.hop_at(
                     *st->waypoint_host, st->target->node(), loop_.now());
                 const sim::TimePoint wire2 = loop_.now();
-                loop_.schedule(hop2, [this, st, finish, hop2,
+                loop_.post(hop2, [this, st, finish, hop2,
                                       wire2]() mutable {
                   if (st->trace) {
                     st->trace->add("link/waypoint-server",
@@ -276,7 +278,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                                   [this, st, finish, bytes, status, hop1,
                                    hop2]() mutable {
                                     const sim::TimePoint wire3 = loop_.now();
-                                    loop_.schedule(hop2, [this, st, finish,
+                                    loop_.post(hop2, [this, st, finish,
                                                           bytes, status, hop1,
                                                           wire3]() mutable {
                                       if (st->trace) {
@@ -291,7 +293,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                                            hop1]() mutable {
                                             const sim::TimePoint wire4 =
                                                 loop_.now();
-                                            loop_.schedule(
+                                            loop_.post(
                                                 hop1,
                                                 [this, st, finish, bytes,
                                                  status, wire4]() mutable {

@@ -170,7 +170,7 @@ void settle_attempt(const std::shared_ptr<RetryState>& st,
   const sim::Duration wait =
       st->policy.backoff_before(st->attempt + 1, *st->rng);
   const sim::TimePoint wait_start = st->loop->now();
-  st->loop->schedule(wait, [st, wait_start]() {
+  st->loop->post(wait, [st, wait_start]() {
     if (st->merged && st->loop->now() > wait_start) {
       st->merged->add("retry/backoff", telemetry::Component::kRetry,
                       wait_start, st->loop->now());
@@ -289,7 +289,7 @@ void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
   const sim::Duration hop =
       net_.hop_at(opts.client->node(), target->node(), start);
   auto req = std::make_shared<http::Request>(build_request(opts));
-  loop_.schedule(hop, [this, req, target, hop, trace, start,
+  loop_.post(hop, [this, req, target, hop, trace, start,
                        finish = std::move(finish)]() mutable {
     if (trace) {
       trace->add("link/client-server", telemetry::Component::kLink, start,
@@ -305,7 +305,7 @@ void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
                    resp.wire_size(), resp.status);
       }
       const sim::TimePoint back_start = loop_.now();
-      loop_.schedule(hop, [this, trace, back_start,
+      loop_.post(hop, [this, trace, back_start,
                            finish = std::move(finish), status = resp.status,
                            id = target->id()]() mutable {
         if (trace) {

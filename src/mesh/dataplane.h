@@ -72,6 +72,12 @@ struct RequestOptions {
   std::uint32_t request_bytes = 256;
   /// New connection => handshake costs on every mTLS hop.
   bool new_connection = true;
+  /// Client source port for the request's 5-tuple. 0 (the default) lets
+  /// the dataplane allocate a fresh ephemeral port, so every request is a
+  /// distinct flow. Pinning a port (with new_connection=false and
+  /// close_after=false on repeats) models repeat requests on an
+  /// established connection — the flow the fastpath caches key on.
+  std::uint16_t src_port = 0;
   /// Tear down connection state after the response.
   bool close_after = true;
   /// Collect a per-hop Trace for this request (opt-in: the hot path stays

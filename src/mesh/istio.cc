@@ -101,8 +101,10 @@ void IstioMesh::send_request(const RequestOptions& opts,
     return;
   }
   st->req = build_request(opts);
+  const std::uint16_t src_port =
+      opts.src_port != 0 ? opts.src_port : next_port_++;
   st->tuple = net::FiveTuple{opts.client->ip(), service_vip(opts.dst_service),
-                             next_port_++, 80, net::Protocol::kTcp};
+                             src_port, 80, net::Protocol::kTcp};
   if (next_port_ < 10000) next_port_ = 10000;
 
   auto finish = [this, st](int status) {
@@ -161,7 +163,7 @@ void IstioMesh::send_request(const RequestOptions& opts,
 
         // Wire transit, then inbound through the server-side sidecar.
         const sim::TimePoint wire_out = loop_.now();
-        loop_.schedule(hop, [this, st, finish, hop, wire_out]() mutable {
+        loop_.post(hop, [this, st, finish, hop, wire_out]() mutable {
           if (st->trace) {
             st->trace->add("link/client-server", telemetry::Component::kLink,
                            wire_out, loop_.now(), 0, st->req.wire_size());
@@ -192,7 +194,7 @@ void IstioMesh::send_request(const RequestOptions& opts,
                           st->tuple, resp_bytes,
                           [this, st, finish, hop, resp_bytes, status]() mutable {
                             const sim::TimePoint wire_back = loop_.now();
-                            loop_.schedule(hop, [this, st, finish, resp_bytes,
+                            loop_.post(hop, [this, st, finish, resp_bytes,
                                                  status, wire_back]() mutable {
                               if (st->trace) {
                                 st->trace->add("link/server-client",

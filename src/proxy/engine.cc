@@ -10,10 +10,19 @@ ProxyEngine::ProxyEngine(sim::EventLoop& loop, sim::CpuSet& cpu, Config config,
       cpu_(cpu),
       config_(std::move(config)),
       rng_(rng),
-      sessions_(config_.session_capacity) {}
+      sessions_(config_.session_capacity),
+      span_main_(config_.name + (config_.l7 ? "/l7" : "/l4")),
+      span_resp_(config_.name + (config_.l7 ? "/l7-resp" : "/l4-resp")),
+      span_inbound_(config_.name + "/inbound"),
+      span_handshake_(config_.name + "/handshake"),
+      span_reject_(config_.name + "/reject"),
+      span_inbound_reject_(config_.name + "/inbound-reject"),
+      span_fastpath_(config_.name + "/fastpath_hit") {}
 
 void ProxyEngine::set_route_table(net::ServiceId service,
                                   http::RouteTable table) {
+  // Rule pointers cached by the fastpath go stale: move the epoch.
+  ++route_epoch_;
   routes_[service] = std::move(table);
 }
 
@@ -66,10 +75,10 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
       RequestOutcome outcome;
       outcome.status = 503;  // session table exhausted
       if (trace != nullptr) {
-        trace->add(config_.name + "/reject", component, loop_.now(),
+        trace->add(span_reject_, component, loop_.now(),
                    loop_.now(), 0, bytes, outcome.status);
       }
-      loop_.schedule(0, [done = std::move(done), outcome] { done(outcome); });
+      loop_.post(0, [done = std::move(done), outcome] { done(outcome); });
       return;
     }
   } else {
@@ -84,8 +93,8 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
       static_cast<double>(cpu_cost) * (1.0 - config_.off_path_fraction));
   const sim::Duration off_path = cpu_cost - on_path;
 
-  auto continue_request = [this, hash, on_path, off_path, dst_service, &req,
-                           bytes, component, trace,
+  auto continue_request = [this, tuple, hash, on_path, off_path, dst_service,
+                           &req, bytes, component, trace,
                            done = std::move(done)]() mutable {
     // The pinned core is deterministic, so its backlog before enqueueing is
     // exactly the FCFS queue wait this job will experience.
@@ -93,16 +102,15 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
     const sim::Duration queue_wait =
         trace != nullptr ? cpu_.core(hash % cpu_.size()).backlog() : 0;
     cpu_.execute_pinned(hash, on_path,
-                        [this, dst_service, &req, bytes, component, trace,
-                         cpu_start, queue_wait,
+                        [this, tuple, dst_service, &req, bytes, component,
+                         trace, cpu_start, queue_wait,
                          done = std::move(done)]() mutable {
                           if (trace != nullptr) {
-                            trace->add(config_.name +
-                                           (config_.l7 ? "/l7" : "/l4"),
-                                       component, cpu_start, loop_.now(),
-                                       queue_wait, bytes);
+                            trace->add(span_main_, component, cpu_start,
+                                       loop_.now(), queue_wait, bytes);
                           }
-                          finish_request(dst_service, req, std::move(done));
+                          finish_request(tuple, dst_service, req,
+                                         std::move(done), trace);
                         });
     // Off-path work (logging/stats) consumes pool capacity without gating
     // this request's completion; it lands on the least-loaded core so the
@@ -118,8 +126,8 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
       const sim::TimePoint hs_start = loop_.now();
       handshake_executor_([this, hs_start, trace,
                            cont = std::move(continue_request)]() mutable {
-        trace->add(config_.name + "/handshake",
-                   telemetry::Component::kHandshake, hs_start, loop_.now());
+        trace->add(span_handshake_, telemetry::Component::kHandshake,
+                   hs_start, loop_.now());
         cont();
       });
     }
@@ -128,46 +136,129 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
   }
 }
 
-void ProxyEngine::finish_request(net::ServiceId dst_service,
-                                 http::Request& req, RequestCallback done) {
+void ProxyEngine::finish_request(const net::FiveTuple& tuple,
+                                 net::ServiceId dst_service,
+                                 http::Request& req, RequestCallback done,
+                                 telemetry::Trace* trace) {
   RequestOutcome outcome;
-  std::string cluster_name;
+  UpstreamCluster* cluster = nullptr;
+
+  const std::uint64_t epoch = fastpath_epoch();
+  const std::size_t slot_index = net::flow_hash(tuple) & (kFastpathSlots - 1);
+  FastpathEntry* entry = nullptr;
+  if (!fastpath_.empty()) {
+    FastpathEntry& slot = fastpath_[slot_index];
+    if (slot.epoch == epoch && slot.service == dst_service &&
+        slot.tuple == tuple) {
+      entry = &slot;
+    }
+  }
 
   if (config_.l7) {
-    const auto it = routes_.find(dst_service);
-    if (it == routes_.end()) {
-      ++requests_failed_;
-      outcome.status = 404;
-      done(outcome);
-      return;
+    if (entry != nullptr && entry->rule != nullptr &&
+        entry->rule->match.matches(req)) {
+      // Fastpath hit: the memoized rule is the table's first, so the
+      // re-verified match IS the first-match-wins result. Consume the
+      // uniform draw and apply mutations exactly as resolve() would.
+      ++fastpath_hits_;
+      const http::RouteRule* rule = entry->rule;
+      const std::size_t idx = rule->action.pick_index(rng_.uniform());
+      cluster = entry->clusters[idx];
+      rule->apply(req);
+      if (trace != nullptr) {
+        trace->add(span_fastpath_, telemetry::Component::kFastpath,
+                   loop_.now(), loop_.now());
+      }
+      if (cluster == nullptr) {
+        ++requests_failed_;
+        outcome.status = 502;
+        done(outcome);
+        return;
+      }
+      outcome.cluster = cluster->name();
+    } else {
+      ++fastpath_misses_;
+      const auto it = routes_.find(dst_service);
+      if (it == routes_.end()) {
+        ++requests_failed_;
+        outcome.status = 404;
+        done(outcome);
+        return;
+      }
+      // Route resolution may mutate headers/path per the matched action.
+      const auto result = it->second.resolve(req, rng_.uniform());
+      if (!result) {
+        ++requests_failed_;
+        outcome.status = 404;
+        done(outcome);
+        return;
+      }
+      if (result->direct_response) {
+        outcome.status = result->direct_status;
+        outcome.ok = result->direct_status < 400;
+        done(outcome);
+        return;
+      }
+      cluster = clusters_.find(result->cluster);
+      if (cluster == nullptr) {
+        ++requests_failed_;
+        outcome.status = 502;
+        done(outcome);
+        return;
+      }
+      // Memoize only first-rule matches: re-verifying that rule's match
+      // on a hit then preserves first-match-wins exactly.
+      const auto& weighted = result->rule->action.clusters;
+      if (result->rule == &it->second.rules().front() &&
+          weighted.size() <= FastpathEntry::kMaxClusters) {
+        if (fastpath_.empty()) fastpath_.resize(kFastpathSlots);
+        FastpathEntry& slot = fastpath_[slot_index];
+        slot.tuple = tuple;
+        slot.epoch = epoch;
+        slot.service = dst_service;
+        slot.rule = result->rule;
+        slot.cluster_count = static_cast<std::uint8_t>(weighted.size());
+        for (std::size_t i = 0; i < weighted.size(); ++i) {
+          slot.clusters[i] = clusters_.find(weighted[i].cluster);
+        }
+      }
+      outcome.cluster = result->cluster;
     }
-    // Route resolution may mutate headers/path per the matched action.
-    const auto result = it->second.resolve(req, rng_.uniform());
-    if (!result) {
-      ++requests_failed_;
-      outcome.status = 404;
-      done(outcome);
-      return;
-    }
-    if (result->direct_response) {
-      outcome.status = result->direct_status;
-      outcome.ok = result->direct_status < 400;
-      done(outcome);
-      return;
-    }
-    cluster_name = result->cluster;
   } else {
-    // L4: the "cluster" is the destination service itself.
-    cluster_name = "service-" + std::to_string(net::id_value(dst_service));
+    if (entry != nullptr) {
+      // L4 fastpath: skip the per-request cluster-name build + lookup.
+      ++fastpath_hits_;
+      cluster = entry->clusters[0];
+      if (trace != nullptr) {
+        trace->add(span_fastpath_, telemetry::Component::kFastpath,
+                   loop_.now(), loop_.now());
+      }
+    } else {
+      ++fastpath_misses_;
+      // L4: the "cluster" is the destination service itself.
+      std::string cluster_name =
+          "service-" + std::to_string(net::id_value(dst_service));
+      cluster = clusters_.find(cluster_name);
+      if (cluster != nullptr) {
+        if (fastpath_.empty()) fastpath_.resize(kFastpathSlots);
+        FastpathEntry& slot = fastpath_[slot_index];
+        slot.tuple = tuple;
+        slot.epoch = epoch;
+        slot.service = dst_service;
+        slot.rule = nullptr;
+        slot.clusters[0] = cluster;
+        slot.cluster_count = 1;
+      }
+    }
+    if (cluster == nullptr) {
+      ++requests_failed_;
+      outcome.status = 502;
+      done(outcome);
+      return;
+    }
+    outcome.cluster = cluster->name();
   }
 
-  UpstreamCluster* cluster = clusters_.find(cluster_name);
-  if (cluster == nullptr) {
-    ++requests_failed_;
-    outcome.status = 502;
-    done(outcome);
-    return;
-  }
   UpstreamEndpoint* endpoint = cluster->pick(rng_);
   if (endpoint == nullptr) {
     ++requests_failed_;
@@ -178,7 +269,6 @@ void ProxyEngine::finish_request(net::ServiceId dst_service,
   ++endpoint->active_requests;
   outcome.ok = true;
   outcome.status = 200;
-  outcome.cluster = std::move(cluster_name);
   outcome.endpoint = endpoint;
   done(outcome);
 }
@@ -196,10 +286,10 @@ void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
     if (!sessions_.insert(tuple, dst_service, loop_.now())) {
       ++requests_failed_;
       if (trace != nullptr) {
-        trace->add(config_.name + "/inbound-reject", component, loop_.now(),
+        trace->add(span_inbound_reject_, component, loop_.now(),
                    loop_.now(), 0, bytes, 503);
       }
-      loop_.schedule(0, [done = std::move(done)] { done(false, 503); });
+      loop_.post(0, [done = std::move(done)] { done(false, 503); });
       return;
     }
   } else {
@@ -222,7 +312,7 @@ void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
                         [this, bytes, component, trace, cpu_start, queue_wait,
                          done = std::move(done)] {
                           if (trace != nullptr) {
-                            trace->add(config_.name + "/inbound", component,
+                            trace->add(span_inbound_, component,
                                        cpu_start, loop_.now(), queue_wait,
                                        bytes);
                           }
@@ -238,8 +328,8 @@ void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
       const sim::TimePoint hs_start = loop_.now();
       handshake_executor_([this, hs_start, trace,
                            cont = std::move(continue_inbound)]() mutable {
-        trace->add(config_.name + "/handshake",
-                   telemetry::Component::kHandshake, hs_start, loop_.now());
+        trace->add(span_handshake_, telemetry::Component::kHandshake,
+                   hs_start, loop_.now());
         cont();
       });
     }
@@ -273,8 +363,8 @@ void ProxyEngine::handle_response(const net::FiveTuple& tuple,
         hash, on_path,
         [this, bytes, component, trace, cpu_start, queue_wait,
          done = std::move(done)] {
-          trace->add(config_.name + (config_.l7 ? "/l7-resp" : "/l4-resp"),
-                     component, cpu_start, loop_.now(), queue_wait, bytes);
+          trace->add(span_resp_, component, cpu_start, loop_.now(),
+                     queue_wait, bytes);
           done();
         });
   }

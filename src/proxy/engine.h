@@ -8,10 +8,12 @@
 // runs the real RouteTable matcher over the real HTTP request.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "http/route.h"
 #include "net/flow.h"
@@ -132,14 +134,57 @@ class ProxyEngine {
   [[nodiscard]] std::uint64_t bytes_proxied() const noexcept {
     return bytes_proxied_;
   }
+  /// Requests whose route-match + upstream-selection was served from the
+  /// per-flow fastpath cache (the paper's established-flow fast path).
+  [[nodiscard]] std::uint64_t fastpath_hits() const noexcept {
+    return fastpath_hits_;
+  }
+  [[nodiscard]] std::uint64_t fastpath_misses() const noexcept {
+    return fastpath_misses_;
+  }
 
  private:
+  /// Per-flow memo of the routing decision: the matched first rule (L7)
+  /// and the resolved upstream-cluster handles, validated against the
+  /// combined route/endpoint/session epoch. Only the table's *first* rule
+  /// is ever cached and its match is re-verified per request, so
+  /// first-match-wins semantics (and the exact RNG draw sequence) are
+  /// preserved — a hit changes wall-clock work only, never simulated
+  /// behaviour. Entries live in a direct-mapped slot array: insertion is
+  /// allocation-free and a colliding flow simply evicts (the evicted flow
+  /// falls back to the slow path — a miss, never a behaviour change).
+  struct FastpathEntry {
+    net::FiveTuple tuple{};  ///< slot key; value-initialized = empty slot
+    std::uint64_t epoch = 0;
+    net::ServiceId service{};
+    const http::RouteRule* rule = nullptr;  ///< null for L4 entries
+    /// Aligned with rule->action.clusters (L7) or a single slot (L4).
+    /// Slots may be null when the named cluster is not installed — a hit
+    /// then fails with 502 exactly like the slow path. Rules with more
+    /// weighted clusters than fit inline are simply not cached.
+    static constexpr std::size_t kMaxClusters = 4;
+    std::array<UpstreamCluster*, kMaxClusters> clusters{};
+    std::uint8_t cluster_count = 0;
+  };
+
+  /// Direct-mapped slot count (power of two). The array is sized lazily on
+  /// first insert so idle engines (e.g. aggregate-load replicas) pay
+  /// nothing.
+  static constexpr std::size_t kFastpathSlots = 1 << 12;
+
   /// CPU cost of the request path, excluding the asymmetric handshake.
   [[nodiscard]] sim::Duration request_cpu_cost(std::uint64_t bytes,
                                                bool new_connection) const;
 
-  void finish_request(net::ServiceId dst_service, http::Request& req,
-                      RequestCallback done);
+  void finish_request(const net::FiveTuple& tuple, net::ServiceId dst_service,
+                      http::Request& req, RequestCallback done,
+                      telemetry::Trace* trace);
+
+  /// Combined invalidation epoch: any route-table install, cluster or
+  /// endpoint membership change, or actual session drop moves it forward.
+  [[nodiscard]] std::uint64_t fastpath_epoch() const noexcept {
+    return route_epoch_ + clusters_.version() + sessions_.drop_epoch();
+  }
 
   sim::EventLoop& loop_;
   sim::CpuSet& cpu_;
@@ -154,6 +199,21 @@ class ProxyEngine {
   std::uint64_t requests_failed_ = 0;
   std::uint64_t handshakes_ = 0;
   std::uint64_t bytes_proxied_ = 0;
+
+  std::vector<FastpathEntry> fastpath_;
+  std::uint64_t route_epoch_ = 0;
+  std::uint64_t fastpath_hits_ = 0;
+  std::uint64_t fastpath_misses_ = 0;
+
+  // Span names are fixed per engine; precomputing them keeps the traced
+  // hot path free of per-request string concatenation.
+  std::string span_main_;
+  std::string span_resp_;
+  std::string span_inbound_;
+  std::string span_handshake_;
+  std::string span_reject_;
+  std::string span_inbound_reject_;
+  std::string span_fastpath_;
 };
 
 }  // namespace canal::proxy

@@ -25,7 +25,9 @@ const Session* SessionTable::find(const net::FiveTuple& tuple) const {
 }
 
 bool SessionTable::remove(const net::FiveTuple& tuple) {
-  return sessions_.erase(tuple) > 0;
+  if (sessions_.erase(tuple) == 0) return false;
+  ++drop_epoch_;
+  return true;
 }
 
 std::size_t SessionTable::expire_idle(sim::TimePoint now,
@@ -39,12 +41,14 @@ std::size_t SessionTable::expire_idle(sim::TimePoint now,
       ++it;
     }
   }
+  if (dropped > 0) ++drop_epoch_;
   return dropped;
 }
 
 std::size_t SessionTable::clear() noexcept {
   const std::size_t n = sessions_.size();
   sessions_.clear();
+  if (n > 0) ++drop_epoch_;
   return n;
 }
 
@@ -76,6 +80,7 @@ std::size_t SessionTable::remove_for(net::ServiceId service) {
       ++it;
     }
   }
+  if (dropped > 0) ++drop_epoch_;
   return dropped;
 }
 

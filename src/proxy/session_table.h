@@ -68,10 +68,20 @@ class SessionTable {
                                              sim::TimePoint now,
                                              sim::Duration age) const;
 
+  /// Monotonic counter bumped whenever session state is actually dropped
+  /// (remove of an existing session, idle expiry, clear, remove_for). The
+  /// proxy fastpath cache validates against this, so any session
+  /// reset/expiry forces cached flow decisions to be re-derived. Removes
+  /// that drop nothing (e.g. closing a sessionless flow) do not bump it.
+  [[nodiscard]] std::uint64_t drop_epoch() const noexcept {
+    return drop_epoch_;
+  }
+
  private:
   std::size_t capacity_;
   std::unordered_map<net::FiveTuple, Session> sessions_;
   std::uint64_t rejected_ = 0;
+  std::uint64_t drop_epoch_ = 0;
 };
 
 }  // namespace canal::proxy

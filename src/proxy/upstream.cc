@@ -8,6 +8,7 @@ namespace canal::proxy {
 UpstreamEndpoint& UpstreamCluster::add_endpoint(net::Endpoint address,
                                                 std::uint64_t key,
                                                 std::uint32_t weight) {
+  if (version_hook_ != nullptr) ++*version_hook_;
   endpoints_.push_back(std::make_unique<UpstreamEndpoint>(
       UpstreamEndpoint{address, key, weight, true, 0}));
   return *endpoints_.back();
@@ -17,6 +18,7 @@ bool UpstreamCluster::remove_endpoint(std::uint64_t key) {
   const auto it = std::find_if(endpoints_.begin(), endpoints_.end(),
                                [&](const auto& e) { return e->key == key; });
   if (it == endpoints_.end()) return false;
+  if (version_hook_ != nullptr) ++*version_hook_;
   const auto index = static_cast<std::size_t>(it - endpoints_.begin());
   endpoints_.erase(it);
   // Keep the round-robin cursor pointing at the same next endpoint.
@@ -83,7 +85,11 @@ UpstreamEndpoint* UpstreamCluster::pick(sim::Rng& rng) {
 UpstreamCluster& ClusterManager::add_cluster(const std::string& name,
                                              LbPolicy policy) {
   auto& slot = clusters_[name];
-  if (!slot) slot = std::make_unique<UpstreamCluster>(name, policy);
+  if (!slot) {
+    ++version_;
+    slot = std::make_unique<UpstreamCluster>(name, policy);
+    slot->set_version_hook(&version_);
+  }
   return *slot;
 }
 
@@ -93,7 +99,7 @@ UpstreamCluster* ClusterManager::find(const std::string& name) {
 }
 
 void ClusterManager::remove_cluster(const std::string& name) {
-  clusters_.erase(name);
+  if (clusters_.erase(name) > 0) ++version_;
 }
 
 }  // namespace canal::proxy

@@ -50,11 +50,18 @@ class UpstreamCluster {
   }
   [[nodiscard]] std::size_t healthy_count() const;
 
+  /// When set, endpoint membership changes increment the counter — the
+  /// ClusterManager's config version, which fastpath caches key on.
+  void set_version_hook(std::uint64_t* version) noexcept {
+    version_hook_ = version;
+  }
+
  private:
   std::string name_;
   LbPolicy policy_;
   std::vector<std::unique_ptr<UpstreamEndpoint>> endpoints_;
   std::size_t rr_cursor_ = 0;
+  std::uint64_t* version_hook_ = nullptr;
 };
 
 /// All upstream clusters known to one proxy.
@@ -66,8 +73,15 @@ class ClusterManager {
   void remove_cluster(const std::string& name);
   [[nodiscard]] std::size_t size() const noexcept { return clusters_.size(); }
 
+  /// Monotonic configuration version: bumped on cluster add/remove and on
+  /// endpoint membership changes inside any managed cluster. Fastpath
+  /// caches holding UpstreamCluster* validate against this, so an endpoint
+  /// diff (refresh_endpoints) forces a cache miss.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
  private:
   std::unordered_map<std::string, std::unique_ptr<UpstreamCluster>> clusters_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace canal::proxy

@@ -4,7 +4,7 @@
 
 namespace canal::sim {
 
-TimePoint CpuCore::execute(Duration cost, std::function<void()> done,
+TimePoint CpuCore::execute(Duration cost, Callback done,
                            Duration* queue_wait) {
   if (cost < 0) cost = 0;
   const TimePoint start = std::max(free_at_, loop_.now());
@@ -21,12 +21,18 @@ TimePoint CpuCore::execute(Duration cost, std::function<void()> done,
     }
     prune(loop_.now() - history_);
   }
-  if (done) loop_.schedule_at(end, std::move(done));
+  if (done) loop_.post_at(end, std::move(done));
   return end;
 }
 
 void CpuCore::prune(TimePoint horizon) {
   while (!intervals_.empty() && intervals_.front().end < horizon) {
+    intervals_.pop_front();
+  }
+  // Time-based pruning alone cannot bound memory when every retained
+  // interval is younger than `history`; enforce the hard cap by dropping
+  // the oldest entries.
+  while (intervals_.size() > kMaxIntervals) {
     intervals_.pop_front();
   }
 }
@@ -69,13 +75,13 @@ std::size_t CpuSet::least_loaded() const {
   return best;
 }
 
-TimePoint CpuSet::execute(Duration cost, std::function<void()> done,
+TimePoint CpuSet::execute(Duration cost, Callback done,
                           Duration* queue_wait) {
   return cores_[least_loaded()]->execute(cost, std::move(done), queue_wait);
 }
 
 TimePoint CpuSet::execute_pinned(std::uint64_t hash, Duration cost,
-                                 std::function<void()> done,
+                                 Callback done,
                                  Duration* queue_wait) {
   return cores_[hash % cores_.size()]->execute(cost, std::move(done),
                                                queue_wait);

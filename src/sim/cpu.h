@@ -35,7 +35,7 @@ class CpuCore {
   /// the FCFS wait this job spends queued behind earlier work (completion ==
   /// now + *queue_wait + cost) — the split request tracing uses to separate
   /// waiting from working.
-  TimePoint execute(Duration cost, std::function<void()> done = nullptr,
+  TimePoint execute(Duration cost, Callback done = nullptr,
                     Duration* queue_wait = nullptr);
 
   /// Completion time `execute(cost)` would return, without enqueueing.
@@ -60,6 +60,20 @@ class CpuCore {
 
   /// Jobs accepted so far.
   [[nodiscard]] std::uint64_t jobs() const noexcept { return jobs_; }
+
+  /// Busy intervals currently retained for utilization queries. Bounded by
+  /// both the `history` window and kMaxIntervals.
+  [[nodiscard]] std::size_t interval_count() const noexcept {
+    return intervals_.size();
+  }
+
+  /// Hard cap on retained busy intervals. Time-based pruning alone cannot
+  /// bound memory on an idle-free run whose jobs never coalesce (each job
+  /// separated by a gap): every interval stays inside `history`. Beyond the
+  /// cap the oldest intervals are dropped, shrinking the effective lookback
+  /// window but never distorting utilization over windows the retained
+  /// intervals still cover.
+  static constexpr std::size_t kMaxIntervals = 1 << 16;
 
  private:
   struct Interval {
@@ -89,12 +103,12 @@ class CpuSet {
 
   /// Runs on the least-loaded core. Returns completion time. `queue_wait`,
   /// when non-null, receives the job's FCFS queueing delay.
-  TimePoint execute(Duration cost, std::function<void()> done = nullptr,
+  TimePoint execute(Duration cost, Callback done = nullptr,
                     Duration* queue_wait = nullptr);
 
   /// Runs on core `hash % size()` (flow pinning). Returns completion time.
   TimePoint execute_pinned(std::uint64_t hash, Duration cost,
-                           std::function<void()> done = nullptr,
+                           Callback done = nullptr,
                            Duration* queue_wait = nullptr);
 
   /// Index of the core that would next become free.

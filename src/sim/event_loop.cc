@@ -1,23 +1,55 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace canal::sim {
 
+std::uint32_t EventLoop::acquire_slot(Callback cb,
+                                      std::shared_ptr<bool> alive) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot].cb = std::move(cb);
+    slab_[slot].alive = std::move(alive);
+    return slot;
+  }
+  slab_.push_back(Event{std::move(cb), std::move(alive)});
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
 EventHandle EventLoop::schedule_at(TimePoint when, Callback cb) {
   if (when < now_) when = now_;
   auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{when, next_seq_++, std::move(cb), alive});
+  heap_.push_back(HeapKey{when, next_seq_++, acquire_slot(std::move(cb), alive)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return EventHandle(std::move(alive));
 }
 
+void EventLoop::post_at(TimePoint when, Callback cb) {
+  if (when < now_) when = now_;
+  heap_.push_back(HeapKey{when, next_seq_++, acquire_slot(std::move(cb), nullptr)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 bool EventLoop::pop_and_run() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
-  if (*ev.alive) {
-    *ev.alive = false;
-    ev.cb();
+  const HeapKey key = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  now_ = key.when;
+  // Move the payload out and recycle the slot before invoking: the callback
+  // may schedule new events, which can reuse this slot or grow the slab.
+  Event& ev = slab_[key.slot];
+  Callback cb = std::move(ev.cb);
+  std::shared_ptr<bool> alive = std::move(ev.alive);
+  free_slots_.push_back(key.slot);
+  if (alive == nullptr) {  // fire-and-forget: cannot be cancelled
+    cb();
+    return true;
+  }
+  if (*alive) {
+    *alive = false;
+    cb();
     return true;
   }
   return false;
@@ -25,7 +57,7 @@ bool EventLoop::pop_and_run() {
 
 std::size_t EventLoop::run() {
   std::size_t count = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     if (pop_and_run()) ++count;
   }
   return count;
@@ -33,7 +65,7 @@ std::size_t EventLoop::run() {
 
 std::size_t EventLoop::run_until(TimePoint deadline) {
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (!heap_.empty() && heap_.front().when <= deadline) {
     if (pop_and_run()) ++count;
   }
   if (now_ < deadline) now_ = deadline;

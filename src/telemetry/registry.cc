@@ -133,6 +133,54 @@ void MetricsRegistry::record_trace(const Trace& trace, const Labels& base) {
   }
 }
 
+const MetricsRegistry::Labels& TraceRecorder::component_labels(
+    std::size_t idx) {
+  if (!comp_labels_[idx]) {
+    auto labels = std::make_unique<MetricsRegistry::Labels>(base_);
+    (*labels)["component"] =
+        std::string(component_name(static_cast<Component>(idx)));
+    comp_labels_[idx] = std::move(labels);
+  }
+  return *comp_labels_[idx];
+}
+
+void TraceRecorder::record(const Trace& trace) {
+  if (registry_ == nullptr) return;
+  if (requests_ == nullptr) {
+    requests_ = &registry_->counter("requests_total", base_);
+    latency_ = &registry_->histogram("request_latency_us", base_);
+    queue_wait_ = &registry_->histogram("request_queue_wait_us", base_);
+  }
+  requests_->inc();
+  latency_->record(sim::to_microseconds(trace.total_duration()));
+  queue_wait_->record(sim::to_microseconds(trace.total_queue_wait()));
+  for (const Span& span : trace.spans()) {
+    const auto idx = static_cast<std::size_t>(span.component);
+    PerComponent& comp = comps_[idx];
+    if (comp.latency == nullptr) {
+      const MetricsRegistry::Labels& labels = component_labels(idx);
+      comp.latency = &registry_->histogram("span_latency_us", labels);
+      comp.queue_wait = &registry_->histogram("span_queue_wait_us", labels);
+    }
+    comp.latency->record(sim::to_microseconds(span.duration()));
+    comp.queue_wait->record(sim::to_microseconds(span.queue_wait));
+    if (span.bytes > 0) {
+      if (comp.bytes == nullptr) {
+        comp.bytes =
+            &registry_->counter("span_bytes_total", component_labels(idx));
+      }
+      comp.bytes->inc(static_cast<double>(span.bytes));
+    }
+    if (span.status >= 400) {
+      if (comp.errors == nullptr) {
+        comp.errors =
+            &registry_->counter("span_errors_total", component_labels(idx));
+      }
+      comp.errors->inc();
+    }
+  }
+}
+
 std::string MetricsRegistry::to_json() const {
   std::string out = "{\"counters\":{";
   bool first = true;

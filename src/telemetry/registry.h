@@ -11,6 +11,7 @@
 // canonical key — name{k="v",...} — and the JSON export are deterministic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -106,6 +107,50 @@ class MetricsRegistry {
   std::map<std::string, SeriesEntry> series_;
   /// key -> (name, labels), for series_named and labeled lookups.
   std::map<std::string, std::pair<std::string, Labels>> series_meta_;
+};
+
+/// Handle-caching front end for MetricsRegistry::record_trace. Binding a
+/// (registry, base-labels) pair once interns every label set and canonical
+/// key on first use and then records through raw metric pointers, so the
+/// per-request path performs no label-map copies or key concatenation.
+/// Metric creation stays lazy — a metric exists only once actually
+/// recorded — so the registry's JSON export is byte-identical to calling
+/// record_trace directly. Registry map references are stable, keeping the
+/// cached pointers valid for the registry's lifetime.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(MetricsRegistry& registry, MetricsRegistry::Labels base)
+      : registry_(&registry), base_(std::move(base)) {}
+
+  [[nodiscard]] bool bound() const noexcept { return registry_ != nullptr; }
+
+  /// Equivalent to registry.record_trace(trace, base), without the
+  /// per-span label churn.
+  void record(const Trace& trace);
+
+ private:
+  static constexpr std::size_t kComponents =
+      static_cast<std::size_t>(Component::kFastpath) + 1;
+
+  struct PerComponent {
+    sim::Histogram* latency = nullptr;
+    sim::Histogram* queue_wait = nullptr;
+    MetricsRegistry::Counter* bytes = nullptr;
+    MetricsRegistry::Counter* errors = nullptr;
+  };
+
+  const MetricsRegistry::Labels& component_labels(std::size_t idx);
+
+  MetricsRegistry* registry_ = nullptr;
+  MetricsRegistry::Labels base_;
+  MetricsRegistry::Counter* requests_ = nullptr;
+  sim::Histogram* latency_ = nullptr;
+  sim::Histogram* queue_wait_ = nullptr;
+  std::array<PerComponent, kComponents> comps_{};
+  /// base_ + {"component": name}, built on first span of that component.
+  std::array<std::unique_ptr<MetricsRegistry::Labels>, kComponents>
+      comp_labels_{};
 };
 
 }  // namespace canal::telemetry

@@ -27,6 +27,7 @@ std::string_view component_name(Component c) {
     case Component::kDisaggregation: return "disaggregation";
     case Component::kApp: return "app";
     case Component::kRetry: return "retry";
+    case Component::kFastpath: return "fastpath";
   }
   return "unknown";
 }

@@ -34,6 +34,9 @@ enum class Component {
   kRetry,           ///< retry-layer backoff wait or abandoned (timed-out)
                     ///< attempt — the time a request spent on attempts that
                     ///< did not produce its response
+  kFastpath,        ///< zero-duration marker: routing served from the
+                    ///< per-flow fastpath cache (wall-clock optimisation
+                    ///< only — carries no simulated time)
 };
 
 [[nodiscard]] std::string_view component_name(Component c);
@@ -61,6 +64,10 @@ struct Span {
 /// order as the request progresses, so the list is chronological.
 class Trace {
  public:
+  /// Typical traced requests produce ~6-12 spans; reserving up front keeps
+  /// the per-request hot path to a single spans allocation.
+  Trace() { spans_.reserve(12); }
+
   /// Appends a span; `queue_wait` is subtracted from the wall duration to
   /// derive service time.
   Span& add(std::string name, Component component, sim::TimePoint start,

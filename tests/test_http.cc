@@ -409,5 +409,71 @@ TEST(RouteAction, PickClusterEdgeDraws) {
   EXPECT_EQ(empty.pick_cluster(0.5), nullptr);
 }
 
+TEST(RequestParser, ByteAtATimeDripFeed) {
+  // Regression for the O(n^2) rescan: a drip-fed message must parse
+  // correctly with the CRLF search resuming at the scan watermark, including
+  // a "\r" that arrives in one feed and its "\n" in the next.
+  const std::string wire =
+      "POST /orders HTTP/1.1\r\n"
+      "Host: api.example\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello";
+  RequestParser parser;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const ParseStatus st = parser.feed(std::string_view(&wire[i], 1));
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(st, ParseStatus::kNeedMore) << "at byte " << i;
+    } else {
+      ASSERT_EQ(st, ParseStatus::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().method, Method::kPost);
+  EXPECT_EQ(parser.request().path, "/orders");
+  EXPECT_EQ(parser.request().body, "hello");
+  EXPECT_EQ(parser.request().headers.get("host"), "api.example");
+}
+
+TEST(RequestParser, DripFedLongHeaderStaysLinear) {
+  // A long header value arriving byte-at-a-time used to rescan the whole
+  // pending buffer for "\r\n" on every feed. Functionally this must still
+  // parse; the watermark keeps each feed O(1) so even a 12KB header drip
+  // completes instantly.
+  const std::string cookie(12 * 1024, 'c');
+  const std::string wire =
+      "GET / HTTP/1.1\r\nCookie: " + cookie + "\r\n\r\n";
+  RequestParser parser;
+  ParseStatus st = ParseStatus::kNeedMore;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    st = parser.feed(std::string_view(&wire[i], 1));
+  }
+  ASSERT_EQ(st, ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().headers.get("cookie"), cookie);
+}
+
+TEST(RequestParser, PipelinedBurstAcrossCompactionThreshold) {
+  // Enough pipelined requests in one buffer to cross the 16KB compaction
+  // threshold: both the pos_-advance branch (small consumed prefix) and the
+  // compaction branch must hand each message off intact.
+  std::string wire;
+  const int kRequests = 300;
+  for (int i = 0; i < kRequests; ++i) {
+    wire += "GET /item/" + std::to_string(i) +
+            " HTTP/1.1\r\nHost: h\r\nX-Filler: " + std::string(64, 'f') +
+            "\r\n\r\n";
+  }
+  RequestParser parser;
+  ASSERT_EQ(parser.feed(wire), ParseStatus::kComplete);
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_EQ(parser.status(), ParseStatus::kComplete) << "request " << i;
+    EXPECT_EQ(parser.request().path, "/item/" + std::to_string(i));
+    parser.reset();
+    if (i + 1 < kRequests) {
+      // Pipelined bytes retained by reset() resume parsing immediately.
+      ASSERT_EQ(parser.feed(""), ParseStatus::kComplete) << "request " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace canal::http

@@ -425,5 +425,59 @@ TEST_P(CpuLoadSweep, UtilizationTracksOfferedLoad) {
 INSTANTIATE_TEST_SUITE_P(Loads, CpuLoadSweep,
                          ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
 
+TEST(EventLoop, SlotReuseKeepsOrdering) {
+  // The indexed event heap recycles slab slots through a free list; after
+  // draining and refilling the loop, ordering must still follow (when, seq).
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    loop.post(microseconds(64 - i), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 64u);
+  EXPECT_EQ(order.front(), 63);  // smallest delay fires first
+  EXPECT_EQ(order.back(), 0);
+  order.clear();
+  // Refill: every slot comes off the free list now.
+  for (int i = 0; i < 64; ++i) {
+    loop.post(microseconds(7), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);  // ties by insertion
+}
+
+TEST(CpuCore, IntervalCountIsHardCapped) {
+  // Every job is separated by an idle gap, so nothing coalesces and (with a
+  // long history window) time-based pruning never fires: only the hard cap
+  // bounds memory.
+  EventLoop loop;
+  CpuCore core(loop, /*history=*/365 * 24 * 60 * kMinute);
+  const std::size_t jobs = CpuCore::kMaxIntervals + 1024;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    loop.run_until(static_cast<TimePoint>(i) * microseconds(2));
+    core.execute(microseconds(1));
+  }
+  EXPECT_LE(core.interval_count(), CpuCore::kMaxIntervals);
+  EXPECT_EQ(core.jobs(), jobs);
+}
+
+TEST(CpuCore, UtilizationCorrectAfterCapPrune) {
+  // 1us-on / 1us-off duty cycle far past the interval cap: windows covered
+  // by the retained intervals must still read an exact 50% utilization —
+  // dropping the oldest entries shrinks lookback but never distorts what
+  // remains.
+  EventLoop loop;
+  CpuCore core(loop, /*history=*/365 * 24 * 60 * kMinute);
+  const std::size_t jobs = CpuCore::kMaxIntervals + 4096;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    loop.run_until(static_cast<TimePoint>(i) * microseconds(2));
+    core.execute(microseconds(1));
+  }
+  loop.run();
+  EXPECT_NEAR(core.utilization(milliseconds(10)), 0.5, 0.01);
+  EXPECT_NEAR(core.utilization(milliseconds(1)), 0.5, 0.01);
+}
+
 }  // namespace
 }  // namespace canal::sim
