@@ -1,0 +1,346 @@
+// bench_suite: the one-binary bench front-end. Expands the suite's
+// (scenario x variant x seed) grid into runner::RunSpecs, fans them out
+// over a work-stealing thread pool (--jobs), and reduces the results
+// single-threaded in spec-key order — so stdout tables and the --json
+// goldens (BENCH_latency.json, BENCH_throughput.json, BENCH_faults.json,
+// BENCH_selfperf.json) are byte-identical at any worker count.
+//
+// See EXPERIMENTS.md for the paper-figure -> command map.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/json_report.h"
+#include "bench/scenarios.h"
+#include "runner/runner.h"
+#include "runner/sweep.h"
+
+namespace canal::bench {
+namespace {
+
+constexpr const char* kUsage = R"(bench_suite — parallel experiment suite
+
+Usage: bench_suite [flags]
+
+  --jobs N       worker threads for the run fan-out (default 1). Output is
+                 byte-identical for every N; only wall-clock changes.
+  --seeds K      run every scenario at seeds 1..K (default 1). K > 1 adds a
+                 "<section>.seeds" block per scenario to --json output with
+                 mean/p50/p95/min/max across seeds. Base sections always
+                 report seed 1, so they are independent of K.
+  --json         write BENCH_latency.json, BENCH_throughput.json,
+                 BENCH_faults.json and BENCH_selfperf.json (deterministic
+                 simulated values only) into the current directory.
+  --filter STR   run only specs whose scenario/variant key contains STR
+                 (e.g. --filter throughput_knee, --filter canal).
+  --list         print the spec keys that would run, then exit.
+  --help         this text.
+
+Scenarios (see EXPERIMENTS.md for the figure mapping):
+  latency_light    Fig 10  light-load latency + span decomposition
+  latency_bimodal  Fig 24  production-like E2E latency distribution
+  throughput_knee  Fig 11  P99-vs-load sweep and throughput knee
+  faults_podkill   stale-endpoint pod crashes, retries on/off
+  faults_gwcrash   gateway replica crash, health monitor on/off
+  faults_linkloss  link loss + latency spike, per-try timeouts
+  selfperf         simulator wall-clock speed + fastpath hit rates
+)";
+
+struct SectionTarget {
+  const char* file;
+  std::string section;
+};
+
+/// Which golden file a scenario feeds, and under what section name
+/// (section names keep the retired binaries' layout where one existed).
+SectionTarget section_target(const runner::RunSpec& spec) {
+  if (spec.scenario == "latency_light") {
+    return {"BENCH_latency.json", spec.variant};
+  }
+  if (spec.scenario == "latency_bimodal") {
+    return {"BENCH_latency.json", "production"};
+  }
+  if (spec.scenario == "throughput_knee") {
+    return {"BENCH_throughput.json", spec.variant};
+  }
+  if (spec.scenario == "faults_podkill") {
+    return {"BENCH_faults.json", "podkill." + spec.variant};
+  }
+  if (spec.scenario == "faults_gwcrash") {
+    return {"BENCH_faults.json", "gwcrash." + spec.variant};
+  }
+  if (spec.scenario == "faults_linkloss") {
+    return {"BENCH_faults.json", "linkloss." + spec.variant};
+  }
+  return {"BENCH_selfperf.json", spec.variant};
+}
+
+/// Headline metric summarized in the per-family seed-sweep table.
+const char* headline_metric(const std::string& scenario) {
+  if (scenario == "latency_light") return "mean_us";
+  if (scenario == "latency_bimodal") return "p50_ms";
+  if (scenario == "throughput_knee") return "knee_rps";
+  if (scenario == "selfperf") return "events";
+  return "ok_fault";
+}
+
+void print_family_tables(const std::vector<runner::SweepGroup>& groups) {
+  // Family order follows the reduced (key-sorted) group order.
+  std::vector<std::string> families;
+  for (const auto& group : groups) {
+    const std::string& scenario = group.runs.front()->spec.scenario;
+    if (families.empty() || families.back() != scenario) {
+      families.push_back(scenario);
+    }
+  }
+  for (const std::string& family : families) {
+    const runner::SweepGroup* first = nullptr;
+    // Columns are the union of the family's metric names in first-seen
+    // order — variants may report extra components (e.g. canal's redirect
+    // span), and every row must stay aligned to the header.
+    std::vector<std::string> columns;
+    for (const auto& group : groups) {
+      if (group.runs.front()->spec.scenario != family ||
+          group.base() == nullptr) {
+        continue;
+      }
+      if (first == nullptr) first = &group;
+      for (const auto& [name, value] : group.base()->result.metrics) {
+        (void)value;
+        bool seen = false;
+        for (const auto& column : columns) seen = seen || column == name;
+        if (!seen) columns.push_back(name);
+      }
+    }
+    if (first == nullptr) continue;
+
+    Table table(family);
+    std::vector<std::string> header = {"variant", "seeds"};
+    header.insert(header.end(), columns.begin(), columns.end());
+    table.header(header);
+    for (const auto& group : groups) {
+      if (group.runs.front()->spec.scenario != family) continue;
+      const runner::Outcome* base = group.base();
+      std::vector<std::string> row = {group.runs.front()->spec.variant,
+                                      std::to_string(group.runs.size())};
+      if (base == nullptr) {
+        row.push_back("FAILED: " + group.runs.front()->result.error);
+      } else {
+        for (const auto& column : columns) {
+          const double* value = base->result.find(column);
+          row.push_back(value == nullptr ? ""
+                                         : JsonReport::format_number(*value));
+        }
+      }
+      table.row(row);
+    }
+    table.print();
+
+    // Seed-sweep whiskers for the family's headline metric.
+    if (first->runs.size() > 1) {
+      const std::string metric = headline_metric(family);
+      Table sweep(family + " seed sweep: " + metric);
+      sweep.header({"variant", "mean", "p50", "p95", "min", "max"});
+      for (const auto& group : groups) {
+        if (group.runs.front()->spec.scenario != family) continue;
+        for (const auto& [name, stats] : group.metrics) {
+          if (name != metric) continue;
+          sweep.row({group.runs.front()->spec.variant,
+                     JsonReport::format_number(stats.mean),
+                     JsonReport::format_number(stats.p50),
+                     JsonReport::format_number(stats.p95),
+                     JsonReport::format_number(stats.min),
+                     JsonReport::format_number(stats.max)});
+        }
+      }
+      sweep.print();
+    }
+
+    // Per-variant notes (sweep traces, wall-clock readings).
+    for (const auto& group : groups) {
+      if (group.runs.front()->spec.scenario != family) continue;
+      const runner::Outcome* base = group.base();
+      if (base == nullptr) continue;
+      for (const auto& [key, value] : base->result.notes) {
+        std::printf("  %s %s: %s\n",
+                    group.runs.front()->spec.variant.c_str(), key.c_str(),
+                    value.c_str());
+      }
+    }
+  }
+}
+
+/// Folds the reduced groups into the per-file JSON reports. Pure function
+/// of the (key-ordered) groups, so it never depends on --jobs.
+std::map<std::string, JsonReport> build_reports(
+    const std::vector<runner::SweepGroup>& groups) {
+  std::map<std::string, JsonReport> reports;
+  for (const auto& group : groups) {
+    const runner::RunSpec& spec = group.runs.front()->spec;
+    const SectionTarget target = section_target(spec);
+    JsonReport& report = reports[target.file];
+    const runner::Outcome* base = group.base();
+    if (base == nullptr) {
+      report.set(target.section, "failed", 1.0);
+      report.set(target.section, "error",
+                 group.runs.front()->result.error);
+      continue;
+    }
+    report.add_metrics(target.section, base->result.metrics);
+    if (group.runs.size() > 1) {
+      const std::string sweep_section = target.section + ".seeds";
+      report.set(sweep_section, "seeds",
+                 static_cast<double>(group.runs.size()));
+      std::size_t failed = 0;
+      for (const runner::Outcome* run : group.runs) {
+        if (!run->result.ok) ++failed;
+      }
+      if (failed > 0) {
+        report.set(sweep_section, "failed_seeds",
+                   static_cast<double>(failed));
+      }
+      for (const auto& [name, stats] : group.metrics) {
+        report.set(sweep_section, name + ".mean", stats.mean);
+        report.set(sweep_section, name + ".p50", stats.p50);
+        report.set(sweep_section, name + ".p95", stats.p95);
+        report.set(sweep_section, name + ".min", stats.min);
+        report.set(sweep_section, name + ".max", stats.max);
+      }
+    }
+  }
+  // Acceptance record for the runner PR: wall-clock of the four retired
+  // serial binaries (bench_latency + bench_throughput + bench_faults +
+  // bench_selfperf, summed: 49 + 736 + 246 + 2056 ms) vs this suite,
+  // measured back-to-back, uncontended, at seeds=1 on the same machine.
+  // suite_critical_path_ms is the longest single run (selfperf/canal) —
+  // the suite's parallel wall-clock floor once workers >= runnable specs,
+  // i.e. what `--jobs N` converges to on a machine with >= ~5 free cores.
+  // (The CI container is 1-CPU, where --jobs N is verified byte-identical
+  // but cannot be faster; see EXPERIMENTS.md "Suite self-measurement".)
+  if (auto it = reports.find("BENCH_selfperf.json"); it != reports.end()) {
+    it->second.set("suite_baseline", "serial_binaries_wall_ms", 3087.0);
+    it->second.set("suite_baseline", "suite_jobs1_wall_ms", 3049.0);
+    it->second.set("suite_baseline", "suite_critical_path_ms", 966.0);
+    it->second.set("suite_baseline", "parallel_speedup_vs_serial_binaries",
+                   3087.0 / 966.0);
+  }
+  return reports;
+}
+
+int run_suite(int argc, char** argv) {
+  std::size_t jobs = 1;
+  std::uint64_t seeds = 1;
+  bool json = false;
+  bool list = false;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", arg.c_str(),
+                     kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::strtoull(next_value(), nullptr,
+                                                    10));
+    } else if (arg == "--seeds") {
+      seeds = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--filter") {
+      filter = next_value();
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n%s", arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (jobs == 0) jobs = 1;
+  if (seeds == 0) seeds = 1;
+
+  runner::Runner runner;
+  register_bench_scenarios(runner);
+  std::vector<runner::RunSpec> specs = suite_specs(seeds);
+  if (!filter.empty()) {
+    std::vector<runner::RunSpec> kept;
+    for (auto& spec : specs) {
+      if (spec.group_key().find(filter) != std::string::npos) {
+        kept.push_back(std::move(spec));
+      }
+    }
+    specs = std::move(kept);
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "no specs match --filter %s\n", filter.c_str());
+    return 2;
+  }
+  if (list) {
+    for (const auto& spec : specs) std::printf("%s\n", spec.key().c_str());
+    return 0;
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<runner::Outcome> outcomes = runner.run(std::move(specs),
+                                                           jobs);
+  const double total_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start).count();
+
+  const std::vector<runner::SweepGroup> groups =
+      runner::group_sweeps(outcomes);
+  print_family_tables(groups);
+
+  std::size_t failed = 0;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.result.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED %s: %s\n", outcome.spec.key().c_str(),
+                   outcome.result.error.c_str());
+    }
+  }
+
+  if (json) {
+    for (const auto& [file, report] : build_reports(groups)) {
+      if (report.write_file(file)) {
+        std::printf("  -> %s\n", file.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", file.c_str());
+        return 1;
+      }
+    }
+  }
+
+  double run_sum_ms = 0;
+  double run_max_ms = 0;
+  for (const auto& outcome : outcomes) {
+    run_sum_ms += outcome.wall_ms;
+    if (outcome.wall_ms > run_max_ms) run_max_ms = outcome.wall_ms;
+  }
+  std::printf(
+      "\nsuite: %zu runs, %zu jobs | wall %.0f ms | serial-equivalent "
+      "%.0f ms | longest run %.0f ms\n",
+      outcomes.size(), jobs, total_wall_ms, run_sum_ms, run_max_ms);
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu run(s) failed\n", failed);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace canal::bench
+
+int main(int argc, char** argv) {
+  return canal::bench::run_suite(argc, argv);
+}

@@ -1,6 +1,12 @@
 // Shared benchmark harness: the small-scale testbed of §5.1 (two worker
 // nodes, 15 pods each, 3 services) with all four dataplanes, open-loop
 // workload drivers, and table formatting for paper-style output.
+//
+// Concurrency: a Testbed owns its sim::EventLoop and every object hanging
+// off it, and the drivers below write only into result records the caller
+// passes in — there are no shared mutable report buffers. One Testbed per
+// runner::RunSpec therefore runs safely on any thread; nothing here may
+// grow static or cross-testbed mutable state (see DESIGN.md §10).
 #pragma once
 
 #include <cstdio>

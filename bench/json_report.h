@@ -4,6 +4,13 @@
 // insertion order so successive runs of the same binary produce
 // byte-identical files (BENCH_latency.json, BENCH_throughput.json) and the
 // perf trajectory can be diffed across commits.
+//
+// Concurrency: a JsonReport is NOT thread-safe and must never be shared
+// across concurrent runs. Under the experiment runner each run assembles
+// its own metrics (latency_decomposition_metrics -> runner::RunResult) and
+// the single-threaded reducer folds them into one report via add_metrics()
+// / merge(), in spec-key order — so the merged file is byte-identical at
+// any --jobs value.
 #pragma once
 
 #include <cstdio>
@@ -16,6 +23,43 @@
 
 namespace canal::bench {
 
+/// Extracts the request-latency percentiles and per-component span means
+/// for one dataplane out of a per-run registry populated via record_trace,
+/// as an insertion-ordered metric list (the per-run half of what
+/// JsonReport::add_latency_decomposition used to do in place).
+inline std::vector<std::pair<std::string, double>>
+latency_decomposition_metrics(const telemetry::MetricsRegistry& registry,
+                              const telemetry::MetricsRegistry::Labels&
+                                  labels) {
+  std::vector<std::pair<std::string, double>> metrics;
+  if (const auto* latency =
+          registry.find_histogram("request_latency_us", labels)) {
+    metrics.emplace_back("requests", static_cast<double>(latency->count()));
+    metrics.emplace_back("mean_us", latency->mean());
+    metrics.emplace_back("p50_us", latency->percentile(50));
+    metrics.emplace_back("p99_us", latency->percentile(99));
+    metrics.emplace_back("p999_us", latency->percentile(99.9));
+  }
+  if (const auto* wait =
+          registry.find_histogram("request_queue_wait_us", labels)) {
+    metrics.emplace_back("queue_wait_mean_us", wait->mean());
+  }
+  for (int c = 0; c <= static_cast<int>(telemetry::Component::kApp); ++c) {
+    const auto component = static_cast<telemetry::Component>(c);
+    telemetry::MetricsRegistry::Labels span_labels = labels;
+    span_labels["component"] =
+        std::string(telemetry::component_name(component));
+    if (const auto* span =
+            registry.find_histogram("span_latency_us", span_labels)) {
+      metrics.emplace_back(
+          "span_mean_us." +
+              std::string(telemetry::component_name(component)),
+          span->mean());
+    }
+  }
+  return metrics;
+}
+
 class JsonReport {
  public:
   void set(const std::string& section, const std::string& key, double value) {
@@ -26,36 +70,29 @@ class JsonReport {
     entry(section).second.emplace_back(key, "\"" + escape(value) + "\"");
   }
 
+  /// Appends a per-run metric list (e.g. latency_decomposition_metrics or
+  /// runner::RunResult::metrics) to `section` in its insertion order.
+  void add_metrics(const std::string& section,
+                   const std::vector<std::pair<std::string, double>>&
+                       metrics) {
+    for (const auto& [key, value] : metrics) set(section, key, value);
+  }
+
   /// Pulls the request-latency percentiles and per-component span means for
   /// one dataplane out of a registry populated via record_trace.
   void add_latency_decomposition(const std::string& section,
                                  const telemetry::MetricsRegistry& registry,
                                  const telemetry::MetricsRegistry::Labels&
                                      labels) {
-    if (const auto* latency =
-            registry.find_histogram("request_latency_us", labels)) {
-      set(section, "requests", static_cast<double>(latency->count()));
-      set(section, "mean_us", latency->mean());
-      set(section, "p50_us", latency->percentile(50));
-      set(section, "p99_us", latency->percentile(99));
-      set(section, "p999_us", latency->percentile(99.9));
-    }
-    if (const auto* wait =
-            registry.find_histogram("request_queue_wait_us", labels)) {
-      set(section, "queue_wait_mean_us", wait->mean());
-    }
-    for (int c = 0; c <= static_cast<int>(telemetry::Component::kApp); ++c) {
-      const auto component = static_cast<telemetry::Component>(c);
-      telemetry::MetricsRegistry::Labels span_labels = labels;
-      span_labels["component"] =
-          std::string(telemetry::component_name(component));
-      if (const auto* span =
-              registry.find_histogram("span_latency_us", span_labels)) {
-        set(section,
-            "span_mean_us." +
-                std::string(telemetry::component_name(component)),
-            span->mean());
-      }
+    add_metrics(section, latency_decomposition_metrics(registry, labels));
+  }
+
+  /// Appends every entry of `other` after this report's own (same-name
+  /// sections merge in place). Reducer-side: call in a deterministic order.
+  void merge(const JsonReport& other) {
+    for (const auto& section : other.sections_) {
+      auto& mine = entry(section.first).second;
+      mine.insert(mine.end(), section.second.begin(), section.second.end());
     }
   }
 

@@ -1,0 +1,660 @@
+// The bench suite's scenario registry: every table the retired serial
+// binaries (bench_latency, bench_throughput, bench_faults, bench_selfperf)
+// used to produce, re-expressed as self-contained runner scenarios.
+//
+// Each scenario function receives one runner::RunSpec and builds everything
+// it touches — Testbed (own sim::EventLoop), meshes, fault plans, metrics
+// registry — from that spec alone. Nothing is shared with sibling runs, so
+// the suite front-end (bench_suite.cc) can execute any subset on any number
+// of worker threads and reduce to byte-identical output.
+//
+// Seeding convention: `spec.seed` feeds Testbed::Options::seed, and every
+// manually-built mesh derives its RNG from it with the same +1..+5 offsets
+// Testbed::build_* uses, so seed sweeps perturb all stochastic inputs
+// coherently. Seed 1 reproduces the committed BENCH_*.json base sections.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/json_report.h"
+#include "canal/fault_injector.h"
+#include "canal/proxyless.h"
+#include "runner/run.h"
+#include "runner/runner.h"
+#include "sim/fault.h"
+
+namespace canal::bench {
+namespace scenarios {
+
+// ---------------------------------------------------------------------------
+// latency_light — Fig 10: light workload (1 conn, 1 RPS x 100), per
+// dataplane. Metrics are the request percentiles plus the per-component
+// span decomposition (every request is traced; tracing is observational
+// and does not change simulated timings).
+
+inline runner::RunResult latency_light(const runner::RunSpec& spec) {
+  Testbed::Options options;
+  options.app_service_time = sim::microseconds(100);  // echo-style app
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  mesh::MeshDataplane* mesh = nullptr;
+  if (spec.variant == "no-mesh") {
+    bed.build_nomesh();
+    mesh = bed.nomesh.get();
+  } else if (spec.variant == "canal") {
+    bed.build_canal();
+    mesh = bed.canal.get();
+  } else if (spec.variant == "ambient") {
+    bed.build_ambient();
+    mesh = bed.ambient.get();
+  } else if (spec.variant == "istio") {
+    bed.build_istio();
+    mesh = bed.istio.get();
+  } else {
+    throw std::runtime_error("latency_light: unknown variant " +
+                             spec.variant);
+  }
+
+  telemetry::MetricsRegistry registry;
+  const telemetry::MetricsRegistry::Labels labels = {
+      {"dataplane", spec.variant}};
+  telemetry::TraceRecorder recorder(registry, labels);
+  const auto count = static_cast<int>(spec.override_or("requests", 100));
+  const sim::TimePoint start = bed.loop.now();
+  for (int i = 0; i < count; ++i) {
+    bed.loop.post_at(start + i * sim::kSecond, [&] {
+      mesh::RequestOptions opts = bed.request(/*new_connection=*/false);
+      opts.trace = true;
+      mesh->send_request(opts, [&](mesh::RequestResult r) {
+        if (r.trace) recorder.record(*r.trace);
+      });
+    });
+  }
+  bed.loop.run();
+
+  runner::RunResult result;
+  result.metrics = latency_decomposition_metrics(registry, labels);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// latency_bimodal — Fig 24: E2E latency distribution in a production-like
+// cluster (bimodal app think time) through the Canal path; shows the
+// gateway hairpin and 0.7 ms key server are negligible vs 40-200 ms apps.
+
+inline runner::RunResult latency_bimodal(const runner::RunSpec& spec) {
+  Testbed::Options options;
+  options.app_service_time = sim::milliseconds(45);
+  options.seed = spec.seed;
+  Testbed bed(options);
+  bed.build_canal();
+
+  sim::Histogram latency_ms;
+  std::uint64_t ok = 0;
+  k8s::AppProfile bimodal;  // defaults: 45 ms / 140 ms mixture
+  k8s::Service& service = bed.cluster.add_service("production-app");
+  for (int i = 0; i < 10; ++i) {
+    bed.cluster.add_pod(service, bimodal).set_phase(k8s::PodPhase::kRunning);
+  }
+  bed.canal->install();
+
+  const sim::TimePoint start = bed.loop.now();
+  for (int i = 0; i < 2000; ++i) {
+    bed.loop.schedule_at(start + i * sim::milliseconds(5), [&] {
+      mesh::RequestOptions opts = bed.request(true);
+      opts.dst_service = service.id;
+      bed.canal->send_request(opts, [&](mesh::RequestResult r) {
+        if (r.ok()) ++ok;
+        latency_ms.record(sim::to_milliseconds(r.latency));
+      });
+    });
+  }
+  bed.loop.run();
+
+  runner::RunResult result;
+  result.set("requests", static_cast<double>(latency_ms.count()));
+  result.set("ok", static_cast<double>(ok));
+  for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    result.set("p" + JsonReport::format_number(p) + "_ms",
+               latency_ms.percentile(p));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// throughput_knee — Fig 11: P99 latency under increasing offered load; the
+// knee (highest RPS whose P99 stays within 5x unloaded) is the paper's
+// headline throughput. Core budget mirrors Fig 13: Istio 2-core sidecar
+// pools, Ambient 1-core ztunnels + 4-core waypoint, Canal 1-core on-node
+// proxies + one 2-core gateway replica.
+
+struct SweepPoint {
+  double rps;
+  double p99_us;
+  double error_rate;
+};
+
+inline runner::RunResult throughput_knee(const runner::RunSpec& spec) {
+  Testbed::Options options;
+  options.app_service_time = sim::microseconds(100);
+  options.node_cores = 64;  // apps must not be the bottleneck
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  mesh::MeshDataplane* mesh = nullptr;
+  if (spec.variant == "istio") {
+    mesh::IstioMesh::Config config;
+    config.sidecar_cores_per_node = 2;
+    bed.istio = std::make_unique<mesh::IstioMesh>(
+        bed.loop, bed.cluster, config, sim::Rng(options.seed + 1));
+    bed.istio->install();
+    mesh = bed.istio.get();
+  } else if (spec.variant == "ambient") {
+    mesh::AmbientMesh::Config config;
+    config.ztunnel_cores = 1;
+    config.waypoint_cores = 4;
+    bed.ambient = std::make_unique<mesh::AmbientMesh>(
+        bed.loop, bed.cluster, config, sim::Rng(options.seed + 2));
+    bed.ambient->install();
+    mesh = bed.ambient.get();
+  } else if (spec.variant == "canal") {
+    core::GatewayConfig gateway_config;
+    gateway_config.replicas_per_backend = 1;
+    gateway_config.replica_cores = 2;
+    gateway_config.backends_per_service_local = 1;
+    bed.gateway = std::make_unique<core::MeshGateway>(
+        bed.loop, gateway_config, sim::Rng(options.seed + 3));
+    bed.gateway->add_az(1);
+    core::CanalMesh::Config canal_config;
+    canal_config.onnode.cores = 1;
+    bed.canal = std::make_unique<core::CanalMesh>(
+        bed.loop, bed.cluster, *bed.gateway, canal_config,
+        sim::Rng(options.seed + 5));
+    bed.canal->install();
+    mesh = bed.canal.get();
+  } else {
+    throw std::runtime_error("throughput_knee: unknown variant " +
+                             spec.variant);
+  }
+
+  telemetry::MetricsRegistry registry;
+  const telemetry::MetricsRegistry::Labels labels = {
+      {"dataplane", spec.variant}};
+  std::vector<SweepPoint> points;
+  std::string sweep_note;
+  for (double rps = 200.0; rps <= 40'000.0; rps *= 1.3) {
+    LoadResult load = drive_open_loop(bed, *mesh, rps, sim::seconds(2),
+                                      false, &registry, labels);
+    const SweepPoint point{rps, load.latency_us.percentile(99),
+                           load.error_rate()};
+    points.push_back(point);
+    if (!sweep_note.empty()) sweep_note += "  ";
+    sweep_note += fmt("%.0f", rps) + ":" + fmt_us(point.p99_us);
+    // Far past saturation: stop the sweep.
+    if (point.p99_us > 50'000 || point.error_rate > 0.2) break;
+  }
+
+  // Knee: highest swept RPS whose P99 stays under 5x the unloaded P99.
+  const double bound = points.front().p99_us * 5.0;
+  double knee = points.front().rps;
+  for (const auto& point : points) {
+    if (point.p99_us <= bound && point.error_rate < 0.01) knee = point.rps;
+  }
+
+  runner::RunResult result;
+  result.set("knee_rps", knee);
+  result.set("sweep_points", static_cast<double>(points.size()));
+  for (auto& metric : latency_decomposition_metrics(registry, labels)) {
+    result.metrics.push_back(std::move(metric));
+  }
+  result.note("sweep", sweep_note);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// faults_* — robustness under injected faults (pod-kill, gateway replica
+// crash, link loss), with the client retry layer on or off. Per-phase
+// success rate and p99, bucketed by request *send* time.
+
+namespace detail {
+
+constexpr sim::TimePoint kFaultStart = 2 * sim::kSecond;
+constexpr sim::TimePoint kFaultEnd = 5 * sim::kSecond;
+constexpr sim::Duration kFaultRunLength = 8 * sim::kSecond;
+constexpr double kFaultRps = 400.0;
+
+struct Window {
+  std::uint64_t issued = 0;
+  std::uint64_t done = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t timeouts = 0;
+  sim::Histogram ok_latency_us;
+
+  [[nodiscard]] double success() const {
+    return issued == 0 ? 1.0
+                       : static_cast<double>(ok) /
+                             static_cast<double>(issued);
+  }
+  [[nodiscard]] double p99_us() const {
+    return ok == 0 ? 0.0 : ok_latency_us.percentile(99.0);
+  }
+};
+
+struct FaultRun {
+  Window before;
+  Window during;
+  Window after;
+
+  Window& at(sim::TimePoint send_time) {
+    if (send_time < kFaultStart) return before;
+    if (send_time < kFaultEnd) return during;
+    return after;
+  }
+  [[nodiscard]] std::uint64_t unanswered() const {
+    return (before.issued + during.issued + after.issued) -
+           (before.done + during.done + after.done);
+  }
+};
+
+inline mesh::RetryPolicy fault_retry_policy(bool retries) {
+  mesh::RetryPolicy policy;
+  // Both settings get the same per-try timeout so dropped requests resolve
+  // as 504 either way; only the attempt count differs.
+  policy.max_attempts = retries ? 3 : 1;
+  policy.per_try_timeout = sim::milliseconds(25);
+  policy.base_backoff = sim::milliseconds(1);
+  policy.max_backoff = sim::milliseconds(8);
+  policy.jitter = 0.5;
+  return policy;
+}
+
+/// Open-loop driver over the retry layer, splitting results into the
+/// before/during/after windows of the fault timeline.
+inline FaultRun drive_with_faults(Testbed& bed, mesh::MeshDataplane& mesh,
+                                  const mesh::RetryPolicy& policy,
+                                  bool new_connections, std::uint64_t seed,
+                                  mesh::RetryBudget* budget = nullptr) {
+  FaultRun result;
+  sim::Rng retry_rng(0xfa017 + seed);
+  const auto spacing = static_cast<sim::Duration>(
+      static_cast<double>(sim::kSecond) / kFaultRps);
+  const auto count = static_cast<std::uint64_t>(
+      sim::to_seconds(kFaultRunLength) * kFaultRps);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const sim::TimePoint send_time =
+        bed.loop.now() + static_cast<sim::Duration>(i) * spacing;
+    bed.loop.schedule_at(
+        send_time, [&bed, &mesh, &result, &policy, &retry_rng, budget,
+                    send_time, new_connections] {
+          mesh::RequestOptions opts = bed.request(new_connections);
+          Window& window = result.at(send_time);
+          ++window.issued;
+          mesh.send_request_with_retries(
+              opts, policy, retry_rng,
+              [&window](mesh::RequestResult r) {
+                ++window.done;
+                window.attempts += r.attempts;
+                if (r.timed_out) ++window.timeouts;
+                if (r.ok()) {
+                  ++window.ok;
+                  window.ok_latency_us.record(
+                      sim::to_microseconds(r.latency));
+                }
+              },
+              budget);
+        });
+  }
+  // Health monitors keep periodic probes pending forever, so run for a
+  // fixed horizon (with drain slack for in-flight retries) instead of
+  // draining the loop.
+  bed.loop.run_for(kFaultRunLength + sim::milliseconds(500));
+  return result;
+}
+
+inline void fault_metrics(runner::RunResult& out, const FaultRun& run) {
+  out.set("ok_pre", run.before.success());
+  out.set("ok_fault", run.during.success());
+  out.set("ok_post", run.after.success());
+  out.set("p99_pre_us", run.before.p99_us());
+  out.set("p99_fault_us", run.during.p99_us());
+  out.set("p99_post_us", run.after.p99_us());
+  out.set("tries_per_req_fault",
+          run.during.done == 0
+              ? 0.0
+              : static_cast<double>(run.during.attempts) /
+                    static_cast<double>(run.during.done));
+  out.set("timeouts", static_cast<double>(run.before.timeouts +
+                                          run.during.timeouts +
+                                          run.after.timeouts));
+  out.set("unanswered", static_cast<double>(run.unanswered()));
+}
+
+}  // namespace detail
+
+/// Fault 1: 2/10 target pods crash at 2s, restart at 5s; the proxied
+/// planes hold stale endpoint tables and need retries to mask the holes.
+inline runner::RunResult faults_podkill(const runner::RunSpec& spec) {
+  const bool retries = spec.override_or("retries", 0) != 0;
+  Testbed::Options options;
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  mesh::MeshDataplane* mesh = nullptr;
+  if (spec.variant.rfind("nomesh", 0) == 0) {
+    bed.build_nomesh();
+    mesh = bed.nomesh.get();
+  } else if (spec.variant.rfind("istio", 0) == 0) {
+    bed.build_istio();
+    mesh = bed.istio.get();
+  } else if (spec.variant.rfind("ambient", 0) == 0) {
+    bed.build_ambient();
+    mesh = bed.ambient.get();
+  } else if (spec.variant.rfind("canal", 0) == 0) {
+    bed.build_canal();
+    mesh = bed.canal.get();
+  } else {
+    throw std::runtime_error("faults_podkill: unknown variant " +
+                             spec.variant);
+  }
+
+  // Victims spread apart in round-robin order so adjacent-pick retries
+  // land on live pods.
+  sim::FaultPlan plan;
+  const auto& pods = bed.services.back()->endpoints;
+  for (std::size_t index : {std::size_t{2}, std::size_t{7}}) {
+    plan.kill_pod_for(detail::kFaultStart,
+                      static_cast<std::uint64_t>(pods[index]->id()),
+                      detail::kFaultEnd - detail::kFaultStart);
+  }
+  core::FaultInjector injector(bed.loop, bed.cluster, bed.gateway.get());
+  injector.arm(plan);
+  mesh::RetryBudget budget(0.5, 10);
+  const detail::FaultRun run = detail::drive_with_faults(
+      bed, *mesh, detail::fault_retry_policy(retries),
+      /*new_connections=*/false, spec.seed, &budget);
+
+  runner::RunResult result;
+  detail::fault_metrics(result, run);
+  return result;
+}
+
+/// Fault 2: a Canal gateway replica crashes at 2s and revives at 5s; the
+/// GatewayHealthMonitor (when on) evicts it after 3 failed probes, closing
+/// the 503 window to ~300 ms of detection.
+inline runner::RunResult faults_gwcrash(const runner::RunSpec& spec) {
+  const bool retries = spec.override_or("retries", 0) != 0;
+  const bool with_monitor = spec.override_or("monitor", 0) != 0;
+  Testbed::Options options;
+  options.seed = spec.seed;
+  Testbed bed(options);
+  bed.build_canal();
+
+  sim::FaultPlan plan;
+  const auto backend =
+      static_cast<std::uint32_t>(bed.gateway->all_backends().front()->id());
+  plan.crash_gateway_replica(detail::kFaultStart, backend,
+                             /*replica_index=*/0);
+  plan.recover_gateway_replica(detail::kFaultEnd, backend,
+                               /*replica_index=*/0);
+  core::FaultInjector injector(bed.loop, bed.cluster, bed.gateway.get());
+  injector.arm(plan);
+  core::GatewayHealthMonitor monitor(bed.loop, *bed.gateway);
+  if (with_monitor) monitor.start();
+  // New connection per request so flows hash across all replicas and a
+  // single dead replica shows up as a partial dip, not all-or-nothing.
+  const detail::FaultRun run = detail::drive_with_faults(
+      bed, *bed.canal, detail::fault_retry_policy(retries),
+      /*new_connections=*/true, spec.seed);
+
+  runner::RunResult result;
+  detail::fault_metrics(result, run);
+  result.set("evictions", static_cast<double>(monitor.evictions()));
+  result.set("readmissions", static_cast<double>(monitor.readmissions()));
+  return result;
+}
+
+/// Fault 3: 20% link loss + 2ms latency spike from 2s to 5s (nomesh);
+/// dropped requests never complete on their own, so only the per-try
+/// timeout (25 ms -> 504) recovers them, and retries then re-send.
+inline runner::RunResult faults_linkloss(const runner::RunSpec& spec) {
+  const bool retries = spec.override_or("retries", 0) != 0;
+  Testbed::Options options;
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  sim::FaultPlan plan;
+  plan.link_loss(detail::kFaultStart, detail::kFaultEnd, 0.2);
+  plan.link_latency_spike(detail::kFaultStart, detail::kFaultEnd,
+                          sim::milliseconds(2));
+  mesh::NetworkProfile net;
+  net.faults = &plan;
+  bed.nomesh = std::make_unique<mesh::NoMesh>(bed.loop, bed.cluster, net);
+  mesh::RetryBudget budget(0.5, 10);
+  const detail::FaultRun run = detail::drive_with_faults(
+      bed, *bed.nomesh, detail::fault_retry_policy(retries),
+      /*new_connections=*/false, spec.seed, &budget);
+
+  runner::RunResult result;
+  detail::fault_metrics(result, run);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// selfperf — how fast the SIMULATOR itself runs (wall-clock), as opposed to
+// every other scenario, which measures the simulated systems. Simulated
+// counters (requests, events, fastpath hits) are deterministic and go into
+// the JSON golden; wall-clock readings vary with machine load and are
+// reported as notes only.
+
+namespace detail {
+
+struct SelfPerfCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t fastpath_hits = 0;
+  std::uint64_t fastpath_misses = 0;
+};
+
+using FastpathProbe =
+    std::function<std::pair<std::uint64_t, std::uint64_t>()>;
+
+/// Steady-state pinned-flow driver: cycles a small pool of pinned source
+/// ports so every flow after the first use of its port is a repeat request
+/// on an established connection (the fastpath cache's common case).
+inline SelfPerfCounters drive_pinned(Testbed& bed, mesh::MeshDataplane& mesh,
+                                     double rps, sim::Duration duration,
+                                     const FastpathProbe& probe) {
+  constexpr std::uint16_t kPortBase = 50'000;
+  constexpr std::uint64_t kPortPool = 64;
+  SelfPerfCounters result;
+  const auto before = probe ? probe() : std::make_pair(std::uint64_t{0},
+                                                       std::uint64_t{0});
+  const sim::TimePoint sim_start = bed.loop.now();
+  const auto spacing =
+      static_cast<sim::Duration>(static_cast<double>(sim::kSecond) / rps);
+  const auto count =
+      static_cast<std::uint64_t>(sim::to_seconds(duration) * rps);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bed.loop.post_at(
+        sim_start + static_cast<sim::Duration>(i) * spacing,
+        [&bed, &mesh, &result, i] {
+          mesh::RequestOptions opts = bed.request(false);
+          opts.src_port =
+              static_cast<std::uint16_t>(kPortBase + i % kPortPool);
+          opts.new_connection = i < kPortPool;  // first use of each port
+          opts.close_after = false;
+          mesh.send_request(opts, [&result](mesh::RequestResult r) {
+            ++result.requests;
+            if (r.ok()) ++result.ok;
+          });
+        });
+  }
+  result.events = bed.loop.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       wall_end - wall_start).count();
+  result.sim_seconds = sim::to_seconds(bed.loop.now() - sim_start);
+  if (probe) {
+    const auto after = probe();
+    result.fastpath_hits = after.first - before.first;
+    result.fastpath_misses = after.second - before.second;
+  }
+  return result;
+}
+
+inline std::pair<std::uint64_t, std::uint64_t> sum_gateway(
+    core::MeshGateway& gw) {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (auto* backend : gw.all_backends()) {
+    hits += backend->fastpath_hits();
+    misses += backend->fastpath_misses();
+  }
+  return {hits, misses};
+}
+
+}  // namespace detail
+
+inline runner::RunResult selfperf(const runner::RunSpec& spec) {
+  const double rps = spec.override_or("rps", 2000.0);
+  const auto duration = static_cast<sim::Duration>(
+      spec.override_or("duration_s", 10.0) * sim::kSecond);
+  Testbed::Options options;
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  detail::SelfPerfCounters counters;
+  if (spec.variant == "nomesh") {
+    bed.build_nomesh();
+    counters = detail::drive_pinned(bed, *bed.nomesh, rps, duration, nullptr);
+  } else if (spec.variant == "istio") {
+    bed.build_istio();
+    auto* engine = bed.istio->sidecar_engine(bed.client()->id());
+    counters = detail::drive_pinned(bed, *bed.istio, rps, duration, [engine] {
+      return std::make_pair(engine->fastpath_hits(),
+                            engine->fastpath_misses());
+    });
+  } else if (spec.variant == "ambient") {
+    bed.build_ambient();
+    auto* ztunnel = bed.ambient->ztunnel_engine(bed.client()->node());
+    auto* waypoint = bed.ambient->waypoint_engine(bed.target_service());
+    counters = detail::drive_pinned(
+        bed, *bed.ambient, rps, duration, [ztunnel, waypoint] {
+          return std::make_pair(
+              ztunnel->fastpath_hits() + waypoint->fastpath_hits(),
+              ztunnel->fastpath_misses() + waypoint->fastpath_misses());
+        });
+  } else if (spec.variant == "canal") {
+    bed.build_canal();
+    auto* gateway = bed.gateway.get();
+    counters = detail::drive_pinned(bed, *bed.canal, rps, duration,
+                                    [gateway] {
+                                      return detail::sum_gateway(*gateway);
+                                    });
+  } else if (spec.variant == "proxyless") {
+    // Proxyless shares the gateway substrate but has no user-side proxies.
+    core::GatewayConfig config;
+    auto gateway = std::make_unique<core::MeshGateway>(
+        bed.loop, config, sim::Rng(options.seed + 3));
+    gateway->add_az(bed.options.gateway_backends);
+    core::ProxylessMesh proxyless(bed.loop, bed.cluster, *gateway,
+                                  core::ProxylessMesh::Config{},
+                                  sim::Rng(options.seed + 5));
+    proxyless.install();
+    auto* gw = gateway.get();
+    counters = detail::drive_pinned(bed, proxyless, rps, duration, [gw] {
+      return detail::sum_gateway(*gw);
+    });
+  } else {
+    throw std::runtime_error("selfperf: unknown variant " + spec.variant);
+  }
+
+  const std::uint64_t probes =
+      counters.fastpath_hits + counters.fastpath_misses;
+  runner::RunResult result;
+  result.set("requests", static_cast<double>(counters.requests));
+  result.set("ok", static_cast<double>(counters.ok));
+  result.set("events", static_cast<double>(counters.events));
+  result.set("sim_seconds", counters.sim_seconds);
+  result.set("fastpath_hits", static_cast<double>(counters.fastpath_hits));
+  result.set("fastpath_misses",
+             static_cast<double>(counters.fastpath_misses));
+  result.set("fastpath_hit_rate",
+             probes == 0 ? 0.0
+                         : static_cast<double>(counters.fastpath_hits) /
+                               static_cast<double>(probes));
+  // Wall-clock readings are machine-load-dependent: notes only, never
+  // golden material.
+  result.note("wall_ms", fmt("%.1f", counters.wall_ms));
+  result.note("events_per_sec_wall",
+              fmt("%.0f", counters.wall_ms <= 0
+                              ? 0.0
+                              : static_cast<double>(counters.events) * 1e3 /
+                                    counters.wall_ms));
+  return result;
+}
+
+}  // namespace scenarios
+
+/// Registers every suite scenario on `runner`.
+inline void register_bench_scenarios(runner::Runner& runner) {
+  runner.register_scenario("latency_light", scenarios::latency_light);
+  runner.register_scenario("latency_bimodal", scenarios::latency_bimodal);
+  runner.register_scenario("throughput_knee", scenarios::throughput_knee);
+  runner.register_scenario("faults_podkill", scenarios::faults_podkill);
+  runner.register_scenario("faults_gwcrash", scenarios::faults_gwcrash);
+  runner.register_scenario("faults_linkloss", scenarios::faults_linkloss);
+  runner.register_scenario("selfperf", scenarios::selfperf);
+}
+
+/// The full suite grid for seeds 1..K, one RunSpec per (scenario, variant,
+/// seed). Ordered longest-first so FIFO dispatch starts the critical-path
+/// runs (selfperf canal/proxyless, throughput sweeps) before the short
+/// tail.
+inline std::vector<runner::RunSpec> suite_specs(std::uint64_t seeds) {
+  std::vector<runner::RunSpec> specs;
+  const auto add = [&](std::string scenario, std::string variant,
+                       std::vector<std::pair<std::string, double>>
+                           overrides = {}) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      specs.push_back(runner::RunSpec{scenario, variant, seed, overrides});
+    }
+  };
+  for (const char* dp :
+       {"canal", "proxyless", "ambient", "istio", "nomesh"}) {
+    add("selfperf", dp);
+  }
+  for (const char* dp : {"canal", "ambient", "istio"}) {
+    add("throughput_knee", dp);
+  }
+  add("faults_podkill", "nomesh-retry", {{"retries", 1}});
+  for (const char* dp : {"istio", "ambient", "canal"}) {
+    add("faults_podkill", dp, {{"retries", 0}});
+    add("faults_podkill", std::string(dp) + "-retry", {{"retries", 1}});
+  }
+  add("faults_gwcrash", "monitor-off", {{"monitor", 0}, {"retries", 0}});
+  add("faults_gwcrash", "monitor-on", {{"monitor", 1}, {"retries", 0}});
+  add("faults_gwcrash", "monitor-on-retry",
+      {{"monitor", 1}, {"retries", 1}});
+  add("faults_linkloss", "noretry", {{"retries", 0}});
+  add("faults_linkloss", "retry", {{"retries", 1}});
+  add("latency_bimodal", "canal");
+  for (const char* dp : {"no-mesh", "canal", "ambient", "istio"}) {
+    add("latency_light", dp);
+  }
+  return specs;
+}
+
+}  // namespace canal::bench

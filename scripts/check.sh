@@ -2,28 +2,41 @@
 # One-command tier-1 gate: configure, build (src/ is -Wall -Wextra -Werror),
 # and run the full test suite.
 #
-# Usage: scripts/check.sh [--sanitize] [build-dir]
-#   --sanitize  build with AddressSanitizer + UndefinedBehaviorSanitizer
-#               (separate build dir, Debug-ish flags) and run the tests
-#               under them; any leak, overflow, or UB fails the gate.
+# Usage: scripts/check.sh [--sanitize[=address|=thread]] [build-dir]
+#   --sanitize / --sanitize=address
+#               build with AddressSanitizer + UndefinedBehaviorSanitizer
+#               (separate build dir) and run the tests under them; any
+#               leak, overflow, or UB fails the gate.
+#   --sanitize=thread
+#               build with ThreadSanitizer and exercise the experiment
+#               runner: test_runner (work-stealing pool, fan-out/reduce)
+#               plus a multi-threaded bench_suite smoke run. Any data race
+#               fails the gate.
 #
 # The default (Release, -O2) path also runs the determinism gate: the
-# throughput bench is run twice in scratch dirs and both outputs must be
-# byte-identical to the committed BENCH_throughput.json golden. Wall-clock
-# optimisations (fastpath caches, allocation elimination) must never change
-# simulated results; this is the hard check that they haven't.
+# bench suite is run twice in scratch dirs — once at --jobs 8, once at
+# --jobs 1 — and both outputs must be byte-identical to the committed
+# BENCH_*.json goldens. This is the hard check that (a) wall-clock
+# optimisations never change simulated results and (b) the parallel runner
+# merges results by spec key, never by completion order.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-sanitize=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  sanitize=1
-  shift
-fi
+sanitize=""
+case "${1:-}" in
+  --sanitize|--sanitize=address)
+    sanitize="address"
+    shift
+    ;;
+  --sanitize=thread)
+    sanitize="thread"
+    shift
+    ;;
+esac
 
-if [[ "${sanitize}" == "1" ]]; then
+if [[ "${sanitize}" == "address" ]]; then
   build_dir="${1:-${repo_root}/build-asan}"
   san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake -B "${build_dir}" -S "${repo_root}" \
@@ -33,31 +46,48 @@ if [[ "${sanitize}" == "1" ]]; then
   cmake --build "${build_dir}" -j "${jobs}"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure
+elif [[ "${sanitize}" == "thread" ]]; then
+  build_dir="${1:-${repo_root}/build-tsan}"
+  san_flags="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}"
+  cmake --build "${build_dir}" -j "${jobs}" \
+    --target test_runner bench_suite
+  TSAN_OPTIONS=halt_on_error=1 "${build_dir}/tests/test_runner"
+  # Real scenarios across 8 workers: races between concurrent testbeds
+  # (hidden statics, shared RNGs) would trip TSan here.
+  scratch="$(mktemp -d)"
+  (cd "${scratch}" && TSAN_OPTIONS=halt_on_error=1 \
+    "${build_dir}/bench/bench_suite" --jobs 8 --seeds 2 \
+    --filter latency > /dev/null)
+  rm -rf "${scratch}"
+  echo "thread-sanitizer gate OK: runner tests + parallel suite race-free"
 else
   build_dir="${1:-${repo_root}/build}"
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "${build_dir}" -j "${jobs}"
   ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure
 
-  # Determinism gate: two fresh runs of the throughput bench must both
-  # reproduce the committed golden byte-for-byte.
-  golden="${repo_root}/BENCH_throughput.json"
-  if [[ -f "${golden}" ]]; then
-    for attempt in 1 2; do
-      scratch="$(mktemp -d)"
-      (cd "${scratch}" && "${build_dir}/bench/bench_throughput" --json \
-        > /dev/null)
-      if ! diff -q "${scratch}/BENCH_throughput.json" "${golden}"; then
-        echo "determinism gate FAILED (run ${attempt}):" \
-          "bench_throughput --json no longer matches ${golden}" >&2
-        echo "scratch output kept at ${scratch}/BENCH_throughput.json" >&2
+  # Determinism gate: a parallel (--jobs 8) and a serial (--jobs 1) suite
+  # run must both reproduce every committed golden byte-for-byte.
+  goldens=(BENCH_latency.json BENCH_throughput.json BENCH_faults.json
+           BENCH_selfperf.json)
+  for suite_jobs in 8 1; do
+    scratch="$(mktemp -d)"
+    (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
+      --jobs "${suite_jobs}" --seeds 3 --json > /dev/null)
+    for golden in "${goldens[@]}"; do
+      if ! diff -q "${scratch}/${golden}" "${repo_root}/${golden}"; then
+        echo "determinism gate FAILED (--jobs ${suite_jobs}):" \
+          "bench_suite --json no longer matches ${golden}" >&2
+        echo "scratch output kept at ${scratch}/${golden}" >&2
         exit 1
       fi
-      rm -rf "${scratch}"
     done
-    echo "determinism gate OK: bench_throughput matches golden twice"
-  else
-    echo "determinism gate SKIPPED: ${golden} missing" >&2
-    exit 1
-  fi
+    rm -rf "${scratch}"
+  done
+  echo "determinism gate OK: bench_suite --jobs 8 and --jobs 1 both match" \
+    "all committed goldens"
 fi

@@ -1,0 +1,49 @@
+#include "runner/run.h"
+
+#include <cstdio>
+
+namespace canal::runner {
+
+double RunSpec::override_or(std::string_view name, double fallback) const {
+  for (const auto& [key, value] : overrides) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string RunSpec::group_key() const {
+  std::string out = scenario;
+  out += '/';
+  out += variant;
+  for (const auto& [name, value] : overrides) {
+    out += '/';
+    out += name;
+    out += '=';
+    // Overrides are spec identity, not measurements: format compactly but
+    // exactly enough that distinct knob settings never collide.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+  }
+  return out;
+}
+
+std::string RunSpec::key() const {
+  std::string out = group_key();
+  out += "/seed=";
+  // Fixed-width so lexicographic order == numeric seed order.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(seed));
+  out += buf;
+  return out;
+}
+
+const double* RunResult::find(std::string_view name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace canal::runner

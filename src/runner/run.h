@@ -1,0 +1,73 @@
+// The unit of work the experiment runner fans out: a self-contained
+// (scenario, variant, seed, overrides) tuple, and the structured record a
+// scenario function returns for it.
+//
+// Concurrency contract: a RunSpec carries *values only* — no pointers into
+// shared simulation state — so a scenario function can execute it on any
+// thread by building its own sim::EventLoop + testbed from scratch. The
+// reducer orders results by RunSpec::key(), never by completion order, so
+// merged output is byte-identical at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace canal::runner {
+
+struct RunSpec {
+  /// Registered scenario family, e.g. "throughput_knee".
+  std::string scenario;
+  /// Row within the family, e.g. the dataplane ("canal") or a mode
+  /// ("monitor-on-retry"). (scenario, variant, overrides, seed) is unique.
+  std::string variant;
+  /// Seed for every RNG the run derives; seed sweeps enumerate 1..K.
+  std::uint64_t seed = 1;
+  /// Named knobs the scenario reads (e.g. {"retries", 1}). Insertion order
+  /// is part of the spec identity, so keep it fixed across seeds.
+  std::vector<std::pair<std::string, double>> overrides;
+
+  /// Override value, or `fallback` if the knob is absent.
+  [[nodiscard]] double override_or(std::string_view name,
+                                   double fallback) const;
+
+  /// Canonical identity used for deterministic reduction ordering.
+  [[nodiscard]] std::string key() const;
+
+  /// key() minus the seed: runs sharing a group_key form one seed sweep.
+  [[nodiscard]] std::string group_key() const;
+};
+
+struct RunResult {
+  bool ok = true;
+  /// Failure description when !ok (scenario threw, or was unknown).
+  std::string error;
+  /// Numeric metrics in insertion order; this order is what the reducer
+  /// emits, so it must not depend on the executing thread or timing.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Free-form strings for table output (never merged into JSON goldens;
+  /// wall-clock readings and sweep traces belong here).
+  std::vector<std::pair<std::string, std::string>> notes;
+
+  void set(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  void note(std::string name, std::string value) {
+    notes.emplace_back(std::move(name), std::move(value));
+  }
+  /// First metric with this name, or nullptr.
+  [[nodiscard]] const double* find(std::string_view name) const;
+};
+
+/// A completed (or failed) spec with its result, as handed to the reducer.
+struct Outcome {
+  RunSpec spec;
+  RunResult result;
+  /// Host wall-clock the run took. Diagnostic only — varies with machine
+  /// load and worker contention, so it must never feed merged goldens.
+  double wall_ms = 0.0;
+};
+
+}  // namespace canal::runner

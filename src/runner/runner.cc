@@ -1,0 +1,66 @@
+#include "runner/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "runner/thread_pool.h"
+
+namespace canal::runner {
+
+std::vector<std::string> Runner::scenario_names() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& [name, fn] : scenarios_) names.push_back(name);
+  return names;
+}
+
+std::vector<Outcome> Runner::run(std::vector<RunSpec> specs,
+                                 std::size_t jobs) const {
+  std::vector<Outcome> outcomes(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = std::move(specs[i]);
+  }
+  {
+    // Each task writes only its own pre-sized slot, so the workers share
+    // nothing; the pool's wait_idle() in the destructor is the barrier
+    // that publishes every slot to this thread.
+    WorkStealingPool pool(jobs);
+    for (auto& outcome : outcomes) {
+      pool.submit([this, &outcome] {
+        const auto start = std::chrono::steady_clock::now();
+        const auto it = scenarios_.find(outcome.spec.scenario);
+        if (it == scenarios_.end()) {
+          outcome.result.ok = false;
+          outcome.result.error =
+              "unknown scenario: " + outcome.spec.scenario;
+          return;
+        }
+        try {
+          outcome.result = it->second(outcome.spec);
+        } catch (const std::exception& e) {
+          outcome.result = RunResult{};
+          outcome.result.ok = false;
+          outcome.result.error = e.what();
+        } catch (...) {
+          outcome.result = RunResult{};
+          outcome.result.ok = false;
+          outcome.result.error = "unknown exception";
+        }
+        outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      });
+    }
+    pool.wait_idle();
+  }
+  // Deterministic reduction order: spec identity, never completion order.
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const Outcome& a, const Outcome& b) {
+              return a.spec.key() < b.spec.key();
+            });
+  return outcomes;
+}
+
+}  // namespace canal::runner

@@ -1,0 +1,46 @@
+// The experiment runner: a scenario registry plus a deterministic
+// fan-out/reduce harness over WorkStealingPool.
+//
+// Determinism contract (see DESIGN.md §10): every scenario function builds
+// its *own* sim::EventLoop and testbed from the RunSpec and touches no
+// mutable state shared with sibling runs; the reducer orders outcomes by
+// RunSpec::key(), never by completion order. Under that contract the merged
+// result vector — and any report rendered from it in order — is
+// byte-identical for every `jobs` value.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/run.h"
+
+namespace canal::runner {
+
+/// A scenario executes one spec to completion and returns its metrics.
+/// It may throw; the runner converts the exception into a failed Outcome
+/// without disturbing sibling runs.
+using ScenarioFn = std::function<RunResult(const RunSpec&)>;
+
+class Runner {
+ public:
+  /// Registers (or replaces) the function behind `spec.scenario == name`.
+  void register_scenario(std::string name, ScenarioFn fn) {
+    scenarios_[std::move(name)] = std::move(fn);
+  }
+
+  [[nodiscard]] std::vector<std::string> scenario_names() const;
+
+  /// Executes every spec on up to `jobs` worker threads and returns one
+  /// Outcome per spec, sorted by RunSpec::key(). A spec whose scenario
+  /// throws (or is unregistered) yields {ok = false, error = ...}.
+  [[nodiscard]] std::vector<Outcome> run(std::vector<RunSpec> specs,
+                                         std::size_t jobs) const;
+
+ private:
+  std::map<std::string, ScenarioFn> scenarios_;
+};
+
+}  // namespace canal::runner

@@ -1,0 +1,71 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace canal::runner {
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+SeedStats seed_stats(std::vector<double> values) {
+  SeedStats stats;
+  if (values.empty()) return stats;
+  std::sort(values.begin(), values.end());
+  stats.n = values.size();
+  double sum = 0;
+  for (const double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  stats.p50 = nearest_rank(values, 50);
+  stats.p95 = nearest_rank(values, 95);
+  stats.min = values.front();
+  stats.max = values.back();
+  return stats;
+}
+
+const Outcome* SweepGroup::base() const {
+  for (const Outcome* run : runs) {
+    if (run->result.ok) return run;
+  }
+  return nullptr;
+}
+
+std::vector<SweepGroup> group_sweeps(const std::vector<Outcome>& outcomes) {
+  std::vector<SweepGroup> groups;
+  for (const Outcome& outcome : outcomes) {
+    const std::string key = outcome.spec.group_key();
+    if (groups.empty() || groups.back().group_key != key) {
+      groups.push_back(SweepGroup{key, {}, {}});
+    }
+    groups.back().runs.push_back(&outcome);
+  }
+  for (SweepGroup& group : groups) {
+    std::sort(group.runs.begin(), group.runs.end(),
+              [](const Outcome* a, const Outcome* b) {
+                return a->spec.seed < b->spec.seed;
+              });
+    const Outcome* base = group.base();
+    if (base == nullptr) continue;
+    for (const auto& [name, unused] : base->result.metrics) {
+      (void)unused;
+      std::vector<double> values;
+      values.reserve(group.runs.size());
+      for (const Outcome* run : group.runs) {
+        if (!run->result.ok) continue;
+        if (const double* v = run->result.find(name)) values.push_back(*v);
+      }
+      group.metrics.emplace_back(name, seed_stats(std::move(values)));
+    }
+  }
+  return groups;
+}
+
+}  // namespace canal::runner

@@ -1,0 +1,48 @@
+// Seed-sweep reduction: groups outcomes that differ only in seed and
+// summarizes each metric as mean / p50 / p95 with min / max whiskers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/run.h"
+
+namespace canal::runner {
+
+/// Summary statistics over one metric's per-seed values. Percentiles are
+/// nearest-rank (rank = ceil(p/100 * n)), matching sim::Histogram.
+struct SeedStats {
+  std::size_t n = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Computes SeedStats over `values` (empty input yields all zeros).
+[[nodiscard]] SeedStats seed_stats(std::vector<double> values);
+
+/// Outcomes sharing a RunSpec::group_key(), in ascending-seed order, with
+/// per-metric stats across the group's successful runs.
+struct SweepGroup {
+  std::string group_key;
+  /// Pointers into the reduced outcome vector (ascending seed).
+  std::vector<const Outcome*> runs;
+  /// (metric name, stats) in the first successful run's metric order;
+  /// metrics missing from some seeds are summarized over the seeds that
+  /// report them.
+  std::vector<std::pair<std::string, SeedStats>> metrics;
+
+  /// The lowest-seed successful run (the "base" values a seeds=1 invocation
+  /// would report), or nullptr if every seed failed.
+  [[nodiscard]] const Outcome* base() const;
+};
+
+/// Groups key-sorted outcomes (as returned by Runner::run) into sweeps.
+/// Group order follows the outcomes' order, so it is deterministic.
+[[nodiscard]] std::vector<SweepGroup> group_sweeps(
+    const std::vector<Outcome>& outcomes);
+
+}  // namespace canal::runner

@@ -1,0 +1,87 @@
+#include "runner/thread_pool.h"
+
+namespace canal::runner {
+
+WorkStealingPool::WorkStealingPool(std::size_t threads)
+    : queues_(threads == 0 ? 1 : threads) {
+  workers_.reserve(queues_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void WorkStealingPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+void WorkStealingPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+bool WorkStealingPool::take_task(std::size_t self,
+                                 std::function<void()>& out) {
+  // Own queue first, oldest task first.
+  if (!queues_[self].empty()) {
+    out = std::move(queues_[self].front());
+    queues_[self].pop_front();
+    return true;
+  }
+  // Steal from the back of the most loaded sibling.
+  std::size_t victim = queues_.size();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (i != self && queues_[i].size() > best) {
+      best = queues_[i].size();
+      victim = i;
+    }
+  }
+  if (victim == queues_.size()) return false;
+  out = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  return true;
+}
+
+void WorkStealingPool::worker_loop(std::size_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::function<void()> task;
+    if (take_task(self, task)) {
+      --queued_;
+      lock.unlock();
+      task();
+      task = nullptr;  // destroy captures outside the lock
+      lock.lock();
+      if (--unfinished_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock, [this, self] {
+      if (stop_) return true;
+      if (!queues_[self].empty()) return true;
+      for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queues_[i].empty()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+}  // namespace canal::runner

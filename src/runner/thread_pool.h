@@ -1,0 +1,59 @@
+// Work-stealing thread pool for coarse-grained experiment runs.
+//
+// Each worker owns a deque: it drains its own queue front-to-back (FIFO, so
+// expensive specs submitted first start first) and, when empty, steals from
+// the back of the most loaded sibling. Tasks here are whole simulations —
+// milliseconds to seconds each — so the deques are guarded by one mutex
+// rather than lock-free Chase–Lev structures: scheduling cost is noise
+// against task cost, and the simple locking is trivially TSan-clean.
+//
+// The pool makes no ordering promises; callers needing deterministic output
+// must order by task identity after wait_idle() (see runner::Runner).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace canal::runner {
+
+class WorkStealingPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit WorkStealingPool(std::size_t threads);
+  /// Waits for queued work to finish, then joins the workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues a task (round-robin across worker deques). Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t threads() const noexcept { return queues_.size(); }
+
+ private:
+  void worker_loop(std::size_t self);
+  /// Pops the next task for worker `self` (own queue first, then the
+  /// longest sibling queue). Returns false if none available.
+  bool take_task(std::size_t self, std::function<void()>& out);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // queued work available / shutdown
+  std::condition_variable idle_cv_;   // all tasks finished
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::size_t queued_ = 0;      // tasks sitting in deques
+  std::size_t unfinished_ = 0;  // queued + currently executing
+  std::size_t next_queue_ = 0;  // round-robin submission cursor
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace canal::runner

@@ -1,0 +1,238 @@
+// Tests for the parallel experiment runner (src/runner): determinism of
+// the fan-out/reduce pipeline across worker counts, failure isolation, and
+// the seed-sweep statistics.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/json_report.h"
+#include "runner/run.h"
+#include "runner/runner.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace canal {
+namespace {
+
+/// A miniature but real simulation: schedules seed-dependent events on its
+/// own EventLoop and reports deterministic metrics. The sleep shuffles
+/// completion order across workers so completion-order bugs would surface.
+runner::RunResult mini_sim(const runner::RunSpec& spec) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds((spec.seed * 7 + spec.variant.size()) % 5));
+  sim::EventLoop loop;
+  sim::Rng rng(spec.seed * 1000 + spec.variant.size());
+  double sum = 0;
+  const auto events =
+      static_cast<int>(spec.override_or("events", 50));
+  for (int i = 0; i < events; ++i) {
+    loop.post(static_cast<sim::Duration>(rng.uniform_int(1, 100)),
+              [&sum, &rng] { sum += rng.uniform(); });
+  }
+  const std::size_t ran = loop.run();
+  runner::RunResult result;
+  result.set("events", static_cast<double>(ran));
+  result.set("sum", sum);
+  result.set("end_time_us", static_cast<double>(loop.now()));
+  return result;
+}
+
+runner::RunResult explode(const runner::RunSpec& spec) {
+  if (spec.variant == "boom") {
+    throw std::runtime_error("scripted failure for " + spec.key());
+  }
+  return mini_sim(spec);
+}
+
+runner::Runner make_runner() {
+  runner::Runner r;
+  r.register_scenario("mini", mini_sim);
+  r.register_scenario("explode", explode);
+  return r;
+}
+
+std::vector<runner::RunSpec> grid_specs() {
+  std::vector<runner::RunSpec> specs;
+  for (const char* variant : {"alpha", "bravo", "charlie"}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      specs.push_back(runner::RunSpec{"mini", variant, seed, {}});
+    }
+  }
+  return specs;
+}
+
+/// Renders outcomes exactly the way bench_suite does: base section per
+/// sweep group plus a ".seeds" stats section, in reduced order.
+std::string render_json(const std::vector<runner::Outcome>& outcomes) {
+  bench::JsonReport report;
+  for (const auto& group : runner::group_sweeps(outcomes)) {
+    const std::string section = group.group_key;
+    const runner::Outcome* base = group.base();
+    if (base == nullptr) {
+      report.set(section, "error", group.runs.front()->result.error);
+      continue;
+    }
+    report.add_metrics(section, base->result.metrics);
+    if (group.runs.size() > 1) {
+      for (const auto& [name, stats] : group.metrics) {
+        report.set(section + ".seeds", name + ".mean", stats.mean);
+        report.set(section + ".seeds", name + ".min", stats.min);
+        report.set(section + ".seeds", name + ".max", stats.max);
+      }
+    }
+  }
+  return report.to_json();
+}
+
+TEST(RunnerTest, JobsCountDoesNotChangeMergedJson) {
+  runner::Runner r = make_runner();
+  const std::string serial = render_json(r.run(grid_specs(), 1));
+  const std::string parallel = render_json(r.run(grid_specs(), 8));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // And the merged report is genuinely populated: 3 variants x 2 sections.
+  EXPECT_NE(serial.find("mini/alpha"), std::string::npos);
+  EXPECT_NE(serial.find("sum.mean"), std::string::npos);
+}
+
+TEST(RunnerTest, OutcomesSortedBySpecKeyNotSubmissionOrder) {
+  runner::Runner r = make_runner();
+  std::vector<runner::RunSpec> specs = {
+      {"mini", "zulu", 2, {}},
+      {"mini", "zulu", 1, {}},
+      {"mini", "alpha", 1, {}},
+  };
+  const auto outcomes = r.run(specs, 4);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].spec.variant, "alpha");
+  EXPECT_EQ(outcomes[1].spec.variant, "zulu");
+  EXPECT_EQ(outcomes[1].spec.seed, 1u);
+  EXPECT_EQ(outcomes[2].spec.seed, 2u);
+}
+
+TEST(RunnerTest, SeedsAboveNineSortNumerically) {
+  runner::RunSpec small{"s", "v", 9, {}};
+  runner::RunSpec large{"s", "v", 10, {}};
+  EXPECT_LT(small.key(), large.key());
+}
+
+TEST(RunnerTest, ThrowingRunIsFailedSpecWithoutPoisoningSiblings) {
+  runner::Runner r = make_runner();
+  std::vector<runner::RunSpec> specs = grid_specs();
+  for (auto& spec : specs) spec.scenario = "explode";
+  specs.push_back(runner::RunSpec{"explode", "boom", 1, {}});
+  specs.push_back(runner::RunSpec{"no_such_scenario", "x", 1, {}});
+
+  const auto outcomes = r.run(specs, 8);
+  std::size_t failed = 0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.result.ok) continue;
+    ++failed;
+    if (outcome.spec.variant == "boom") {
+      EXPECT_NE(outcome.result.error.find("scripted failure"),
+                std::string::npos);
+    } else {
+      EXPECT_NE(outcome.result.error.find("unknown scenario"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(failed, 2u);
+
+  // Sibling runs are identical to a clean all-success run of the same grid.
+  std::vector<runner::RunSpec> clean = grid_specs();
+  for (auto& spec : clean) spec.scenario = "explode";
+  const auto clean_outcomes = r.run(clean, 1);
+  std::size_t matched = 0;
+  for (const auto& outcome : outcomes) {
+    for (const auto& reference : clean_outcomes) {
+      if (reference.spec.key() != outcome.spec.key()) continue;
+      EXPECT_TRUE(outcome.result.ok);
+      EXPECT_EQ(outcome.result.metrics, reference.result.metrics);
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, clean_outcomes.size());
+}
+
+TEST(RunnerTest, SeedStatsMatchHandComputedValues) {
+  // Odd count: {10,20,30,40,50}.
+  const auto odd = runner::seed_stats({50, 10, 30, 20, 40});
+  EXPECT_EQ(odd.n, 5u);
+  EXPECT_DOUBLE_EQ(odd.mean, 30.0);
+  EXPECT_DOUBLE_EQ(odd.p50, 30.0);  // nearest-rank: ceil(0.5*5)=3rd
+  EXPECT_DOUBLE_EQ(odd.p95, 50.0);  // ceil(0.95*5)=5th
+  EXPECT_DOUBLE_EQ(odd.min, 10.0);
+  EXPECT_DOUBLE_EQ(odd.max, 50.0);
+
+  // Even count: {1,2,3,4}.
+  const auto even = runner::seed_stats({4, 3, 2, 1});
+  EXPECT_EQ(even.n, 4u);
+  EXPECT_DOUBLE_EQ(even.mean, 2.5);
+  EXPECT_DOUBLE_EQ(even.p50, 2.0);  // ceil(0.5*4)=2nd
+  EXPECT_DOUBLE_EQ(even.p95, 4.0);  // ceil(0.95*4)=4th
+  EXPECT_DOUBLE_EQ(even.min, 1.0);
+  EXPECT_DOUBLE_EQ(even.max, 4.0);
+
+  const auto empty = runner::seed_stats({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  const auto single = runner::seed_stats({7.5});
+  EXPECT_EQ(single.n, 1u);
+  EXPECT_DOUBLE_EQ(single.p50, 7.5);
+  EXPECT_DOUBLE_EQ(single.p95, 7.5);
+}
+
+TEST(RunnerTest, SweepGroupsSplitByOverridesAndOrderSeeds) {
+  runner::Runner r = make_runner();
+  std::vector<runner::RunSpec> specs;
+  for (std::uint64_t seed : {3, 1, 2}) {
+    specs.push_back(runner::RunSpec{"mini", "v", seed, {{"events", 10}}});
+    specs.push_back(runner::RunSpec{"mini", "v", seed, {{"events", 20}}});
+  }
+  const auto outcomes = r.run(specs, 8);
+  const auto groups = runner::group_sweeps(outcomes);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& group : groups) {
+    ASSERT_EQ(group.runs.size(), 3u);
+    EXPECT_EQ(group.runs[0]->spec.seed, 1u);
+    EXPECT_EQ(group.runs[1]->spec.seed, 2u);
+    EXPECT_EQ(group.runs[2]->spec.seed, 3u);
+    EXPECT_EQ(group.base(), group.runs[0]);
+  }
+  // The stats really aggregate across the group's seeds.
+  const auto* events = groups[0].base()->result.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_DOUBLE_EQ(*events, 10.0);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  std::atomic<int> count{0};
+  {
+    runner::WorkStealingPool pool(8);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 200);
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  runner::WorkStealingPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+}  // namespace
+}  // namespace canal
