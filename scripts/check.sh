@@ -90,4 +90,22 @@ else
   done
   echo "determinism gate OK: bench_suite --jobs 8 and --jobs 1 both match" \
     "all committed goldens"
+
+  # Fuzz-smoke gate: a fixed-seed differential campaign across all five
+  # dataplanes must finish with zero oracle violations, and the JSON
+  # report must be byte-identical between a parallel and a serial run
+  # (scenario fan-out may never leak into results).
+  scratch="$(mktemp -d)"
+  "${build_dir}/src/fuzz/fuzz_mesh" --seed 1 --runs 200 --jobs 8 \
+    --json "${scratch}/fuzz-par.json" > /dev/null
+  "${build_dir}/src/fuzz/fuzz_mesh" --seed 1 --runs 200 --jobs 1 \
+    --json "${scratch}/fuzz-ser.json" > /dev/null
+  if ! diff -q "${scratch}/fuzz-par.json" "${scratch}/fuzz-ser.json"; then
+    echo "fuzz-smoke gate FAILED: report differs between --jobs 8 and" \
+      "--jobs 1" >&2
+    exit 1
+  fi
+  rm -rf "${scratch}"
+  echo "fuzz-smoke gate OK: 200 scenarios x 5 dataplanes, zero violations," \
+    "jobs-invariant report"
 fi

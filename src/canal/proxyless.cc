@@ -163,13 +163,23 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
       gateway_.handle_request(
           packet, st->opts.new_connection, config_.user_managed_certs,
           st->req, client_az, [this, st, finish](GatewayOutcome outcome) mutable {
+            // Record the serving replica before any early return: when the
+            // L7 engine answered with an error (e.g. a 4xx direct
+            // response), it still opened a session that finish() must
+            // close.
+            st->replica = outcome.replica;
+            st->backend = outcome.backend;
             if (!outcome.ok) {
               finish(outcome.status);
               return;
             }
             ++gateway_requests_;
-            st->replica = outcome.replica;
-            st->backend = outcome.backend;
+            if (outcome.endpoint == nullptr) {
+              // 2xx/3xx direct response answered by the gateway replica:
+              // no upstream endpoint, nothing to forward.
+              finish(outcome.status);
+              return;
+            }
             st->endpoint = outcome.endpoint;
             st->target = cluster_.find_pod(
                 static_cast<net::PodId>(outcome.endpoint->key));

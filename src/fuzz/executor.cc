@@ -1,0 +1,695 @@
+#include "fuzz/executor.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "canal/canal_mesh.h"
+#include "canal/fault_injector.h"
+#include "canal/gateway.h"
+#include "canal/proxyless.h"
+#include "crypto/keyserver.h"
+#include "http/route.h"
+#include "k8s/cluster.h"
+#include "k8s/objects.h"
+#include "mesh/ambient.h"
+#include "mesh/dataplane.h"
+#include "mesh/istio.h"
+#include "net/ids.h"
+#include "sim/event_loop.h"
+#include "sim/fault.h"
+#include "sim/rng.h"
+#include "telemetry/registry.h"
+
+namespace canal::fuzz {
+namespace {
+
+/// Destination used by RequestSpec.unknown_service probes. Service ids are
+/// allocated sequentially from 1 and scenarios stay tiny, so this id never
+/// exists.
+constexpr auto kUnknownService = static_cast<net::ServiceId>(9999);
+
+/// One plane's fully built simulated world. Every plane gets its own loop
+/// and cluster so CPU contention and RNG draws cannot couple planes; the
+/// build order below is identical for all planes, which keeps pod/service/
+/// backend identifiers aligned across them.
+struct World {
+  World(const ScenarioSpec& s, std::size_t plane_idx)
+      : spec(s),
+        plane_index(plane_idx),
+        cluster(loop, static_cast<net::TenantId>(1), sim::Rng(s.seed)),
+        retry_rng(s.seed + 97) {}
+
+  const ScenarioSpec& spec;
+  std::size_t plane_index;
+  sim::EventLoop loop;
+  k8s::Cluster cluster;
+  std::vector<k8s::Service*> services;
+  /// Address must stay stable: every NetworkProfile points at this plan
+  /// before it is populated.
+  sim::FaultPlan plan;
+
+  std::unique_ptr<mesh::NoMesh> nomesh;
+  std::unique_ptr<mesh::IstioMesh> istio;
+  std::unique_ptr<mesh::AmbientMesh> ambient;
+  std::unique_ptr<core::MeshGateway> gateway;
+  std::unique_ptr<crypto::KeyServer> key_server;
+  std::unique_ptr<core::CanalMesh> canal;
+  std::unique_ptr<core::ProxylessMesh> proxyless;
+  std::unique_ptr<core::FaultInjector> injector;
+
+  mesh::MeshDataplane* plane = nullptr;
+  k8s::AppProfile app_profile;
+  mesh::RetryPolicy retry_policy;
+  sim::Rng retry_rng;
+
+  telemetry::MetricsRegistry registry;
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+  /// request_latency_us values in record order, for the metrics invariant.
+  std::vector<double> expected_latency_samples;
+  std::unordered_map<net::ServiceId, int, net::IdHash> service_index;
+  sim::TimePoint last_completion = 0;
+
+  [[nodiscard]] bool traced() const noexcept {
+    return plane_index != kProxyless;
+  }
+  [[nodiscard]] bool has_gateway() const noexcept {
+    return gateway != nullptr;
+  }
+};
+
+void violate(PlaneResult& result, std::string detail) {
+  result.invariant_violations.push_back(std::move(detail));
+}
+
+// --- world construction ---------------------------------------------------
+
+void build_topology(World& w) {
+  for (std::uint32_t n = 0; n < w.spec.nodes; ++n) {
+    w.cluster.add_node(static_cast<net::AzId>(0), w.spec.node_cores);
+  }
+  w.app_profile.fast_fraction = 1.0;
+  w.app_profile.fast_service_mean = w.spec.app_service_time;
+  w.app_profile.sigma = 0.05;
+  for (std::size_t s = 0; s < w.spec.service_count(); ++s) {
+    k8s::Service& service =
+        w.cluster.add_service("service-" + std::to_string(s));
+    w.services.push_back(&service);
+    w.service_index[service.id] = static_cast<int>(s);
+    for (std::uint32_t p = 0; p < w.spec.pods_per_service[s]; ++p) {
+      w.cluster.add_pod(service, w.app_profile)
+          .set_phase(k8s::PodPhase::kRunning);
+    }
+  }
+}
+
+void build_gateway(World& w) {
+  core::GatewayConfig config;
+  config.network.faults = &w.plan;
+  w.gateway = std::make_unique<core::MeshGateway>(w.loop, config,
+                                                  sim::Rng(w.spec.seed + 3));
+  // Three backends with a shuffle-shard size of two, so extend-service
+  // events have somewhere to extend to.
+  w.gateway->add_az(3);
+}
+
+void build_plane(World& w) {
+  const std::uint64_t seed = w.spec.seed;
+  switch (w.plane_index) {
+    case kNoMesh: {
+      mesh::NetworkProfile net;
+      net.faults = &w.plan;
+      w.nomesh = std::make_unique<mesh::NoMesh>(w.loop, w.cluster, net,
+                                                seed + 8);
+      w.plane = w.nomesh.get();
+      break;
+    }
+    case kIstio: {
+      mesh::IstioMesh::Config config;
+      config.network.faults = &w.plan;
+      w.istio = std::make_unique<mesh::IstioMesh>(w.loop, w.cluster, config,
+                                                  sim::Rng(seed + 1));
+      w.istio->install();
+      w.plane = w.istio.get();
+      break;
+    }
+    case kAmbient: {
+      mesh::AmbientMesh::Config config;
+      config.network.faults = &w.plan;
+      w.ambient = std::make_unique<mesh::AmbientMesh>(w.loop, w.cluster,
+                                                      config,
+                                                      sim::Rng(seed + 2));
+      w.ambient->install();
+      w.plane = w.ambient.get();
+      break;
+    }
+    case kCanal: {
+      build_gateway(w);
+      w.key_server = std::make_unique<crypto::KeyServer>(
+          w.loop, static_cast<net::AzId>(0), 8, sim::Rng(seed + 4));
+      core::CanalMesh::Config config;
+      config.network.faults = &w.plan;
+      w.canal = std::make_unique<core::CanalMesh>(
+          w.loop, w.cluster, *w.gateway, config, sim::Rng(seed + 5));
+      w.canal->install();
+      w.canal->attach_key_server(static_cast<net::AzId>(0),
+                                 w.key_server.get());
+      w.plane = w.canal.get();
+      break;
+    }
+    default: {
+      build_gateway(w);
+      core::ProxylessMesh::Config config;
+      config.network.faults = &w.plan;
+      w.proxyless = std::make_unique<core::ProxylessMesh>(
+          w.loop, w.cluster, *w.gateway, config, sim::Rng(seed + 7));
+      w.proxyless->install();
+      w.plane = w.proxyless.get();
+      break;
+    }
+  }
+}
+
+// --- custom route tables --------------------------------------------------
+
+[[nodiscard]] bool has_custom_routes(const ScenarioSpec& spec,
+                                     std::uint32_t service) {
+  for (const auto& d : spec.direct_responses) {
+    if (d.service == service) return true;
+  }
+  for (const auto& sp : spec.splits) {
+    if (sp.service == service) return true;
+  }
+  return false;
+}
+
+/// Builds the route table installed for custom-routed service `s`:
+/// direct-response rules, then split rules, then the default route.
+[[nodiscard]] http::RouteTable custom_table(const World& w, std::uint32_t s) {
+  http::RouteTable table;
+  for (const auto& d : w.spec.direct_responses) {
+    if (d.service != s) continue;
+    http::RouteRule rule;
+    rule.name = "direct";
+    rule.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+    rule.match.path = d.path_prefix;
+    rule.action.direct_response_status = d.status;
+    table.add_rule(std::move(rule));
+  }
+  for (const auto& sp : w.spec.splits) {
+    if (sp.service != s) continue;
+    http::RouteRule rule;
+    rule.name = "split";
+    rule.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+    rule.match.path = sp.path_prefix;
+    rule.action.clusters = {
+        {mesh::service_cluster_name(w.services[s]->id), sp.primary_weight},
+        {mesh::service_cluster_name(w.services[sp.canary_service]->id),
+         sp.canary_weight}};
+    table.add_rule(std::move(rule));
+  }
+  http::RouteRule fallback;
+  fallback.name = "default";
+  fallback.action.clusters = {
+      {mesh::service_cluster_name(w.services[s]->id), 1}};
+  table.add_rule(std::move(fallback));
+  return table;
+}
+
+/// Installs the canary endpoint pools plus custom route tables into one L7
+/// engine. Canary pools go in first so a table never references a missing
+/// cluster; `install_canaries` is false for Istio sidecars, whose full
+/// config already contains every service's pool (reinstalling would reset
+/// the canary service's own table).
+void apply_custom_routes(World& w, proxy::ProxyEngine& engine,
+                         bool install_canaries) {
+  if (install_canaries) {
+    for (const auto& sp : w.spec.splits) {
+      mesh::install_service_config(engine, *w.services[sp.canary_service]);
+    }
+  }
+  for (std::uint32_t s = 0; s < w.spec.service_count(); ++s) {
+    if (!has_custom_routes(w.spec, s)) continue;
+    engine.set_route_table(w.services[s]->id, custom_table(w, s));
+  }
+}
+
+/// Re-applies custom routing on one gateway backend (after install_service /
+/// extend_service clobbered its tables with defaults).
+void apply_gateway_custom_routes(World& w, core::GatewayBackend& backend) {
+  bool hosts_custom = false;
+  for (std::uint32_t s = 0; s < w.spec.service_count(); ++s) {
+    if (has_custom_routes(w.spec, s) && backend.hosts(w.services[s]->id)) {
+      hosts_custom = true;
+    }
+  }
+  if (!hosts_custom) return;
+  for (std::size_t i = 0; i < backend.replica_count(); ++i) {
+    proxy::ProxyEngine& engine = backend.replica(i)->engine();
+    for (const auto& sp : w.spec.splits) {
+      if (!backend.hosts(w.services[sp.service]->id)) continue;
+      mesh::install_service_config(engine, *w.services[sp.canary_service]);
+    }
+    for (std::uint32_t s = 0; s < w.spec.service_count(); ++s) {
+      if (!has_custom_routes(w.spec, s)) continue;
+      if (!backend.hosts(w.services[s]->id)) continue;
+      engine.set_route_table(w.services[s]->id, custom_table(w, s));
+    }
+  }
+}
+
+void install_custom_routes(World& w) {
+  switch (w.plane_index) {
+    case kNoMesh:
+      break;  // L4-only: route tables are ignored by design
+    case kIstio:
+      for (const auto& pod : w.cluster.pods()) {
+        if (auto* engine = w.istio->sidecar_engine(pod->id())) {
+          apply_custom_routes(w, *engine, /*install_canaries=*/false);
+        }
+      }
+      break;
+    case kAmbient:
+      for (std::uint32_t s = 0; s < w.spec.service_count(); ++s) {
+        if (!has_custom_routes(w.spec, s)) continue;
+        if (auto* engine = w.ambient->waypoint_engine(w.services[s]->id)) {
+          for (const auto& sp : w.spec.splits) {
+            if (sp.service != s) continue;
+            mesh::install_service_config(*engine,
+                                         *w.services[sp.canary_service]);
+          }
+          engine->set_route_table(w.services[s]->id, custom_table(w, s));
+        }
+      }
+      break;
+    default:
+      for (core::GatewayBackend* backend : w.gateway->all_backends()) {
+        apply_gateway_custom_routes(w, *backend);
+      }
+      break;
+  }
+}
+
+// --- endpoint refresh on membership changes -------------------------------
+
+/// Refreshes every endpoint pool holding `service` after a membership
+/// change (new pod). Covers canary copies of the pool installed for
+/// weighted splits. Refreshing preserves RR cursors and surviving
+/// UpstreamEndpoint identity, so in-flight requests are safe.
+void refresh_service_everywhere(World& w, k8s::Service& service) {
+  switch (w.plane_index) {
+    case kNoMesh:
+      break;  // reads Service::ready_endpoints() directly
+    case kIstio:
+      for (const auto& pod : w.cluster.pods()) {
+        if (auto* engine = w.istio->sidecar_engine(pod->id())) {
+          mesh::refresh_endpoints(*engine, service);
+        }
+      }
+      break;
+    case kAmbient: {
+      if (auto* engine = w.ambient->waypoint_engine(service.id)) {
+        mesh::refresh_endpoints(*engine, service);
+      }
+      for (const auto& sp : w.spec.splits) {
+        if (w.services[sp.canary_service] != &service) continue;
+        if (auto* owner = w.ambient->waypoint_engine(
+                w.services[sp.service]->id)) {
+          mesh::refresh_endpoints(*owner, service);
+        }
+      }
+      break;
+    }
+    default: {
+      for (core::GatewayBackend* backend :
+           w.gateway->placement_of(service.id)) {
+        backend->refresh_endpoints(service);
+      }
+      for (const auto& sp : w.spec.splits) {
+        if (w.services[sp.canary_service] != &service) continue;
+        for (core::GatewayBackend* backend :
+             w.gateway->placement_of(w.services[sp.service]->id)) {
+          backend->refresh_endpoints(service);
+        }
+      }
+      break;
+    }
+  }
+}
+
+// --- scenario events ------------------------------------------------------
+
+void apply_add_pod(World& w, const EventSpec& ev) {
+  k8s::Service& service = *w.services[ev.service];
+  k8s::Pod& pod = w.cluster.add_pod(service, w.app_profile);
+  pod.set_phase(k8s::PodPhase::kRunning);
+  switch (w.plane_index) {
+    case kNoMesh:
+      break;
+    case kIstio:
+      w.istio->add_sidecar(pod);
+      if (auto* engine = w.istio->sidecar_engine(pod.id())) {
+        apply_custom_routes(w, *engine, /*install_canaries=*/false);
+      }
+      break;
+    case kAmbient:
+      w.ambient->on_pod_created(pod);
+      break;
+    case kCanal:
+      w.canal->on_pod_created(pod);
+      break;
+    default:
+      w.proxyless->enis().allocate(pod);
+      break;
+  }
+  refresh_service_everywhere(w, service);
+}
+
+void apply_extend_service(World& w, const EventSpec& ev) {
+  if (!w.has_gateway()) return;
+  const net::ServiceId id = w.services[ev.service]->id;
+  for (core::GatewayBackend* backend : w.gateway->all_backends()) {
+    if (backend->is_sandbox() || !backend->alive() || backend->hosts(id)) {
+      continue;
+    }
+    w.gateway->extend_service(id, *backend);
+    apply_gateway_custom_routes(w, *backend);
+    return;
+  }
+}
+
+void apply_retract_service(World& w, const EventSpec& ev) {
+  if (!w.has_gateway()) return;
+  const net::ServiceId id = w.services[ev.service]->id;
+  auto placement = w.gateway->placement_of(id);
+  if (placement.size() < 2) return;  // keep the service resolvable
+  w.gateway->retract_service(id, *placement.back());
+}
+
+void apply_drain_replica(World& w, const EventSpec& ev) {
+  if (!w.has_gateway()) return;
+  auto backends = w.gateway->all_backends();
+  if (backends.empty()) return;
+  core::GatewayBackend& backend = *backends[ev.backend % backends.size()];
+  if (ev.replica >= backend.replica_count()) return;
+  core::GatewayReplica& replica = *backend.replica(ev.replica);
+  std::size_t in_service = 0;
+  for (std::size_t i = 0; i < backend.replica_count(); ++i) {
+    if (backend.in_service(backend.replica(i)->id())) ++in_service;
+  }
+  // Draining the last serving replica would not be transparent.
+  if (in_service < 2 || !backend.in_service(replica.id())) return;
+  backend.drain_replica(replica.id());
+}
+
+/// Fault events go into the FaultPlan (armed by the injector / consulted by
+/// NetworkProfile); ops events are scheduled directly on the loop.
+void schedule_events(World& w, PlaneResult& /*result*/) {
+  for (std::size_t e = 0; e < w.spec.events.size(); ++e) {
+    const EventSpec& ev = w.spec.events[e];
+    switch (ev.kind) {
+      case EventKind::kPodKill: {
+        const auto& endpoints = w.services[ev.service]->endpoints;
+        const k8s::Pod* pod = endpoints[ev.pod % endpoints.size()];
+        w.plan.kill_pod_for(ev.at, net::id_value(pod->id()), ev.duration);
+        break;
+      }
+      case EventKind::kLinkLoss:
+        w.plan.link_loss(ev.at, ev.at + ev.duration, 1.0);
+        break;
+      case EventKind::kLatencySpike:
+        w.plan.link_latency_spike(ev.at, ev.at + ev.duration,
+                                  ev.extra_latency);
+        break;
+      case EventKind::kReplicaCrash: {
+        if (!w.has_gateway()) break;
+        auto backends = w.gateway->all_backends();
+        const core::GatewayBackend* backend =
+            backends[ev.backend % backends.size()];
+        const auto backend_id =
+            static_cast<std::uint32_t>(net::id_value(backend->id()));
+        w.plan.crash_gateway_replica(ev.at, backend_id, ev.replica);
+        w.plan.recover_gateway_replica(ev.at + ev.duration, backend_id,
+                                       ev.replica);
+        break;
+      }
+      case EventKind::kAddPod:
+        w.loop.post_at(ev.at, [&w, e] { apply_add_pod(w, w.spec.events[e]); });
+        break;
+      case EventKind::kExtendService:
+        w.loop.post_at(ev.at,
+                       [&w, e] { apply_extend_service(w, w.spec.events[e]); });
+        break;
+      case EventKind::kRetractService:
+        w.loop.post_at(ev.at,
+                       [&w, e] { apply_retract_service(w, w.spec.events[e]); });
+        break;
+      case EventKind::kDrainReplica:
+        w.loop.post_at(ev.at,
+                       [&w, e] { apply_drain_replica(w, w.spec.events[e]); });
+        break;
+    }
+  }
+  w.injector = std::make_unique<core::FaultInjector>(w.loop, w.cluster,
+                                                     w.gateway.get());
+  w.injector->arm(w.plan);
+}
+
+// --- request driving ------------------------------------------------------
+
+void record_completion(World& w, PlaneResult& result, std::size_t i,
+                       const mesh::RequestResult& r) {
+  RequestOutcome& out = result.outcomes[i];
+  const RequestSpec& rs = w.spec.requests[i];
+  if (out.completed) {
+    violate(result, "request " + std::to_string(i) + " completed twice");
+    return;
+  }
+  out.completed = true;
+  out.status = r.status;
+  out.attempts = r.attempts;
+  out.timed_out = r.timed_out;
+  out.completed_at = w.loop.now();
+  if (w.loop.now() < w.last_completion) {
+    violate(result, "clock regressed at request " + std::to_string(i));
+  }
+  w.last_completion = w.loop.now();
+  if (k8s::Pod* pod = w.cluster.find_pod(r.served_by)) {
+    const auto it = w.service_index.find(pod->service());
+    out.served_service = it == w.service_index.end() ? -1 : it->second;
+  }
+  // Test-only planted differential bug (shrinker convergence tests).
+  if (w.spec.planted_plane == static_cast<int>(w.plane_index) &&
+      !rs.null_client && !rs.unknown_service &&
+      rs.dst_service == w.spec.planted_service) {
+    out.status = 599;
+  }
+  if (!w.traced()) return;
+  out.traced = r.trace != nullptr;
+  if (r.trace == nullptr) {
+    violate(result, "request " + std::to_string(i) + " missing trace");
+    return;
+  }
+  if (!r.trace->contiguous()) {
+    violate(result, "request " + std::to_string(i) +
+                        " trace has gaps/overlaps: " + r.trace->to_json());
+  }
+  if (r.trace->total_duration() != r.latency) {
+    violate(result,
+            "request " + std::to_string(i) + " trace spans sum to " +
+                std::to_string(r.trace->total_duration()) + "ns, latency is " +
+                std::to_string(r.latency) + "ns");
+  }
+  w.recorder->record(*r.trace);
+  w.expected_latency_samples.push_back(
+      sim::to_microseconds(r.trace->total_duration()));
+}
+
+void schedule_requests(World& w, PlaneResult& result) {
+  result.outcomes.resize(w.spec.requests.size());
+  for (std::size_t i = 0; i < w.spec.requests.size(); ++i) {
+    result.outcomes[i].issued_at = w.spec.requests[i].at;
+    w.loop.post_at(w.spec.requests[i].at, [&w, &result, i] {
+      const RequestSpec& rs = w.spec.requests[i];
+      mesh::RequestOptions opts;
+      if (!rs.null_client) {
+        const auto& endpoints = w.services[rs.client_service]->endpoints;
+        opts.client = endpoints[rs.client_pod % endpoints.size()];
+      }
+      opts.dst_service = rs.unknown_service
+                             ? kUnknownService
+                             : w.services[rs.dst_service]->id;
+      opts.path = rs.path;
+      opts.trace = w.traced();
+      w.plane->send_request_with_retries(
+          opts, w.retry_policy, w.retry_rng,
+          [&w, &result, i](mesh::RequestResult r) {
+            record_completion(w, result, i, r);
+          });
+    });
+  }
+}
+
+// --- post-run invariants --------------------------------------------------
+
+void check_sessions_of(PlaneResult& result, const std::string& where,
+                       std::size_t count) {
+  if (count == 0) return;
+  violate(result, where + " holds " + std::to_string(count) +
+                      " sessions after drain");
+}
+
+void check_gateway_sessions(World& w, PlaneResult& result) {
+  std::size_t index = 0;
+  for (core::GatewayBackend* backend : w.gateway->all_backends()) {
+    for (std::size_t i = 0; i < backend->replica_count(); ++i) {
+      check_sessions_of(result,
+                        "gateway backend " + std::to_string(index) +
+                            " replica " + std::to_string(i),
+                        backend->replica(i)->engine().sessions().size());
+    }
+    ++index;
+  }
+}
+
+void check_session_drain(World& w, PlaneResult& result) {
+  switch (w.plane_index) {
+    case kNoMesh:
+      break;
+    case kIstio:
+      for (const auto& pod : w.cluster.pods()) {
+        if (auto* engine = w.istio->sidecar_engine(pod->id())) {
+          check_sessions_of(result,
+                            "sidecar of pod " +
+                                std::to_string(net::id_value(pod->id())),
+                            engine->sessions().size());
+        }
+      }
+      break;
+    case kAmbient: {
+      std::size_t n = 0;
+      for (const auto& node : w.cluster.nodes()) {
+        if (auto* engine = w.ambient->ztunnel_engine(*node)) {
+          check_sessions_of(result, "ztunnel " + std::to_string(n),
+                            engine->sessions().size());
+        }
+        ++n;
+      }
+      for (std::size_t s = 0; s < w.services.size(); ++s) {
+        if (auto* engine = w.ambient->waypoint_engine(w.services[s]->id)) {
+          check_sessions_of(result, "waypoint " + std::to_string(s),
+                            engine->sessions().size());
+        }
+      }
+      break;
+    }
+    case kCanal: {
+      std::size_t n = 0;
+      for (const auto& node : w.cluster.nodes()) {
+        if (auto* proxy = w.canal->proxy_for(*node)) {
+          check_sessions_of(result, "on-node proxy " + std::to_string(n),
+                            proxy->engine().sessions().size());
+        }
+        ++n;
+      }
+      check_gateway_sessions(w, result);
+      break;
+    }
+    default:
+      check_gateway_sessions(w, result);
+      break;
+  }
+}
+
+void check_metrics(World& w, PlaneResult& result) {
+  if (!w.traced()) return;  // proxyless has gateway-side observability only
+  const telemetry::MetricsRegistry::Labels labels = {
+      {"dataplane", std::string(kPlanes[w.plane_index])}};
+  const sim::Histogram* latency =
+      w.registry.find_histogram("request_latency_us", labels);
+  const std::size_t recorded = latency == nullptr ? 0 : latency->count();
+  if (recorded != w.expected_latency_samples.size()) {
+    violate(result, "metrics registry holds " + std::to_string(recorded) +
+                        " request latencies, traces produced " +
+                        std::to_string(w.expected_latency_samples.size()));
+    return;
+  }
+  if (latency == nullptr) return;
+  const auto samples = latency->samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i] != w.expected_latency_samples[i]) {
+      violate(result,
+              "metrics sample " + std::to_string(i) + " is " +
+                  std::to_string(samples[i]) + "us, trace-derived value is " +
+                  std::to_string(w.expected_latency_samples[i]) + "us");
+      return;
+    }
+  }
+  const auto* requests = w.registry.find_counter("requests_total", labels);
+  const double counted = requests == nullptr ? 0.0 : requests->value();
+  if (counted != static_cast<double>(w.expected_latency_samples.size())) {
+    violate(result, "requests_total counter is " + std::to_string(counted) +
+                        ", traces recorded " +
+                        std::to_string(w.expected_latency_samples.size()));
+  }
+}
+
+void check_conservation(World& w, PlaneResult& result) {
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    if (result.outcomes[i].completed) {
+      ++completed;
+    } else {
+      violate(result, "request " + std::to_string(i) +
+                          " still in flight after the loop drained");
+    }
+  }
+  if (completed != w.spec.requests.size()) {
+    violate(result, "conservation: issued " +
+                        std::to_string(w.spec.requests.size()) +
+                        ", completed " + std::to_string(completed));
+  }
+  if (w.loop.pending_events() != 0) {
+    violate(result, "event loop reports " +
+                        std::to_string(w.loop.pending_events()) +
+                        " pending events after run()");
+  }
+}
+
+}  // namespace
+
+PlaneResult run_plane(const ScenarioSpec& spec, std::size_t plane_index) {
+  World w(spec, plane_index);
+  PlaneResult result;
+  result.plane = kPlanes[plane_index];
+
+  build_topology(w);
+  build_plane(w);
+  install_custom_routes(w);
+  w.recorder = std::make_unique<telemetry::TraceRecorder>(
+      w.registry, telemetry::MetricsRegistry::Labels{
+                      {"dataplane", std::string(kPlanes[plane_index])}});
+  w.retry_policy.max_attempts = 3;
+  // Well above any clean-path latency (including injected spikes), so only
+  // genuinely lost requests are abandoned.
+  w.retry_policy.per_try_timeout = sim::milliseconds(250);
+
+  schedule_events(w, result);
+  schedule_requests(w, result);
+  w.loop.run();
+
+  check_conservation(w, result);
+  check_session_drain(w, result);
+  check_metrics(w, result);
+  return result;
+}
+
+std::array<PlaneResult, 5> run_all_planes(const ScenarioSpec& spec) {
+  return {run_plane(spec, kNoMesh), run_plane(spec, kIstio),
+          run_plane(spec, kAmbient), run_plane(spec, kCanal),
+          run_plane(spec, kProxyless)};
+}
+
+}  // namespace canal::fuzz

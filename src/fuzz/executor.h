@@ -1,0 +1,63 @@
+// Executes one ScenarioSpec against one (or all) of the five dataplanes.
+//
+// Every plane gets a fresh sim::EventLoop and k8s::Cluster rebuilt from
+// the spec in identical order, so object identifiers (pods, services,
+// backends) line up across planes and per-request outcomes are directly
+// comparable. Single-run invariants (request conservation, trace tiling,
+// metrics consistency, session drain, clock monotonicity) are checked
+// here, where the live objects are still reachable; cross-plane
+// differential checks live in fuzz::check_scenario (oracle.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/scenario.h"
+#include "sim/time.h"
+
+namespace canal::fuzz {
+
+/// Plane order is fixed: indexes into kPlanes appear in reports, in the
+/// allowlist logic, and in ScenarioSpec::planted_plane.
+inline constexpr std::array<std::string_view, 5> kPlanes = {
+    "no-mesh", "istio", "ambient", "canal", "canal-proxyless"};
+inline constexpr std::size_t kNoMesh = 0;
+inline constexpr std::size_t kIstio = 1;
+inline constexpr std::size_t kAmbient = 2;
+inline constexpr std::size_t kCanal = 3;
+inline constexpr std::size_t kProxyless = 4;
+
+/// Semantic outcome of one request on one plane.
+struct RequestOutcome {
+  bool completed = false;
+  int status = 0;
+  /// Build-order index of the service that served the request (derived
+  /// from the serving pod — pods differ across planes by LB cursor, the
+  /// service must not); -1 when no endpoint served it.
+  int served_service = -1;
+  std::uint32_t attempts = 0;
+  bool timed_out = false;
+  sim::TimePoint issued_at = 0;
+  sim::TimePoint completed_at = 0;
+  bool traced = false;
+};
+
+/// One plane's execution of a scenario.
+struct PlaneResult {
+  std::string_view plane;
+  std::vector<RequestOutcome> outcomes;  ///< aligned with spec.requests
+  /// Human-readable single-run invariant violations (empty = clean).
+  std::vector<std::string> invariant_violations;
+};
+
+[[nodiscard]] PlaneResult run_plane(const ScenarioSpec& spec,
+                                    std::size_t plane_index);
+
+/// Runs the spec on all five planes (serially, each on its own loop).
+[[nodiscard]] std::array<PlaneResult, 5> run_all_planes(
+    const ScenarioSpec& spec);
+
+}  // namespace canal::fuzz

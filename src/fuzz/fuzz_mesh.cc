@@ -1,0 +1,183 @@
+// Differential fuzzing campaign driver.
+//
+// Generates `--runs` scenarios from `--seed`, executes each against all
+// five dataplanes, and checks the oracle. Scenarios fan out over a
+// work-stealing pool, but each writes its report into a pre-sized slot
+// and the summary reduces in index order, so the output (including the
+// JSON report) is byte-identical for any `--jobs` value.
+//
+// Exit status: 0 when every scenario is clean, 1 on violations, 2 on
+// usage errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/executor.h"
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrink.h"
+#include "runner/thread_pool.h"
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint32_t runs = 100;
+  std::size_t jobs = 1;
+  std::string json_path;  ///< empty = no JSON file
+  bool shrink = false;
+  canal::fuzz::Allowlist allowlist;
+};
+
+void usage() {
+  std::cerr
+      << "usage: fuzz_mesh [--seed N] [--runs N] [--jobs N] [--json FILE]\n"
+         "                 [--allow LIST] [--shrink]\n"
+         "\n"
+         "  --seed N     campaign seed (default 1)\n"
+         "  --runs N     number of scenarios to run (default 100)\n"
+         "  --jobs N     worker threads (default 1; output is identical\n"
+         "               for any value)\n"
+         "  --json FILE  write the machine-readable campaign report here\n"
+         "  --allow LIST comma-separated divergence allowlist (default\n"
+         "               all: l7-routing-nomesh,weighted-split,fault-window)\n"
+         "  --shrink     on failure, shrink the first failing scenario and\n"
+         "               print a ready-to-commit regression test\n";
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--runs") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      opts.runs = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      opts.jobs = std::strtoul(v, nullptr, 10);
+      if (opts.jobs == 0) opts.jobs = 1;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      opts.json_path = v;
+    } else if (arg == "--allow") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      const auto parsed = canal::fuzz::Allowlist::parse(v);
+      if (!parsed) {
+        std::cerr << "fuzz_mesh: unknown allowlist entry in '" << v << "'\n";
+        return std::nullopt;
+      }
+      opts.allowlist = *parsed;
+    } else if (arg == "--shrink") {
+      opts.shrink = true;
+    } else {
+      std::cerr << "fuzz_mesh: unknown argument '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_args(argc, argv);
+  if (!opts) {
+    usage();
+    return 2;
+  }
+
+  std::vector<canal::fuzz::ScenarioReport> reports(opts->runs);
+  const auto run_one = [&](std::uint32_t i) {
+    const auto spec = canal::fuzz::generate_scenario(opts->seed, i);
+    reports[i] = canal::fuzz::check_scenario(
+        spec, canal::fuzz::run_all_planes(spec), opts->allowlist);
+  };
+  if (opts->jobs <= 1) {
+    for (std::uint32_t i = 0; i < opts->runs; ++i) run_one(i);
+  } else {
+    canal::runner::WorkStealingPool pool(opts->jobs);
+    for (std::uint32_t i = 0; i < opts->runs; ++i) {
+      pool.submit([&run_one, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+
+  // Reduce in index order: deterministic output for any --jobs.
+  std::size_t failed = 0;
+  std::size_t total_violations = 0;
+  std::string json = "{\"seed\":" + std::to_string(opts->seed) +
+                     ",\"runs\":" + std::to_string(opts->runs) +
+                     ",\"allowlist\":\"" + opts->allowlist.to_string() +
+                     "\",\"failures\":[";
+  for (const auto& report : reports) {
+    if (report.clean()) continue;
+    if (failed != 0) json += ',';
+    json += report.to_json();
+    ++failed;
+    total_violations += report.violations.size();
+  }
+  json += "],\"failed\":" + std::to_string(failed) + "}";
+
+  for (const auto& report : reports) {
+    for (const auto& v : report.violations) {
+      std::cout << "FAIL scenario " << report.index << " (seed "
+                << report.seed << ") [" << v.plane << "] "
+                << (v.kind == canal::fuzz::Violation::Kind::kInvariant
+                        ? "invariant"
+                        : "differential")
+                << (v.request >= 0
+                        ? " request " + std::to_string(v.request) + ": "
+                        : ": ")
+                << v.detail << "\n";
+    }
+  }
+  std::cout << "fuzz_mesh: " << opts->runs << " scenarios, " << failed
+            << " failing, " << total_violations << " violations (seed "
+            << opts->seed << ", allowlist "
+            << opts->allowlist.to_string() << ")\n";
+
+  if (!opts->json_path.empty()) {
+    std::ofstream out(opts->json_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "fuzz_mesh: cannot write " << opts->json_path << "\n";
+      return 2;
+    }
+    out << json << "\n";
+  }
+
+  if (failed == 0) return 0;
+
+  if (opts->shrink) {
+    for (const auto& report : reports) {
+      if (report.clean()) continue;
+      const auto spec = canal::fuzz::generate_scenario(opts->seed,
+                                                       report.index);
+      const auto shrunk =
+          canal::fuzz::shrink(spec, opts->allowlist);
+      std::cout << "\nshrunk scenario " << report.index << " from "
+                << spec.program_size() << " to "
+                << shrunk.spec.program_size() << " program elements ("
+                << shrunk.evals << " evaluations)\n\n"
+                << canal::fuzz::to_cpp_snippet(shrunk.spec);
+      break;  // only the first failure: shrinking is expensive
+    }
+  }
+  return 1;
+}

@@ -1,0 +1,217 @@
+#include "fuzz/oracle.h"
+
+#include <string_view>
+#include <utility>
+
+namespace canal::fuzz {
+namespace {
+
+constexpr std::string_view kL7RoutingNoMesh = "l7-routing-nomesh";
+constexpr std::string_view kWeightedSplit = "weighted-split";
+constexpr std::string_view kFaultWindow = "fault-window";
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// True when the request probes the error matrix (null client / unknown
+/// service): those must fail identically on every plane, no exemptions.
+[[nodiscard]] bool is_error_probe(const RequestSpec& rs) {
+  return rs.null_client || rs.unknown_service;
+}
+
+[[nodiscard]] bool matches_direct_rule(const ScenarioSpec& spec,
+                                       const RequestSpec& rs) {
+  if (is_error_probe(rs)) return false;
+  for (const auto& d : spec.direct_responses) {
+    if (d.service == rs.dst_service && rs.path.starts_with(d.path_prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool matches_split_rule(const ScenarioSpec& spec,
+                                      const RequestSpec& rs) {
+  if (is_error_probe(rs) || matches_direct_rule(spec, rs)) return false;
+  for (const auto& sp : spec.splits) {
+    if (sp.service == rs.dst_service && rs.path.starts_with(sp.path_prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when any plane's observation of request `i` overlaps an active
+/// fault window. The union over planes matters: a fault that delays the
+/// request on one plane but not another is still a racing fault.
+[[nodiscard]] bool overlaps_fault(const ScenarioSpec& spec,
+                                  const std::array<PlaneResult, 5>& results,
+                                  std::size_t i) {
+  for (const auto& ev : spec.events) {
+    if (!ev.is_fault()) continue;
+    for (const auto& plane : results) {
+      const RequestOutcome& out = plane.outcomes[i];
+      if (out.issued_at < ev.at + ev.duration && ev.at <= out.completed_at) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void add_differential(ScenarioReport& report, std::size_t plane_index,
+                      std::size_t request, std::string detail) {
+  Violation v;
+  v.kind = Violation::Kind::kDifferential;
+  v.plane = std::string(kPlanes[plane_index]);
+  v.request = static_cast<int>(request);
+  v.detail = std::move(detail);
+  report.violations.push_back(std::move(v));
+}
+
+void compare_request(const ScenarioSpec& spec,
+                     const std::array<PlaneResult, 5>& results, std::size_t i,
+                     const Allowlist& allowlist, ScenarioReport& report) {
+  for (const auto& plane : results) {
+    if (!plane.outcomes[i].completed) return;  // conservation already flagged
+  }
+  if (allowlist.fault_window && overlaps_fault(spec, results, i)) return;
+
+  const RequestSpec& rs = spec.requests[i];
+  const bool direct = matches_direct_rule(spec, rs);
+  const bool split = matches_split_rule(spec, rs);
+  const bool skip_nomesh = direct && allowlist.l7_routing_nomesh;
+  const bool skip_served = split && allowlist.weighted_split;
+
+  const std::size_t reference = skip_nomesh ? kIstio : kNoMesh;
+  const RequestOutcome& ref = results[reference].outcomes[i];
+  for (std::size_t p = 0; p < results.size(); ++p) {
+    if (p == reference) continue;
+    if (p == kNoMesh && skip_nomesh) continue;
+    const RequestOutcome& out = results[p].outcomes[i];
+    if (out.status != ref.status) {
+      add_differential(report, p, i,
+                       "status " + std::to_string(out.status) + " vs " +
+                           std::to_string(ref.status) + " on " +
+                           std::string(kPlanes[reference]));
+    }
+    if (!skip_served && out.served_service != ref.served_service) {
+      add_differential(report, p, i,
+                       "served by service " +
+                           std::to_string(out.served_service) + " vs " +
+                           std::to_string(ref.served_service) + " on " +
+                           std::string(kPlanes[reference]));
+    }
+    if (out.attempts != ref.attempts) {
+      add_differential(report, p, i,
+                       "took " + std::to_string(out.attempts) +
+                           " attempts vs " + std::to_string(ref.attempts) +
+                           " on " + std::string(kPlanes[reference]));
+    }
+  }
+  // No active fault -> nothing may be retried or timed out, anywhere.
+  for (std::size_t p = 0; p < results.size(); ++p) {
+    const RequestOutcome& out = results[p].outcomes[i];
+    if (out.attempts > 1 || out.timed_out) {
+      add_differential(report, p, i,
+                       "retried without an active fault (attempts=" +
+                           std::to_string(out.attempts) +
+                           ", timed_out=" + (out.timed_out ? "true" : "false") +
+                           ")");
+    }
+  }
+}
+
+}  // namespace
+
+std::string Allowlist::to_string() const {
+  std::string out;
+  const auto add = [&out](std::string_view name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (l7_routing_nomesh) add(kL7RoutingNoMesh);
+  if (weighted_split) add(kWeightedSplit);
+  if (fault_window) add(kFaultWindow);
+  return out;
+}
+
+std::optional<Allowlist> Allowlist::parse(const std::string& s) {
+  Allowlist list;
+  list.l7_routing_nomesh = false;
+  list.weighted_split = false;
+  list.fault_window = false;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string_view name(s.data() + pos, comma - pos);
+    if (name == kL7RoutingNoMesh) {
+      list.l7_routing_nomesh = true;
+    } else if (name == kWeightedSplit) {
+      list.weighted_split = true;
+    } else if (name == kFaultWindow) {
+      list.fault_window = true;
+    } else {
+      return std::nullopt;
+    }
+    pos = comma + 1;
+  }
+  return list;
+}
+
+std::string ScenarioReport::to_json() const {
+  std::string out = "{\"index\":" + std::to_string(index) +
+                    ",\"seed\":" + std::to_string(seed) + ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    if (i != 0) out += ',';
+    out += "{\"kind\":\"";
+    out += v.kind == Violation::Kind::kInvariant ? "invariant" : "differential";
+    out += "\",\"plane\":\"";
+    append_json_escaped(out, v.plane);
+    out += "\",\"request\":" + std::to_string(v.request) + ",\"detail\":\"";
+    append_json_escaped(out, v.detail);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+ScenarioReport check_scenario(const ScenarioSpec& spec,
+                              const std::array<PlaneResult, 5>& results,
+                              const Allowlist& allowlist) {
+  ScenarioReport report;
+  report.index = spec.index;
+  report.seed = spec.seed;
+  for (std::size_t p = 0; p < results.size(); ++p) {
+    for (const std::string& detail : results[p].invariant_violations) {
+      Violation v;
+      v.kind = Violation::Kind::kInvariant;
+      v.plane = std::string(kPlanes[p]);
+      v.detail = detail;
+      report.violations.push_back(std::move(v));
+    }
+  }
+  for (std::size_t i = 0; i < spec.requests.size(); ++i) {
+    compare_request(spec, results, i, allowlist, report);
+  }
+  return report;
+}
+
+}  // namespace canal::fuzz

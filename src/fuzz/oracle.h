@@ -1,0 +1,77 @@
+// Differential oracle: compares per-request outcomes across planes and
+// folds in the executor's single-run invariant findings.
+//
+// Divergence between dataplanes is only a bug when the planes are
+// supposed to agree. Three classes of disagreement are *documented*
+// architecture differences, controlled by the Allowlist:
+//
+//   l7-routing-nomesh  NoMesh is L4-only and cannot honour direct-response
+//                      rules, so its status/served-service on requests
+//                      matching a direct rule is exempt.
+//   weighted-split     Weighted canary splits draw from each plane's own
+//                      RNG stream, so *which* service serves a split
+//                      request may differ; the status must still agree.
+//   fault-window       Requests whose lifetime overlaps an active fault
+//                      (pod kill, link loss, replica crash) race the fault
+//                      differently per plane; they are exempt from
+//                      differential comparison entirely.
+//
+// Everything else must match exactly: status, serving service, attempt
+// count (and exactly one attempt when no fault was active).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/executor.h"
+#include "fuzz/scenario.h"
+
+namespace canal::fuzz {
+
+/// Documented-divergence toggles. All enabled by default; tests disable
+/// individual entries to prove each one is load-bearing.
+struct Allowlist {
+  bool l7_routing_nomesh = true;
+  bool weighted_split = true;
+  bool fault_window = true;
+
+  /// Comma-separated kebab-case names of the *enabled* entries, e.g.
+  /// "l7-routing-nomesh,fault-window". Empty when all are disabled.
+  [[nodiscard]] std::string to_string() const;
+  /// Inverse of to_string(). Unknown names -> nullopt.
+  [[nodiscard]] static std::optional<Allowlist> parse(const std::string& s);
+};
+
+struct Violation {
+  enum class Kind : std::uint8_t { kInvariant, kDifferential };
+  Kind kind = Kind::kInvariant;
+  /// Plane the violation was observed on (for differential violations,
+  /// the plane that disagrees with the reference plane).
+  std::string plane;
+  int request = -1;  ///< request index, -1 for whole-run invariants
+  std::string detail;
+};
+
+/// Oracle verdict for one scenario. Serializes deterministically: same
+/// spec + same results -> byte-identical JSON, regardless of thread
+/// interleaving in the campaign driver.
+struct ScenarioReport {
+  std::uint32_t index = 0;
+  std::uint64_t seed = 0;
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Runs the differential comparison over `results` (one PlaneResult per
+/// entry of kPlanes, aligned with spec.requests) and returns the combined
+/// report including each plane's single-run invariant violations.
+[[nodiscard]] ScenarioReport check_scenario(
+    const ScenarioSpec& spec, const std::array<PlaneResult, 5>& results,
+    const Allowlist& allowlist);
+
+}  // namespace canal::fuzz

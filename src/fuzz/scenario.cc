@@ -1,0 +1,243 @@
+#include "fuzz/scenario.h"
+
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace canal::fuzz {
+namespace {
+
+/// Stateless (seed, index) mixer so scenario N is independent of how many
+/// draws scenario N-1 consumed — a prerequisite for running scenarios on
+/// any thread in any order.
+std::uint64_t scenario_seed(std::uint64_t seed, std::uint32_t index) {
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+  return sim::splitmix64(state);
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed, std::uint32_t index) {
+  sim::Rng rng(scenario_seed(seed, index));
+  ScenarioSpec spec;
+  spec.seed = scenario_seed(seed, index) | 1;  // plane RNG seed, nonzero
+  spec.index = index;
+
+  // --- topology -------------------------------------------------------
+  spec.nodes = static_cast<std::uint32_t>(rng.uniform_int(2, 3));
+  const auto services = static_cast<std::uint32_t>(rng.uniform_int(2, 4));
+  for (std::uint32_t s = 0; s < services; ++s) {
+    spec.pods_per_service.push_back(
+        static_cast<std::uint32_t>(rng.uniform_int(1, 3)));
+  }
+  spec.app_service_time = sim::microseconds(
+      static_cast<double>(rng.uniform_int(200, 1500)));
+
+  // --- L7 traffic control --------------------------------------------
+  // At most one custom-routed service per scenario keeps the per-plane
+  // installation story simple (see executor.cc); the canary target is a
+  // different service with only default routes.
+  const auto routed = static_cast<std::uint32_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(services) - 1));
+  if (rng.chance(0.5) && services >= 2) {
+    SplitSpec split;
+    split.service = routed;
+    split.canary_service = (routed + 1) % services;
+    split.primary_weight = static_cast<std::uint32_t>(rng.uniform_int(1, 99));
+    split.canary_weight = 100 - split.primary_weight;
+    spec.splits.push_back(split);
+  }
+  if (rng.chance(0.35)) {
+    DirectResponseSpec direct;
+    direct.service = routed;
+    // Mix of error and success direct responses: 2xx/3xx direct responses
+    // complete at the proxy with no upstream endpoint, which is exactly
+    // the path the fuzzer caught crashing every dataplane (see
+    // tests/test_fuzz_regressions.cc).
+    static constexpr int kStatuses[] = {403, 429, 204, 302};
+    direct.status = kStatuses[rng.uniform_int(0, 3)];
+    spec.direct_responses.push_back(direct);
+  }
+
+  // --- request program ------------------------------------------------
+  const auto request_count = static_cast<std::uint32_t>(rng.uniform_int(8, 32));
+  const sim::TimePoint horizon = sim::milliseconds(150);
+  for (std::uint32_t i = 0; i < request_count; ++i) {
+    RequestSpec req;
+    req.at = rng.uniform_int(0, horizon);
+    req.client_service =
+        static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
+    req.client_pod = static_cast<std::uint32_t>(rng.uniform_int(
+        0, spec.pods_per_service[req.client_service] - 1));
+    req.dst_service =
+        static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
+    const double shape = rng.uniform();
+    if (shape < 0.04) {
+      req.null_client = true;
+    } else if (shape < 0.08) {
+      req.unknown_service = true;
+    } else if (shape < 0.30 && !spec.splits.empty()) {
+      req.dst_service = spec.splits.front().service;
+      req.path = spec.splits.front().path_prefix + "/item";
+    } else if (shape < 0.42 && !spec.direct_responses.empty()) {
+      req.dst_service = spec.direct_responses.front().service;
+      req.path = spec.direct_responses.front().path_prefix;
+    } else {
+      req.path = "/api/items";
+    }
+    spec.requests.push_back(req);
+  }
+
+  // --- event program --------------------------------------------------
+  const auto event_count = static_cast<std::uint32_t>(rng.uniform_int(0, 4));
+  std::uint32_t pods_added = 0;
+  for (std::uint32_t i = 0; i < event_count; ++i) {
+    EventSpec ev;
+    ev.at = rng.uniform_int(sim::milliseconds(5), sim::milliseconds(120));
+    switch (rng.uniform_int(0, 7)) {
+      case 0: {
+        ev.kind = EventKind::kPodKill;
+        ev.service =
+            static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
+        ev.pod = static_cast<std::uint32_t>(
+            rng.uniform_int(0, spec.pods_per_service[ev.service] - 1));
+        ev.duration = rng.uniform_int(sim::milliseconds(20),
+                                      sim::milliseconds(60));
+        break;
+      }
+      case 1:
+        ev.kind = EventKind::kLinkLoss;
+        // Loss is always 1.0: every plane draws losses from its own RNG,
+        // so fractional loss would diverge by chance rather than by bug.
+        ev.duration = rng.uniform_int(sim::milliseconds(10),
+                                      sim::milliseconds(40));
+        break;
+      case 2:
+        ev.kind = EventKind::kLatencySpike;
+        ev.duration = rng.uniform_int(sim::milliseconds(10),
+                                      sim::milliseconds(50));
+        // Small enough that per-try timeouts never fire on clean paths.
+        ev.extra_latency =
+            rng.uniform_int(sim::microseconds(100), sim::milliseconds(3));
+        break;
+      case 3:
+        ev.kind = EventKind::kReplicaCrash;
+        ev.backend = static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+        ev.replica = static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+        ev.duration = rng.uniform_int(sim::milliseconds(15),
+                                      sim::milliseconds(50));
+        break;
+      case 4:
+        // Bounded so ENI capacity (10/node) can never be exhausted.
+        if (pods_added >= 2) continue;
+        ++pods_added;
+        ev.kind = EventKind::kAddPod;
+        ev.service =
+            static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
+        break;
+      case 5:
+        ev.kind = EventKind::kExtendService;
+        ev.service =
+            static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
+        break;
+      case 6:
+        ev.kind = EventKind::kRetractService;
+        ev.service =
+            static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
+        break;
+      default:
+        ev.kind = EventKind::kDrainReplica;
+        ev.backend = static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+        ev.replica = static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+        break;
+    }
+    spec.events.push_back(ev);
+  }
+  return spec;
+}
+
+namespace {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPodKill: return "kPodKill";
+    case EventKind::kLinkLoss: return "kLinkLoss";
+    case EventKind::kLatencySpike: return "kLatencySpike";
+    case EventKind::kReplicaCrash: return "kReplicaCrash";
+    case EventKind::kAddPod: return "kAddPod";
+    case EventKind::kExtendService: return "kExtendService";
+    case EventKind::kRetractService: return "kRetractService";
+    case EventKind::kDrainReplica: return "kDrainReplica";
+  }
+  return "kPodKill";
+}
+
+}  // namespace
+
+std::string to_cpp_snippet(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "// Minimized repro emitted by fuzz_mesh (campaign seed unknown to"
+         " the spec;\n// rebuild is exact from the fields below)."
+         " Paste into tests/test_fuzz_regressions.cc.\n";
+  out << "TEST(FuzzRegression, Scenario" << spec.index << "Seed" << spec.seed
+      << ") {\n";
+  out << "  fuzz::ScenarioSpec spec;\n";
+  out << "  spec.seed = " << spec.seed << "ULL;\n";
+  out << "  spec.index = " << spec.index << ";\n";
+  out << "  spec.nodes = " << spec.nodes << ";\n";
+  out << "  spec.node_cores = " << spec.node_cores << ";\n";
+  out << "  spec.pods_per_service = {";
+  for (std::size_t i = 0; i < spec.pods_per_service.size(); ++i) {
+    out << (i != 0 ? ", " : "") << spec.pods_per_service[i];
+  }
+  out << "};\n";
+  out << "  spec.app_service_time = " << spec.app_service_time << ";\n";
+  for (const auto& split : spec.splits) {
+    out << "  {\n    fuzz::SplitSpec split;\n"
+        << "    split.service = " << split.service << ";\n"
+        << "    split.canary_service = " << split.canary_service << ";\n"
+        << "    split.primary_weight = " << split.primary_weight << ";\n"
+        << "    split.canary_weight = " << split.canary_weight << ";\n"
+        << "    split.path_prefix = \"" << split.path_prefix << "\";\n"
+        << "    spec.splits.push_back(split);\n  }\n";
+  }
+  for (const auto& direct : spec.direct_responses) {
+    out << "  {\n    fuzz::DirectResponseSpec direct;\n"
+        << "    direct.service = " << direct.service << ";\n"
+        << "    direct.status = " << direct.status << ";\n"
+        << "    direct.path_prefix = \"" << direct.path_prefix << "\";\n"
+        << "    spec.direct_responses.push_back(direct);\n  }\n";
+  }
+  for (const auto& req : spec.requests) {
+    out << "  {\n    fuzz::RequestSpec req;\n"
+        << "    req.at = " << req.at << ";\n"
+        << "    req.client_service = " << req.client_service << ";\n"
+        << "    req.client_pod = " << req.client_pod << ";\n"
+        << "    req.dst_service = " << req.dst_service << ";\n"
+        << "    req.path = \"" << req.path << "\";\n";
+    if (req.null_client) out << "    req.null_client = true;\n";
+    if (req.unknown_service) out << "    req.unknown_service = true;\n";
+    out << "    spec.requests.push_back(req);\n  }\n";
+  }
+  for (const auto& ev : spec.events) {
+    out << "  {\n    fuzz::EventSpec ev;\n"
+        << "    ev.kind = fuzz::EventKind::" << event_kind_name(ev.kind)
+        << ";\n"
+        << "    ev.at = " << ev.at << ";\n"
+        << "    ev.duration = " << ev.duration << ";\n"
+        << "    ev.service = " << ev.service << ";\n"
+        << "    ev.pod = " << ev.pod << ";\n"
+        << "    ev.backend = " << ev.backend << ";\n"
+        << "    ev.replica = " << ev.replica << ";\n"
+        << "    ev.extra_latency = " << ev.extra_latency << ";\n"
+        << "    spec.events.push_back(ev);\n  }\n";
+  }
+  out << "  const auto results = fuzz::run_all_planes(spec);\n";
+  out << "  const auto report =\n"
+         "      fuzz::check_scenario(spec, results, fuzz::Allowlist{});\n";
+  out << "  EXPECT_TRUE(report.violations.empty()) << report.to_json();\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace canal::fuzz

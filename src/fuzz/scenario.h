@@ -1,0 +1,128 @@
+// Scenario programs for the differential dataplane fuzzer.
+//
+// A ScenarioSpec is a small, fully deterministic description of one
+// simulated world: topology shape (nodes/services/pods), L7 traffic
+// control (weighted canary splits, direct-response rules), a timed
+// request program, and a timed event program (pod kills, link faults,
+// gateway replica faults, pod/backend ops from the canal scaling
+// vocabulary). The same spec is executed against every dataplane by
+// fuzz::run_plane; the generator below produces specs from a (seed,
+// index) pair so a fuzzing campaign is reproducible run to run, and a
+// single failing spec can be re-created from those two numbers alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace canal::fuzz {
+
+/// One request in the scenario's traffic program. Pods and services are
+/// addressed by build-order index, which is identical across planes
+/// because every plane rebuilds the same cluster in the same order.
+struct RequestSpec {
+  sim::TimePoint at = 0;
+  std::uint32_t client_service = 0;
+  std::uint32_t client_pod = 0;
+  std::uint32_t dst_service = 1;
+  std::string path = "/";
+  /// Error-matrix probes: requests that must fail identically everywhere.
+  bool null_client = false;    ///< 400 on every plane
+  bool unknown_service = false;  ///< 404 on every plane
+};
+
+/// A weighted canary split on `service`: requests matching `path_prefix`
+/// are split between the service's own cluster and `canary_service`'s
+/// cluster; everything else falls through to the default route.
+struct SplitSpec {
+  std::uint32_t service = 0;
+  std::uint32_t canary_service = 1;
+  std::uint32_t primary_weight = 90;
+  std::uint32_t canary_weight = 10;
+  std::string path_prefix = "/canary";
+};
+
+/// A direct-response rule on `service`: requests matching `path_prefix`
+/// are answered by the L7 proxy itself with `status`, never reaching an
+/// endpoint. NoMesh (L4-only) cannot honour it — the documented
+/// l7-routing-nomesh divergence.
+struct DirectResponseSpec {
+  std::uint32_t service = 0;
+  int status = 403;
+  std::string path_prefix = "/blocked";
+};
+
+enum class EventKind : std::uint8_t {
+  kPodKill,         ///< crash pod at `at`, restart `duration` later
+  kLinkLoss,        ///< loss=1.0 window [at, at+duration)
+  kLatencySpike,    ///< +`extra_latency` per hop in [at, at+duration)
+  kReplicaCrash,    ///< gateway replica crash at `at`, recover after `duration`
+  kAddPod,          ///< scale out `service` by one pod at `at`
+  kExtendService,   ///< gateway op: extend `service` onto one more backend
+  kRetractService,  ///< gateway op: drop one backend from `service`
+  kDrainReplica,    ///< gateway op: gracefully drain one replica
+};
+
+struct EventSpec {
+  EventKind kind = EventKind::kPodKill;
+  sim::TimePoint at = 0;
+  sim::Duration duration = 0;
+  std::uint32_t service = 0;  ///< pod-kill / add-pod / extend / retract
+  std::uint32_t pod = 0;      ///< pod index within the service
+  std::uint32_t backend = 0;  ///< backend index (replica faults / drain)
+  std::uint32_t replica = 0;  ///< replica index within the backend
+  sim::Duration extra_latency = 0;  ///< latency-spike magnitude
+
+  /// True for events that can change request semantics (status, retries,
+  /// serving pod) while active. Ops events (add-pod, extend, retract,
+  /// drain) and latency spikes must be semantically transparent, so the
+  /// oracle compares requests overlapping them at full strictness.
+  [[nodiscard]] bool is_fault() const noexcept {
+    return kind == EventKind::kPodKill || kind == EventKind::kLinkLoss ||
+           kind == EventKind::kReplicaCrash;
+  }
+};
+
+/// One complete scenario program.
+struct ScenarioSpec {
+  std::uint64_t seed = 1;    ///< plane RNG seed (Testbed convention)
+  std::uint32_t index = 0;   ///< campaign index this spec was generated at
+  std::uint32_t nodes = 2;
+  std::uint32_t node_cores = 8;
+  std::vector<std::uint32_t> pods_per_service;  ///< size = service count
+  sim::Duration app_service_time = sim::milliseconds(1);
+  std::vector<SplitSpec> splits;
+  std::vector<DirectResponseSpec> direct_responses;
+  std::vector<RequestSpec> requests;
+  std::vector<EventSpec> events;
+
+  /// Test-only planted bug: when `planted_plane` is >= 0, the executor
+  /// misreports the status of requests to `planted_service` on that plane
+  /// (by index into fuzz::kPlanes). Never set by generate_scenario; used
+  /// by the shrinker tests to plant a reproducible differential failure.
+  int planted_plane = -1;
+  std::uint32_t planted_service = 0;
+
+  [[nodiscard]] std::size_t service_count() const noexcept {
+    return pods_per_service.size();
+  }
+  /// Shrinker currency: every droppable element of the program.
+  [[nodiscard]] std::size_t program_size() const noexcept {
+    return requests.size() + events.size() + splits.size() +
+           direct_responses.size();
+  }
+};
+
+/// Deterministically generates scenario `index` of a campaign keyed by
+/// `seed`. Same (seed, index) -> identical spec, on any thread.
+[[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed,
+                                             std::uint32_t index);
+
+/// Emits a self-contained C++ snippet (a gtest TEST body) that rebuilds
+/// `spec`, runs all planes, and asserts a clean oracle report — ready to
+/// paste into tests/test_fuzz_regressions.cc.
+[[nodiscard]] std::string to_cpp_snippet(const ScenarioSpec& spec);
+
+}  // namespace canal::fuzz

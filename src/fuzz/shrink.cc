@@ -1,0 +1,61 @@
+#include "fuzz/shrink.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace canal::fuzz {
+namespace {
+
+/// Tries dropping each element of `field` (a vector member of the spec)
+/// one at a time, keeping drops that preserve failure. Returns true when
+/// anything was removed.
+template <typename T>
+bool shrink_field(ScenarioSpec& spec, std::vector<T> ScenarioSpec::* field,
+                  const Allowlist& allowlist, std::size_t max_evals,
+                  ShrinkResult& result) {
+  bool removed_any = false;
+  for (std::size_t i = 0; i < (spec.*field).size();) {
+    if (result.evals >= max_evals) return removed_any;
+    ScenarioSpec candidate = spec;
+    (candidate.*field).erase((candidate.*field).begin() +
+                             static_cast<std::ptrdiff_t>(i));
+    ++result.evals;
+    if (scenario_fails(candidate, allowlist)) {
+      spec = std::move(candidate);
+      ++result.removed;
+      removed_any = true;  // retry the same index: it holds a new element
+    } else {
+      ++i;
+    }
+  }
+  return removed_any;
+}
+
+}  // namespace
+
+bool scenario_fails(const ScenarioSpec& spec, const Allowlist& allowlist) {
+  return !check_scenario(spec, run_all_planes(spec), allowlist).clean();
+}
+
+ShrinkResult shrink(const ScenarioSpec& spec, const Allowlist& allowlist,
+                    std::size_t max_evals) {
+  ShrinkResult result;
+  result.spec = spec;
+  ++result.evals;
+  if (!scenario_fails(result.spec, allowlist)) return result;
+  bool progress = true;
+  while (progress && result.evals < max_evals) {
+    progress = false;
+    progress |= shrink_field(result.spec, &ScenarioSpec::events, allowlist,
+                             max_evals, result);
+    progress |= shrink_field(result.spec, &ScenarioSpec::requests, allowlist,
+                             max_evals, result);
+    progress |= shrink_field(result.spec, &ScenarioSpec::splits, allowlist,
+                             max_evals, result);
+    progress |= shrink_field(result.spec, &ScenarioSpec::direct_responses,
+                             allowlist, max_evals, result);
+  }
+  return result;
+}
+
+}  // namespace canal::fuzz

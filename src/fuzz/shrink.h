@@ -1,0 +1,37 @@
+// Greedy scenario shrinker.
+//
+// Given a failing ScenarioSpec, repeatedly tries dropping one program
+// element (event, request, split, direct-response rule) and keeps the
+// drop whenever the shrunk spec still fails the oracle, until a full
+// pass removes nothing or the evaluation budget runs out. Re-executing
+// a candidate means re-running all five planes, so the budget bounds
+// total work; greedy one-at-a-time is enough because scenario programs
+// are small (tens of elements).
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+
+namespace canal::fuzz {
+
+/// Runs `spec` on all planes and checks the oracle: true when the report
+/// has at least one violation. This is the shrinker's predicate and is
+/// also handy for tests and the campaign driver.
+[[nodiscard]] bool scenario_fails(const ScenarioSpec& spec,
+                                  const Allowlist& allowlist);
+
+struct ShrinkResult {
+  ScenarioSpec spec;        ///< smallest still-failing spec found
+  std::size_t evals = 0;    ///< predicate evaluations spent
+  std::size_t removed = 0;  ///< program elements dropped
+};
+
+/// Shrinks a failing spec. Precondition: scenario_fails(spec, allowlist)
+/// is true; if it is not, the input is returned unchanged.
+[[nodiscard]] ShrinkResult shrink(const ScenarioSpec& spec,
+                                  const Allowlist& allowlist,
+                                  std::size_t max_evals = 500);
+
+}  // namespace canal::fuzz

@@ -226,6 +226,12 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                   finish(outcome.status);
                   return;
                 }
+                if (outcome.endpoint == nullptr) {
+                  // 2xx/3xx direct response answered by the waypoint: no
+                  // upstream endpoint, nothing further to forward.
+                  finish(outcome.status);
+                  return;
+                }
                 st->endpoint = outcome.endpoint;
                 st->target = cluster_.find_pod(
                     static_cast<net::PodId>(outcome.endpoint->key));

@@ -145,6 +145,12 @@ void IstioMesh::send_request(const RequestOptions& opts,
           finish(outcome.status);
           return;
         }
+        if (outcome.endpoint == nullptr) {
+          // 2xx/3xx direct response answered by the sidecar itself: there
+          // is no upstream endpoint and nothing further to forward.
+          finish(outcome.status);
+          return;
+        }
         st->endpoint = outcome.endpoint;
         st->target =
             cluster_.find_pod(static_cast<net::PodId>(outcome.endpoint->key));

@@ -1,0 +1,272 @@
+// Direct unit tests for the canal operational planners: HWHM window
+// edges feeding InPhaseMigrationPlanner::select_target, the planner's
+// two-stage (G then G') target choice, and PreciseScaler's Reuse-vs-New
+// decision boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "canal/canal_mesh.h"
+#include "canal/inphase_migration.h"
+#include "canal/scaling.h"
+#include "sim/stats.h"
+
+namespace canal::core {
+namespace {
+
+// ---- HWHM window edges ---------------------------------------------------
+
+TEST(HwhmWindow, EmptySeriesIsDegenerate) {
+  sim::TimeSeries series;
+  const auto window = sim::hwhm_window(series);
+  EXPECT_EQ(window.start, window.end);
+}
+
+TEST(HwhmWindow, SingleSampleCollapsesToThatInstant) {
+  sim::TimeSeries series;
+  series.record(sim::seconds(5), 42.0);
+  const auto window = sim::hwhm_window(series);
+  EXPECT_EQ(window.start, sim::seconds(5));
+  EXPECT_EQ(window.end, sim::seconds(5));
+  EXPECT_EQ(window.peak, sim::seconds(5));
+}
+
+TEST(HwhmWindow, FlatSeriesSpansEverything) {
+  // max == min, so the half level equals every sample: the window must
+  // cover the whole series rather than collapsing at the peak.
+  sim::TimeSeries series;
+  for (int i = 0; i < 10; ++i) series.record(sim::seconds(i), 7.0);
+  const auto window = sim::hwhm_window(series);
+  EXPECT_EQ(window.start, sim::seconds(0));
+  EXPECT_EQ(window.end, sim::seconds(9));
+}
+
+TEST(HwhmWindow, PeakAtEdgeExtendsToThatEdge) {
+  sim::TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.record(sim::seconds(i), static_cast<double>(i));  // rising ramp
+  }
+  const auto window = sim::hwhm_window(series);
+  EXPECT_EQ(window.peak, sim::seconds(9));
+  EXPECT_EQ(window.end, sim::seconds(9));
+  // Half level is (0+9)/2 = 4.5: samples 5..9 are inside.
+  EXPECT_EQ(window.start, sim::seconds(5));
+}
+
+TEST(HwhmWindow, IsolatesTheBurst) {
+  sim::TimeSeries series;
+  for (int i = 0; i < 24; ++i) {
+    const double v = (i >= 10 && i <= 13) ? 1000.0 : 100.0;
+    series.record(sim::hours(i), v);
+  }
+  const auto window = sim::hwhm_window(series);
+  EXPECT_EQ(window.start, sim::hours(10));
+  EXPECT_EQ(window.end, sim::hours(13));
+}
+
+// ---- select_target around the HWHM window --------------------------------
+
+constexpr auto kSvc = static_cast<net::ServiceId>(7001);
+
+struct PlannerWorld {
+  sim::EventLoop loop;
+  MeshGateway gateway{loop, GatewayConfig{}, sim::Rng(5003)};
+
+  explicit PlannerWorld(std::size_t backends) {
+    gateway.add_az(backends);
+    for (auto* backend : gateway.all_backends()) {
+      backend->start_sampling(sim::minutes(10));
+    }
+  }
+
+  /// Injects one hour of load and advances the clock past it.
+  void hour(GatewayBackend* backend, net::ServiceId service, double rps) {
+    backend->inject_load(service, rps, sim::hours(1));
+    loop.run_until(loop.now() + sim::hours(1));
+  }
+};
+
+TEST(SelectTarget, NullWithoutTrafficHistory) {
+  PlannerWorld world(3);
+  InPhaseMigrationPlanner planner;
+  // No samples recorded for the service: the HWHM window is degenerate
+  // and there is nothing to complement — no target.
+  EXPECT_EQ(planner.select_target(world.gateway,
+                                  *world.gateway.all_backends().front(), kSvc,
+                                  world.loop.now()),
+            nullptr);
+}
+
+TEST(SelectTarget, NullWhenSourceIsTheOnlyBackend) {
+  PlannerWorld world(1);
+  GatewayBackend* source = world.gateway.all_backends().front();
+  for (int i = 0; i < 24; ++i) {
+    world.hour(source, kSvc, i >= 10 && i <= 13 ? 9000.0 : 200.0);
+  }
+  InPhaseMigrationPlanner planner;
+  EXPECT_EQ(planner.select_target(world.gateway, *source, kSvc,
+                                  world.loop.now()),
+            nullptr);
+}
+
+TEST(SelectTarget, TwoStageChoiceUsesHwhmSamplesThenDailyTotal) {
+  PlannerWorld world(3);
+  const auto backends = world.gateway.all_backends();
+  GatewayBackend* source = backends[0];
+  // Quiet during the service's burst hours but heavily loaded the rest of
+  // the day: best G (HWHM samples), worst G' (24 h total).
+  GatewayBackend* complementary_but_heavy = backends[1];
+  // Slightly busier during the burst, near-idle otherwise: second-best G,
+  // best G'.
+  GatewayBackend* light_overall = backends[2];
+  const auto filler = static_cast<net::ServiceId>(7002);
+
+  for (int i = 0; i < 24; ++i) {
+    const bool burst = i >= 10 && i <= 13;
+    source->inject_load(kSvc, burst ? 9000.0 : 200.0, sim::hours(1));
+    complementary_but_heavy->inject_load(filler, burst ? 100.0 : 30000.0,
+                                         sim::hours(1));
+    light_overall->inject_load(filler, burst ? 800.0 : 100.0, sim::hours(1));
+    world.loop.run_until(world.loop.now() + sim::hours(1));
+  }
+
+  // Stage two decides among the shortlist: the 24 h total prefers the
+  // lightly loaded backend even though its burst-hour samples are not the
+  // minimum.
+  InPhaseMigrationPlanner planner;
+  EXPECT_EQ(planner.select_target(world.gateway, *source, kSvc,
+                                  world.loop.now()),
+            light_overall);
+
+  // With a shortlist of one, stage one is the whole decision: only the
+  // lowest-G backend survives to the G' comparison.
+  InPhaseConfig narrow;
+  narrow.shortlist_size = 1;
+  InPhaseMigrationPlanner strict(narrow);
+  EXPECT_EQ(strict.select_target(world.gateway, *source, kSvc,
+                                 world.loop.now()),
+            complementary_but_heavy);
+}
+
+// ---- PreciseScaler: Reuse vs New -----------------------------------------
+
+struct ScalerWorld {
+  sim::EventLoop loop;
+  k8s::Cluster cluster{loop, static_cast<net::TenantId>(1), sim::Rng(6001)};
+  MeshGateway gateway{loop, GatewayConfig{}, sim::Rng(6003)};
+  std::unique_ptr<CanalMesh> mesh;
+  k8s::Service* api = nullptr;
+
+  ScalerWorld() {
+    gateway.add_az(4);
+    for (auto* backend : gateway.all_backends()) {
+      backend->start_sampling(sim::seconds(1));
+    }
+    cluster.add_node(static_cast<net::AzId>(0), 16);
+    k8s::AppProfile profile;
+    profile.fast_fraction = 1.0;
+    profile.fast_service_mean = sim::milliseconds(1);
+    profile.sigma = 0.05;
+    api = &cluster.add_service("api");
+    for (int i = 0; i < 2; ++i) {
+      cluster.add_pod(*api, profile).set_phase(k8s::PodPhase::kRunning);
+    }
+    mesh = std::make_unique<CanalMesh>(loop, cluster, gateway,
+                                       CanalMesh::Config{}, sim::Rng(6007));
+    mesh->install();
+  }
+
+  GatewayBackend* hot_backend() {
+    return gateway.placement_of(api->id).front();
+  }
+
+  /// Drives `rps` request load into `backend` for `seconds` ticks.
+  void load(GatewayBackend* backend, net::ServiceId service, double rps,
+            int seconds) {
+    for (int t = 0; t < seconds; ++t) {
+      backend->inject_load(service, rps, sim::seconds(1));
+      loop.run_until(loop.now() + sim::seconds(1));
+    }
+    // Let queued work occupy the cores before utilization is sampled.
+    loop.run_until(loop.now() + sim::seconds(2));
+  }
+};
+
+TEST(PreciseScaling, ReusesIdleSameAzBackend) {
+  ScalerWorld world;
+  const std::size_t backends_before = world.gateway.all_backends().size();
+  world.load(world.hot_backend(), world.api->id, 40000.0, 3);
+
+  ScalerConfig config;
+  config.alert_threshold = 0.5;
+  // One backend per decision keeps the expected event count exact.
+  config.max_scale_out_per_event = 1;
+  PreciseScaler scaler(world.loop, world.gateway, config, sim::Rng(6011));
+  ASSERT_GE(world.hot_backend()->cpu_utilization(sim::seconds(5)),
+            config.alert_threshold);
+  scaler.check_now();
+  world.loop.run_until(world.loop.now() + sim::minutes(5));
+
+  ASSERT_GE(scaler.events().size(), 1u);
+  EXPECT_GE(scaler.reuse_count(), 1u);
+  EXPECT_EQ(scaler.new_count(), 0u)
+      << "idle backends were available; nothing should be provisioned";
+  // Reuse extends placement onto existing machines only.
+  EXPECT_EQ(world.gateway.all_backends().size(), backends_before);
+  EXPECT_GT(world.gateway.placement_of(world.api->id).size(), 2u);
+}
+
+TEST(PreciseScaling, ProvisionsNewBackendWhenNoneHaveHeadroom) {
+  ScalerWorld world;
+  const std::size_t backends_before = world.gateway.all_backends().size();
+  const auto filler = static_cast<net::ServiceId>(0xF00D);
+  // Push every non-hosting backend over the reuse ceiling (20%) while
+  // keeping it under the alert threshold, then overload the hot backend.
+  for (auto* backend : world.gateway.all_backends()) {
+    if (!backend->hosts(world.api->id)) {
+      for (int t = 0; t < 3; ++t) {
+        backend->inject_load(filler, 15000.0, sim::seconds(1));
+      }
+    }
+  }
+  world.load(world.hot_backend(), world.api->id, 40000.0, 3);
+
+  ScalerConfig config;
+  config.alert_threshold = 0.5;
+  PreciseScaler scaler(world.loop, world.gateway, config, sim::Rng(6013));
+  for (auto* backend : world.gateway.all_backends()) {
+    if (!backend->hosts(world.api->id)) {
+      ASSERT_GT(backend->cpu_utilization(sim::seconds(5)),
+                config.reuse_max_utilization)
+          << "candidate has headroom; the test would not exercise New";
+    }
+  }
+  scaler.check_now();
+  world.loop.run_until(world.loop.now() + sim::hours(1));
+
+  ASSERT_GE(scaler.events().size(), 1u);
+  EXPECT_EQ(scaler.reuse_count(), 0u)
+      << "no candidate was below the reuse ceiling";
+  EXPECT_GE(scaler.new_count(), 1u);
+  EXPECT_GT(world.gateway.all_backends().size(), backends_before);
+}
+
+TEST(PreciseScaling, CooldownSuppressesRepeatScaling) {
+  ScalerWorld world;
+  world.load(world.hot_backend(), world.api->id, 40000.0, 3);
+  ScalerConfig config;
+  config.alert_threshold = 0.5;
+  config.max_scale_out_per_event = 1;
+  PreciseScaler scaler(world.loop, world.gateway, config, sim::Rng(6017));
+  scaler.check_now();
+  // The backend is still hot (the reuse has not even executed yet), but
+  // the service entered its cooldown: a second sweep must not schedule a
+  // duplicate scale-out.
+  scaler.check_now();
+  world.loop.run_until(world.loop.now() + sim::minutes(5));
+  EXPECT_EQ(scaler.events().size(), 1u);
+  EXPECT_EQ(scaler.reuse_count(), 1u);
+}
+
+}  // namespace
+}  // namespace canal::core

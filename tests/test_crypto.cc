@@ -15,6 +15,7 @@
 #include "crypto/keyserver.h"
 #include "crypto/mac.h"
 #include "sim/event_loop.h"
+#include "tests/testutil.h"
 
 namespace canal::crypto {
 namespace {
@@ -229,35 +230,10 @@ TEST(Spiffe, TrustDomainExtraction) {
 
 // ---- Full mTLS handshake ------------------------------------------------
 
-struct HandshakeFixture {
-  sim::Rng rng{79};
-  CertificateAuthority ca{"mesh-ca", rng};
-  KeyPair client_key = generate_keypair(rng);
-  KeyPair server_key = generate_keypair(rng);
-
-  EndpointConfig client_config() {
-    EndpointConfig config;
-    config.certificate = ca.issue("spiffe://t1/client", client_key.public_key,
-                                  0, sim::hours(24), rng);
-    config.signer = [this](std::string_view transcript) {
-      return sign(client_key.private_key, transcript, rng);
-    };
-    config.ca_public_key = ca.public_key();
-    config.ca_name = "mesh-ca";
-    return config;
-  }
-  EndpointConfig server_config() {
-    EndpointConfig config;
-    config.certificate = ca.issue("spiffe://t1/server", server_key.public_key,
-                                  0, sim::hours(24), rng);
-    config.signer = [this](std::string_view transcript) {
-      return sign(server_key.private_key, transcript, rng);
-    };
-    config.ca_public_key = ca.public_key();
-    config.ca_name = "mesh-ca";
-    return config;
-  }
-};
+// CA / keypair / endpoint-config setup is shared with the other mTLS
+// tests; the defaults (seed 79, "mesh-ca", t1 identities) are this
+// file's historical values.
+using HandshakeFixture = canal::testutil::MtlsFixture;
 
 TEST(Handshake, CompletesAndKeysAgree) {
   HandshakeFixture fx;

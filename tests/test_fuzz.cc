@@ -1,0 +1,160 @@
+// Tests for the differential fuzzer itself: generator determinism,
+// deterministic replay of whole campaigns, shrinker convergence on a
+// planted bug, and allowlist round-trip / load-bearing behavior.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "fuzz/executor.h"
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrink.h"
+
+namespace canal {
+namespace {
+
+// ---- generator -----------------------------------------------------------
+
+TEST(FuzzGenerator, SameSeedAndIndexReproduceTheSpecExactly) {
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const auto a = fuzz::generate_scenario(42, i);
+    const auto b = fuzz::generate_scenario(42, i);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.pods_per_service, b.pods_per_service);
+    EXPECT_EQ(a.requests.size(), b.requests.size());
+    EXPECT_EQ(a.events.size(), b.events.size());
+    // The emitted snippet prints every field, so equal snippets mean
+    // equal specs without a hand-written operator==.
+    EXPECT_EQ(fuzz::to_cpp_snippet(a), fuzz::to_cpp_snippet(b));
+  }
+}
+
+TEST(FuzzGenerator, DifferentIndexesDiverge) {
+  const auto a = fuzz::to_cpp_snippet(fuzz::generate_scenario(42, 0));
+  const auto b = fuzz::to_cpp_snippet(fuzz::generate_scenario(42, 1));
+  EXPECT_NE(a, b);
+}
+
+// ---- deterministic replay ------------------------------------------------
+
+TEST(FuzzReplay, SameSpecYieldsByteIdenticalOracleReport) {
+  const fuzz::Allowlist allowlist;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto spec = fuzz::generate_scenario(7, i);
+    const auto first =
+        fuzz::check_scenario(spec, fuzz::run_all_planes(spec), allowlist);
+    const auto second =
+        fuzz::check_scenario(spec, fuzz::run_all_planes(spec), allowlist);
+    EXPECT_EQ(first.to_json(), second.to_json()) << "scenario " << i;
+    EXPECT_TRUE(first.clean()) << first.to_json();
+  }
+}
+
+// ---- shrinker ------------------------------------------------------------
+
+/// Finds a generated scenario that fails once a differential bug is
+/// planted on the canal plane: any spec with at least one normal request
+/// qualifies, faults permitting.
+std::optional<fuzz::ScenarioSpec> planted_failing_spec() {
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    fuzz::ScenarioSpec spec = fuzz::generate_scenario(11, i);
+    for (const auto& rs : spec.requests) {
+      if (rs.null_client || rs.unknown_service) continue;
+      spec.planted_plane = static_cast<int>(fuzz::kCanal);
+      spec.planted_service = rs.dst_service;
+      break;
+    }
+    if (spec.planted_plane >= 0 &&
+        fuzz::scenario_fails(spec, fuzz::Allowlist{})) {
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(FuzzShrink, ConvergesOnPlantedBug) {
+  const auto spec = planted_failing_spec();
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_GT(spec->program_size(), 5u) << "planted spec is already tiny";
+
+  const auto shrunk = fuzz::shrink(*spec, fuzz::Allowlist{});
+  EXPECT_TRUE(fuzz::scenario_fails(shrunk.spec, fuzz::Allowlist{}))
+      << "shrinking lost the failure";
+  // The planted bug needs exactly one triggering request; everything else
+  // must shrink away.
+  EXPECT_LE(shrunk.spec.program_size(), 5u)
+      << fuzz::to_cpp_snippet(shrunk.spec);
+  EXPECT_GE(shrunk.removed, spec->program_size() - 5);
+}
+
+TEST(FuzzShrink, LeavesPassingSpecUntouched) {
+  const auto spec = fuzz::generate_scenario(1, 0);
+  const auto shrunk = fuzz::shrink(spec, fuzz::Allowlist{});
+  EXPECT_EQ(shrunk.removed, 0u);
+  EXPECT_EQ(shrunk.evals, 1u);
+  EXPECT_EQ(fuzz::to_cpp_snippet(shrunk.spec), fuzz::to_cpp_snippet(spec));
+}
+
+// ---- allowlist -----------------------------------------------------------
+
+TEST(FuzzAllowlist, RoundTripsThroughString) {
+  const bool flags[2] = {false, true};
+  for (const bool a : flags) {
+    for (const bool b : flags) {
+      for (const bool c : flags) {
+        fuzz::Allowlist list;
+        list.l7_routing_nomesh = a;
+        list.weighted_split = b;
+        list.fault_window = c;
+        const auto parsed = fuzz::Allowlist::parse(list.to_string());
+        ASSERT_TRUE(parsed.has_value()) << list.to_string();
+        EXPECT_EQ(parsed->l7_routing_nomesh, a);
+        EXPECT_EQ(parsed->weighted_split, b);
+        EXPECT_EQ(parsed->fault_window, c);
+      }
+    }
+  }
+}
+
+TEST(FuzzAllowlist, RejectsUnknownNames) {
+  EXPECT_FALSE(fuzz::Allowlist::parse("l7-routing-nomesh,bogus").has_value());
+  EXPECT_FALSE(fuzz::Allowlist::parse("everything").has_value());
+}
+
+TEST(FuzzAllowlist, EmptyStringDisablesEverything) {
+  const auto parsed = fuzz::Allowlist::parse("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->l7_routing_nomesh);
+  EXPECT_FALSE(parsed->weighted_split);
+  EXPECT_FALSE(parsed->fault_window);
+}
+
+TEST(FuzzAllowlist, NoMeshEntryIsLoadBearing) {
+  // A direct-response rule is invisible to the L4-only NoMesh plane: with
+  // the allowlist entry the scenario is clean, without it the oracle must
+  // flag the documented divergence.
+  fuzz::ScenarioSpec spec;
+  spec.seed = 101;
+  spec.pods_per_service = {1, 1};
+  fuzz::DirectResponseSpec direct;
+  direct.service = 0;
+  direct.status = 403;
+  spec.direct_responses.push_back(direct);
+  fuzz::RequestSpec req;
+  req.at = sim::milliseconds(1);
+  req.client_service = 1;
+  req.dst_service = 0;
+  req.path = "/blocked";
+  spec.requests.push_back(req);
+
+  const auto results = fuzz::run_all_planes(spec);
+  EXPECT_TRUE(
+      fuzz::check_scenario(spec, results, fuzz::Allowlist{}).clean());
+  fuzz::Allowlist strict;
+  strict.l7_routing_nomesh = false;
+  EXPECT_FALSE(fuzz::check_scenario(spec, results, strict).clean());
+}
+
+}  // namespace
+}  // namespace canal

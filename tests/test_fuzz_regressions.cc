@@ -1,0 +1,81 @@
+// Minimized regression scenarios surfaced by fuzz_mesh during
+// development. Each TEST body was emitted by the shrinker
+// (fuzz::to_cpp_snippet) or hand-minimized from its output, and pins a
+// real divergence or invariant violation that has since been fixed in
+// src/. The file must keep compiling when empty: new regressions are
+// appended as the fuzzer finds them.
+#include <gtest/gtest.h>
+
+#include "fuzz/executor.h"
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+
+namespace canal {
+namespace {
+
+// Found by fuzz_mesh --seed 1 (scenario 2) and shrunk to two program
+// elements. A 4xx direct response is answered by the gateway's L7 engine
+// with outcome.ok == false; canal and canal-proxyless returned before
+// recording the serving replica, so the session the engine had opened was
+// never closed — "holds N sessions after drain" on every gateway replica
+// that answered a blocked request.
+TEST(FuzzRegression, DirectResponse4xxLeakedGatewaySessions) {
+  fuzz::ScenarioSpec spec;
+  spec.seed = 7862637804313477843ULL;
+  spec.index = 2;
+  spec.nodes = 3;
+  spec.node_cores = 8;
+  spec.pods_per_service = {2, 1};
+  spec.app_service_time = 230000;
+  {
+    fuzz::DirectResponseSpec direct;
+    direct.service = 0;
+    direct.status = 403;
+    direct.path_prefix = "/blocked";
+    spec.direct_responses.push_back(direct);
+  }
+  {
+    fuzz::RequestSpec req;
+    req.at = 145378802;
+    req.client_service = 0;
+    req.client_pod = 0;
+    req.dst_service = 0;
+    req.path = "/blocked";
+    spec.requests.push_back(req);
+  }
+  const auto results = fuzz::run_all_planes(spec);
+  const auto report = fuzz::check_scenario(spec, results, fuzz::Allowlist{});
+  EXPECT_TRUE(report.violations.empty()) << report.to_json();
+}
+
+// Hand-minimized while bringing the fuzzer up. A 2xx/3xx direct response
+// reports outcome.ok == true with endpoint == nullptr (there is no
+// upstream); all four L7 dataplanes dereferenced outcome.endpoint->key
+// unconditionally and crashed. The fix short-circuits to finish() when
+// the proxy itself answered.
+TEST(FuzzRegression, DirectResponse2xxHasNoUpstreamEndpoint) {
+  fuzz::ScenarioSpec spec;
+  spec.seed = 31;
+  spec.pods_per_service = {1, 1};
+  {
+    fuzz::DirectResponseSpec direct;
+    direct.service = 0;
+    direct.status = 204;
+    direct.path_prefix = "/blocked";
+    spec.direct_responses.push_back(direct);
+  }
+  {
+    fuzz::RequestSpec req;
+    req.at = sim::milliseconds(2);
+    req.client_service = 1;
+    req.dst_service = 0;
+    req.path = "/blocked/health";
+    spec.requests.push_back(req);
+  }
+  const auto results = fuzz::run_all_planes(spec);
+  const auto report = fuzz::check_scenario(spec, results, fuzz::Allowlist{});
+  EXPECT_TRUE(report.violations.empty()) << report.to_json();
+}
+
+}  // namespace
+}  // namespace canal

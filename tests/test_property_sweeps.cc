@@ -12,6 +12,7 @@
 #include "http/parser.h"
 #include "http/route.h"
 #include "sim/rng.h"
+#include "tests/testutil.h"
 
 namespace canal {
 namespace {
@@ -21,30 +22,15 @@ namespace {
 class HandshakeSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(HandshakeSweep, KeysAlwaysAgreeAndRecordsFlow) {
-  sim::Rng rng(GetParam());
-  crypto::CertificateAuthority ca("ca", rng);
-  const crypto::KeyPair client_key = crypto::generate_keypair(rng);
-  const crypto::KeyPair server_key = crypto::generate_keypair(rng);
+  testutil::MtlsFixture fx({.seed = GetParam(),
+                            .ca_name = "ca",
+                            .client_identity = "spiffe://t/c",
+                            .server_identity = "spiffe://t/s",
+                            .cert_lifetime = sim::hours(1)});
+  sim::Rng& rng = fx.rng;
 
-  crypto::EndpointConfig client_config;
-  client_config.certificate = ca.issue("spiffe://t/c", client_key.public_key,
-                                       0, sim::hours(1), rng);
-  client_config.signer = [&](std::string_view transcript) {
-    return crypto::sign(client_key.private_key, transcript, rng);
-  };
-  client_config.ca_public_key = ca.public_key();
-  client_config.ca_name = "ca";
-  crypto::EndpointConfig server_config;
-  server_config.certificate = ca.issue("spiffe://t/s", server_key.public_key,
-                                       0, sim::hours(1), rng);
-  server_config.signer = [&](std::string_view transcript) {
-    return crypto::sign(server_key.private_key, transcript, rng);
-  };
-  server_config.ca_public_key = ca.public_key();
-  server_config.ca_name = "ca";
-
-  crypto::ClientHandshake client(client_config, rng);
-  crypto::ServerHandshake server(server_config, rng);
+  crypto::ClientHandshake client(fx.client_config(), rng);
+  crypto::ServerHandshake server(fx.server_config(), rng);
   const auto server_hello = server.on_client_hello(client.start());
   ASSERT_TRUE(server_hello.has_value());
   const auto client_fin = client.on_server_hello(*server_hello, 0);
