@@ -3,14 +3,17 @@
 // over a work-stealing thread pool (--jobs), and reduces the results
 // single-threaded in spec-key order — so stdout tables and the --json
 // goldens (BENCH_latency.json, BENCH_throughput.json, BENCH_faults.json,
-// BENCH_selfperf.json) are byte-identical at any worker count.
+// BENCH_selfperf.json, BENCH_fairness.json) are byte-identical at any
+// worker count.
 //
 // See EXPERIMENTS.md for the paper-figure -> command map.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "bench/scenarios.h"
 #include "runner/runner.h"
 #include "runner/sweep.h"
+#include "telemetry/trace_export.h"
 
 namespace canal::bench {
 namespace {
@@ -33,10 +37,17 @@ Usage: bench_suite [flags]
                  mean/p50/p95/min/max across seeds. Base sections always
                  report seed 1, so they are independent of K.
   --json         write BENCH_latency.json, BENCH_throughput.json,
-                 BENCH_faults.json and BENCH_selfperf.json (deterministic
-                 simulated values only) into the current directory.
+                 BENCH_faults.json, BENCH_selfperf.json and
+                 BENCH_fairness.json (deterministic simulated values only)
+                 into the current directory.
   --filter STR   run only specs whose scenario/variant key contains STR
                  (e.g. --filter throughput_knee, --filter canal).
+  --trace-out F  write the noisy_neighbor/canal run's sampled traces as
+                 Chrome trace-event JSON (chrome://tracing) to F. The
+                 export is validated (slice tiling, parseability) first.
+  --validate-trace F
+                 validate an existing Chrome trace-event JSON file and
+                 exit (0 = valid).
   --list         print the spec keys that would run, then exit.
   --help         this text.
 
@@ -47,6 +58,7 @@ Scenarios (see EXPERIMENTS.md for the figure mapping):
   faults_podkill   stale-endpoint pod crashes, retries on/off
   faults_gwcrash   gateway replica crash, health monitor on/off
   faults_linkloss  link loss + latency spike, per-try timeouts
+  noisy_neighbor   Fig 16  per-tenant fairness under a one-tenant surge
   selfperf         simulator wall-clock speed + fastpath hit rates
 )";
 
@@ -76,6 +88,9 @@ SectionTarget section_target(const runner::RunSpec& spec) {
   if (spec.scenario == "faults_linkloss") {
     return {"BENCH_faults.json", "linkloss." + spec.variant};
   }
+  if (spec.scenario == "noisy_neighbor") {
+    return {"BENCH_fairness.json", "noisy_neighbor." + spec.variant};
+  }
   return {"BENCH_selfperf.json", spec.variant};
 }
 
@@ -84,6 +99,7 @@ const char* headline_metric(const std::string& scenario) {
   if (scenario == "latency_light") return "mean_us";
   if (scenario == "latency_bimodal") return "p50_ms";
   if (scenario == "throughput_knee") return "knee_rps";
+  if (scenario == "noisy_neighbor") return "jain";
   if (scenario == "selfperf") return "events";
   return "ok_fault";
 }
@@ -191,6 +207,29 @@ std::map<std::string, JsonReport> build_reports(
       continue;
     }
     report.add_metrics(target.section, base->result.metrics);
+    // Scenarios that attach a per-run MetricsRegistry (noisy_neighbor) get
+    // a ".merged" section: the per-seed registries folded with
+    // runner::merge_group_registries (counters add, histograms merge
+    // exactly) and re-summarized as one fairness report — the cross-seed
+    // aggregate a fleet-wide collector would compute.
+    if (group.runs.size() > 1 && base->result.registry != nullptr) {
+      const telemetry::MetricsRegistry merged =
+          runner::merge_group_registries(group);
+      const auto fairness = telemetry::FairnessReport::from_registry(merged);
+      if (!fairness.tenants.empty()) {
+        const std::string merged_section = target.section + ".merged";
+        for (const auto& tenant : fairness.tenants) {
+          const std::string prefix =
+              "t" + std::to_string(net::id_value(tenant.tenant)) + ".";
+          report.set(merged_section, prefix + "requests",
+                     static_cast<double>(tenant.requests));
+          report.set(merged_section, prefix + "share", tenant.share);
+          report.set(merged_section, prefix + "error_rate",
+                     tenant.error_rate);
+        }
+        report.set(merged_section, "jain", fairness.jain_index);
+      }
+    }
     if (group.runs.size() > 1) {
       const std::string sweep_section = target.section + ".seeds";
       report.set(sweep_section, "seeds",
@@ -237,6 +276,8 @@ int run_suite(int argc, char** argv) {
   bool json = false;
   bool list = false;
   std::string filter;
+  std::string trace_out;
+  std::string validate_trace;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next_value = [&]() -> const char* {
@@ -256,6 +297,10 @@ int run_suite(int argc, char** argv) {
       json = true;
     } else if (arg == "--filter") {
       filter = next_value();
+    } else if (arg == "--trace-out") {
+      trace_out = next_value();
+    } else if (arg == "--validate-trace") {
+      validate_trace = next_value();
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -268,6 +313,25 @@ int run_suite(int argc, char** argv) {
   }
   if (jobs == 0) jobs = 1;
   if (seeds == 0) seeds = 1;
+
+  if (!validate_trace.empty()) {
+    std::ifstream in(validate_trace);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", validate_trace.c_str());
+      return 2;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    std::string error;
+    if (!telemetry::validate_chrome_trace(body.str(), &error)) {
+      std::fprintf(stderr, "%s: invalid trace: %s\n",
+                   validate_trace.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid Chrome trace-event JSON\n",
+                validate_trace.c_str());
+    return 0;
+  }
 
   runner::Runner runner;
   register_bench_scenarios(runner);
@@ -308,6 +372,44 @@ int run_suite(int argc, char** argv) {
       std::fprintf(stderr, "FAILED %s: %s\n", outcome.spec.key().c_str(),
                    outcome.result.error.c_str());
     }
+  }
+
+  if (!trace_out.empty()) {
+    // Export the canal variant's sampled traces when present (the default
+    // grid's noisy_neighbor/canal, lowest seed); otherwise the first group
+    // in key order that attached any.
+    const telemetry::TraceExport* traces = nullptr;
+    for (const bool prefer_canal : {true, false}) {
+      for (const auto& group : groups) {
+        const runner::Outcome* base = group.base();
+        if (base == nullptr || base->result.traces == nullptr ||
+            base->result.traces->empty()) {
+          continue;
+        }
+        if (prefer_canal && base->spec.variant != "canal") continue;
+        traces = base->result.traces.get();
+        break;
+      }
+      if (traces != nullptr) break;
+    }
+    if (traces == nullptr) {
+      std::fprintf(stderr,
+                   "--trace-out: no run produced sampled traces (need a "
+                   "noisy_neighbor spec in the grid)\n");
+      return 1;
+    }
+    std::string error;
+    if (!telemetry::validate_chrome_trace(traces->to_json(), &error)) {
+      std::fprintf(stderr, "trace export failed validation: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!traces->write_file(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("  -> %s (%zu sampled traces)\n", trace_out.c_str(),
+                traces->size());
   }
 
   if (json) {

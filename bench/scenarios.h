@@ -28,6 +28,10 @@
 #include "runner/run.h"
 #include "runner/runner.h"
 #include "sim/fault.h"
+#include "telemetry/fairness.h"
+#include "telemetry/rca.h"
+#include "telemetry/sampler.h"
+#include "telemetry/trace_export.h"
 
 namespace canal::bench {
 namespace scenarios {
@@ -448,6 +452,111 @@ inline runner::RunResult faults_linkloss(const runner::RunSpec& spec) {
 }
 
 // ---------------------------------------------------------------------------
+// noisy_neighbor — tenant-fairness analytics under a one-tenant surge.
+// Four tenants share one dataplane and one target service; the last tenant
+// offers ~10x the others' load. Per-tenant latency/throughput/error
+// metrics come from a TenantRecorderSet, the fairness summary (including
+// Jain's index) from FairnessReport::from_registry, and attribution from
+// RootCauseAnalyzer::pinpoint_tenants — the surge tenant must come back as
+// the top throughput-share suspect. The run also exercises deterministic
+// head-based trace sampling: sampled traces land in a TraceExport attached
+// to the result (bench_suite --trace-out writes them out).
+
+inline runner::RunResult noisy_neighbor(const runner::RunSpec& spec) {
+  Testbed::Options options;
+  options.app_service_time = sim::microseconds(100);
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  mesh::MeshDataplane* mesh = nullptr;
+  if (spec.variant == "canal") {
+    bed.build_canal();
+    mesh = bed.canal.get();
+  } else if (spec.variant == "ambient") {
+    bed.build_ambient();
+    mesh = bed.ambient.get();
+  } else if (spec.variant == "istio") {
+    bed.build_istio();
+    mesh = bed.istio.get();
+  } else {
+    throw std::runtime_error("noisy_neighbor: unknown variant " +
+                             spec.variant);
+  }
+
+  auto registry = std::make_shared<telemetry::MetricsRegistry>();
+  telemetry::TenantRecorderSet recorders(*registry,
+                                         {{"dataplane", spec.variant}});
+  telemetry::TraceSampler sampler(spec.override_or("sample_rate", 0.1),
+                                  spec.seed);
+  auto traces = std::make_shared<telemetry::TraceExport>();
+
+  constexpr int kTenants = 4;
+  const double base_rps = spec.override_or("rps", 300.0);
+  const double surge = spec.override_or("surge", 10.0);
+  const auto duration = static_cast<sim::Duration>(
+      spec.override_or("duration_s", 2.0) * sim::kSecond);
+  const sim::TimePoint start = bed.loop.now();
+  std::uint64_t request_index = 0;  // dispatch-order, so deterministic
+  for (int t = 1; t <= kTenants; ++t) {
+    const double rps = t == kTenants ? base_rps * surge : base_rps;
+    const auto spacing = static_cast<sim::Duration>(
+        static_cast<double>(sim::kSecond) / rps);
+    const auto count =
+        static_cast<std::uint64_t>(sim::to_seconds(duration) * rps);
+    const auto tenant = static_cast<net::TenantId>(t);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      bed.loop.post_at(
+          start + static_cast<sim::Duration>(i) * spacing,
+          [&bed, mesh, &recorders, &sampler, traces, tenant,
+           &request_index] {
+            mesh::RequestOptions opts = bed.request(false);
+            opts.tenant = tenant;
+            opts.trace = true;
+            // Head-based: the sampling decision is made when the request
+            // is issued, in event-loop order.
+            const bool sampled = sampler.should_sample(tenant);
+            const std::uint64_t index = request_index++;
+            mesh->send_request(
+                opts,
+                [&recorders, traces, sampled, index](mesh::RequestResult r) {
+                  if (!r.trace) return;
+                  recorders.record(*r.trace, r.status);
+                  if (sampled) traces->add(*r.trace, index, r.status);
+                });
+          });
+    }
+  }
+  bed.loop.run();
+
+  const telemetry::FairnessReport fairness =
+      telemetry::FairnessReport::from_registry(*registry);
+  runner::RunResult result;
+  for (const auto& tenant : fairness.tenants) {
+    const std::string prefix =
+        "t" + std::to_string(net::id_value(tenant.tenant)) + ".";
+    result.set(prefix + "requests", static_cast<double>(tenant.requests));
+    result.set(prefix + "p50_us", tenant.p50_us);
+    result.set(prefix + "p99_us", tenant.p99_us);
+    result.set(prefix + "share", tenant.share);
+    result.set(prefix + "error_rate", tenant.error_rate);
+  }
+  result.set("jain", fairness.jain_index);
+  const auto suspects =
+      telemetry::RootCauseAnalyzer().pinpoint_tenants(fairness);
+  result.set("suspects", static_cast<double>(suspects.size()));
+  result.set("suspect_tenant",
+             suspects.empty() ? 0.0
+                              : static_cast<double>(
+                                    net::id_value(suspects.front().tenant)));
+  result.set("sampled_traces", static_cast<double>(traces->size()));
+  // Attach the raw registry and traces so the reducer can fold seed
+  // sweeps (merge_group_registries) and --trace-out can export.
+  result.registry = registry;
+  result.traces = traces;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // selfperf — how fast the SIMULATOR itself runs (wall-clock), as opposed to
 // every other scenario, which measures the simulated systems. Simulated
 // counters (requests, events, fastpath hits) are deterministic and go into
@@ -616,6 +725,7 @@ inline void register_bench_scenarios(runner::Runner& runner) {
   runner.register_scenario("faults_podkill", scenarios::faults_podkill);
   runner.register_scenario("faults_gwcrash", scenarios::faults_gwcrash);
   runner.register_scenario("faults_linkloss", scenarios::faults_linkloss);
+  runner.register_scenario("noisy_neighbor", scenarios::noisy_neighbor);
   runner.register_scenario("selfperf", scenarios::selfperf);
 }
 
@@ -638,6 +748,9 @@ inline std::vector<runner::RunSpec> suite_specs(std::uint64_t seeds) {
   }
   for (const char* dp : {"canal", "ambient", "istio"}) {
     add("throughput_knee", dp);
+  }
+  for (const char* dp : {"canal", "ambient", "istio"}) {
+    add("noisy_neighbor", dp);
   }
   add("faults_podkill", "nomesh-retry", {{"retries", 1}});
   for (const char* dp : {"istio", "ambient", "canal"}) {

@@ -73,7 +73,7 @@ else
   # Determinism gate: a parallel (--jobs 8) and a serial (--jobs 1) suite
   # run must both reproduce every committed golden byte-for-byte.
   goldens=(BENCH_latency.json BENCH_throughput.json BENCH_faults.json
-           BENCH_selfperf.json)
+           BENCH_selfperf.json BENCH_fairness.json)
   for suite_jobs in 8 1; do
     scratch="$(mktemp -d)"
     (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
@@ -105,7 +105,24 @@ else
       "--jobs 1" >&2
     exit 1
   fi
-  rm -rf "${scratch}"
   echo "fuzz-smoke gate OK: 200 scenarios x 5 dataplanes, zero violations," \
     "jobs-invariant report"
+
+  # Trace-export gate: both sampled-trace exporters (fuzzer scenario-0
+  # re-run and the bench suite's noisy_neighbor scenario) must emit Chrome
+  # trace-event JSON that passes the independent slice-tiling validator.
+  # fuzz_mesh --trace-out validates internally before writing; the bench
+  # file is re-validated through bench_suite --validate-trace.
+  "${build_dir}/src/fuzz/fuzz_mesh" --seed 1 --runs 1 \
+    --trace-out "${scratch}/fuzz-trace.json" > /dev/null
+  (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
+    --filter noisy_neighbor --trace-out "${scratch}/bench-trace.json" \
+    > /dev/null)
+  "${build_dir}/bench/bench_suite" \
+    --validate-trace "${scratch}/fuzz-trace.json" > /dev/null
+  "${build_dir}/bench/bench_suite" \
+    --validate-trace "${scratch}/bench-trace.json" > /dev/null
+  rm -rf "${scratch}"
+  echo "trace-export gate OK: fuzz + bench trace exports validate as" \
+    "Chrome trace-event JSON"
 fi

@@ -121,12 +121,17 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
-  if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
+  const net::TenantId tenant = mesh::effective_tenant(opts);
+  if (opts.trace) {
+    st->trace = std::make_shared<telemetry::Trace>();
+    st->trace->set_tenant(tenant);
+  }
   if (opts.client == nullptr) {
     // Malformed request: no originating pod. Fail fast instead of
     // dereferencing null below.
     mesh::RequestResult result;
     result.status = 400;
+    result.tenant = tenant;
     result.trace = st->trace;
     st->done(result);
     return;
@@ -139,7 +144,7 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                      src_port, 443, net::Protocol::kTcp};
   if (next_port_ < 30000) next_port_ = 30000;
 
-  auto finish = [this, st](int status) {
+  auto finish = [this, st, tenant](int status) {
     if (st->endpoint != nullptr && st->endpoint->active_requests > 0) {
       --st->endpoint->active_requests;
     }
@@ -160,6 +165,7 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
     result.status = status;
     result.latency = latency;
     if (st->target != nullptr) result.served_by = st->target->id();
+    result.tenant = tenant;
     result.trace = st->trace;
     st->done(result);
   };

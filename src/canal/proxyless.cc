@@ -85,11 +85,13 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
+  const net::TenantId tenant = mesh::effective_tenant(opts);
   if (opts.client == nullptr) {
     // Malformed request: no originating pod. Fail fast instead of
     // dereferencing null below.
     mesh::RequestResult result;
     result.status = 400;
+    result.tenant = tenant;
     st->done(result);
     return;
   }
@@ -99,6 +101,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
     // services).
     mesh::RequestResult result;
     result.status = 404;
+    result.tenant = tenant;
     st->done(result);
     return;
   }
@@ -110,7 +113,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
                      src_port, 443, net::Protocol::kTcp};
   if (next_port_ < 40000) next_port_ = 40000;
 
-  auto finish = [this, st](int status) {
+  auto finish = [this, st, tenant](int status) {
     if (st->endpoint != nullptr && st->endpoint->active_requests > 0) {
       --st->endpoint->active_requests;
     }
@@ -121,6 +124,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
     result.status = status;
     result.latency = loop_.now() - st->start;
     if (st->target != nullptr) result.served_by = st->target->id();
+    result.tenant = tenant;
     st->done(result);
   };
 

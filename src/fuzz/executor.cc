@@ -1,5 +1,6 @@
 #include "fuzz/executor.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 #include "sim/fault.h"
 #include "sim/rng.h"
 #include "telemetry/registry.h"
+#include "telemetry/sampler.h"
 
 namespace canal::fuzz {
 namespace {
@@ -40,7 +42,8 @@ struct World {
       : spec(s),
         plane_index(plane_idx),
         cluster(loop, static_cast<net::TenantId>(1), sim::Rng(s.seed)),
-        retry_rng(s.seed + 97) {}
+        retry_rng(s.seed + 97),
+        sampler(kTraceSampleRate, s.seed) {}
 
   const ScenarioSpec& spec;
   std::size_t plane_index;
@@ -66,9 +69,17 @@ struct World {
   sim::Rng retry_rng;
 
   telemetry::MetricsRegistry registry;
-  std::unique_ptr<telemetry::TraceRecorder> recorder;
-  /// request_latency_us values in record order, for the metrics invariant.
-  std::vector<double> expected_latency_samples;
+  /// Routes traces to per-tenant recorders (tenant label on every metric).
+  telemetry::TenantRecorderSet recorders;
+  telemetry::TraceSampler sampler;
+  /// Per-tenant expected registry state, accumulated in record order so
+  /// `sum` undergoes the exact same IEEE additions as the histogram's.
+  struct ExpectedTenant {
+    std::uint64_t count = 0;
+    double latency_sum_us = 0.0;
+    std::uint64_t errors = 0;
+  };
+  std::map<net::TenantId, ExpectedTenant> expected;
   std::unordered_map<net::ServiceId, int, net::IdHash> service_index;
   sim::TimePoint last_completion = 0;
 
@@ -486,11 +497,20 @@ void record_completion(World& w, PlaneResult& result, std::size_t i,
       rs.dst_service == w.spec.planted_service) {
     out.status = 599;
   }
+  if (net::id_value(r.tenant) != rs.tenant) {
+    violate(result, "request " + std::to_string(i) + " ran as tenant " +
+                        std::to_string(net::id_value(r.tenant)) +
+                        ", spec says " + std::to_string(rs.tenant));
+  }
   if (!w.traced()) return;
   out.traced = r.trace != nullptr;
   if (r.trace == nullptr) {
     violate(result, "request " + std::to_string(i) + " missing trace");
     return;
+  }
+  if (r.trace->tenant() != r.tenant) {
+    violate(result, "request " + std::to_string(i) +
+                        " trace tenant disagrees with result tenant");
   }
   if (!r.trace->contiguous()) {
     violate(result, "request " + std::to_string(i) +
@@ -502,9 +522,12 @@ void record_completion(World& w, PlaneResult& result, std::size_t i,
                 std::to_string(r.trace->total_duration()) + "ns, latency is " +
                 std::to_string(r.latency) + "ns");
   }
-  w.recorder->record(*r.trace);
-  w.expected_latency_samples.push_back(
-      sim::to_microseconds(r.trace->total_duration()));
+  w.recorders.record(*r.trace, r.status);
+  World::ExpectedTenant& expected = w.expected[r.trace->tenant()];
+  ++expected.count;
+  expected.latency_sum_us += sim::to_microseconds(r.trace->total_duration());
+  if (r.status >= 400) ++expected.errors;
+  if (out.sampled) result.traces.add(*r.trace, i, r.status);
 }
 
 void schedule_requests(World& w, PlaneResult& result) {
@@ -521,8 +544,14 @@ void schedule_requests(World& w, PlaneResult& result) {
       opts.dst_service = rs.unknown_service
                              ? kUnknownService
                              : w.services[rs.dst_service]->id;
+      opts.tenant = static_cast<net::TenantId>(rs.tenant);
       opts.path = rs.path;
       opts.trace = w.traced();
+      // Head-based sampling: decided when the request is issued, before
+      // any outcome is known.
+      if (w.traced()) {
+        result.outcomes[i].sampled = w.sampler.should_sample(opts.tenant);
+      }
       w.plane->send_request_with_retries(
           opts, w.retry_policy, w.retry_rng,
           [&w, &result, i](mesh::RequestResult r) {
@@ -603,36 +632,108 @@ void check_session_drain(World& w, PlaneResult& result) {
   }
 }
 
+/// Metrics ≡ trace-totals, per tenant: every tenant's registry slice
+/// (count, summed latency, request/error counters) must equal what the
+/// traces it recorded imply. The latency sum is compared exactly — the
+/// histogram performs the identical IEEE additions in the identical
+/// order — so a single misrouted or double-counted record is caught.
 void check_metrics(World& w, PlaneResult& result) {
   if (!w.traced()) return;  // proxyless has gateway-side observability only
-  const telemetry::MetricsRegistry::Labels labels = {
-      {"dataplane", std::string(kPlanes[w.plane_index])}};
-  const sim::Histogram* latency =
-      w.registry.find_histogram("request_latency_us", labels);
-  const std::size_t recorded = latency == nullptr ? 0 : latency->count();
-  if (recorded != w.expected_latency_samples.size()) {
-    violate(result, "metrics registry holds " + std::to_string(recorded) +
-                        " request latencies, traces produced " +
-                        std::to_string(w.expected_latency_samples.size()));
-    return;
-  }
-  if (latency == nullptr) return;
-  const auto samples = latency->samples();
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (samples[i] != w.expected_latency_samples[i]) {
-      violate(result,
-              "metrics sample " + std::to_string(i) + " is " +
-                  std::to_string(samples[i]) + "us, trace-derived value is " +
-                  std::to_string(w.expected_latency_samples[i]) + "us");
-      return;
+  std::uint64_t tenant_total = 0;
+  for (const auto& [tenant, expected] : w.expected) {
+    const std::string tenant_str = std::to_string(net::id_value(tenant));
+    const telemetry::MetricsRegistry::Labels labels = {
+        {"dataplane", std::string(kPlanes[w.plane_index])},
+        {"tenant", tenant_str}};
+    const telemetry::HdrHistogram* latency =
+        w.registry.find_histogram("request_latency_us", labels);
+    const std::uint64_t recorded = latency == nullptr ? 0 : latency->count();
+    if (recorded != expected.count) {
+      violate(result, "tenant " + tenant_str + " registry holds " +
+                          std::to_string(recorded) +
+                          " request latencies, traces produced " +
+                          std::to_string(expected.count));
+      continue;
     }
+    if (latency == nullptr) continue;
+    if (latency->sum() != expected.latency_sum_us) {
+      violate(result, "tenant " + tenant_str + " latency sum is " +
+                          std::to_string(latency->sum()) +
+                          "us, trace-derived sum is " +
+                          std::to_string(expected.latency_sum_us) + "us");
+    }
+    const auto* requests = w.registry.find_counter("requests_total", labels);
+    const double counted = requests == nullptr ? 0.0 : requests->value();
+    if (counted != static_cast<double>(expected.count)) {
+      violate(result, "tenant " + tenant_str + " requests_total counter is " +
+                          std::to_string(counted) + ", traces recorded " +
+                          std::to_string(expected.count));
+    }
+    const auto* errors =
+        w.registry.find_counter("request_errors_total", labels);
+    const double error_count = errors == nullptr ? 0.0 : errors->value();
+    if (error_count != static_cast<double>(expected.errors)) {
+      violate(result, "tenant " + tenant_str +
+                          " request_errors_total counter is " +
+                          std::to_string(error_count) + ", traces recorded " +
+                          std::to_string(expected.errors));
+    }
+    tenant_total += recorded;
   }
-  const auto* requests = w.registry.find_counter("requests_total", labels);
-  const double counted = requests == nullptr ? 0.0 : requests->value();
-  if (counted != static_cast<double>(w.expected_latency_samples.size())) {
-    violate(result, "requests_total counter is " + std::to_string(counted) +
-                        ", traces recorded " +
-                        std::to_string(w.expected_latency_samples.size()));
+  // The tenant slices must also account for every recorded trace — a
+  // record that invented a tenant would show up as a phantom histogram.
+  std::uint64_t registry_total = 0;
+  for (const auto& [labels, hist] :
+       w.registry.histograms_named("request_latency_us")) {
+    (void)labels;
+    registry_total += hist->count();
+  }
+  if (registry_total != tenant_total) {
+    violate(result, "registry holds " + std::to_string(registry_total) +
+                        " request latencies across all labels, expected " +
+                        std::to_string(tenant_total) +
+                        " from the known tenants");
+  }
+}
+
+/// Sampled-trace counts must match the sampler's closed form exactly:
+/// after n issued requests at rate r with phase p, floor(n*r + p) traces
+/// are in the export — no drift, no off-by-one, on any plane.
+void check_sampling(World& w, PlaneResult& result) {
+  if (!w.traced()) return;
+  // Tenants come from the spec, not from w.expected: a tenant whose every
+  // request failed early still issued requests and owes the closed form.
+  std::map<net::TenantId, std::uint64_t> spec_issued;
+  for (const RequestSpec& rs : w.spec.requests) {
+    ++spec_issued[static_cast<net::TenantId>(rs.tenant)];
+  }
+  std::uint64_t sampled_total = 0;
+  for (const auto& [tenant, issued_in_spec] : spec_issued) {
+    const std::uint64_t issued = w.sampler.issued(tenant);
+    if (issued != issued_in_spec) {
+      violate(result, "tenant " + std::to_string(net::id_value(tenant)) +
+                          " issued " + std::to_string(issued) +
+                          " sampler decisions, spec has " +
+                          std::to_string(issued_in_spec) + " requests");
+    }
+    const std::uint64_t sampled = w.sampler.sampled(tenant);
+    const std::uint64_t closed_form = w.sampler.expected_samples(tenant,
+                                                                 issued);
+    if (sampled != closed_form) {
+      violate(result, "tenant " + std::to_string(net::id_value(tenant)) +
+                          " sampled " + std::to_string(sampled) + " of " +
+                          std::to_string(issued) +
+                          " traces, closed form says " +
+                          std::to_string(closed_form));
+    }
+    sampled_total += sampled;
+  }
+  if (result.traces.size() != sampled_total &&
+      result.invariant_violations.empty()) {
+    violate(result, "trace export holds " +
+                        std::to_string(result.traces.size()) +
+                        " traces, sampler took " +
+                        std::to_string(sampled_total));
   }
 }
 
@@ -668,7 +769,7 @@ PlaneResult run_plane(const ScenarioSpec& spec, std::size_t plane_index) {
   build_topology(w);
   build_plane(w);
   install_custom_routes(w);
-  w.recorder = std::make_unique<telemetry::TraceRecorder>(
+  w.recorders = telemetry::TenantRecorderSet(
       w.registry, telemetry::MetricsRegistry::Labels{
                       {"dataplane", std::string(kPlanes[plane_index])}});
   w.retry_policy.max_attempts = 3;
@@ -683,6 +784,7 @@ PlaneResult run_plane(const ScenarioSpec& spec, std::size_t plane_index) {
   check_conservation(w, result);
   check_session_drain(w, result);
   check_metrics(w, result);
+  check_sampling(w, result);
   return result;
 }
 

@@ -17,8 +17,14 @@
 
 #include "fuzz/scenario.h"
 #include "sim/time.h"
+#include "telemetry/trace_export.h"
 
 namespace canal::fuzz {
+
+/// Head-based trace-sampling rate applied per tenant on every traced
+/// plane. The executor asserts the sampled count matches the sampler's
+/// closed form exactly (see telemetry::TraceSampler).
+inline constexpr double kTraceSampleRate = 0.25;
 
 /// Plane order is fixed: indexes into kPlanes appear in reports, in the
 /// allowlist logic, and in ScenarioSpec::planted_plane.
@@ -43,12 +49,17 @@ struct RequestOutcome {
   sim::TimePoint issued_at = 0;
   sim::TimePoint completed_at = 0;
   bool traced = false;
+  /// Head-based sampling decision made when the request was issued.
+  bool sampled = false;
 };
 
 /// One plane's execution of a scenario.
 struct PlaneResult {
   std::string_view plane;
   std::vector<RequestOutcome> outcomes;  ///< aligned with spec.requests
+  /// Sampled traces (head-based, kTraceSampleRate per tenant), in
+  /// completion order — exportable as Chrome trace-event JSON.
+  telemetry::TraceExport traces;
   /// Human-readable single-run invariant violations (empty = clean).
   std::vector<std::string> invariant_violations;
 };

@@ -31,6 +31,9 @@ struct Options {
   std::uint32_t runs = 100;
   std::size_t jobs = 1;
   std::string json_path;  ///< empty = no JSON file
+  /// Re-runs scenario 0 on the canal plane and writes its sampled traces
+  /// as Chrome trace-event JSON here (empty = off).
+  std::string trace_path;
   bool shrink = false;
   canal::fuzz::Allowlist allowlist;
 };
@@ -38,13 +41,16 @@ struct Options {
 void usage() {
   std::cerr
       << "usage: fuzz_mesh [--seed N] [--runs N] [--jobs N] [--json FILE]\n"
-         "                 [--allow LIST] [--shrink]\n"
+         "                 [--trace-out FILE] [--allow LIST] [--shrink]\n"
          "\n"
          "  --seed N     campaign seed (default 1)\n"
          "  --runs N     number of scenarios to run (default 100)\n"
          "  --jobs N     worker threads (default 1; output is identical\n"
          "               for any value)\n"
          "  --json FILE  write the machine-readable campaign report here\n"
+         "  --trace-out FILE\n"
+         "               write scenario 0's sampled canal-plane traces as\n"
+         "               Chrome trace-event JSON (chrome://tracing)\n"
          "  --allow LIST comma-separated divergence allowlist (default\n"
          "               all: l7-routing-nomesh,weighted-split,fault-window)\n"
          "  --shrink     on failure, shrink the first failing scenario and\n"
@@ -75,6 +81,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       opts.json_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      opts.trace_path = v;
     } else if (arg == "--allow") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -160,6 +170,26 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << json << "\n";
+  }
+
+  if (!opts->trace_path.empty() && opts->runs > 0) {
+    // Deterministic re-run (same spec, fresh world) so the export does not
+    // depend on which pool thread ran scenario 0.
+    const auto spec = canal::fuzz::generate_scenario(opts->seed, 0);
+    const auto plane = canal::fuzz::run_plane(spec, canal::fuzz::kCanal);
+    std::string error;
+    if (!canal::telemetry::validate_chrome_trace(plane.traces.to_json(),
+                                                 &error)) {
+      std::cerr << "fuzz_mesh: trace export failed validation: " << error
+                << "\n";
+      return 1;
+    }
+    if (!plane.traces.write_file(opts->trace_path)) {
+      std::cerr << "fuzz_mesh: cannot write " << opts->trace_path << "\n";
+      return 2;
+    }
+    std::cout << "fuzz_mesh: wrote " << plane.traces.size()
+              << " sampled traces to " << opts->trace_path << "\n";
   }
 
   if (failed == 0) return 0;

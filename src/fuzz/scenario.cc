@@ -64,6 +64,9 @@ ScenarioSpec generate_scenario(std::uint64_t seed, std::uint32_t index) {
   const sim::TimePoint horizon = sim::milliseconds(150);
   for (std::uint32_t i = 0; i < request_count; ++i) {
     RequestSpec req;
+    // Index-derived (no RNG draw): keeps the generator's draw sequence —
+    // and with it every historical campaign scenario — unchanged.
+    req.tenant = 1 + (i % 3);
     req.at = rng.uniform_int(0, horizon);
     req.client_service =
         static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
@@ -214,6 +217,7 @@ std::string to_cpp_snippet(const ScenarioSpec& spec) {
         << "    req.client_service = " << req.client_service << ";\n"
         << "    req.client_pod = " << req.client_pod << ";\n"
         << "    req.dst_service = " << req.dst_service << ";\n"
+        << "    req.tenant = " << req.tenant << ";\n"
         << "    req.path = \"" << req.path << "\";\n";
     if (req.null_client) out << "    req.null_client = true;\n";
     if (req.unknown_service) out << "    req.unknown_service = true;\n";

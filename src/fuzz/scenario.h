@@ -27,6 +27,11 @@ struct RequestSpec {
   std::uint32_t client_service = 0;
   std::uint32_t client_pod = 0;
   std::uint32_t dst_service = 1;
+  /// Tenant the request is issued under (mesh::RequestOptions.tenant).
+  /// Derived from the request index — NOT from the generator's RNG — so
+  /// adding the tenant dimension left every historical (seed, index)
+  /// campaign scenario byte-identical.
+  std::uint32_t tenant = 1;
   std::string path = "/";
   /// Error-matrix probes: requests that must fail identically everywhere.
   bool null_client = false;    ///< 400 on every plane

@@ -144,12 +144,17 @@ void AmbientMesh::send_request(const RequestOptions& opts,
   st->start = loop_.now();
   st->opts = opts;
   st->done = std::move(done);
-  if (opts.trace) st->trace = std::make_shared<telemetry::Trace>();
+  const net::TenantId tenant = effective_tenant(opts);
+  if (opts.trace) {
+    st->trace = std::make_shared<telemetry::Trace>();
+    st->trace->set_tenant(tenant);
+  }
   if (opts.client == nullptr) {
     // Malformed request: no originating pod. Fail fast instead of
     // dereferencing null below.
     RequestResult result;
     result.status = 400;
+    result.tenant = tenant;
     result.trace = st->trace;
     st->done(result);
     return;
@@ -161,7 +166,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                              src_port, 80, net::Protocol::kTcp};
   if (next_port_ < 20000) next_port_ = 20000;
 
-  auto finish = [this, st](int status) {
+  auto finish = [this, st, tenant](int status) {
     if (st->endpoint != nullptr && st->endpoint->active_requests > 0) {
       --st->endpoint->active_requests;
     }
@@ -174,6 +179,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
     result.status = status;
     result.latency = loop_.now() - st->start;
     if (st->target != nullptr) result.served_by = st->target->id();
+    result.tenant = tenant;
     result.trace = st->trace;
     st->done(result);
   };

@@ -130,6 +130,7 @@ struct RetryState {
   RequestCallback done;
   sim::TimePoint send = 0;
   std::uint32_t attempt = 0;
+  net::TenantId tenant{};
   std::shared_ptr<telemetry::Trace> merged;  ///< null when tracing is off
 
   void append_attempt_trace(const telemetry::Trace& attempt_trace) {
@@ -147,6 +148,7 @@ struct RetryState {
     result.served_by = last.served_by;
     result.attempts = attempt;
     result.timed_out = timed_out;
+    result.tenant = tenant;
     result.trace = merged;
     done(result);
   }
@@ -233,7 +235,11 @@ void MeshDataplane::send_request_with_retries(const RequestOptions& opts,
   st->budget = budget;
   st->done = std::move(done);
   st->send = st->loop->now();
-  if (opts.trace) st->merged = std::make_shared<telemetry::Trace>();
+  st->tenant = effective_tenant(opts);
+  if (opts.trace) {
+    st->merged = std::make_shared<telemetry::Trace>();
+    st->merged->set_tenant(st->tenant);
+  }
   if (budget != nullptr) budget->on_request();
   run_attempt(std::move(st));
 }
@@ -255,14 +261,17 @@ http::Request build_request(const RequestOptions& opts) {
 
 void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
   const sim::TimePoint start = loop_.now();
+  const net::TenantId tenant = effective_tenant(opts);
   auto trace =
       opts.trace ? std::make_shared<telemetry::Trace>() : nullptr;
-  auto finish = [this, start, trace, done = std::move(done)](
+  if (trace) trace->set_tenant(tenant);
+  auto finish = [this, start, tenant, trace, done = std::move(done)](
                     int status, net::PodId served_by) {
     RequestResult result;
     result.status = status;
     result.latency = loop_.now() - start;
     result.served_by = served_by;
+    result.tenant = tenant;
     result.trace = trace;
     done(result);
   };

@@ -66,6 +66,11 @@ struct NetworkProfile {
 struct RequestOptions {
   k8s::Pod* client = nullptr;
   net::ServiceId dst_service{};
+  /// Tenant the request is issued on behalf of. The default (id 0) means
+  /// "derive from the client pod's tenant" — see effective_tenant(). Set
+  /// explicitly to model gateway-style traffic where one client cluster
+  /// fronts several tenants.
+  net::TenantId tenant{};
   std::string path = "/";
   http::Method method = http::Method::kGet;
   std::vector<std::pair<std::string, std::string>> headers;
@@ -89,6 +94,10 @@ struct RequestResult {
   int status = 0;
   sim::Duration latency = 0;
   net::PodId served_by{};
+  /// Tenant the request ran under (effective_tenant of its options) —
+  /// every dataplane stamps this, so per-tenant accounting needs no
+  /// side-channel. Also stamped on the trace when tracing.
+  net::TenantId tenant{};
   /// Attempts made to produce this result (1 = no retries). Only the
   /// retry layer (send_request_with_retries) ever sets this above 1.
   std::uint32_t attempts = 1;
@@ -104,6 +113,14 @@ struct RequestResult {
 };
 
 using RequestCallback = std::function<void(RequestResult)>;
+
+/// The tenant a request actually runs under: opts.tenant when set (id
+/// != 0), else the client pod's tenant, else untenanted.
+[[nodiscard]] inline net::TenantId effective_tenant(
+    const RequestOptions& opts) noexcept {
+  if (net::id_value(opts.tenant) != 0) return opts.tenant;
+  return opts.client != nullptr ? opts.client->tenant() : net::TenantId{};
+}
 
 /// Client-side retry/timeout policy, applied identically on top of any
 /// dataplane by MeshDataplane::send_request_with_retries. Backoff is capped

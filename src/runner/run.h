@@ -10,10 +10,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+namespace canal::telemetry {
+class MetricsRegistry;
+class TraceExport;
+}  // namespace canal::telemetry
 
 namespace canal::runner {
 
@@ -50,6 +56,14 @@ struct RunResult {
   /// Free-form strings for table output (never merged into JSON goldens;
   /// wall-clock readings and sweep traces belong here).
   std::vector<std::pair<std::string, std::string>> notes;
+  /// Optional per-run metrics registry the scenario populated. Left null
+  /// by scenarios that only report scalar metrics. Shared_ptr (not a
+  /// value) so RunResult stays copyable without forcing every scenario to
+  /// pay for registry storage; sweep.h's merge_group_registries folds
+  /// these across a seed group with telemetry::MetricsRegistry::merge.
+  std::shared_ptr<telemetry::MetricsRegistry> registry;
+  /// Optional sampled traces from the run (telemetry::TraceExport).
+  std::shared_ptr<telemetry::TraceExport> traces;
 
   void set(std::string name, double value) {
     metrics.emplace_back(std::move(name), value);

@@ -68,4 +68,12 @@ std::vector<SweepGroup> group_sweeps(const std::vector<Outcome>& outcomes) {
   return groups;
 }
 
+telemetry::MetricsRegistry merge_group_registries(const SweepGroup& group) {
+  telemetry::MetricsRegistry merged;
+  for (const Outcome* run : group.runs) {  // ascending seed
+    if (run->result.registry) merged.merge(*run->result.registry);
+  }
+  return merged;
+}
+
 }  // namespace canal::runner

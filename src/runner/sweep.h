@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runner/run.h"
+#include "telemetry/registry.h"
 
 namespace canal::runner {
 
@@ -44,5 +45,14 @@ struct SweepGroup {
 /// Group order follows the outcomes' order, so it is deterministic.
 [[nodiscard]] std::vector<SweepGroup> group_sweeps(
     const std::vector<Outcome>& outcomes);
+
+/// Folds the per-seed metric registries of one sweep group into a single
+/// registry: counters add, histograms merge exactly (bucket-wise), gauges
+/// keep the last-merged value. Runs are folded in ascending-seed order
+/// (the group's `runs` order), so the result is byte-identical at any
+/// worker count. Runs without a registry (result.registry == nullptr) are
+/// skipped; an all-null group yields an empty registry.
+[[nodiscard]] telemetry::MetricsRegistry merge_group_registries(
+    const SweepGroup& group);
 
 }  // namespace canal::runner

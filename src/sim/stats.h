@@ -17,10 +17,26 @@
 namespace canal::sim {
 
 /// Sample-retaining histogram with exact percentiles.
+///
+/// Memory grows with the sample count — use telemetry::HdrHistogram on
+/// unbounded hot paths; this class is for exact small-N assertions and
+/// offline analysis where every sample matters.
+///
+/// Order-statistic queries (min/max/percentile/cdf) share one lazily
+/// maintained sorted copy of the samples: the first query after a record()
+/// sorts once (O(n log n)) and every further query until the next record()
+/// reuses it (O(1) lookups). Interleaving record() and percentile() —
+/// bench_suite's selfperf scenario measures exactly this pattern — costs
+/// one re-sort per record/query transition, not one per query.
 class Histogram {
  public:
   void record(double value);
   void clear() noexcept;
+
+  /// True when the sorted copy is current (no record() since the last
+  /// order-statistic query). Exposed so tests can pin the caching
+  /// behaviour documented above.
+  [[nodiscard]] bool sorted_cached() const noexcept { return sorted_valid_; }
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }

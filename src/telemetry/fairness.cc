@@ -1,0 +1,93 @@
+#include "telemetry/fairness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/registry.h"
+
+namespace canal::telemetry {
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double FairnessReport::jain(const std::vector<double>& shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+FairnessReport FairnessReport::from_registry(
+    const MetricsRegistry& registry, const std::string& latency_metric) {
+  FairnessReport report;
+  double total_requests = 0.0;
+  for (const auto& [labels, hist] : registry.histograms_named(latency_metric)) {
+    const auto it = labels.find(std::string(kTenantLabel));
+    if (it == labels.end()) continue;
+    TenantFairness tf;
+    tf.tenant = net::TenantId{static_cast<std::uint32_t>(
+        std::strtoul(it->second.c_str(), nullptr, 10))};
+    tf.requests = hist->count();
+    tf.p50_us = hist->percentile(50);
+    tf.p99_us = hist->percentile(99);
+    const MetricsRegistry::Counter* errors =
+        registry.find_counter("request_errors_total", labels);
+    if (errors != nullptr && tf.requests > 0) {
+      tf.error_rate = errors->value() / static_cast<double>(tf.requests);
+    }
+    total_requests += static_cast<double>(tf.requests);
+    report.tenants.push_back(tf);
+  }
+  std::sort(report.tenants.begin(), report.tenants.end(),
+            [](const TenantFairness& a, const TenantFairness& b) {
+              return a.tenant < b.tenant;
+            });
+  std::vector<double> shares;
+  shares.reserve(report.tenants.size());
+  for (TenantFairness& tf : report.tenants) {
+    tf.share = total_requests > 0.0
+                   ? static_cast<double>(tf.requests) / total_requests
+                   : 0.0;
+    shares.push_back(tf.share);
+  }
+  report.jain_index = jain(shares);
+  return report;
+}
+
+const TenantFairness* FairnessReport::find(net::TenantId tenant) const {
+  for (const TenantFairness& tf : tenants) {
+    if (tf.tenant == tenant) return &tf;
+  }
+  return nullptr;
+}
+
+std::string FairnessReport::to_json() const {
+  std::string out = "{\"jain_index\":" + num(jain_index) + ",\"tenants\":[";
+  bool first = true;
+  for (const TenantFairness& tf : tenants) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"tenant\":" + std::to_string(net::id_value(tf.tenant));
+    out += ",\"requests\":" + std::to_string(tf.requests);
+    out += ",\"p50_us\":" + num(tf.p50_us);
+    out += ",\"p99_us\":" + num(tf.p99_us);
+    out += ",\"share\":" + num(tf.share);
+    out += ",\"error_rate\":" + num(tf.error_rate) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace canal::telemetry

@@ -1,0 +1,56 @@
+// Per-tenant fairness analytics over a MetricsRegistry.
+//
+// A FairnessReport summarizes how the mesh divided service between tenants
+// in one run: per-tenant request counts, latency quantiles, throughput
+// share, and error rate, plus Jain's fairness index over the shares,
+//
+//   J(x_1..x_n) = (sum x_i)^2 / (n * sum x_i^2),
+//
+// which is 1.0 when every tenant got an equal share and 1/n when a single
+// tenant took everything. The report is built by enumerating the
+// registry's tenant-labelled request metrics, so any component that
+// records through a TenantRecorderSet is automatically covered, and the
+// RCA engine consumes it to attribute tail-latency regressions and error
+// bursts to the responsible tenant (see RootCauseAnalyzer::pinpoint_tenants).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace canal::telemetry {
+
+class MetricsRegistry;
+
+/// One tenant's slice of a run.
+struct TenantFairness {
+  net::TenantId tenant{};
+  std::uint64_t requests = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double share = 0.0;       ///< fraction of total completed requests
+  double error_rate = 0.0;  ///< status >= 400 fraction of requests
+};
+
+struct FairnessReport {
+  std::vector<TenantFairness> tenants;  ///< sorted by tenant id
+  double jain_index = 1.0;              ///< over per-tenant request shares
+
+  /// Jain's fairness index over `shares`; 1.0 for empty/uniform input.
+  [[nodiscard]] static double jain(const std::vector<double>& shares);
+
+  /// Builds a report from `registry` by enumerating histograms named
+  /// `latency_metric` (default "request_latency_us") that carry a "tenant"
+  /// label, pairing each with the same-labelled "requests_total" /
+  /// "request_errors_total" counters.
+  [[nodiscard]] static FairnessReport from_registry(
+      const MetricsRegistry& registry,
+      const std::string& latency_metric = "request_latency_us");
+
+  [[nodiscard]] const TenantFairness* find(net::TenantId tenant) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace canal::telemetry

@@ -1,0 +1,96 @@
+#include "telemetry/hdr_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace canal::telemetry {
+
+int HdrHistogram::index_of(double value) noexcept {
+  int exp = 0;
+  // frexp: value = m * 2^exp with m in [0.5, 1). Rescale to mantissa in
+  // [1, 2) against octave 2^(exp-1).
+  const double m = std::frexp(value, &exp) * 2.0;
+  const int octave = exp - 1;
+  if (octave < kMinExp) return 0;  // positive underflow: clamp (saturates)
+  if (octave >= kMaxExp) return kBucketCount - 1;  // overflow: clamp
+  auto sub = static_cast<int>((m - 1.0) * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return (octave - kMinExp) * kSubBuckets + sub;
+}
+
+double HdrHistogram::value_of(int index) noexcept {
+  const int octave = index / kSubBuckets + kMinExp;
+  const int sub = index % kSubBuckets;
+  const double base = std::ldexp(1.0, octave);          // 2^octave
+  const double width = base / kSubBuckets;              // bucket width
+  return base + (static_cast<double>(sub) + 0.5) * width;
+}
+
+void HdrHistogram::record(double value, std::uint64_t count) {
+  if (count == 0) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+  if (value <= 0.0) {
+    zero_count_ += count;
+    return;
+  }
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  buckets_[static_cast<std::size_t>(index_of(value))] += count;
+}
+
+void HdrHistogram::clear() noexcept {
+  buckets_.clear();
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  if (!other.buckets_.empty()) {
+    if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+}
+
+double HdrHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  if (rank <= zero_count_) return std::clamp(0.0, min_, max_);
+  std::uint64_t cumulative = zero_count_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // Clamping to the exact extremes only moves the estimate toward the
+      // true sample, so the error bound is preserved (and p0/p100 exact).
+      return std::clamp(value_of(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace canal::telemetry

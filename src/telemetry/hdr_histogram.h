@@ -1,0 +1,87 @@
+// Fixed-memory log-linear histogram with a bounded relative error and an
+// exact merge — the region-scale replacement for sim::Histogram's
+// store-every-sample representation on the metrics hot path.
+//
+// Representation (HdrHistogram-style log-linear buckets): each power-of-two
+// octave [2^e, 2^(e+1)) is split into kSubBuckets equal-width linear
+// buckets, so a recorded value lands in a bucket whose width is at most
+// 2^e / kSubBuckets. Quantile queries return the bucket midpoint, which is
+// within kMaxRelativeError = 1 / (2 * kSubBuckets) of every value the
+// bucket can hold. Memory is a fixed bucket array (kBucketCount counters,
+// allocated lazily on first record) regardless of how many samples are
+// recorded — 1M-RPS region-scale runs stay bounded where sim::Histogram
+// would retain every sample.
+//
+// Bucket indexing uses only frexp + integer arithmetic (no log/pow on the
+// record path), so indexing is exact and platform-deterministic; merge()
+// adds bucket counts element-wise and is therefore exact: a merged
+// histogram is bit-identical (counts, min, max, every quantile) to one
+// that recorded the concatenated stream, whatever the merge grouping or
+// order. (The running `sum` is IEEE addition and so commutes but is not
+// associative; count/min/max/quantiles are exact under any grouping.)
+//
+// Range: values in [2^kMinExp, 2^kMaxExp) ≈ [1e-3, 1e12] are bucketed with
+// the error bound; zero and negatives count exactly into a dedicated zero
+// bucket; positive values below/above the range clamp into the first/last
+// bucket (documented saturation — microsecond-scale metrics never hit it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace canal::telemetry {
+
+class HdrHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave.
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 64
+  /// Bucketed range: [2^kMinExp, 2^kMaxExp).
+  static constexpr int kMinExp = -10;  // ~1e-3
+  static constexpr int kMaxExp = 40;   // ~1e12
+  static constexpr int kBucketCount = (kMaxExp - kMinExp) * kSubBuckets;
+  /// Quantile queries are within this relative error of the exact
+  /// nearest-rank value (for in-range positive values): 1/(2*64) < 0.8%.
+  static constexpr double kMaxRelativeError =
+      1.0 / (2.0 * static_cast<double>(kSubBuckets));
+
+  void record(double value, std::uint64_t count = 1);
+  void clear() noexcept;
+
+  /// Exact element-wise fold of `other` into this histogram.
+  void merge(const HdrHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Exact extremes of the recorded stream (not bucket bounds).
+  [[nodiscard]] double min() const noexcept { return empty() ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return empty() ? 0.0 : max_; }
+  /// Running sum of recorded values (exact same additions, in record
+  /// order, as a sample-retaining accumulator would perform).
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return empty() ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Nearest-rank percentile (rank = ceil(p/100 * count), matching
+  /// sim::Histogram's convention for seed sweeps); p in [0, 100]. Result
+  /// is the owning bucket's midpoint, clamped into [min(), max()], so it
+  /// is within kMaxRelativeError of the exact nearest-rank sample.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Bucket index a value lands in (exposed for tests); values <= 0 do not
+  /// index (they count into the zero bucket).
+  [[nodiscard]] static int index_of(double value) noexcept;
+  /// Midpoint value reported for bucket `index`.
+  [[nodiscard]] static double value_of(int index) noexcept;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< kBucketCount, sized on 1st use
+  std::uint64_t zero_count_ = 0;        ///< values <= 0 (recorded exactly)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace canal::telemetry

@@ -83,6 +83,33 @@ std::vector<net::ServiceId> RootCauseAnalyzer::pinpoint(
   return pinpoint(backend_load, service_rps, window_lo, window_hi);
 }
 
+std::vector<TenantSuspect> RootCauseAnalyzer::pinpoint_tenants(
+    const FairnessReport& report) const {
+  std::vector<TenantSuspect> suspects;
+  if (report.tenants.empty()) return suspects;
+  const double fair_share = 1.0 / static_cast<double>(report.tenants.size());
+  const double share_limit = config_.tenant_share_multiple * fair_share;
+  for (const TenantFairness& tf : report.tenants) {
+    if (share_limit > 0.0 && tf.share > share_limit) {
+      suspects.push_back(TenantSuspect{tf.tenant, tf.share / share_limit,
+                                       "throughput-share"});
+    }
+    if (config_.tenant_error_threshold > 0.0 &&
+        tf.error_rate > config_.tenant_error_threshold) {
+      suspects.push_back(TenantSuspect{
+          tf.tenant, tf.error_rate / config_.tenant_error_threshold,
+          "error-burst"});
+    }
+  }
+  std::sort(suspects.begin(), suspects.end(),
+            [](const TenantSuspect& a, const TenantSuspect& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.reason < b.reason;
+            });
+  return suspects;
+}
+
 std::vector<net::ServiceId> RootCauseAnalyzer::intersect(
     const std::vector<std::vector<net::ServiceId>>& per_backend_suspects) {
   if (per_backend_suspects.empty()) return {};

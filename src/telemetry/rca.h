@@ -11,10 +11,12 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "net/ids.h"
 #include "sim/stats.h"
+#include "telemetry/fairness.h"
 #include "telemetry/registry.h"
 
 namespace canal::telemetry {
@@ -28,6 +30,22 @@ struct RcaConfig {
   double min_trend = 0.1;
   /// Samples taken across the analysis window.
   std::size_t sample_points = 12;
+  /// Tenant attribution (pinpoint_tenants): a tenant is a throughput
+  /// suspect when its request share exceeds this multiple of the fair
+  /// share 1/n.
+  double tenant_share_multiple = 2.0;
+  /// ...and an error-burst suspect when its error rate exceeds this.
+  double tenant_error_threshold = 0.05;
+};
+
+/// A tenant the analyzer holds responsible for a fairness regression.
+struct TenantSuspect {
+  net::TenantId tenant{};
+  /// How far past its threshold the tenant is (share / (multiple * fair
+  /// share), or error_rate / threshold) — suspects sort by this.
+  double score = 0.0;
+  /// "throughput-share" or "error-burst".
+  std::string reason;
 };
 
 class RootCauseAnalyzer {
@@ -49,6 +67,15 @@ class RootCauseAnalyzer {
   [[nodiscard]] std::vector<net::ServiceId> pinpoint(
       const sim::TimeSeries& backend_load, const MetricsRegistry& metrics,
       sim::TimePoint window_lo, sim::TimePoint window_hi) const;
+
+  /// Tenant attribution over a fairness report: flags tenants whose
+  /// throughput share exceeds `tenant_share_multiple` times the fair
+  /// share (the noisy neighbor stealing capacity) and tenants whose error
+  /// rate exceeds `tenant_error_threshold` (the source of an error
+  /// burst). Suspects are ordered by score, strongest first; a tenant can
+  /// appear once per reason.
+  [[nodiscard]] std::vector<TenantSuspect> pinpoint_tenants(
+      const FairnessReport& report) const;
 
   /// Intersection algorithm across simultaneously hot backends: services
   /// suspected on *every* backend. Empty result => caller reverts to the

@@ -33,9 +33,11 @@ std::string MetricsRegistry::key_of(std::string_view name,
   for (const auto& [k, v] : labels) {
     if (!first) key.push_back(',');
     first = false;
-    key += k;
+    // Escaping keeps canonicalization injective: a '"' or '\' inside a
+    // label cannot fabricate the ',' / '="' structure of another label set.
+    append_escaped(key, k);
     key += "=\"";
-    key += v;
+    append_escaped(key, v);
     key += '"';
   }
   key.push_back('}');
@@ -52,9 +54,12 @@ MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name,
   return gauges_[key_of(name, labels)];
 }
 
-sim::Histogram& MetricsRegistry::histogram(std::string_view name,
-                                           const Labels& labels) {
-  return histograms_[key_of(name, labels)];
+HdrHistogram& MetricsRegistry::histogram(std::string_view name,
+                                         const Labels& labels) {
+  std::string key = key_of(name, labels);
+  const auto [it, inserted] = histograms_.try_emplace(std::move(key));
+  if (inserted) histogram_meta_[it->first] = {std::string(name), labels};
+  return it->second;
 }
 
 sim::TimeSeries& MetricsRegistry::time_series(std::string_view name,
@@ -87,7 +92,7 @@ const MetricsRegistry::Counter* MetricsRegistry::find_counter(
   return it == counters_.end() ? nullptr : &it->second;
 }
 
-const sim::Histogram* MetricsRegistry::find_histogram(
+const HdrHistogram* MetricsRegistry::find_histogram(
     std::string_view name, const Labels& labels) const {
   const auto it = histograms_.find(key_of(name, labels));
   return it == histograms_.end() ? nullptr : &it->second;
@@ -110,6 +115,33 @@ MetricsRegistry::series_named(std::string_view name) const {
     }
   }
   return out;
+}
+
+std::vector<std::pair<MetricsRegistry::Labels, const HdrHistogram*>>
+MetricsRegistry::histograms_named(std::string_view name) const {
+  std::vector<std::pair<Labels, const HdrHistogram*>> out;
+  for (const auto& [key, meta] : histogram_meta_) {
+    if (meta.first != name) continue;
+    const auto it = histograms_.find(key);
+    if (it != histograms_.end()) out.emplace_back(meta.second, &it->second);
+  }
+  return out;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, c] : other.counters_) {
+    counters_[key].inc(c.value());
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    gauges_[key].set(g.value());
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    histograms_[key].merge(h);
+  }
+  for (const auto& [key, meta] : other.histogram_meta_) {
+    histogram_meta_.emplace(key, meta);  // no-op when already present
+  }
+  // Time series intentionally not merged — see header.
 }
 
 void MetricsRegistry::record_trace(const Trace& trace, const Labels& base) {
@@ -179,6 +211,32 @@ void TraceRecorder::record(const Trace& trace) {
       comp.errors->inc();
     }
   }
+}
+
+void TraceRecorder::record(const Trace& trace, int status) {
+  record(trace);
+  if (registry_ != nullptr && status >= 400) {
+    if (request_errors_ == nullptr) {
+      request_errors_ = &registry_->counter("request_errors_total", base_);
+    }
+    request_errors_->inc();
+  }
+}
+
+TraceRecorder& TenantRecorderSet::recorder(net::TenantId tenant) {
+  const auto [it, inserted] = recorders_.try_emplace(tenant);
+  if (inserted && registry_ != nullptr) {
+    MetricsRegistry::Labels labels = base_;
+    labels[std::string(kTenantLabel)] =
+        std::to_string(net::id_value(tenant));
+    it->second = TraceRecorder(*registry_, std::move(labels));
+  }
+  return it->second;
+}
+
+void TenantRecorderSet::record(const Trace& trace, int status) {
+  if (registry_ == nullptr) return;
+  recorder(trace.tenant()).record(trace, status);
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -9,6 +9,14 @@
 //
 // Metrics are keyed by (name, labels); labels are an ordered map so the
 // canonical key — name{k="v",...} — and the JSON export are deterministic.
+// Label keys and values are escaped into the canonical key (key_of), so
+// two distinct label sets can never collide on one key.
+//
+// Histograms are telemetry::HdrHistogram — fixed memory, bounded relative
+// error, exact merge — so registries from different shards or seeds fold
+// with MetricsRegistry::merge() into the same quantiles the concatenated
+// stream would produce. (sim::Histogram remains available for exact
+// small-N assertions in tests; the registry hot path is bounded.)
 #pragma once
 
 #include <array>
@@ -19,7 +27,9 @@
 #include <string_view>
 #include <vector>
 
+#include "net/ids.h"
 #include "sim/stats.h"
+#include "telemetry/hdr_histogram.h"
 #include "telemetry/trace.h"
 
 namespace canal::telemetry {
@@ -29,6 +39,8 @@ namespace canal::telemetry {
 inline constexpr std::string_view kServiceRpsSeries = "service_rps";
 /// Label carrying the numeric service id on per-service metrics.
 inline constexpr std::string_view kServiceLabel = "service";
+/// Label carrying the numeric tenant id on tenant-scoped metrics.
+inline constexpr std::string_view kTenantLabel = "tenant";
 
 class MetricsRegistry {
  public:
@@ -56,7 +68,7 @@ class MetricsRegistry {
   /// Finds or creates the metric for (name, labels).
   Counter& counter(std::string_view name, const Labels& labels = {});
   Gauge& gauge(std::string_view name, const Labels& labels = {});
-  sim::Histogram& histogram(std::string_view name, const Labels& labels = {});
+  HdrHistogram& histogram(std::string_view name, const Labels& labels = {});
   /// Registry-owned series (created with `max_age` retention on first use).
   sim::TimeSeries& time_series(std::string_view name, const Labels& labels = {},
                                sim::Duration max_age = 0);
@@ -70,7 +82,7 @@ class MetricsRegistry {
   /// Lookup without creation; nullptr when absent.
   [[nodiscard]] const Counter* find_counter(std::string_view name,
                                             const Labels& labels = {}) const;
-  [[nodiscard]] const sim::Histogram* find_histogram(
+  [[nodiscard]] const HdrHistogram* find_histogram(
       std::string_view name, const Labels& labels = {}) const;
   [[nodiscard]] const sim::TimeSeries* find_time_series(
       std::string_view name, const Labels& labels = {}) const;
@@ -79,6 +91,21 @@ class MetricsRegistry {
   /// in deterministic key order.
   [[nodiscard]] std::vector<std::pair<Labels, const sim::TimeSeries*>>
   series_named(std::string_view name) const;
+
+  /// Every histogram registered under `name`, with labels, in
+  /// deterministic key order. Lets consumers (FairnessReport) enumerate
+  /// e.g. all tenant-labelled "request_latency_us" histograms.
+  [[nodiscard]] std::vector<std::pair<Labels, const HdrHistogram*>>
+  histograms_named(std::string_view name) const;
+
+  /// Folds `other` into this registry: counters add, histograms merge
+  /// (exactly — see HdrHistogram::merge), gauges take `other`'s value
+  /// (last-writer-wins, matching what re-running set() would do). Time
+  /// series are intentionally NOT merged: per-run series from different
+  /// seeds overlap in simulated time, and interleaving them would corrupt
+  /// the time-ordered invariants of TimeSeries; they remain per-run
+  /// diagnostics while counters/histograms are the mergeable summary.
+  void merge(const MetricsRegistry& other);
 
   /// Rolls a finished trace into the registry: per-component latency and
   /// queue-wait histograms ("span_latency_us"/"span_queue_wait_us" with a
@@ -92,6 +119,9 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
   /// Canonical metric key: name{k="v",k2="v2"} (no braces when unlabeled).
+  /// '\' and '"' in label keys/values are backslash-escaped so distinct
+  /// label sets always canonicalize to distinct keys — {a: "x\",b=\"y"}
+  /// cannot impersonate {a: "x", b: "y"}.
   [[nodiscard]] static std::string key_of(std::string_view name,
                                           const Labels& labels);
 
@@ -100,13 +130,15 @@ class MetricsRegistry {
     std::unique_ptr<sim::TimeSeries> owned;
     const sim::TimeSeries* series = nullptr;  ///< owned.get() or external
   };
+  using Meta = std::map<std::string, std::pair<std::string, Labels>>;
 
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
-  std::map<std::string, sim::Histogram> histograms_;
+  std::map<std::string, HdrHistogram> histograms_;
   std::map<std::string, SeriesEntry> series_;
-  /// key -> (name, labels), for series_named and labeled lookups.
-  std::map<std::string, std::pair<std::string, Labels>> series_meta_;
+  /// key -> (name, labels), for *_named enumeration and labeled lookups.
+  Meta histogram_meta_;
+  Meta series_meta_;
 };
 
 /// Handle-caching front end for MetricsRegistry::record_trace. Binding a
@@ -129,13 +161,17 @@ class TraceRecorder {
   /// per-span label churn.
   void record(const Trace& trace);
 
+  /// record(trace), plus a "request_errors_total" counter bump when the
+  /// request's final `status` is an error (>= 400).
+  void record(const Trace& trace, int status);
+
  private:
   static constexpr std::size_t kComponents =
       static_cast<std::size_t>(Component::kFastpath) + 1;
 
   struct PerComponent {
-    sim::Histogram* latency = nullptr;
-    sim::Histogram* queue_wait = nullptr;
+    HdrHistogram* latency = nullptr;
+    HdrHistogram* queue_wait = nullptr;
     MetricsRegistry::Counter* bytes = nullptr;
     MetricsRegistry::Counter* errors = nullptr;
   };
@@ -145,12 +181,39 @@ class TraceRecorder {
   MetricsRegistry* registry_ = nullptr;
   MetricsRegistry::Labels base_;
   MetricsRegistry::Counter* requests_ = nullptr;
-  sim::Histogram* latency_ = nullptr;
-  sim::Histogram* queue_wait_ = nullptr;
+  MetricsRegistry::Counter* request_errors_ = nullptr;
+  HdrHistogram* latency_ = nullptr;
+  HdrHistogram* queue_wait_ = nullptr;
   std::array<PerComponent, kComponents> comps_{};
   /// base_ + {"component": name}, built on first span of that component.
   std::array<std::unique_ptr<MetricsRegistry::Labels>, kComponents>
       comp_labels_{};
+};
+
+/// Routes traces to per-tenant TraceRecorders: tenant t records under
+/// base + {"tenant": "<t>"}, so every metric the recorder touches gains
+/// the tenant dimension and FairnessReport can slice the registry by
+/// tenant. Recorders are created lazily per tenant and cached (the same
+/// handle-interning win as TraceRecorder itself).
+class TenantRecorderSet {
+ public:
+  TenantRecorderSet() = default;
+  TenantRecorderSet(MetricsRegistry& registry, MetricsRegistry::Labels base)
+      : registry_(&registry), base_(std::move(base)) {}
+
+  [[nodiscard]] bool bound() const noexcept { return registry_ != nullptr; }
+
+  /// The recorder for `tenant` (created on first use).
+  TraceRecorder& recorder(net::TenantId tenant);
+
+  /// Records `trace` under its own tenant() label with the request's
+  /// final status (error counting as in TraceRecorder::record).
+  void record(const Trace& trace, int status);
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  MetricsRegistry::Labels base_;
+  std::map<net::TenantId, TraceRecorder> recorders_;
 };
 
 }  // namespace canal::telemetry

@@ -1,0 +1,65 @@
+#include "telemetry/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace canal::telemetry {
+namespace {
+
+/// splitmix64 finalizer: avalanches (seed, tenant) into a 64-bit hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TraceSampler::TraceSampler(double rate, std::uint64_t seed)
+    : default_rate_(std::clamp(rate, 0.0, 1.0)), seed_(seed) {}
+
+void TraceSampler::set_rate(net::TenantId tenant, double rate) {
+  rates_[tenant] = std::clamp(rate, 0.0, 1.0);
+}
+
+double TraceSampler::rate_of(net::TenantId tenant) const {
+  const auto it = rates_.find(tenant);
+  return it == rates_.end() ? default_rate_ : it->second;
+}
+
+double TraceSampler::phase(net::TenantId tenant) const {
+  const std::uint64_t h = mix(seed_ ^ mix(net::id_value(tenant)));
+  // Top 53 bits -> [0, 1) without precision loss.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool TraceSampler::should_sample(net::TenantId tenant) {
+  TenantState& state = tenants_[tenant];
+  const double rate = rate_of(tenant);
+  const double ph = phase(tenant);
+  const auto n = static_cast<double>(state.issued);
+  const bool take = std::floor((n + 1.0) * rate + ph) >
+                    std::floor(n * rate + ph);
+  ++state.issued;
+  if (take) ++state.sampled;
+  return take;
+}
+
+std::uint64_t TraceSampler::issued(net::TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.issued;
+}
+
+std::uint64_t TraceSampler::sampled(net::TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.sampled;
+}
+
+std::uint64_t TraceSampler::expected_samples(net::TenantId tenant,
+                                             std::uint64_t n) const {
+  return static_cast<std::uint64_t>(std::floor(
+      static_cast<double>(n) * rate_of(tenant) + phase(tenant)));
+}
+
+}  // namespace canal::telemetry

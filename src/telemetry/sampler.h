@@ -1,0 +1,66 @@
+// Deterministic head-based trace sampling.
+//
+// At region scale, retaining every end-to-end trace is as unbounded as the
+// store-every-sample histogram it replaces — so trace export samples at the
+// head (the decision is made when the request is issued, before any
+// outcome is known) with a per-tenant rate.
+//
+// The sampler is counter-based, not RNG-draw-based: tenant t's i-th issued
+// request (i counted from 0) is sampled iff
+//
+//   floor((i + 1) * rate + phase(t)) > floor(i * rate + phase(t))
+//
+// where phase(t) in [0, 1) is a seeded hash of the tenant id. This makes
+// the sampled count after n requests EXACTLY floor(n * rate + phase(t)) —
+// a closed form the fuzzer oracle asserts against — while the seeded phase
+// staggers which requests are picked across tenants and seeds. The same
+// (seed, tenant, request order) always samples the same requests, on any
+// thread, so trace exports are byte-identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/ids.h"
+
+namespace canal::telemetry {
+
+class TraceSampler {
+ public:
+  /// `rate` is the default per-tenant sampling fraction in [0, 1]; `seed`
+  /// keys the per-tenant phases.
+  explicit TraceSampler(double rate = 0.0, std::uint64_t seed = 1);
+
+  /// Overrides the sampling rate for one tenant.
+  void set_rate(net::TenantId tenant, double rate);
+
+  /// Counts one issued request for `tenant` and decides (head-based,
+  /// deterministically) whether its trace is sampled.
+  [[nodiscard]] bool should_sample(net::TenantId tenant);
+
+  /// Requests observed for `tenant` so far.
+  [[nodiscard]] std::uint64_t issued(net::TenantId tenant) const;
+  /// Samples taken for `tenant` so far.
+  [[nodiscard]] std::uint64_t sampled(net::TenantId tenant) const;
+  /// Closed form the sampled count obeys exactly: what sampled() must be
+  /// after `n` issued requests at `tenant`'s rate.
+  [[nodiscard]] std::uint64_t expected_samples(net::TenantId tenant,
+                                               std::uint64_t n) const;
+
+  /// Seeded per-tenant phase in [0, 1) (exposed for tests).
+  [[nodiscard]] double phase(net::TenantId tenant) const;
+
+ private:
+  struct TenantState {
+    std::uint64_t issued = 0;
+    std::uint64_t sampled = 0;
+  };
+  [[nodiscard]] double rate_of(net::TenantId tenant) const;
+
+  double default_rate_;
+  std::uint64_t seed_;
+  std::map<net::TenantId, double> rates_;
+  std::map<net::TenantId, TenantState> tenants_;
+};
+
+}  // namespace canal::telemetry

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/ids.h"
 #include "sim/time.h"
 
 namespace canal::telemetry {
@@ -74,6 +75,12 @@ class Trace {
             sim::TimePoint end, sim::Duration queue_wait = 0,
             std::uint64_t bytes = 0, int status = 0);
 
+  /// Tenant the traced request belongs to. Stamped by the dataplane when
+  /// the request is issued; tenant id 0 means "untenanted" (legacy
+  /// callers that never set a tenant).
+  void set_tenant(net::TenantId tenant) noexcept { tenant_ = tenant; }
+  [[nodiscard]] net::TenantId tenant() const noexcept { return tenant_; }
+
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
   }
@@ -107,6 +114,7 @@ class Trace {
 
  private:
   std::vector<Span> spans_;
+  net::TenantId tenant_{};
 };
 
 }  // namespace canal::telemetry

@@ -1,0 +1,330 @@
+#include "telemetry/trace_export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace canal::telemetry {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Nanoseconds -> microseconds with 3 decimals (exact: 1 ns = 0.001 us).
+std::string us(std::int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void TraceExport::add(const Trace& trace, std::uint64_t request_index,
+                      int status) {
+  entries_.push_back(Entry{trace.tenant(), request_index, status, trace});
+}
+
+void TraceExport::merge(const TraceExport& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+std::string TraceExport::to_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    const auto pid = net::id_value(entry.tenant);
+    auto emit = [&](std::string_view name, std::string_view cat,
+                    sim::TimePoint start, sim::Duration dur, int tid) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":\"";
+      append_escaped(out, name);
+      out += "\",\"cat\":\"";
+      append_escaped(out, cat);
+      out += "\",\"ph\":\"X\",\"pid\":" + std::to_string(pid);
+      out += ",\"tid\":" + std::to_string(tid);
+      out += ",\"ts\":" + us(start);
+      out += ",\"dur\":" + us(dur);
+      out += ",\"args\":{\"request\":" + std::to_string(entry.request);
+      out += ",\"status\":" + std::to_string(entry.status) + "}}";
+    };
+    for (const Span& s : entry.trace.spans()) {
+      const int tid = static_cast<int>(s.component) + 1;
+      if (s.queue_wait > 0) {
+        emit(s.name + " [queue]", "queue", s.start, s.queue_wait, tid);
+      }
+      emit(s.name, component_name(s.component), s.start + s.queue_wait,
+           s.service_time, tid);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceExport::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// --- independent re-parse + tiling validation ------------------------------
+
+namespace {
+
+/// Minimal JSON value for the validator: just enough structure to walk the
+/// trace-event format, parsed independently of the writer above.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  [[nodiscard]] bool parse(JsonValue& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool value(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.string);
+    }
+    if (c == 't' || c == 'f') return boolean(out);
+    if (c == 'n') return null(out);
+    return number(out);
+  }
+
+  bool object(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    out.kind = JsonValue::Kind::kObject;
+    if (!consume('{')) return fail("expected '{'");
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    out.kind = JsonValue::Kind::kArray;
+    if (!consume('[')) return fail("expected '['");
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        out.push_back(text_[pos_++]);
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool boolean(JsonValue& out) {
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool null(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNull;
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    return fail("expected null");
+  }
+
+  bool number(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+bool validate_chrome_trace(std::string_view json, std::string* error) {
+  JsonValue root;
+  std::string parse_error;
+  if (!JsonParser(json, &parse_error).parse(root)) {
+    return set_error(error, "not valid JSON: " + parse_error);
+  }
+  const JsonValue* events = nullptr;
+  if (root.kind == JsonValue::Kind::kArray) {
+    events = &root;
+  } else if (root.kind == JsonValue::Kind::kObject) {
+    events = root.find("traceEvents");
+    if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+      return set_error(error, "object form lacks a traceEvents array");
+    }
+  } else {
+    return set_error(error, "top level is neither array nor object");
+  }
+
+  struct Slice {
+    double ts = 0;
+    double dur = 0;
+  };
+  // (pid, request) -> slices; tiling is per end-to-end request.
+  std::map<std::pair<double, double>, std::vector<Slice>> requests;
+  for (const JsonValue& ev : events->array) {
+    if (ev.kind != JsonValue::Kind::kObject) {
+      return set_error(error, "event is not an object");
+    }
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      return set_error(error, "event lacks a \"ph\" phase string");
+    }
+    if (ph->string != "X") continue;  // only complete events carry tiling
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* dur = ev.find("dur");
+    const JsonValue* pid = ev.find("pid");
+    if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber ||
+        dur == nullptr || dur->kind != JsonValue::Kind::kNumber ||
+        pid == nullptr || pid->kind != JsonValue::Kind::kNumber) {
+      return set_error(error, "complete event lacks numeric ts/dur/pid");
+    }
+    if (dur->number < 0) return set_error(error, "negative event duration");
+    const JsonValue* args = ev.find("args");
+    const JsonValue* request =
+        args != nullptr ? args->find("request") : nullptr;
+    if (request == nullptr || request->kind != JsonValue::Kind::kNumber) {
+      continue;  // not one of ours; no tiling claim to check
+    }
+    requests[{pid->number, request->number}].push_back(
+        Slice{ts->number, dur->number});
+  }
+
+  constexpr double kEpsUs = 1e-6;
+  for (auto& [key, slices] : requests) {
+    std::sort(slices.begin(), slices.end(),
+              [](const Slice& a, const Slice& b) {
+                return a.ts < b.ts || (a.ts == b.ts && a.dur < b.dur);
+              });
+    double cursor = slices.front().ts;
+    for (const Slice& s : slices) {
+      if (std::abs(s.ts - cursor) > kEpsUs) {
+        return set_error(
+            error, "request " + std::to_string(key.second) + " of tenant " +
+                       std::to_string(key.first) + " has a gap/overlap at ts=" +
+                       std::to_string(s.ts) + " (expected " +
+                       std::to_string(cursor) + ")");
+      }
+      cursor = s.ts + s.dur;
+    }
+  }
+  return true;
+}
+
+}  // namespace canal::telemetry

@@ -1,0 +1,70 @@
+// Chrome trace-event export for sampled end-to-end traces.
+//
+// A TraceExport accumulates sampled Traces (copies — only sampled traces
+// pay the copy) and serializes them as one Chrome trace-event JSON object
+// ({"traceEvents": [...]}) loadable in chrome://tracing or
+// https://ui.perfetto.dev:
+//
+//   pid  = tenant id, so each tenant gets its own process track and a
+//          noisy neighbor is visually separable from its victims;
+//   tid  = span component row (queue-wait emitted as a separate slice);
+//   args = {"request": <index>, "status": <final status>} tying every
+//          slice back to the request it belongs to.
+//
+// Events are emitted in insertion order and the writer is pure, so an
+// export assembled in deterministic (spec-key / request-index) order is
+// byte-identical at any worker count.
+//
+// validate_chrome_trace() is the other half of the CI smoke gate: it
+// re-parses an exported file with a small standalone JSON parser (not the
+// writer's inverse — an independent check) and verifies that every
+// request's slices tile [send, done] with no gaps or overlaps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ids.h"
+#include "telemetry/trace.h"
+
+namespace canal::telemetry {
+
+class TraceExport {
+ public:
+  /// Copies `trace` into the export under its own tenant id, tagged with
+  /// the caller's request index and final status.
+  void add(const Trace& trace, std::uint64_t request_index, int status);
+
+  /// Appends every entry of `other` after this export's own.
+  void merge(const TraceExport& other);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// {"traceEvents":[...]} — "X" complete events, ts/dur in microseconds.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    net::TenantId tenant{};
+    std::uint64_t request = 0;
+    int status = 0;
+    Trace trace;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Parses `json` as Chrome trace-event JSON (either the {"traceEvents":
+/// [...]} object form or a bare event array) and checks that, per
+/// (pid, args.request), the "X" slices tile the request interval exactly:
+/// sorted by ts, each slice starts where the previous ended. On failure
+/// returns false and describes the problem in `*error` (when non-null).
+[[nodiscard]] bool validate_chrome_trace(std::string_view json,
+                                         std::string* error = nullptr);
+
+}  // namespace canal::telemetry

@@ -3,6 +3,7 @@
 // the seed-sweep statistics.
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -211,6 +212,45 @@ TEST(RunnerTest, SweepGroupsSplitByOverridesAndOrderSeeds) {
   const auto* events = groups[0].base()->result.find("events");
   ASSERT_NE(events, nullptr);
   EXPECT_DOUBLE_EQ(*events, 10.0);
+}
+
+TEST(RunnerTest, MergeGroupRegistriesFoldsPerSeedRegistries) {
+  // Three "seed runs" of one group, each attaching a per-run registry; one
+  // run without a registry must be skipped, not crash the fold.
+  const telemetry::MetricsRegistry::Labels t1 = {{"tenant", "1"}};
+  std::vector<runner::Outcome> outcomes(4);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    outcomes[i].spec = runner::RunSpec{"fold", "v", i + 1, {}};
+  }
+  for (const std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    auto registry = std::make_shared<telemetry::MetricsRegistry>();
+    registry->counter("requests_total", t1).inc(10.0);
+    registry->histogram("request_latency_us", t1)
+        .record(static_cast<double>(100 * (i + 1)));
+    outcomes[i].result.registry = std::move(registry);
+  }
+  const auto groups = runner::group_sweeps(outcomes);
+  ASSERT_EQ(groups.size(), 1u);
+  const telemetry::MetricsRegistry merged =
+      runner::merge_group_registries(groups.front());
+  ASSERT_NE(merged.find_counter("requests_total", t1), nullptr);
+  EXPECT_DOUBLE_EQ(merged.find_counter("requests_total", t1)->value(), 30.0);
+  const auto* latency = merged.find_histogram("request_latency_us", t1);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 3u);
+  EXPECT_DOUBLE_EQ(latency->min(), 100.0);
+  EXPECT_DOUBLE_EQ(latency->max(), 400.0);
+  // Meta propagated through the fold: enumerable by name.
+  EXPECT_EQ(merged.histograms_named("request_latency_us").size(), 1u);
+
+  // An all-null group folds to an empty registry.
+  std::vector<runner::Outcome> bare(2);
+  bare[0].spec = runner::RunSpec{"bare", "v", 1, {}};
+  bare[1].spec = runner::RunSpec{"bare", "v", 2, {}};
+  const auto bare_groups = runner::group_sweeps(bare);
+  const telemetry::MetricsRegistry empty =
+      runner::merge_group_registries(bare_groups.front());
+  EXPECT_EQ(empty.find_counter("requests_total", t1), nullptr);
 }
 
 TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {

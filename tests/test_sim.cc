@@ -310,6 +310,27 @@ TEST(Histogram, StddevOfConstantIsZero) {
   EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
 }
 
+TEST(Histogram, SortedCopyIsCachedAcrossQueriesAndInvalidatedByRecord) {
+  // Pins the documented caching contract: the first order-statistic query
+  // after a record() sorts once; further queries reuse the sorted copy
+  // until the next record() invalidates it.
+  Histogram h;
+  EXPECT_FALSE(h.sorted_cached());
+  for (int i = 0; i < 100; ++i) h.record(100.0 - i);
+  EXPECT_FALSE(h.sorted_cached());
+  (void)h.percentile(50);
+  EXPECT_TRUE(h.sorted_cached());
+  (void)h.min();  // still cached: no re-sort between queries
+  (void)h.cdf(5);
+  EXPECT_TRUE(h.sorted_cached());
+  h.record(1.0);
+  EXPECT_FALSE(h.sorted_cached());
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);  // re-sorts and sees the new sample
+  EXPECT_TRUE(h.sorted_cached());
+  h.clear();
+  EXPECT_FALSE(h.sorted_cached());
+}
+
 TEST(TimeSeries, WindowedReductions) {
   TimeSeries series;
   for (int i = 0; i < 10; ++i) {
