@@ -3,8 +3,8 @@
 // over a work-stealing thread pool (--jobs), and reduces the results
 // single-threaded in spec-key order — so stdout tables and the --json
 // goldens (BENCH_latency.json, BENCH_throughput.json, BENCH_faults.json,
-// BENCH_selfperf.json, BENCH_fairness.json) are byte-identical at any
-// worker count.
+// BENCH_selfperf.json, BENCH_fairness.json, BENCH_resilience.json) are
+// byte-identical at any worker count.
 //
 // See EXPERIMENTS.md for the paper-figure -> command map.
 #include <chrono>
@@ -37,9 +37,10 @@ Usage: bench_suite [flags]
                  mean/p50/p95/min/max across seeds. Base sections always
                  report seed 1, so they are independent of K.
   --json         write BENCH_latency.json, BENCH_throughput.json,
-                 BENCH_faults.json, BENCH_selfperf.json and
-                 BENCH_fairness.json (deterministic simulated values only)
-                 into the current directory.
+                 BENCH_faults.json, BENCH_selfperf.json,
+                 BENCH_fairness.json and BENCH_resilience.json
+                 (deterministic simulated values only) into the current
+                 directory.
   --filter STR   run only specs whose scenario/variant key contains STR
                  (e.g. --filter throughput_knee, --filter canal).
   --trace-out F  write the noisy_neighbor/canal run's sampled traces as
@@ -59,6 +60,9 @@ Scenarios (see EXPERIMENTS.md for the figure mapping):
   faults_gwcrash   gateway replica crash, health monitor on/off
   faults_linkloss  link loss + latency spike, per-try timeouts
   noisy_neighbor   Fig 16  per-tenant fairness under a one-tenant surge
+  resilience_retry_storm   dead service's retry storm vs circuit breaker
+  resilience_qod           query-of-death pod vs outlier ejection
+  resilience_ratelimit     tenant surge vs per-tenant token buckets
   selfperf         simulator wall-clock speed + fastpath hit rates
 )";
 
@@ -91,6 +95,15 @@ SectionTarget section_target(const runner::RunSpec& spec) {
   if (spec.scenario == "noisy_neighbor") {
     return {"BENCH_fairness.json", "noisy_neighbor." + spec.variant};
   }
+  if (spec.scenario == "resilience_retry_storm") {
+    return {"BENCH_resilience.json", "retry_storm." + spec.variant};
+  }
+  if (spec.scenario == "resilience_qod") {
+    return {"BENCH_resilience.json", "qod." + spec.variant};
+  }
+  if (spec.scenario == "resilience_ratelimit") {
+    return {"BENCH_resilience.json", "ratelimit." + spec.variant};
+  }
   return {"BENCH_selfperf.json", spec.variant};
 }
 
@@ -100,6 +113,9 @@ const char* headline_metric(const std::string& scenario) {
   if (scenario == "latency_bimodal") return "p50_ms";
   if (scenario == "throughput_knee") return "knee_rps";
   if (scenario == "noisy_neighbor") return "jain";
+  if (scenario == "resilience_retry_storm") return "victim_p99_fault_us";
+  if (scenario == "resilience_qod") return "late_error_rate";
+  if (scenario == "resilience_ratelimit") return "rate_limited";
   if (scenario == "selfperf") return "events";
   return "ok_fault";
 }

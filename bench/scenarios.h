@@ -557,6 +557,313 @@ inline runner::RunResult noisy_neighbor(const runner::RunSpec& spec) {
 }
 
 // ---------------------------------------------------------------------------
+// resilience_retry_storm — a whole service dies and its clients' retry
+// layer turns every lost request into 3 timed-out attempts, burning shared
+// proxy capacity that an innocent victim tenant needs. With the circuit
+// breaker armed the storm service is fast-failed after a handful of
+// consecutive errors, the amplification collapses, and the victim's p99
+// during the outage stays near its pre-fault value. Variants: breaker-off
+// (budget-only baseline) vs breaker-on.
+
+inline runner::RunResult resilience_retry_storm(const runner::RunSpec& spec) {
+  const bool breaker_on = spec.override_or("breaker", 0) != 0;
+  Testbed::Options options;
+  options.app_service_time = sim::microseconds(100);
+  options.node_cores = 4;  // shared capacity the storm can actually exhaust
+  options.seed = spec.seed;
+  Testbed bed(options);
+  bed.build_canal();
+
+  if (breaker_on) {
+    proxy::ResilienceConfig config;
+    proxy::BreakerConfig breaker;
+    breaker.consecutive_errors = 5;
+    breaker.base_ejection_time = sim::milliseconds(500);
+    config.breaker = breaker;
+    bed.canal->enable_resilience(config);
+  }
+
+  // The storm service loses every pod for the whole fault window.
+  k8s::Service& storm_service = *bed.services.back();
+  k8s::Service& victim_service = *bed.services[1];
+  sim::FaultPlan plan;
+  for (const k8s::Pod* pod : storm_service.endpoints) {
+    plan.kill_pod_for(detail::kFaultStart,
+                      static_cast<std::uint64_t>(pod->id()),
+                      detail::kFaultEnd - detail::kFaultStart);
+  }
+  core::FaultInjector injector(bed.loop, bed.cluster, bed.gateway.get());
+  injector.arm(plan);
+
+  const mesh::RetryPolicy policy = detail::fault_retry_policy(true);
+  mesh::RetryBudget storm_budget(0.5, 10);
+  mesh::RetryBudget victim_budget(0.5, 10);
+  detail::FaultRun storm_run;
+  detail::FaultRun victim_run;
+  sim::Rng storm_rng(0xe57 + spec.seed);
+  sim::Rng victim_rng(0x71c + spec.seed);
+
+  const sim::TimePoint start = bed.loop.now();
+  const auto drive = [&](net::ServiceId dst, net::TenantId tenant, double rps,
+                         detail::FaultRun& run, sim::Rng& rng,
+                         mesh::RetryBudget& budget) {
+    const auto spacing = static_cast<sim::Duration>(
+        static_cast<double>(sim::kSecond) / rps);
+    const auto count = static_cast<std::uint64_t>(
+        sim::to_seconds(detail::kFaultRunLength) * rps);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const sim::TimePoint send_time =
+          start + static_cast<sim::Duration>(i) * spacing;
+      bed.loop.schedule_at(send_time, [&bed, &policy, &run, &rng, &budget,
+                                       dst, tenant, send_time] {
+        mesh::RequestOptions opts = bed.request(false);
+        opts.dst_service = dst;
+        opts.tenant = tenant;
+        detail::Window& window = run.at(send_time);
+        ++window.issued;
+        bed.canal->send_request_with_retries(
+            opts, policy, rng,
+            [&window](mesh::RequestResult r) {
+              ++window.done;
+              window.attempts += r.attempts;
+              if (r.timed_out) ++window.timeouts;
+              if (r.ok()) {
+                ++window.ok;
+                window.ok_latency_us.record(sim::to_microseconds(r.latency));
+              }
+            },
+            &budget);
+      });
+    }
+  };
+  drive(victim_service.id, static_cast<net::TenantId>(1),
+        spec.override_or("victim_rps", 300.0), victim_run, victim_rng,
+        victim_budget);
+  drive(storm_service.id, static_cast<net::TenantId>(2),
+        spec.override_or("storm_rps", 2000.0), storm_run, storm_rng,
+        storm_budget);
+  bed.loop.run_for(detail::kFaultRunLength + sim::milliseconds(500));
+
+  runner::RunResult result;
+  result.set("victim_p99_pre_us", victim_run.before.p99_us());
+  result.set("victim_p99_fault_us", victim_run.during.p99_us());
+  result.set("victim_p99_post_us", victim_run.after.p99_us());
+  result.set("victim_ok_fault", victim_run.during.success());
+  result.set("storm_ok_fault", storm_run.during.success());
+  result.set("storm_tries_fault",
+             storm_run.during.done == 0
+                 ? 0.0
+                 : static_cast<double>(storm_run.during.attempts) /
+                       static_cast<double>(storm_run.during.done));
+  result.set("storm_ok_post", storm_run.after.success());
+  if (proxy::ResilienceChain* chain = bed.canal->resilience()) {
+    const proxy::CircuitBreaker* breaker = chain->breaker(storm_service.id);
+    result.set("breaker_opens",
+               breaker == nullptr
+                   ? 0.0
+                   : static_cast<double>(breaker->opens()));
+    result.set("breaker_rejected",
+               static_cast<double>(chain->breaker_rejected_total()));
+    auto registry = std::make_shared<telemetry::MetricsRegistry>();
+    chain->publish_metrics(*registry);
+    result.registry = registry;
+  } else {
+    result.set("breaker_opens", 0.0);
+    result.set("breaker_rejected", 0.0);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// resilience_qod — "query of death": one pod in the target service answers
+// every request with a 5xx. Without outlier ejection it keeps its
+// round-robin share of traffic and the error rate sits at roughly
+// 1/pods forever; with ejection the outlier detector removes it from
+// every LB set after `consecutive_errors` failures and the error rate
+// after the detection window drops to ~0 — while max_ejection_percent
+// keeps the bound on capacity removal.
+
+inline runner::RunResult resilience_qod(const runner::RunSpec& spec) {
+  const bool ejection_on = spec.override_or("ejection", 0) != 0;
+  Testbed::Options options;
+  options.app_service_time = sim::microseconds(100);
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  // The poisoned pod joins the target service before the mesh installs, so
+  // every plane's endpoint pools include it.
+  k8s::Service& target = *bed.services.back();
+  k8s::AppProfile poison;
+  poison.fast_fraction = 1.0;
+  poison.fast_service_mean = options.app_service_time;
+  poison.sigma = 0.05;
+  poison.app_error_rate = 1.0;
+  bed.cluster.add_pod(target, poison).set_phase(k8s::PodPhase::kRunning);
+  bed.build_canal();
+
+  if (ejection_on) {
+    proxy::ResilienceConfig config;
+    proxy::OutlierConfig outlier;
+    outlier.consecutive_errors = 5;
+    outlier.base_ejection_time = sim::seconds(5);
+    outlier.max_ejection_percent = 50;
+    config.outlier = outlier;
+    bed.canal->enable_resilience(config);
+  }
+
+  mesh::RetryPolicy policy;  // single attempt: errors stay visible
+  policy.max_attempts = 1;
+  policy.per_try_timeout = sim::milliseconds(250);
+  sim::Rng retry_rng(0x90d + spec.seed);
+  const double rps = spec.override_or("rps", 1000.0);
+  const auto duration = static_cast<sim::Duration>(
+      spec.override_or("duration_s", 2.0) * sim::kSecond);
+  // Detection happens within the first few servings of the poisoned pod;
+  // everything after this boundary should be clean with ejection on.
+  const sim::Duration detect_window = sim::milliseconds(200);
+
+  struct Phase {
+    std::uint64_t done = 0;
+    std::uint64_t errors = 0;
+  };
+  Phase early;
+  Phase late;
+  const sim::TimePoint start = bed.loop.now();
+  const auto spacing = static_cast<sim::Duration>(
+      static_cast<double>(sim::kSecond) / rps);
+  const auto count =
+      static_cast<std::uint64_t>(sim::to_seconds(duration) * rps);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const sim::TimePoint send_time =
+        start + static_cast<sim::Duration>(i) * spacing;
+    bed.loop.post_at(send_time, [&bed, &policy, &retry_rng, &early, &late,
+                                 start, send_time, detect_window] {
+      mesh::RequestOptions opts = bed.request(false);
+      Phase& phase =
+          send_time - start < detect_window ? early : late;
+      bed.canal->send_request_with_retries(
+          opts, policy, retry_rng, [&phase](mesh::RequestResult r) {
+            ++phase.done;
+            if (r.status >= 500) ++phase.errors;
+          });
+    });
+  }
+  bed.loop.run();
+
+  runner::RunResult result;
+  const auto rate = [](const Phase& phase) {
+    return phase.done == 0 ? 0.0
+                           : static_cast<double>(phase.errors) /
+                                 static_cast<double>(phase.done);
+  };
+  result.set("early_error_rate", rate(early));
+  result.set("late_error_rate", rate(late));
+  result.set("errors_total",
+             static_cast<double>(early.errors + late.errors));
+  if (proxy::ResilienceChain* chain = bed.canal->resilience()) {
+    result.set("ejections", static_cast<double>(chain->ejections_total()));
+    result.set("readmissions",
+               static_cast<double>(chain->readmissions_total()));
+    const proxy::OutlierDetector* outlier = chain->outlier(target.id);
+    result.set("ejected_now",
+               outlier == nullptr
+                   ? 0.0
+                   : static_cast<double>(outlier->ejected_count()));
+    auto registry = std::make_shared<telemetry::MetricsRegistry>();
+    chain->publish_metrics(*registry);
+    result.registry = registry;
+  } else {
+    result.set("ejections", 0.0);
+    result.set("readmissions", 0.0);
+    result.set("ejected_now", 0.0);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// resilience_ratelimit — the noisy-neighbor surge, answered with per-tenant
+// token buckets instead of analytics alone. Four tenants share the canal
+// dataplane; the surge tenant offers ~10x the others' load. With the
+// limiter on, each tenant's bucket admits ~1.5x the base rate, the surge
+// spills as deterministic 429s, and the victims' p99 recovers. Extends
+// BENCH_fairness's noisy_neighbor with an enforcement stage (golden lives
+// in BENCH_resilience.json).
+
+inline runner::RunResult resilience_ratelimit(const runner::RunSpec& spec) {
+  const bool limit_on = spec.override_or("limit", 0) != 0;
+  Testbed::Options options;
+  options.app_service_time = sim::microseconds(100);
+  options.seed = spec.seed;
+  Testbed bed(options);
+  bed.build_canal();
+
+  constexpr int kTenants = 4;
+  const double base_rps = spec.override_or("rps", 300.0);
+  const double surge = spec.override_or("surge", 10.0);
+  if (limit_on) {
+    proxy::ResilienceConfig config;
+    proxy::RateLimitConfig limit;
+    limit.tokens_per_second = base_rps * 1.5;
+    limit.burst = 50.0;
+    config.rate_limit = limit;
+    bed.canal->enable_resilience(config);
+  }
+
+  auto registry = std::make_shared<telemetry::MetricsRegistry>();
+  telemetry::TenantRecorderSet recorders(*registry, {{"dataplane", "canal"}});
+  mesh::RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.per_try_timeout = sim::milliseconds(250);
+  sim::Rng retry_rng(0x11e + spec.seed);
+  const auto duration = static_cast<sim::Duration>(
+      spec.override_or("duration_s", 2.0) * sim::kSecond);
+  std::uint64_t rate_limited = 0;
+  const sim::TimePoint start = bed.loop.now();
+  for (int t = 1; t <= kTenants; ++t) {
+    const double rps = t == kTenants ? base_rps * surge : base_rps;
+    const auto spacing = static_cast<sim::Duration>(
+        static_cast<double>(sim::kSecond) / rps);
+    const auto count =
+        static_cast<std::uint64_t>(sim::to_seconds(duration) * rps);
+    const auto tenant = static_cast<net::TenantId>(t);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      bed.loop.post_at(
+          start + static_cast<sim::Duration>(i) * spacing,
+          [&bed, &recorders, &policy, &retry_rng, &rate_limited, tenant] {
+            mesh::RequestOptions opts = bed.request(false);
+            opts.tenant = tenant;
+            opts.trace = true;
+            bed.canal->send_request_with_retries(
+                opts, policy, retry_rng,
+                [&recorders, &rate_limited](mesh::RequestResult r) {
+                  if (r.rate_limited) ++rate_limited;
+                  if (r.trace) recorders.record(*r.trace, r.status);
+                });
+          });
+    }
+  }
+  bed.loop.run();
+
+  const telemetry::FairnessReport fairness =
+      telemetry::FairnessReport::from_registry(*registry);
+  runner::RunResult result;
+  for (const auto& tenant : fairness.tenants) {
+    const std::string prefix =
+        "t" + std::to_string(net::id_value(tenant.tenant)) + ".";
+    result.set(prefix + "requests", static_cast<double>(tenant.requests));
+    result.set(prefix + "p99_us", tenant.p99_us);
+    result.set(prefix + "error_rate", tenant.error_rate);
+  }
+  result.set("jain", fairness.jain_index);
+  result.set("rate_limited", static_cast<double>(rate_limited));
+  if (proxy::ResilienceChain* chain = bed.canal->resilience()) {
+    chain->publish_metrics(*registry);
+  }
+  result.registry = registry;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // selfperf — how fast the SIMULATOR itself runs (wall-clock), as opposed to
 // every other scenario, which measures the simulated systems. Simulated
 // counters (requests, events, fastpath hits) are deterministic and go into
@@ -726,6 +1033,11 @@ inline void register_bench_scenarios(runner::Runner& runner) {
   runner.register_scenario("faults_gwcrash", scenarios::faults_gwcrash);
   runner.register_scenario("faults_linkloss", scenarios::faults_linkloss);
   runner.register_scenario("noisy_neighbor", scenarios::noisy_neighbor);
+  runner.register_scenario("resilience_retry_storm",
+                           scenarios::resilience_retry_storm);
+  runner.register_scenario("resilience_qod", scenarios::resilience_qod);
+  runner.register_scenario("resilience_ratelimit",
+                           scenarios::resilience_ratelimit);
   runner.register_scenario("selfperf", scenarios::selfperf);
 }
 
@@ -752,6 +1064,12 @@ inline std::vector<runner::RunSpec> suite_specs(std::uint64_t seeds) {
   for (const char* dp : {"canal", "ambient", "istio"}) {
     add("noisy_neighbor", dp);
   }
+  add("resilience_retry_storm", "breaker-off", {{"breaker", 0}});
+  add("resilience_retry_storm", "breaker-on", {{"breaker", 1}});
+  add("resilience_qod", "ejection-off", {{"ejection", 0}});
+  add("resilience_qod", "ejection-on", {{"ejection", 1}});
+  add("resilience_ratelimit", "limit-off", {{"limit", 0}});
+  add("resilience_ratelimit", "limit-on", {{"limit", 1}});
   add("faults_podkill", "nomesh-retry", {{"retries", 1}});
   for (const char* dp : {"istio", "ambient", "canal"}) {
     add("faults_podkill", dp, {{"retries", 0}});

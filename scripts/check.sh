@@ -73,7 +73,7 @@ else
   # Determinism gate: a parallel (--jobs 8) and a serial (--jobs 1) suite
   # run must both reproduce every committed golden byte-for-byte.
   goldens=(BENCH_latency.json BENCH_throughput.json BENCH_faults.json
-           BENCH_selfperf.json BENCH_fairness.json)
+           BENCH_selfperf.json BENCH_fairness.json BENCH_resilience.json)
   for suite_jobs in 8 1; do
     scratch="$(mktemp -d)"
     (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
@@ -107,6 +107,42 @@ else
   fi
   echo "fuzz-smoke gate OK: 200 scenarios x 5 dataplanes, zero violations," \
     "jobs-invariant report"
+
+  # Resilience fuzz-smoke: the same campaign with the resilience chain
+  # armed (rate limit -> breaker -> outlier ejection, salted per-scenario
+  # configs). Rate-limit decisions are compared strictly across planes;
+  # the resilience-window allowlist entry absorbs transition races only.
+  "${build_dir}/src/fuzz/fuzz_mesh" --seed 1 --runs 200 --jobs 8 \
+    --resilience --json "${scratch}/fuzz-res-par.json" > /dev/null
+  "${build_dir}/src/fuzz/fuzz_mesh" --seed 1 --runs 200 --jobs 1 \
+    --resilience --json "${scratch}/fuzz-res-ser.json" > /dev/null
+  if ! diff -q "${scratch}/fuzz-res-par.json" "${scratch}/fuzz-res-ser.json"; then
+    echo "resilience fuzz-smoke gate FAILED: report differs between" \
+      "--jobs 8 and --jobs 1" >&2
+    exit 1
+  fi
+  echo "resilience fuzz-smoke gate OK: 200 armed scenarios, zero" \
+    "violations, jobs-invariant report"
+
+  # Vacuous-success gates: drivers that would execute nothing must refuse
+  # with a usage error (exit 2), never print a green summary.
+  status=0
+  "${build_dir}/src/fuzz/fuzz_mesh" --runs 0 > /dev/null 2>&1 || status=$?
+  if [[ "${status}" -ne 2 ]]; then
+    echo "vacuous-success gate FAILED: fuzz_mesh --runs 0 exited" \
+      "${status}, want 2" >&2
+    exit 1
+  fi
+  status=0
+  "${build_dir}/bench/bench_suite" --filter no-such-scenario \
+    > /dev/null 2>&1 || status=$?
+  if [[ "${status}" -ne 2 ]]; then
+    echo "vacuous-success gate FAILED: zero-match --filter exited" \
+      "${status}, want 2" >&2
+    exit 1
+  fi
+  echo "vacuous-success gate OK: empty fuzz campaigns and zero-match" \
+    "bench filters are refused"
 
   # Trace-export gate: both sampled-trace exporters (fuzzer scenario-0
   # re-run and the bench suite's noisy_neighbor scenario) must emit Chrome

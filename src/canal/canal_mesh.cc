@@ -100,6 +100,25 @@ std::uint32_t CanalMesh::vni_of(net::ServiceId service) const {
   return it == vnis_.end() ? 0 : it->second;
 }
 
+void CanalMesh::apply_endpoint_health(net::ServiceId service,
+                                      std::uint64_t endpoint_key,
+                                      bool healthy) {
+  const std::string cluster_name = mesh::service_cluster_name(service);
+  for (GatewayBackend* backend : gateway_.placement_of(service)) {
+    for (std::size_t i = 0; i < backend->replica_count(); ++i) {
+      if (proxy::UpstreamCluster* c =
+              backend->replica(i)->engine().clusters().find(cluster_name)) {
+        c->set_endpoint_health(endpoint_key, healthy);
+      }
+    }
+  }
+}
+
+std::size_t CanalMesh::service_endpoint_total(net::ServiceId service) const {
+  const k8s::Service* obj = cluster_.find_service(service);
+  return obj != nullptr ? obj->endpoints.size() : 0;
+}
+
 void CanalMesh::send_request(const mesh::RequestOptions& opts,
                              mesh::RequestCallback done) {
   struct State {

@@ -61,6 +61,16 @@ class CanalMesh final : public mesh::MeshDataplane {
   [[nodiscard]] MeshGateway& gateway() noexcept { return gateway_; }
   [[nodiscard]] std::uint32_t vni_of(net::ServiceId service) const;
 
+ protected:
+  /// Outlier ejection reaches every gateway replica hosting the service
+  /// (all backends in its placement), bumping each replica engine's
+  /// cluster version so the flow fastpath revalidates.
+  void apply_endpoint_health(net::ServiceId service,
+                             std::uint64_t endpoint_key,
+                             bool healthy) override;
+  [[nodiscard]] std::size_t service_endpoint_total(
+      net::ServiceId service) const override;
+
  private:
   OnNodeProxy& ensure_proxy(const k8s::Node& node);
 

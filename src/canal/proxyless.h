@@ -105,6 +105,15 @@ class ProxylessMesh final : public mesh::MeshDataplane {
     return gateway_requests_;
   }
 
+ protected:
+  /// Same gateway-side ejection as CanalMesh: every replica hosting the
+  /// service flips the endpoint in its pool.
+  void apply_endpoint_health(net::ServiceId service,
+                             std::uint64_t endpoint_key,
+                             bool healthy) override;
+  [[nodiscard]] std::size_t service_endpoint_total(
+      net::ServiceId service) const override;
+
  private:
   sim::EventLoop& loop_;
   k8s::Cluster& cluster_;

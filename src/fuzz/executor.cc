@@ -19,6 +19,7 @@
 #include "mesh/dataplane.h"
 #include "mesh/istio.h"
 #include "net/ids.h"
+#include "proxy/resilience.h"
 #include "sim/event_loop.h"
 #include "sim/fault.h"
 #include "sim/rng.h"
@@ -181,6 +182,31 @@ void build_plane(World& w) {
       break;
     }
   }
+}
+
+/// Arms the shared resilience filter chain (token bucket -> breaker ->
+/// outlier ejection) on the plane from the spec's ResilienceSpec. Every
+/// plane receives the identical config; only completion timing differs.
+void enable_resilience(World& w) {
+  const ResilienceSpec& r = w.spec.resilience;
+  if (!r.enabled) return;
+  proxy::ResilienceConfig config;
+  proxy::BreakerConfig breaker;
+  breaker.consecutive_errors = r.breaker_consecutive_errors;
+  breaker.base_ejection_time = r.breaker_ejection_time;
+  config.breaker = breaker;
+  proxy::OutlierConfig outlier;
+  outlier.consecutive_errors = r.outlier_consecutive_errors;
+  outlier.base_ejection_time = r.outlier_ejection_time;
+  outlier.max_ejection_percent = r.max_ejection_percent;
+  config.outlier = outlier;
+  if (r.rate_limit) {
+    proxy::RateLimitConfig limit;
+    limit.tokens_per_second = r.rate_tokens_per_second;
+    limit.burst = r.rate_burst;
+    config.rate_limit = limit;
+  }
+  w.plane->enable_resilience(config);
 }
 
 // --- custom route tables --------------------------------------------------
@@ -482,6 +508,8 @@ void record_completion(World& w, PlaneResult& result, std::size_t i,
   out.status = r.status;
   out.attempts = r.attempts;
   out.timed_out = r.timed_out;
+  out.rate_limited = r.rate_limited;
+  out.resilience_affected = r.resilience_affected;
   out.completed_at = w.loop.now();
   if (w.loop.now() < w.last_completion) {
     violate(result, "clock regressed at request " + std::to_string(i));
@@ -769,6 +797,7 @@ PlaneResult run_plane(const ScenarioSpec& spec, std::size_t plane_index) {
   build_topology(w);
   build_plane(w);
   install_custom_routes(w);
+  enable_resilience(w);
   w.recorders = telemetry::TenantRecorderSet(
       w.registry, telemetry::MetricsRegistry::Labels{
                       {"dataplane", std::string(kPlanes[plane_index])}});

@@ -51,6 +51,17 @@ struct RequestOutcome {
   bool traced = false;
   /// Head-based sampling decision made when the request was issued.
   bool sampled = false;
+  /// Rejected at admission by the per-tenant token bucket (429,
+  /// attempts == 0). Token-bucket decisions depend only on the logical
+  /// arrival schedule — identical on every plane — so the oracle compares
+  /// this flag strictly, even inside fault windows.
+  bool rate_limited = false;
+  /// The request raced a circuit-breaker or outlier-ejection state
+  /// transition (or was fast-failed/cut short by one). Those transitions
+  /// fire at plane-dependent completion times, so flagged requests are
+  /// exempt from differential comparison under the resilience-window
+  /// allowlist entry (DESIGN.md §11).
+  bool resilience_affected = false;
 };
 
 /// One plane's execution of a scenario.

@@ -35,16 +35,22 @@ struct Options {
   /// as Chrome trace-event JSON here (empty = off).
   std::string trace_path;
   bool shrink = false;
+  /// Arm the resilience filter chain (rate limit -> breaker -> outlier
+  /// ejection) on every scenario, with a per-scenario config derived from
+  /// a salted RNG (see fuzz::derive_resilience).
+  bool resilience = false;
   canal::fuzz::Allowlist allowlist;
 };
 
 void usage() {
   std::cerr
       << "usage: fuzz_mesh [--seed N] [--runs N] [--jobs N] [--json FILE]\n"
-         "                 [--trace-out FILE] [--allow LIST] [--shrink]\n"
+         "                 [--trace-out FILE] [--allow LIST] [--resilience]\n"
+         "                 [--shrink]\n"
          "\n"
          "  --seed N     campaign seed (default 1)\n"
-         "  --runs N     number of scenarios to run (default 100)\n"
+         "  --runs N     number of scenarios to run (default 100; 0 is a\n"
+         "               usage error — an empty campaign proves nothing)\n"
          "  --jobs N     worker threads (default 1; output is identical\n"
          "               for any value)\n"
          "  --json FILE  write the machine-readable campaign report here\n"
@@ -52,7 +58,11 @@ void usage() {
          "               write scenario 0's sampled canal-plane traces as\n"
          "               Chrome trace-event JSON (chrome://tracing)\n"
          "  --allow LIST comma-separated divergence allowlist (default\n"
-         "               all: l7-routing-nomesh,weighted-split,fault-window)\n"
+         "               all: l7-routing-nomesh,weighted-split,\n"
+         "               fault-window,resilience-window)\n"
+         "  --resilience arm the resilience filter chain (per-tenant rate\n"
+         "               limit, circuit breaker, outlier ejection) on every\n"
+         "               scenario, config derived from a salted RNG\n"
          "  --shrink     on failure, shrink the first failing scenario and\n"
          "               print a ready-to-commit regression test\n";
 }
@@ -94,6 +104,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       opts.allowlist = *parsed;
+    } else if (arg == "--resilience") {
+      opts.resilience = true;
     } else if (arg == "--shrink") {
       opts.shrink = true;
     } else {
@@ -112,10 +124,21 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (opts->runs == 0) {
+    // A zero-scenario campaign would "pass" vacuously — the same trap as a
+    // bench filter matching nothing. Refuse loudly instead of printing a
+    // green summary that checked no property.
+    std::cerr << "fuzz_mesh: --runs 0 executes no scenarios; refusing to "
+                 "report success\n";
+    return 2;
+  }
 
   std::vector<canal::fuzz::ScenarioReport> reports(opts->runs);
   const auto run_one = [&](std::uint32_t i) {
-    const auto spec = canal::fuzz::generate_scenario(opts->seed, i);
+    auto spec = canal::fuzz::generate_scenario(opts->seed, i);
+    if (opts->resilience) {
+      spec.resilience = canal::fuzz::derive_resilience(opts->seed, i);
+    }
     reports[i] = canal::fuzz::check_scenario(
         spec, canal::fuzz::run_all_planes(spec), opts->allowlist);
   };
@@ -175,7 +198,10 @@ int main(int argc, char** argv) {
   if (!opts->trace_path.empty() && opts->runs > 0) {
     // Deterministic re-run (same spec, fresh world) so the export does not
     // depend on which pool thread ran scenario 0.
-    const auto spec = canal::fuzz::generate_scenario(opts->seed, 0);
+    auto spec = canal::fuzz::generate_scenario(opts->seed, 0);
+    if (opts->resilience) {
+      spec.resilience = canal::fuzz::derive_resilience(opts->seed, 0);
+    }
     const auto plane = canal::fuzz::run_plane(spec, canal::fuzz::kCanal);
     std::string error;
     if (!canal::telemetry::validate_chrome_trace(plane.traces.to_json(),
@@ -197,8 +223,11 @@ int main(int argc, char** argv) {
   if (opts->shrink) {
     for (const auto& report : reports) {
       if (report.clean()) continue;
-      const auto spec = canal::fuzz::generate_scenario(opts->seed,
-                                                       report.index);
+      auto spec = canal::fuzz::generate_scenario(opts->seed, report.index);
+      if (opts->resilience) {
+        spec.resilience =
+            canal::fuzz::derive_resilience(opts->seed, report.index);
+      }
       const auto shrunk =
           canal::fuzz::shrink(spec, opts->allowlist);
       std::cout << "\nshrunk scenario " << report.index << " from "

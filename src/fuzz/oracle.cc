@@ -9,6 +9,7 @@ namespace {
 constexpr std::string_view kL7RoutingNoMesh = "l7-routing-nomesh";
 constexpr std::string_view kWeightedSplit = "weighted-split";
 constexpr std::string_view kFaultWindow = "fault-window";
+constexpr std::string_view kResilienceWindow = "resilience-window";
 
 void append_json_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
@@ -90,7 +91,35 @@ void compare_request(const ScenarioSpec& spec,
   for (const auto& plane : results) {
     if (!plane.outcomes[i].completed) return;  // conservation already flagged
   }
+
+  // Per-tenant rate-limit decisions are compared strictly and FIRST —
+  // before any window exemption. The token bucket is consulted at
+  // admission and consumed once per logical request, so its state is a
+  // pure function of the spec's arrival schedule, identical on every
+  // plane regardless of faults or breaker state.
+  const RequestOutcome& rl_ref = results[kNoMesh].outcomes[i];
+  for (std::size_t p = 1; p < results.size(); ++p) {
+    const RequestOutcome& out = results[p].outcomes[i];
+    if (out.rate_limited != rl_ref.rate_limited) {
+      add_differential(
+          report, p, i,
+          std::string("rate-limit decision ") +
+              (out.rate_limited ? "limited" : "admitted") + " vs " +
+              (rl_ref.rate_limited ? "limited" : "admitted") + " on " +
+              std::string(kPlanes[kNoMesh]));
+    }
+  }
+
   if (allowlist.fault_window && overlaps_fault(spec, results, i)) return;
+  if (allowlist.resilience_window) {
+    for (const auto& plane : results) {
+      // A breaker/outlier transition raced this request somewhere: its
+      // status/attempts legitimately depend on plane-specific completion
+      // timing, so skip the differential comparison (the strict
+      // rate-limit check above already ran).
+      if (plane.outcomes[i].resilience_affected) return;
+    }
+  }
 
   const RequestSpec& rs = spec.requests[i];
   const bool direct = matches_direct_rule(spec, rs);
@@ -148,6 +177,7 @@ std::string Allowlist::to_string() const {
   if (l7_routing_nomesh) add(kL7RoutingNoMesh);
   if (weighted_split) add(kWeightedSplit);
   if (fault_window) add(kFaultWindow);
+  if (resilience_window) add(kResilienceWindow);
   return out;
 }
 
@@ -156,6 +186,7 @@ std::optional<Allowlist> Allowlist::parse(const std::string& s) {
   list.l7_routing_nomesh = false;
   list.weighted_split = false;
   list.fault_window = false;
+  list.resilience_window = false;
   std::size_t pos = 0;
   while (pos < s.size()) {
     std::size_t comma = s.find(',', pos);
@@ -167,6 +198,8 @@ std::optional<Allowlist> Allowlist::parse(const std::string& s) {
       list.weighted_split = true;
     } else if (name == kFaultWindow) {
       list.fault_window = true;
+    } else if (name == kResilienceWindow) {
+      list.resilience_window = true;
     } else {
       return std::nullopt;
     }

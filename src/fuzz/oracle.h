@@ -2,7 +2,7 @@
 // folds in the executor's single-run invariant findings.
 //
 // Divergence between dataplanes is only a bug when the planes are
-// supposed to agree. Three classes of disagreement are *documented*
+// supposed to agree. Four classes of disagreement are *documented*
 // architecture differences, controlled by the Allowlist:
 //
 //   l7-routing-nomesh  NoMesh is L4-only and cannot honour direct-response
@@ -15,6 +15,14 @@
 //                      (pod kill, link loss, replica crash) race the fault
 //                      differently per plane; they are exempt from
 //                      differential comparison entirely.
+//   resilience-window  Circuit-breaker and outlier-ejection transitions
+//                      fire at completion times, which differ by plane, so
+//                      requests flagged resilience_affected on any plane
+//                      race a state transition and are exempt from
+//                      differential comparison. Per-tenant rate-limit
+//                      decisions are NOT covered: they depend only on the
+//                      plane-invariant arrival schedule and stay strictly
+//                      compared even here (DESIGN.md §13).
 //
 // Everything else must match exactly: status, serving service, attempt
 // count (and exactly one attempt when no fault was active).
@@ -37,6 +45,7 @@ struct Allowlist {
   bool l7_routing_nomesh = true;
   bool weighted_split = true;
   bool fault_window = true;
+  bool resilience_window = true;
 
   /// Comma-separated kebab-case names of the *enabled* entries, e.g.
   /// "l7-routing-nomesh,fault-window". Empty when all are disabled.

@@ -159,6 +159,30 @@ ScenarioSpec generate_scenario(std::uint64_t seed, std::uint32_t index) {
   return spec;
 }
 
+ResilienceSpec derive_resilience(std::uint64_t seed, std::uint32_t index) {
+  // Salt keeps this stream disjoint from generate_scenario's: arming
+  // resilience must not perturb the scenario program itself.
+  std::uint64_t salted = scenario_seed(seed, index) ^ 0xC2B2AE3D27D4EB4FULL;
+  sim::Rng rng(sim::splitmix64(salted));
+  ResilienceSpec spec;
+  spec.enabled = true;
+  spec.breaker_consecutive_errors =
+      static_cast<std::uint32_t>(rng.uniform_int(2, 6));
+  spec.breaker_ejection_time =
+      rng.uniform_int(sim::milliseconds(10), sim::milliseconds(60));
+  spec.outlier_consecutive_errors =
+      static_cast<std::uint32_t>(rng.uniform_int(2, 6));
+  spec.outlier_ejection_time =
+      rng.uniform_int(sim::milliseconds(10), sim::milliseconds(60));
+  spec.max_ejection_percent =
+      static_cast<std::uint32_t>(rng.uniform_int(34, 67));
+  spec.rate_limit = rng.chance(0.7);
+  spec.rate_tokens_per_second =
+      static_cast<double>(rng.uniform_int(50, 400));
+  spec.rate_burst = static_cast<double>(rng.uniform_int(2, 12));
+  return spec;
+}
+
 namespace {
 
 const char* event_kind_name(EventKind kind) {
@@ -235,6 +259,26 @@ std::string to_cpp_snippet(const ScenarioSpec& spec) {
         << "    ev.replica = " << ev.replica << ";\n"
         << "    ev.extra_latency = " << ev.extra_latency << ";\n"
         << "    spec.events.push_back(ev);\n  }\n";
+  }
+  if (spec.resilience.enabled) {
+    const auto& r = spec.resilience;
+    out << "  spec.resilience.enabled = true;\n"
+        << "  spec.resilience.breaker_consecutive_errors = "
+        << r.breaker_consecutive_errors << ";\n"
+        << "  spec.resilience.breaker_ejection_time = "
+        << r.breaker_ejection_time << ";\n"
+        << "  spec.resilience.outlier_consecutive_errors = "
+        << r.outlier_consecutive_errors << ";\n"
+        << "  spec.resilience.outlier_ejection_time = "
+        << r.outlier_ejection_time << ";\n"
+        << "  spec.resilience.max_ejection_percent = "
+        << r.max_ejection_percent << ";\n";
+    if (r.rate_limit) {
+      out << "  spec.resilience.rate_limit = true;\n"
+          << "  spec.resilience.rate_tokens_per_second = "
+          << r.rate_tokens_per_second << ";\n"
+          << "  spec.resilience.rate_burst = " << r.rate_burst << ";\n";
+    }
   }
   out << "  const auto results = fuzz::run_all_planes(spec);\n";
   out << "  const auto report =\n"

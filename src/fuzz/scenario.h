@@ -90,6 +90,30 @@ struct EventSpec {
   }
 };
 
+/// Resilience filter-chain configuration applied identically to every
+/// plane (proxy::ResilienceChain: per-tenant token bucket -> per-service
+/// circuit breaker -> outlier ejection). Never set by generate_scenario:
+/// following the RequestSpec::tenant precedent, arming resilience must
+/// not consume generator RNG draws, so every historical (seed, index)
+/// campaign scenario stays byte-identical. fuzz_mesh --resilience arms
+/// it post-generation via derive_resilience(), which draws from a
+/// separately salted RNG keyed by the same (seed, index).
+struct ResilienceSpec {
+  bool enabled = false;
+  std::uint32_t breaker_consecutive_errors = 5;
+  sim::Duration breaker_ejection_time = sim::milliseconds(40);
+  std::uint32_t outlier_consecutive_errors = 5;
+  sim::Duration outlier_ejection_time = sim::milliseconds(40);
+  std::uint32_t max_ejection_percent = 50;
+  /// Rate limiting is optional within an armed spec: token-bucket
+  /// decisions are strictly compared across planes (they depend only on
+  /// the arrival schedule), so mixing limited and unlimited campaigns
+  /// exercises both the strict and the windowed oracle paths.
+  bool rate_limit = false;
+  double rate_tokens_per_second = 200.0;
+  double rate_burst = 8.0;
+};
+
 /// One complete scenario program.
 struct ScenarioSpec {
   std::uint64_t seed = 1;    ///< plane RNG seed (Testbed convention)
@@ -102,6 +126,7 @@ struct ScenarioSpec {
   std::vector<DirectResponseSpec> direct_responses;
   std::vector<RequestSpec> requests;
   std::vector<EventSpec> events;
+  ResilienceSpec resilience;  ///< disabled unless armed (see above)
 
   /// Test-only planted bug: when `planted_plane` is >= 0, the executor
   /// misreports the status of requests to `planted_service` on that plane
@@ -124,6 +149,13 @@ struct ScenarioSpec {
 /// `seed`. Same (seed, index) -> identical spec, on any thread.
 [[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed,
                                              std::uint32_t index);
+
+/// Deterministically derives an armed ResilienceSpec for scenario
+/// (seed, index) from a salted RNG that shares no draws with
+/// generate_scenario. fuzz_mesh --resilience assigns the result into the
+/// generated spec; same (seed, index) -> identical config, any thread.
+[[nodiscard]] ResilienceSpec derive_resilience(std::uint64_t seed,
+                                               std::uint32_t index);
 
 /// Emits a self-contained C++ snippet (a gtest TEST body) that rebuilds
 /// `spec`, runs all planes, and asserts a clean oracle report — ready to

@@ -123,6 +123,22 @@ proxy::ProxyEngine* AmbientMesh::waypoint_engine(net::ServiceId service) {
   return it == waypoints_.end() ? nullptr : it->second->engine.get();
 }
 
+void AmbientMesh::apply_endpoint_health(net::ServiceId service,
+                                        std::uint64_t endpoint_key,
+                                        bool healthy) {
+  proxy::ProxyEngine* waypoint = waypoint_engine(service);
+  if (waypoint == nullptr) return;
+  if (proxy::UpstreamCluster* c =
+          waypoint->clusters().find(service_cluster_name(service))) {
+    c->set_endpoint_health(endpoint_key, healthy);
+  }
+}
+
+std::size_t AmbientMesh::service_endpoint_total(net::ServiceId service) const {
+  const k8s::Service* obj = cluster_.find_service(service);
+  return obj != nullptr ? obj->endpoints.size() : 0;
+}
+
 void AmbientMesh::send_request(const RequestOptions& opts,
                                RequestCallback done) {
   struct State {

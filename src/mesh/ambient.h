@@ -66,6 +66,15 @@ class AmbientMesh final : public MeshDataplane {
   [[nodiscard]] proxy::ProxyEngine* ztunnel_engine(const k8s::Node& node);
   [[nodiscard]] proxy::ProxyEngine* waypoint_engine(net::ServiceId service);
 
+ protected:
+  /// Outlier ejection reaches the service's waypoint (the only L7 LB set
+  /// in the ambient path; ztunnels are L4 and hold no endpoint pools).
+  void apply_endpoint_health(net::ServiceId service,
+                             std::uint64_t endpoint_key,
+                             bool healthy) override;
+  [[nodiscard]] std::size_t service_endpoint_total(
+      net::ServiceId service) const override;
+
  private:
   struct Ztunnel {
     explicit Ztunnel(sim::EventLoop& loop, std::size_t cores)

@@ -127,10 +127,15 @@ struct RetryState {
   RetryPolicy policy;
   sim::Rng* rng = nullptr;  ///< borrowed; must outlive the request
   RetryBudget* budget = nullptr;
+  proxy::ResilienceChain* chain = nullptr;  ///< owned by the dataplane
   RequestCallback done;
   sim::TimePoint send = 0;
   std::uint32_t attempt = 0;
   net::TenantId tenant{};
+  /// Resilience disturbance epoch of the destination service at send;
+  /// a change by completion marks the outcome resilience_affected.
+  std::uint64_t epoch_at_send = 0;
+  bool affected = false;
   std::shared_ptr<telemetry::Trace> merged;  ///< null when tracing is off
 
   void append_attempt_trace(const telemetry::Trace& attempt_trace) {
@@ -150,7 +155,20 @@ struct RetryState {
     result.timed_out = timed_out;
     result.tenant = tenant;
     result.trace = merged;
+    if (chain != nullptr) {
+      result.resilience_affected =
+          affected ||
+          chain->disturbance_epoch(opts.dst_service) != epoch_at_send ||
+          chain->disturbed(opts.dst_service);
+    }
     done(result);
+  }
+
+  /// Feeds one completed attempt into the breaker/outlier stages.
+  void feed_chain(net::PodId served_by, int status) {
+    if (chain == nullptr) return;
+    chain->on_attempt_result(opts.dst_service, net::id_value(served_by),
+                             status);
   }
 };
 
@@ -161,8 +179,15 @@ void run_attempt(std::shared_ptr<RetryState> st);
 /// attempt is scheduled after backoff.
 void settle_attempt(const std::shared_ptr<RetryState>& st,
                     const RequestResult& result, bool timed_out) {
-  const bool want_retry = st->policy.retryable(result.status) &&
-                          st->attempt < st->policy.max_attempts;
+  bool want_retry = st->policy.retryable(result.status) &&
+                    st->attempt < st->policy.max_attempts;
+  if (want_retry && st->chain != nullptr &&
+      !st->chain->attempt_allowed(st->opts.dst_service)) {
+    // The breaker opened under us: don't retry into an open breaker; the
+    // current result stands and the outcome is marked affected.
+    want_retry = false;
+    st->affected = true;
+  }
   const bool admitted =
       want_retry && (st->budget == nullptr || st->budget->try_acquire());
   if (!admitted) {
@@ -202,6 +227,7 @@ void run_attempt(std::shared_ptr<RetryState> st) {
                 telemetry::Component::kRetry, attempt_start, st->loop->now(),
                 0, 0, 504);
           }
+          st->feed_chain(net::PodId{}, 504);
           RequestResult timed_out;
           timed_out.status = 504;
           timed_out.timed_out = true;
@@ -215,17 +241,61 @@ void run_attempt(std::shared_ptr<RetryState> st) {
     *settled = true;
     timeout->cancel();
     if (result.trace) st->append_attempt_trace(*result.trace);
+    st->feed_chain(result.served_by, result.status);
     settle_attempt(st, result, /*timed_out=*/false);
   });
 }
 
 }  // namespace
 
+void MeshDataplane::enable_resilience(const proxy::ResilienceConfig& config) {
+  proxy::ResilienceChain::Hooks hooks;
+  hooks.set_endpoint_health = [this](net::ServiceId service,
+                                     std::uint64_t key, bool healthy) {
+    apply_endpoint_health(service, key, healthy);
+  };
+  hooks.endpoint_total = [this](net::ServiceId service) {
+    return service_endpoint_total(service);
+  };
+  hooks.loop = &event_loop();
+  resilience_ =
+      std::make_unique<proxy::ResilienceChain>(config, std::move(hooks));
+}
+
+void MeshDataplane::apply_endpoint_health(net::ServiceId, std::uint64_t,
+                                          bool) {}
+
+std::size_t MeshDataplane::service_endpoint_total(net::ServiceId) const {
+  return 0;
+}
+
 void MeshDataplane::send_request_with_retries(const RequestOptions& opts,
                                               const RetryPolicy& policy,
                                               sim::Rng& rng,
                                               RequestCallback done,
                                               RetryBudget* budget) {
+  if (resilience_ != nullptr) {
+    const proxy::ResilienceChain::Admission admission =
+        resilience_->admit(effective_tenant(opts), opts.dst_service);
+    if (!admission.admitted) {
+      // Synchronous fast-fail before any attempt: 429 from the tenant's
+      // token bucket or 503 from an open breaker. attempts = 0 records
+      // that the dataplane was never entered; the (empty) trace still
+      // tiles its zero-length [send, send] window.
+      RequestResult result;
+      result.status = admission.status;
+      result.tenant = effective_tenant(opts);
+      result.attempts = 0;
+      result.rate_limited = admission.rate_limited;
+      result.resilience_affected = !admission.rate_limited;
+      if (opts.trace) {
+        result.trace = std::make_shared<telemetry::Trace>();
+        result.trace->set_tenant(result.tenant);
+      }
+      done(result);
+      return;
+    }
+  }
   auto st = std::make_shared<RetryState>();
   st->mesh = this;
   st->loop = &event_loop();
@@ -236,6 +306,11 @@ void MeshDataplane::send_request_with_retries(const RequestOptions& opts,
   st->done = std::move(done);
   st->send = st->loop->now();
   st->tenant = effective_tenant(opts);
+  st->chain = resilience_.get();
+  if (st->chain != nullptr) {
+    st->epoch_at_send = st->chain->disturbance_epoch(opts.dst_service);
+    st->affected = st->chain->disturbed(opts.dst_service);
+  }
   if (opts.trace) {
     st->merged = std::make_shared<telemetry::Trace>();
     st->merged->set_tenant(st->tenant);
@@ -257,6 +332,20 @@ http::Request build_request(const RequestOptions& opts) {
     req.headers.set("Content-Length", std::to_string(opts.request_bytes));
   }
   return req;
+}
+
+void NoMesh::apply_endpoint_health(net::ServiceId, std::uint64_t endpoint_key,
+                                   bool healthy) {
+  if (healthy) {
+    ejected_.erase(endpoint_key);
+  } else {
+    ejected_.insert(endpoint_key);
+  }
+}
+
+std::size_t NoMesh::service_endpoint_total(net::ServiceId service) const {
+  const k8s::Service* obj = cluster_.find_service(service);
+  return obj != nullptr ? obj->endpoints.size() : 0;
 }
 
 void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
@@ -284,7 +373,12 @@ void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
     finish(404, net::PodId{});
     return;
   }
-  const auto endpoints = service->ready_endpoints();
+  auto endpoints = service->ready_endpoints();
+  if (!ejected_.empty()) {
+    std::erase_if(endpoints, [this](const k8s::Pod* pod) {
+      return ejected_.contains(net::id_value(pod->id()));
+    });
+  }
   if (endpoints.empty()) {
     finish(503, net::PodId{});
     return;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "http/message.h"
@@ -19,6 +20,7 @@
 #include "net/flow.h"
 #include "net/ids.h"
 #include "proxy/engine.h"
+#include "proxy/resilience.h"
 #include "sim/fault.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -104,6 +106,18 @@ struct RequestResult {
   /// True when the final attempt was abandoned by the per-try timeout
   /// (status 504) rather than answered by the dataplane.
   bool timed_out = false;
+  /// True when the per-tenant rate limiter rejected the request (429,
+  /// attempts == 0). Rate-limit decisions depend only on the logical
+  /// request arrival schedule, so they are identical across dataplanes
+  /// and compared strictly by the differential oracle.
+  bool rate_limited = false;
+  /// True when breaker/ejection state influenced this outcome: a breaker
+  /// fast-fail, or any breaker/outlier transition for the destination
+  /// service between send and completion (disturbance-epoch change), or
+  /// non-closed breaker / active ejection at either end. Such outcomes
+  /// depend on attempt-completion timing and are plane-divergent — the
+  /// oracle exempts them under the resilience-window allowlist entry.
+  bool resilience_affected = false;
   /// Populated iff RequestOptions.trace was set: ordered spans whose
   /// durations tile [send, done] — they sum exactly to `latency`.
   std::shared_ptr<telemetry::Trace> trace;
@@ -232,6 +246,31 @@ class MeshDataplane {
 
   /// Number of proxy instances the control plane manages.
   [[nodiscard]] virtual std::size_t proxy_count() const = 0;
+
+  /// Arms the resilience filter chain (DESIGN.md §13). Stages run inside
+  /// send_request_with_retries in fixed order — rate limit -> breaker ->
+  /// retry — and outlier ejections are applied to this plane's LB sets
+  /// through apply_endpoint_health(). Idempotent per call (replaces any
+  /// previous chain).
+  void enable_resilience(const proxy::ResilienceConfig& config);
+  [[nodiscard]] proxy::ResilienceChain* resilience() noexcept {
+    return resilience_.get();
+  }
+
+ protected:
+  /// Flips one endpoint's health in every LB set this plane keeps for
+  /// `service` (outlier ejection / readmission). Engine-based planes
+  /// route this to UpstreamCluster::set_endpoint_health so the config
+  /// version bump invalidates flow fastpath caches.
+  virtual void apply_endpoint_health(net::ServiceId service,
+                                     std::uint64_t endpoint_key, bool healthy);
+  /// Endpoint-count denominator for the max_ejection_percent bound. Every
+  /// plane answers from the shared k8s service object, so the bound is
+  /// identical across planes.
+  [[nodiscard]] virtual std::size_t service_endpoint_total(
+      net::ServiceId service) const;
+
+  std::unique_ptr<proxy::ResilienceChain> resilience_;
 };
 
 /// Serialized size of one service's routes + endpoints ("per-service
@@ -285,12 +324,22 @@ class NoMesh final : public MeshDataplane {
   [[nodiscard]] double total_cpu_core_seconds() const override { return 0.0; }
   [[nodiscard]] std::size_t proxy_count() const override { return 0; }
 
+ protected:
+  /// NoMesh has no proxy LB sets; ejection maintains a client-side
+  /// excluded-pod set filtered out of ready_endpoints() in send_request.
+  void apply_endpoint_health(net::ServiceId service,
+                             std::uint64_t endpoint_key,
+                             bool healthy) override;
+  [[nodiscard]] std::size_t service_endpoint_total(
+      net::ServiceId service) const override;
+
  private:
   sim::EventLoop& loop_;
   k8s::Cluster& cluster_;
   NetworkProfile net_;
   sim::Rng rng_;  ///< loss decisions under an armed fault plan
   std::size_t rr_ = 0;
+  std::unordered_set<std::uint64_t> ejected_;  ///< outlier-ejected pod keys
 };
 
 /// Builds the HTTP request described by `opts`.

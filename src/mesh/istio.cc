@@ -71,6 +71,23 @@ proxy::ProxyEngine* IstioMesh::sidecar_engine(net::PodId pod) {
   return it == sidecars_.end() ? nullptr : it->second.engine.get();
 }
 
+void IstioMesh::apply_endpoint_health(net::ServiceId service,
+                                      std::uint64_t endpoint_key,
+                                      bool healthy) {
+  const std::string cluster_name = service_cluster_name(service);
+  for (auto& [id, sidecar] : sidecars_) {
+    if (proxy::UpstreamCluster* c =
+            sidecar.engine->clusters().find(cluster_name)) {
+      c->set_endpoint_health(endpoint_key, healthy);
+    }
+  }
+}
+
+std::size_t IstioMesh::service_endpoint_total(net::ServiceId service) const {
+  const k8s::Service* obj = cluster_.find_service(service);
+  return obj != nullptr ? obj->endpoints.size() : 0;
+}
+
 void IstioMesh::send_request(const RequestOptions& opts,
                              RequestCallback done) {
   struct State {

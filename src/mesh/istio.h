@@ -67,6 +67,15 @@ class IstioMesh final : public MeshDataplane {
   /// Mean utilization of all sidecar CPU pools over the window.
   [[nodiscard]] double sidecar_utilization(sim::Duration window) const;
 
+ protected:
+  /// Outlier ejection reaches every sidecar's endpoint pool (each sidecar
+  /// holds the full config, so each has its own copy of the cluster).
+  void apply_endpoint_health(net::ServiceId service,
+                             std::uint64_t endpoint_key,
+                             bool healthy) override;
+  [[nodiscard]] std::size_t service_endpoint_total(
+      net::ServiceId service) const override;
+
  private:
   struct NodePool {
     explicit NodePool(sim::EventLoop& loop, std::size_t cores)

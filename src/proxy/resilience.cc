@@ -1,0 +1,296 @@
+#include "proxy/resilience.h"
+
+#include <algorithm>
+#include <string>
+
+namespace canal::proxy {
+
+// --- CircuitBreaker ---------------------------------------------------
+
+void CircuitBreaker::refresh(sim::TimePoint now) {
+  if (state_ == State::kOpen &&
+      now >= opened_at_ + config_.base_ejection_time) {
+    state_ = State::kHalfOpen;
+    probe_outstanding_ = false;
+    ++transitions_;
+  }
+}
+
+bool CircuitBreaker::try_admit(sim::TimePoint now) {
+  refresh(now);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      ++rejected_;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_outstanding_ ||
+          now >= probe_sent_ + config_.base_ejection_time) {
+        probe_outstanding_ = true;
+        probe_sent_ = now;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return true;
+}
+
+bool CircuitBreaker::attempt_allowed(sim::TimePoint now) const {
+  // The open window, computed without mutating (the lazy open -> half-open
+  // flip happens on the next try_admit/on_result).
+  return !(state_ == State::kOpen &&
+           now < opened_at_ + config_.base_ejection_time);
+}
+
+void CircuitBreaker::on_result(sim::TimePoint now, bool error) {
+  refresh(now);
+  switch (state_) {
+    case State::kHalfOpen:
+      // First completion settles the breaker — the probe, or a straggler
+      // from before the breaker opened; either is fresh evidence.
+      probe_outstanding_ = false;
+      consecutive_errors_ = 0;
+      if (error) {
+        state_ = State::kOpen;
+        opened_at_ = now;
+        ++opens_;
+      } else {
+        state_ = State::kClosed;
+      }
+      ++transitions_;
+      return;
+    case State::kOpen:
+      // Straggler completing inside the open window: no new evidence.
+      return;
+    case State::kClosed:
+      if (!error) {
+        consecutive_errors_ = 0;
+        return;
+      }
+      if (++consecutive_errors_ >= config_.consecutive_errors) {
+        state_ = State::kOpen;
+        opened_at_ = now;
+        consecutive_errors_ = 0;
+        ++opens_;
+        ++transitions_;
+      }
+      return;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(sim::TimePoint now) const {
+  if (state_ == State::kOpen &&
+      now >= opened_at_ + config_.base_ejection_time) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+// --- TokenBucket ------------------------------------------------------
+
+bool TokenBucket::try_consume(sim::TimePoint now) {
+  tokens_ = tokens(now);
+  last_ = now;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::tokens(sim::TimePoint now) const {
+  const double refilled =
+      tokens_ + sim::to_seconds(now - last_) * config_.tokens_per_second;
+  return std::min(config_.burst, refilled);
+}
+
+// --- OutlierDetector --------------------------------------------------
+
+bool OutlierDetector::on_result(std::uint64_t key, bool error,
+                                std::size_t endpoint_total) {
+  EndpointState& ep = endpoints_[key];
+  if (ep.ejected) return false;  // stragglers from an ejected endpoint
+  if (!error) {
+    ep.consecutive_errors = 0;
+    return false;
+  }
+  if (++ep.consecutive_errors < config_.consecutive_errors) return false;
+  ep.consecutive_errors = 0;
+  // Strict bound: ejecting must keep ejected/total within the percent cap.
+  if (endpoint_total == 0 ||
+      (static_cast<std::uint64_t>(ejected_count_) + 1) * 100 >
+          static_cast<std::uint64_t>(config_.max_ejection_percent) *
+              endpoint_total) {
+    return false;
+  }
+  ep.ejected = true;
+  ++ejected_count_;
+  ++transitions_;
+  return true;
+}
+
+bool OutlierDetector::readmit(std::uint64_t key) {
+  const auto it = endpoints_.find(key);
+  if (it == endpoints_.end() || !it->second.ejected) return false;
+  it->second.ejected = false;
+  it->second.consecutive_errors = 0;
+  --ejected_count_;
+  ++transitions_;
+  return true;
+}
+
+bool OutlierDetector::ejected(std::uint64_t key) const {
+  const auto it = endpoints_.find(key);
+  return it != endpoints_.end() && it->second.ejected;
+}
+
+// --- ResilienceChain --------------------------------------------------
+
+CircuitBreaker* ResilienceChain::breaker_for(net::ServiceId service) {
+  if (!config_.breaker.has_value()) return nullptr;
+  auto it = breakers_.find(service);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(service, CircuitBreaker(*config_.breaker)).first;
+  }
+  return &it->second;
+}
+
+OutlierDetector* ResilienceChain::outlier_for(net::ServiceId service) {
+  if (!config_.outlier.has_value()) return nullptr;
+  auto it = outliers_.find(service);
+  if (it == outliers_.end()) {
+    it = outliers_.emplace(service, OutlierDetector(*config_.outlier)).first;
+  }
+  return &it->second;
+}
+
+const CircuitBreaker* ResilienceChain::breaker(net::ServiceId service) const {
+  const auto it = breakers_.find(service);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+const OutlierDetector* ResilienceChain::outlier(net::ServiceId service) const {
+  const auto it = outliers_.find(service);
+  return it == outliers_.end() ? nullptr : &it->second;
+}
+
+ResilienceChain::Admission ResilienceChain::admit(net::TenantId tenant,
+                                                  net::ServiceId service) {
+  const sim::TimePoint now = hooks_.loop->now();
+  if (config_.rate_limit.has_value()) {
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_.emplace(tenant, TokenBucket(*config_.rate_limit, now))
+               .first;
+    }
+    if (!it->second.try_consume(now)) {
+      ++rate_limited_total_;
+      ++rate_limited_by_tenant_[tenant];
+      return Admission{false, 429, true};
+    }
+  }
+  if (CircuitBreaker* breaker = breaker_for(service)) {
+    if (!breaker->try_admit(now)) {
+      ++breaker_rejected_total_;
+      return Admission{false, 503, false};
+    }
+  }
+  return Admission{};
+}
+
+bool ResilienceChain::attempt_allowed(net::ServiceId service) const {
+  const CircuitBreaker* b = breaker(service);
+  return b == nullptr || b->attempt_allowed(hooks_.loop->now());
+}
+
+void ResilienceChain::on_attempt_result(net::ServiceId service,
+                                        std::uint64_t endpoint_key,
+                                        int status) {
+  const sim::TimePoint now = hooks_.loop->now();
+  const bool error = status >= 500;
+  if (CircuitBreaker* breaker = breaker_for(service)) {
+    breaker->on_result(now, error);
+  }
+  if (endpoint_key == 0) return;
+  if (OutlierDetector* outlier = outlier_for(service)) {
+    const std::size_t total =
+        hooks_.endpoint_total ? hooks_.endpoint_total(service) : 0;
+    if (outlier->on_result(endpoint_key, error, total)) {
+      eject(service, endpoint_key);
+    }
+  }
+}
+
+void ResilienceChain::eject(net::ServiceId service, std::uint64_t key) {
+  ++ejections_total_;
+  ++ejections_by_service_[service];
+  if (hooks_.set_endpoint_health) {
+    hooks_.set_endpoint_health(service, key, false);
+  }
+  const sim::Duration hold = config_.outlier->base_ejection_time;
+  hooks_.loop->post(hold, [this, service, key]() {
+    OutlierDetector* outlier = outlier_for(service);
+    if (outlier == nullptr || !outlier->readmit(key)) return;
+    ++readmissions_total_;
+    ++readmissions_by_service_[service];
+    if (hooks_.set_endpoint_health) {
+      hooks_.set_endpoint_health(service, key, true);
+    }
+  });
+}
+
+std::uint64_t ResilienceChain::disturbance_epoch(
+    net::ServiceId service) const {
+  std::uint64_t epoch = 0;
+  if (const CircuitBreaker* b = breaker(service)) epoch += b->transitions();
+  if (const OutlierDetector* o = outlier(service)) epoch += o->transitions();
+  return epoch;
+}
+
+bool ResilienceChain::disturbed(net::ServiceId service) const {
+  if (const CircuitBreaker* b = breaker(service)) {
+    if (b->state(hooks_.loop->now()) != CircuitBreaker::State::kClosed) {
+      return true;
+    }
+  }
+  if (const OutlierDetector* o = outlier(service)) {
+    if (o->ejected_count() > 0) return true;
+  }
+  return false;
+}
+
+void ResilienceChain::publish_metrics(
+    telemetry::MetricsRegistry& registry) const {
+  for (const auto& [tenant, count] : rate_limited_by_tenant_) {
+    registry
+        .counter("resilience_rate_limited_total",
+                 {{std::string(telemetry::kTenantLabel),
+                   std::to_string(net::id_value(tenant))}})
+        .inc(static_cast<double>(count));
+  }
+  for (const auto& [service, breaker] : breakers_) {
+    const telemetry::MetricsRegistry::Labels labels{
+        {std::string(telemetry::kServiceLabel),
+         std::to_string(net::id_value(service))}};
+    registry.counter("resilience_breaker_rejected_total", labels)
+        .inc(static_cast<double>(breaker.rejected()));
+    registry.counter("resilience_breaker_opens_total", labels)
+        .inc(static_cast<double>(breaker.opens()));
+  }
+  for (const auto& [service, count] : ejections_by_service_) {
+    registry
+        .counter("resilience_ejections_total",
+                 {{std::string(telemetry::kServiceLabel),
+                   std::to_string(net::id_value(service))}})
+        .inc(static_cast<double>(count));
+  }
+  for (const auto& [service, count] : readmissions_by_service_) {
+    registry
+        .counter("resilience_readmissions_total",
+                 {{std::string(telemetry::kServiceLabel),
+                   std::to_string(net::id_value(service))}})
+        .inc(static_cast<double>(count));
+  }
+}
+
+}  // namespace canal::proxy

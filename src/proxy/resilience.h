@@ -1,0 +1,262 @@
+// Client-side resilience stages shared by every dataplane: per-tenant
+// token-bucket rate limiting, a per-service circuit breaker with half-open
+// probing, and per-endpoint outlier detection that ejects hosts from the
+// load-balancing set (DESIGN.md §13).
+//
+// The stages run in a fixed order inside the retry layer — rate limit ->
+// breaker -> retry — so a rate-limited request never consumes a breaker
+// probe and a breaker fast-fail never burns retry budget. All state is
+// driven by simulated time pulled from the owning event loop: the breaker
+// has no timers (open -> half-open is computed lazily at the next
+// admission), and the token bucket refills arithmetically from the elapsed
+// sim-time, so identical admission sequences produce identical decisions
+// regardless of --jobs or wall-clock scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ids.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+#include "telemetry/registry.h"
+
+namespace canal::proxy {
+
+/// Per-service circuit breaker: `consecutive_errors` 5xx in a row open the
+/// breaker; after `base_ejection_time` it goes half-open and admits one
+/// probe whose outcome settles the state (per the Envoy-style
+/// outlier_detection knobs in SNIPPETS.md).
+struct BreakerConfig {
+  std::uint32_t consecutive_errors = 5;
+  sim::Duration base_ejection_time = sim::seconds(30);
+};
+
+/// Per-endpoint outlier ejection: an endpoint answering
+/// `consecutive_errors` 5xx in a row is ejected from the LB set for
+/// `base_ejection_time`, but never beyond `max_ejection_percent` of the
+/// service's endpoints (the bound is strict — an ejection that would
+/// exceed it is skipped, keeping capacity available).
+struct OutlierConfig {
+  std::uint32_t consecutive_errors = 5;
+  sim::Duration base_ejection_time = sim::seconds(30);
+  std::uint32_t max_ejection_percent = 50;
+};
+
+/// Per-tenant token bucket: each tenant gets its own bucket with the same
+/// rate/burst; a request with no tokens left is rejected with 429 before
+/// any attempt is made (and before any breaker/retry state is touched).
+struct RateLimitConfig {
+  double tokens_per_second = 100.0;
+  double burst = 20.0;
+};
+
+/// Which stages are armed. Unset stages are skipped entirely.
+struct ResilienceConfig {
+  std::optional<RateLimitConfig> rate_limit;
+  std::optional<BreakerConfig> breaker;
+  std::optional<OutlierConfig> outlier;
+};
+
+/// Lazy three-state breaker. All transitions happen inside try_admit /
+/// on_result calls at the caller-supplied sim-time; there are no
+/// scheduled callbacks, so the breaker is trivially deterministic.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+  /// Admission check for one attempt. In half-open state exactly one
+  /// probe is admitted; a probe whose completion never arrives (dropped
+  /// on the wire with no per-try timeout) is considered lost after
+  /// another base_ejection_time and a new probe is admitted.
+  [[nodiscard]] bool try_admit(sim::TimePoint now);
+
+  /// Side-effect-free check used by the retry layer before scheduling a
+  /// retry: false only while the breaker is inside its open window.
+  [[nodiscard]] bool attempt_allowed(sim::TimePoint now) const;
+
+  /// Feeds one attempt outcome (error = final status >= 500). While
+  /// half-open, the first completion — probe or straggler — settles the
+  /// state: success closes, error re-opens.
+  void on_result(sim::TimePoint now, bool error);
+
+  [[nodiscard]] State state(sim::TimePoint now) const;
+  /// Monotonic count of state transitions (the disturbance epoch input).
+  [[nodiscard]] std::uint64_t transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t opens() const noexcept { return opens_; }
+
+ private:
+  void refresh(sim::TimePoint now);
+
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_errors_ = 0;
+  sim::TimePoint opened_at_ = 0;
+  bool probe_outstanding_ = false;
+  sim::TimePoint probe_sent_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t opens_ = 0;
+};
+
+/// Sim-time token bucket. Refill is closed-form from the elapsed time, so
+/// a fixed admission schedule yields bit-identical decisions everywhere.
+class TokenBucket {
+ public:
+  TokenBucket(const RateLimitConfig& config, sim::TimePoint now)
+      : config_(config), tokens_(config.burst), last_(now) {}
+
+  /// Consumes one token if available; false = rate-limited.
+  [[nodiscard]] bool try_consume(sim::TimePoint now);
+
+  [[nodiscard]] double tokens(sim::TimePoint now) const;
+
+ private:
+  RateLimitConfig config_;
+  double tokens_;
+  sim::TimePoint last_;
+};
+
+/// Per-endpoint consecutive-error tracking for one service, bounded by
+/// max_ejection_percent of the (caller-supplied) endpoint total.
+class OutlierDetector {
+ public:
+  explicit OutlierDetector(OutlierConfig config) : config_(config) {}
+
+  /// Feeds one attempt outcome for `key`; true = the endpoint crossed the
+  /// threshold and was ejected (the caller must remove it from the LB set
+  /// and schedule readmission after config().base_ejection_time).
+  [[nodiscard]] bool on_result(std::uint64_t key, bool error,
+                               std::size_t endpoint_total);
+
+  /// Clears an ejection; false when `key` was not ejected (e.g. already
+  /// readmitted). The caller restores the endpoint on true.
+  [[nodiscard]] bool readmit(std::uint64_t key);
+
+  [[nodiscard]] bool ejected(std::uint64_t key) const;
+  [[nodiscard]] std::uint32_t ejected_count() const noexcept {
+    return ejected_count_;
+  }
+  [[nodiscard]] std::uint64_t transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] const OutlierConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct EndpointState {
+    std::uint32_t consecutive_errors = 0;
+    bool ejected = false;
+  };
+
+  OutlierConfig config_;
+  std::unordered_map<std::uint64_t, EndpointState> endpoints_;
+  std::uint32_t ejected_count_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+/// The composed filter chain one dataplane owns. The chain is dataplane-
+/// agnostic: it reaches the plane's LB sets only through Hooks, so the
+/// same stages serve NoMesh's direct endpoint list, sidecar/waypoint
+/// engines and the gateway replicas alike.
+class ResilienceChain {
+ public:
+  struct Hooks {
+    /// Flip `key`'s health in every LB set the plane keeps for `service`
+    /// (engine planes bump their cluster version here, invalidating flow
+    /// fastpath caches).
+    std::function<void(net::ServiceId, std::uint64_t, bool)>
+        set_endpoint_health;
+    /// Denominator for the max_ejection_percent bound.
+    std::function<std::size_t(net::ServiceId)> endpoint_total;
+    /// Clock + readmission scheduling. Must outlive the chain.
+    sim::EventLoop* loop = nullptr;
+  };
+
+  struct Admission {
+    bool admitted = true;
+    int status = 0;  ///< 429 (rate limit) or 503 (breaker) when rejected
+    bool rate_limited = false;
+  };
+
+  ResilienceChain(ResilienceConfig config, Hooks hooks)
+      : config_(config), hooks_(std::move(hooks)) {}
+
+  /// Stage order rate limit -> breaker, evaluated at the head of one
+  /// logical request (before the first attempt). Tokens are consumed here
+  /// only — retries of an admitted request are free, so the rate-limit
+  /// decision depends solely on the logical-request arrival schedule.
+  [[nodiscard]] Admission admit(net::TenantId tenant, net::ServiceId service);
+
+  /// Breaker check before scheduling a retry attempt (no probe consumed).
+  [[nodiscard]] bool attempt_allowed(net::ServiceId service) const;
+
+  /// Feeds one completed attempt into breaker + outlier stages.
+  /// `endpoint_key` 0 = no endpoint was reached (e.g. 503 no-healthy /
+  /// 504 timeout); the breaker still counts it, the outlier stage skips.
+  void on_attempt_result(net::ServiceId service, std::uint64_t endpoint_key,
+                         int status);
+
+  /// Monotonic per-service counter bumped on every breaker transition and
+  /// every ejection/readmission. A request that observes different epochs
+  /// at send and completion ran through a resilience disturbance.
+  [[nodiscard]] std::uint64_t disturbance_epoch(net::ServiceId service) const;
+  /// True while the service's breaker is not closed or any of its
+  /// endpoints is ejected.
+  [[nodiscard]] bool disturbed(net::ServiceId service) const;
+
+  [[nodiscard]] const ResilienceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const CircuitBreaker* breaker(net::ServiceId service) const;
+  [[nodiscard]] const OutlierDetector* outlier(net::ServiceId service) const;
+
+  // --- counters (exported by publish_metrics) -------------------------
+  [[nodiscard]] std::uint64_t rate_limited_total() const noexcept {
+    return rate_limited_total_;
+  }
+  [[nodiscard]] std::uint64_t breaker_rejected_total() const noexcept {
+    return breaker_rejected_total_;
+  }
+  [[nodiscard]] std::uint64_t ejections_total() const noexcept {
+    return ejections_total_;
+  }
+  [[nodiscard]] std::uint64_t readmissions_total() const noexcept {
+    return readmissions_total_;
+  }
+
+  /// Writes resilience counters into `registry`:
+  /// resilience_rate_limited_total{tenant=...}, resilience_breaker_
+  /// {rejected,opens}_total{service=...}, resilience_{ejections,
+  /// readmissions}_total{service=...}. Deterministic (map-ordered).
+  void publish_metrics(telemetry::MetricsRegistry& registry) const;
+
+ private:
+  ResilienceConfig config_;
+  Hooks hooks_;
+  std::map<net::TenantId, TokenBucket> buckets_;
+  std::map<net::ServiceId, CircuitBreaker> breakers_;
+  std::map<net::ServiceId, OutlierDetector> outliers_;
+  std::map<net::TenantId, std::uint64_t> rate_limited_by_tenant_;
+  std::map<net::ServiceId, std::uint64_t> ejections_by_service_;
+  std::map<net::ServiceId, std::uint64_t> readmissions_by_service_;
+  std::uint64_t rate_limited_total_ = 0;
+  std::uint64_t breaker_rejected_total_ = 0;
+  std::uint64_t ejections_total_ = 0;
+  std::uint64_t readmissions_total_ = 0;
+
+  [[nodiscard]] CircuitBreaker* breaker_for(net::ServiceId service);
+  [[nodiscard]] OutlierDetector* outlier_for(net::ServiceId service);
+  void eject(net::ServiceId service, std::uint64_t key);
+};
+
+}  // namespace canal::proxy

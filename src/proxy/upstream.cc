@@ -27,6 +27,14 @@ bool UpstreamCluster::remove_endpoint(std::uint64_t key) {
   return true;
 }
 
+bool UpstreamCluster::set_endpoint_health(std::uint64_t key, bool healthy) {
+  UpstreamEndpoint* endpoint = find_endpoint(key);
+  if (endpoint == nullptr || endpoint->healthy == healthy) return false;
+  endpoint->healthy = healthy;
+  if (version_hook_ != nullptr) ++*version_hook_;
+  return true;
+}
+
 UpstreamEndpoint* UpstreamCluster::find_endpoint(std::uint64_t key) {
   for (auto& e : endpoints_) {
     if (e->key == key) return e.get();

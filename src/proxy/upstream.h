@@ -39,6 +39,13 @@ class UpstreamCluster {
   bool remove_endpoint(std::uint64_t key);
   [[nodiscard]] UpstreamEndpoint* find_endpoint(std::uint64_t key);
 
+  /// Flips `key`'s health (outlier ejection / readmission). A real flip
+  /// counts as a membership change — the version hook is bumped so flow
+  /// fastpath caches keyed on the config version revalidate and cannot
+  /// keep routing to an ejected endpoint. Returns false when `key` is
+  /// unknown or already in the requested state (no version churn).
+  bool set_endpoint_health(std::uint64_t key, bool healthy);
+
   /// Picks a healthy endpoint per policy; nullptr if none are healthy.
   [[nodiscard]] UpstreamEndpoint* pick(sim::Rng& rng);
 

@@ -28,6 +28,12 @@ double HdrHistogram::value_of(int index) noexcept {
 
 void HdrHistogram::record(double value, std::uint64_t count) {
   if (count == 0) return;
+  if (!std::isfinite(value)) {
+    // NaN would poison min/max comparisons and frexp indexing; ±inf would
+    // corrupt sum(). Drop the sample but keep evidence it existed.
+    dropped_non_finite_ += count;
+    return;
+  }
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -52,9 +58,11 @@ void HdrHistogram::clear() noexcept {
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+  dropped_non_finite_ = 0;
 }
 
 void HdrHistogram::merge(const HdrHistogram& other) {
+  dropped_non_finite_ += other.dropped_non_finite_;
   if (other.count_ == 0) return;
   if (count_ == 0) {
     min_ = other.min_;

@@ -45,6 +45,10 @@ class HdrHistogram {
   static constexpr double kMaxRelativeError =
       1.0 / (2.0 * static_cast<double>(kSubBuckets));
 
+  /// Records `count` occurrences of `value`. Non-finite values (NaN/±inf)
+  /// are dropped — never touching buckets, min/max or sum() — and counted
+  /// in dropped_non_finite() so a poisoned source stays visible without
+  /// corrupting quantiles.
   void record(double value, std::uint64_t count = 1);
   void clear() noexcept;
 
@@ -53,6 +57,11 @@ class HdrHistogram {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Samples rejected by record() for being NaN/±inf (merged and cleared
+  /// along with the rest of the state; excluded from count()).
+  [[nodiscard]] std::uint64_t dropped_non_finite() const noexcept {
+    return dropped_non_finite_;
+  }
   /// Exact extremes of the recorded stream (not bucket bounds).
   [[nodiscard]] double min() const noexcept { return empty() ? 0.0 : min_; }
   [[nodiscard]] double max() const noexcept { return empty() ? 0.0 : max_; }
@@ -79,6 +88,7 @@ class HdrHistogram {
   std::vector<std::uint64_t> buckets_;  ///< kBucketCount, sized on 1st use
   std::uint64_t zero_count_ = 0;        ///< values <= 0 (recorded exactly)
   std::uint64_t count_ = 0;
+  std::uint64_t dropped_non_finite_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

@@ -11,9 +11,20 @@ namespace canal::telemetry {
 namespace {
 
 void append_escaped(std::string& out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters are invalid raw inside JSON strings; a newline
+      // or tab in a span/tenant name must become \u00XX.
+      out += "\\u00";
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    } else {
+      out.push_back(c);
+    }
   }
 }
 
@@ -191,9 +202,68 @@ class JsonParser {
     while (pos_ < text_.size()) {
       const char c = text_[pos_++];
       if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259: control characters MUST be escaped — a raw newline
+        // here means the writer's escaping is broken.
+        return fail("raw control character in string");
+      }
       if (c == '\\') {
         if (pos_ >= text_.size()) return fail("dangling escape");
-        out.push_back(text_[pos_++]);
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(e);
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("non-hex digit in \\u escape");
+              }
+            }
+            // BMP code point -> UTF-8 (surrogate pairs don't occur in our
+            // exports; a lone surrogate still round-trips as 3 bytes).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("invalid escape character");
+        }
       } else {
         out.push_back(c);
       }

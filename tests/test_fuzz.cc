@@ -103,15 +103,19 @@ TEST(FuzzAllowlist, RoundTripsThroughString) {
   for (const bool a : flags) {
     for (const bool b : flags) {
       for (const bool c : flags) {
-        fuzz::Allowlist list;
-        list.l7_routing_nomesh = a;
-        list.weighted_split = b;
-        list.fault_window = c;
-        const auto parsed = fuzz::Allowlist::parse(list.to_string());
-        ASSERT_TRUE(parsed.has_value()) << list.to_string();
-        EXPECT_EQ(parsed->l7_routing_nomesh, a);
-        EXPECT_EQ(parsed->weighted_split, b);
-        EXPECT_EQ(parsed->fault_window, c);
+        for (const bool d : flags) {
+          fuzz::Allowlist list;
+          list.l7_routing_nomesh = a;
+          list.weighted_split = b;
+          list.fault_window = c;
+          list.resilience_window = d;
+          const auto parsed = fuzz::Allowlist::parse(list.to_string());
+          ASSERT_TRUE(parsed.has_value()) << list.to_string();
+          EXPECT_EQ(parsed->l7_routing_nomesh, a);
+          EXPECT_EQ(parsed->weighted_split, b);
+          EXPECT_EQ(parsed->fault_window, c);
+          EXPECT_EQ(parsed->resilience_window, d);
+        }
       }
     }
   }
@@ -128,6 +132,7 @@ TEST(FuzzAllowlist, EmptyStringDisablesEverything) {
   EXPECT_FALSE(parsed->l7_routing_nomesh);
   EXPECT_FALSE(parsed->weighted_split);
   EXPECT_FALSE(parsed->fault_window);
+  EXPECT_FALSE(parsed->resilience_window);
 }
 
 TEST(FuzzAllowlist, NoMeshEntryIsLoadBearing) {

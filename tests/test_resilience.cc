@@ -1,0 +1,418 @@
+// Tests for the resilience filter chain (DESIGN.md §13): circuit-breaker
+// state transitions, outlier ejection bounded by max_ejection_percent,
+// closed-form token-bucket determinism, fastpath-epoch invalidation on
+// health flips, and the edge-case fixes that rode along (control-char
+// trace escaping, non-finite histogram poisoning).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fuzz/executor.h"
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+#include "net/ids.h"
+#include "proxy/resilience.h"
+#include "proxy/upstream.h"
+#include "sim/event_loop.h"
+#include "telemetry/hdr_histogram.h"
+#include "telemetry/trace_export.h"
+
+namespace canal {
+namespace {
+
+using proxy::BreakerConfig;
+using proxy::CircuitBreaker;
+using proxy::OutlierConfig;
+using proxy::OutlierDetector;
+using proxy::RateLimitConfig;
+using proxy::ResilienceChain;
+using proxy::ResilienceConfig;
+using proxy::TokenBucket;
+
+// ---- circuit breaker -------------------------------------------------------
+
+BreakerConfig fast_breaker() {
+  BreakerConfig config;
+  config.consecutive_errors = 3;
+  config.base_ejection_time = sim::milliseconds(10);
+  return config;
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveErrorsAndFastFails) {
+  CircuitBreaker breaker(fast_breaker());
+  sim::TimePoint now = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_admit(now));
+    breaker.on_result(now, /*error=*/true);
+  }
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.try_admit(now));
+  EXPECT_FALSE(breaker.attempt_allowed(now));
+  EXPECT_EQ(breaker.rejected(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker breaker(fast_breaker());
+  sim::TimePoint now = 0;
+  // Two errors, a success, two more errors: never reaches three in a row.
+  for (const bool error : {true, true, false, true, true}) {
+    ASSERT_TRUE(breaker.try_admit(now));
+    breaker.on_result(now, error);
+    now += sim::milliseconds(1);
+  }
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  CircuitBreaker breaker(fast_breaker());
+  sim::TimePoint now = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_admit(now));
+    breaker.on_result(now, true);
+  }
+  // Still inside the open window: rejected.
+  now += sim::milliseconds(9);
+  EXPECT_FALSE(breaker.try_admit(now));
+  // Past base_ejection_time: half-open, exactly one probe admitted.
+  now += sim::milliseconds(1);
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.try_admit(now));
+  EXPECT_FALSE(breaker.try_admit(now)) << "second concurrent probe admitted";
+  breaker.on_result(now + sim::milliseconds(1), /*error=*/false);
+  EXPECT_EQ(breaker.state(now + sim::milliseconds(1)),
+            CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeErrorReopens) {
+  CircuitBreaker breaker(fast_breaker());
+  sim::TimePoint now = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_admit(now));
+    breaker.on_result(now, true);
+  }
+  now += sim::milliseconds(10);
+  ASSERT_TRUE(breaker.try_admit(now));
+  breaker.on_result(now, /*error=*/true);
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.try_admit(now));
+}
+
+TEST(CircuitBreakerTest, TransitionsCountEveryStateChange) {
+  CircuitBreaker breaker(fast_breaker());
+  sim::TimePoint now = 0;
+  EXPECT_EQ(breaker.transitions(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_admit(now));
+    breaker.on_result(now, true);
+  }
+  EXPECT_EQ(breaker.transitions(), 1u);  // closed -> open
+  now += sim::milliseconds(10);
+  ASSERT_TRUE(breaker.try_admit(now));  // open -> half-open
+  EXPECT_EQ(breaker.transitions(), 2u);
+  breaker.on_result(now, false);  // half-open -> closed
+  EXPECT_EQ(breaker.transitions(), 3u);
+}
+
+// ---- token bucket ----------------------------------------------------------
+
+TEST(TokenBucketTest, BurstThenRefillIsClosedForm) {
+  RateLimitConfig config;
+  config.tokens_per_second = 5.0;
+  config.burst = 2.0;
+  TokenBucket bucket(config, /*now=*/0);
+  EXPECT_TRUE(bucket.try_consume(0));
+  EXPECT_TRUE(bucket.try_consume(0));
+  EXPECT_FALSE(bucket.try_consume(0)) << "burst exceeded but admitted";
+  // 5 tokens/s -> one full token after exactly 200ms, not a tick sooner.
+  EXPECT_FALSE(bucket.try_consume(sim::milliseconds(199)));
+  // At 400ms exactly 2 tokens have accrued since t=0: two consumes
+  // succeed, the third fails — closed-form arithmetic, no drift.
+  EXPECT_TRUE(bucket.try_consume(sim::milliseconds(400)));
+  EXPECT_TRUE(bucket.try_consume(sim::milliseconds(400)));
+  EXPECT_FALSE(bucket.try_consume(sim::milliseconds(400)));
+}
+
+TEST(TokenBucketTest, RefillNeverExceedsBurst) {
+  RateLimitConfig config;
+  config.tokens_per_second = 1000.0;
+  config.burst = 3.0;
+  TokenBucket bucket(config, 0);
+  EXPECT_DOUBLE_EQ(bucket.tokens(sim::seconds(60)), 3.0);
+}
+
+TEST(TokenBucketTest, IdenticalScheduleYieldsIdenticalDecisions) {
+  // The --jobs determinism claim reduces to this: decisions are a pure
+  // function of the admission schedule, so two buckets fed the same
+  // schedule agree on every single decision.
+  RateLimitConfig config;
+  config.tokens_per_second = 333.0;
+  config.burst = 4.0;
+  TokenBucket a(config, 0);
+  TokenBucket b(config, 0);
+  sim::Rng rng(42);
+  sim::TimePoint now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += rng.uniform_int(0, 5'000'000);  // 0-5ms gaps
+    ASSERT_EQ(a.try_consume(now), b.try_consume(now)) << "decision " << i;
+  }
+}
+
+// ---- outlier detection -----------------------------------------------------
+
+TEST(OutlierDetectorTest, EjectsAfterConsecutiveErrorsAndReadmits) {
+  OutlierConfig config;
+  config.consecutive_errors = 3;
+  config.max_ejection_percent = 50;
+  OutlierDetector detector(config);
+  EXPECT_FALSE(detector.on_result(7, true, 4));
+  EXPECT_FALSE(detector.on_result(7, true, 4));
+  // A success in between resets the run.
+  EXPECT_FALSE(detector.on_result(7, false, 4));
+  EXPECT_FALSE(detector.on_result(7, true, 4));
+  EXPECT_FALSE(detector.on_result(7, true, 4));
+  EXPECT_TRUE(detector.on_result(7, true, 4));
+  EXPECT_TRUE(detector.ejected(7));
+  EXPECT_EQ(detector.ejected_count(), 1u);
+  EXPECT_TRUE(detector.readmit(7));
+  EXPECT_FALSE(detector.ejected(7));
+  EXPECT_FALSE(detector.readmit(7)) << "double readmission";
+  EXPECT_EQ(detector.ejected_count(), 0u);
+}
+
+TEST(OutlierDetectorTest, MaxEjectionPercentBoundIsStrict) {
+  OutlierConfig config;
+  config.consecutive_errors = 1;
+  config.max_ejection_percent = 50;
+  OutlierDetector detector(config);
+  // 4 endpoints at 50%: two ejections land, the third would make it
+  // 3/4 = 75% > 50% and must be skipped, keeping capacity available.
+  EXPECT_TRUE(detector.on_result(1, true, 4));
+  EXPECT_TRUE(detector.on_result(2, true, 4));
+  EXPECT_FALSE(detector.on_result(3, true, 4));
+  EXPECT_FALSE(detector.ejected(3));
+  EXPECT_EQ(detector.ejected_count(), 2u);
+}
+
+TEST(OutlierDetectorTest, SingleEndpointIsNeverEjected) {
+  OutlierConfig config;
+  config.consecutive_errors = 1;
+  config.max_ejection_percent = 50;
+  OutlierDetector detector(config);
+  // (0+1)*100 > 50*1 -> ejecting the only endpoint would black-hole the
+  // service; the bound forbids it no matter how many errors accumulate.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(detector.on_result(1, true, 1));
+  }
+  EXPECT_FALSE(detector.ejected(1));
+}
+
+// ---- composed chain --------------------------------------------------------
+
+constexpr net::ServiceId kService{1};
+constexpr net::TenantId kTenantA{1};
+constexpr net::TenantId kTenantB{2};
+
+ResilienceChain::Hooks null_hooks(sim::EventLoop& loop) {
+  ResilienceChain::Hooks hooks;
+  hooks.set_endpoint_health = [](net::ServiceId, std::uint64_t, bool) {};
+  hooks.endpoint_total = [](net::ServiceId) { return std::size_t{4}; };
+  hooks.loop = &loop;
+  return hooks;
+}
+
+TEST(ResilienceChainTest, RateLimitIsPerTenantAndRunsBeforeTheBreaker) {
+  sim::EventLoop loop;
+  ResilienceConfig config;
+  config.rate_limit = RateLimitConfig{/*tokens_per_second=*/1.0,
+                                      /*burst=*/2.0};
+  config.breaker = fast_breaker();
+  ResilienceChain chain(config, null_hooks(loop));
+
+  EXPECT_TRUE(chain.admit(kTenantA, kService).admitted);
+  EXPECT_TRUE(chain.admit(kTenantA, kService).admitted);
+  const auto rejected = chain.admit(kTenantA, kService);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.status, 429);
+  EXPECT_TRUE(rejected.rate_limited);
+  // Tenant B has its own bucket: unaffected by A's exhaustion.
+  EXPECT_TRUE(chain.admit(kTenantB, kService).admitted);
+  EXPECT_EQ(chain.rate_limited_total(), 1u);
+}
+
+TEST(ResilienceChainTest, BreakerFastFailsWith503AndBumpsTheEpoch) {
+  sim::EventLoop loop;
+  ResilienceConfig config;
+  config.breaker = fast_breaker();
+  ResilienceChain chain(config, null_hooks(loop));
+
+  const auto epoch_before = chain.disturbance_epoch(kService);
+  EXPECT_FALSE(chain.disturbed(kService));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(chain.admit(kTenantA, kService).admitted);
+    chain.on_attempt_result(kService, /*endpoint_key=*/0, 503);
+  }
+  const auto rejected = chain.admit(kTenantA, kService);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_FALSE(rejected.rate_limited);
+  EXPECT_FALSE(chain.attempt_allowed(kService));
+  EXPECT_TRUE(chain.disturbed(kService));
+  EXPECT_GT(chain.disturbance_epoch(kService), epoch_before);
+  EXPECT_EQ(chain.breaker_rejected_total(), 1u);
+}
+
+TEST(ResilienceChainTest, EjectionFlipsHealthAndReadmissionRestoresIt) {
+  sim::EventLoop loop;
+  ResilienceConfig config;
+  auto& outlier = config.outlier.emplace();
+  outlier.consecutive_errors = 2;
+  outlier.base_ejection_time = sim::milliseconds(5);
+  outlier.max_ejection_percent = 50;
+
+  std::vector<std::pair<std::uint64_t, bool>> flips;
+  ResilienceChain::Hooks hooks = null_hooks(loop);
+  hooks.set_endpoint_health = [&flips](net::ServiceId service,
+                                       std::uint64_t key, bool healthy) {
+    EXPECT_EQ(service, kService);
+    flips.emplace_back(key, healthy);
+  };
+  ResilienceChain chain(config, hooks);
+
+  chain.on_attempt_result(kService, /*endpoint_key=*/9, 500);
+  chain.on_attempt_result(kService, 9, 500);
+  ASSERT_EQ(flips.size(), 1u);
+  EXPECT_EQ(flips[0], (std::pair<std::uint64_t, bool>{9, false}));
+  EXPECT_EQ(chain.ejections_total(), 1u);
+  EXPECT_TRUE(chain.disturbed(kService));
+
+  // Readmission is scheduled on the loop after base_ejection_time.
+  loop.run_for(sim::milliseconds(5));
+  ASSERT_EQ(flips.size(), 2u);
+  EXPECT_EQ(flips[1], (std::pair<std::uint64_t, bool>{9, true}));
+  EXPECT_EQ(chain.readmissions_total(), 1u);
+  EXPECT_FALSE(chain.disturbed(kService));
+}
+
+// ---- fastpath epoch invalidation -------------------------------------------
+
+TEST(UpstreamHealthTest, HealthFlipBumpsTheConfigVersion) {
+  proxy::ClusterManager manager;
+  auto& cluster = manager.add_cluster("svc", proxy::LbPolicy::kRoundRobin);
+  cluster.add_endpoint(net::Endpoint{}, /*key=*/1);
+  cluster.add_endpoint(net::Endpoint{}, /*key=*/2);
+  const auto v0 = manager.version();
+
+  // Ejection: flows holding a fastpath cache keyed on v0 must miss.
+  EXPECT_TRUE(cluster.set_endpoint_health(1, false));
+  EXPECT_GT(manager.version(), v0);
+  EXPECT_EQ(cluster.healthy_count(), 1u);
+
+  // Ejected endpoints never get picked.
+  sim::Rng rng(3);
+  for (int i = 0; i < 16; ++i) {
+    const auto* picked = cluster.pick(rng);
+    ASSERT_NE(picked, nullptr);
+    EXPECT_EQ(picked->key, 2u);
+  }
+
+  // No-op flips (already in the requested state / unknown key) must not
+  // churn the version — that would invalidate every flow's cache for free.
+  const auto v1 = manager.version();
+  EXPECT_FALSE(cluster.set_endpoint_health(1, false));
+  EXPECT_FALSE(cluster.set_endpoint_health(99, false));
+  EXPECT_EQ(manager.version(), v1);
+
+  EXPECT_TRUE(cluster.set_endpoint_health(1, true));
+  EXPECT_GT(manager.version(), v1);
+  EXPECT_EQ(cluster.healthy_count(), 2u);
+}
+
+// ---- differential agreement under resilience -------------------------------
+
+TEST(ResilienceDifferential, ArmedScenariosStayCleanUnderTheDefaultAllowlist) {
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto spec = fuzz::generate_scenario(5, i);
+    spec.resilience = fuzz::derive_resilience(5, i);
+    const auto report = fuzz::check_scenario(
+        spec, fuzz::run_all_planes(spec), fuzz::Allowlist{});
+    EXPECT_TRUE(report.clean()) << report.to_json();
+  }
+}
+
+TEST(ResilienceDifferential, DerivedConfigIsDeterministicAndSeedSalted) {
+  const auto a = fuzz::derive_resilience(5, 3);
+  const auto b = fuzz::derive_resilience(5, 3);
+  EXPECT_EQ(a.breaker_consecutive_errors, b.breaker_consecutive_errors);
+  EXPECT_EQ(a.breaker_ejection_time, b.breaker_ejection_time);
+  EXPECT_EQ(a.rate_limit, b.rate_limit);
+  EXPECT_EQ(a.rate_tokens_per_second, b.rate_tokens_per_second);
+  EXPECT_TRUE(a.enabled);
+  // Arming resilience must not perturb the base generator stream.
+  const auto plain = fuzz::to_cpp_snippet(fuzz::generate_scenario(5, 3));
+  auto armed_spec = fuzz::generate_scenario(5, 3);
+  armed_spec.resilience = a;
+  EXPECT_NE(fuzz::to_cpp_snippet(armed_spec), plain);
+  EXPECT_EQ(fuzz::to_cpp_snippet(fuzz::generate_scenario(5, 3)), plain);
+}
+
+// ---- satellite: control-char trace escaping --------------------------------
+
+TEST(TraceEscaping, ControlCharsInSpanNamesAreEscapedAndValidate) {
+  telemetry::Trace trace;
+  trace.set_tenant(net::TenantId{1});
+  trace.add(std::string("bad\x01name\nhere"), telemetry::Component::kL7, 0,
+            sim::microseconds(10));
+  telemetry::TraceExport exported;
+  exported.add(trace, /*request_index=*/0, /*status=*/200);
+
+  const std::string json = exported.to_json();
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u000a"), std::string::npos);
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control character leaked into the export";
+  }
+  std::string error;
+  EXPECT_TRUE(telemetry::validate_chrome_trace(json, &error)) << error;
+}
+
+TEST(TraceEscaping, ValidatorRejectsRawControlCharacters) {
+  // A hand-built export with an unescaped 0x01 inside a string is not
+  // valid JSON; the independent re-parser must say so, not shrug.
+  std::string bad =
+      "{\"traceEvents\":[{\"name\":\"x\x01y\",\"ph\":\"X\",\"ts\":0,"
+      "\"dur\":1,\"pid\":1,\"tid\":\"l7\","
+      "\"args\":{\"request\":0,\"status\":200}}]}";
+  std::string error;
+  EXPECT_FALSE(telemetry::validate_chrome_trace(bad, &error));
+}
+
+// ---- satellite: non-finite histogram input ---------------------------------
+
+TEST(HdrHistogramNonFinite, DroppedNotRecorded) {
+  telemetry::HdrHistogram h;
+  h.record(1.5);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity(), 3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.dropped_non_finite(), 5u);
+  EXPECT_TRUE(std::isfinite(h.percentile(99.0)));
+
+  telemetry::HdrHistogram other;
+  other.record(std::numeric_limits<double>::quiet_NaN());
+  other.merge(h);
+  EXPECT_EQ(other.dropped_non_finite(), 6u);
+  EXPECT_EQ(other.count(), 1u);
+
+  other.clear();
+  EXPECT_EQ(other.dropped_non_finite(), 0u);
+  EXPECT_EQ(other.count(), 0u);
+}
+
+}  // namespace
+}  // namespace canal
