@@ -15,6 +15,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/json_report.h"
@@ -30,8 +31,13 @@ constexpr const char* kUsage = R"(bench_suite — parallel experiment suite
 
 Usage: bench_suite [flags]
 
-  --jobs N       worker threads for the run fan-out (default 1). Output is
-                 byte-identical for every N; only wall-clock changes.
+  --jobs N       worker threads for the run fan-out (default 1). N <= 0
+                 selects hardware_concurrency(). Output is byte-identical
+                 for every N; only wall-clock changes.
+  --repeat N     selfperf only: repeat each run N times (fresh testbed per
+                 repeat) and report the median wall-clock with variance
+                 under the "wall." JSON keys. Simulated counters are
+                 unaffected (identical across repeats).
   --seeds K      run every scenario at seeds 1..K (default 1). K > 1 adds a
                  "<section>.seeds" block per scenario to --json output with
                  mean/p50/p95/min/max across seeds. Base sections always
@@ -289,6 +295,7 @@ std::map<std::string, JsonReport> build_reports(
 int run_suite(int argc, char** argv) {
   std::size_t jobs = 1;
   std::uint64_t seeds = 1;
+  long long repeat = 1;
   bool json = false;
   bool list = false;
   std::string filter;
@@ -304,11 +311,40 @@ int run_suite(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Strict integer parse: trailing junk or an empty value is a usage
+    // error (exit 2), never a silently-degenerate pool size.
+    const auto parse_int = [&](const char* value) -> long long {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "%s: not an integer: %s\n%s", arg.c_str(),
+                     value, kUsage);
+        std::exit(2);
+      }
+      return parsed;
+    };
     if (arg == "--jobs") {
-      jobs = static_cast<std::size_t>(std::strtoull(next_value(), nullptr,
-                                                    10));
+      const long long parsed = parse_int(next_value());
+      if (parsed <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw == 0 ? 1 : hw;
+        std::fprintf(stderr,
+                     "--jobs %lld: clamping to hardware_concurrency() = "
+                     "%zu\n",
+                     parsed, jobs);
+      } else {
+        jobs = static_cast<std::size_t>(parsed);
+      }
     } else if (arg == "--seeds") {
-      seeds = std::strtoull(next_value(), nullptr, 10);
+      const long long parsed = parse_int(next_value());
+      seeds = parsed <= 0 ? 1 : static_cast<std::uint64_t>(parsed);
+    } else if (arg == "--repeat") {
+      repeat = parse_int(next_value());
+      if (repeat <= 0) {
+        std::fprintf(stderr, "--repeat: want a positive count, got %lld\n%s",
+                     repeat, kUsage);
+        return 2;
+      }
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--filter") {
@@ -327,9 +363,6 @@ int run_suite(int argc, char** argv) {
       return 2;
     }
   }
-  if (jobs == 0) jobs = 1;
-  if (seeds == 0) seeds = 1;
-
   if (!validate_trace.empty()) {
     std::ifstream in(validate_trace);
     if (!in) {
@@ -352,6 +385,17 @@ int run_suite(int argc, char** argv) {
   runner::Runner runner;
   register_bench_scenarios(runner);
   std::vector<runner::RunSpec> specs = suite_specs(seeds);
+  if (repeat > 1) {
+    // Wall-clock repeats only make sense for the scenario that measures
+    // wall-clock; every other scenario is invariant in everything --repeat
+    // could change.
+    for (auto& spec : specs) {
+      if (spec.scenario == "selfperf") {
+        spec.overrides.emplace_back("repeat",
+                                    static_cast<double>(repeat));
+      }
+    }
+  }
   if (!filter.empty()) {
     std::vector<runner::RunSpec> kept;
     for (auto& spec : specs) {

@@ -71,7 +71,11 @@ else
   ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure
 
   # Determinism gate: a parallel (--jobs 8) and a serial (--jobs 1) suite
-  # run must both reproduce every committed golden byte-for-byte.
+  # run must both reproduce every committed golden byte-for-byte. Keys
+  # under the reserved "wall." prefix (selfperf's wall-clock readings:
+  # wall.events_per_sec_per_core and friends) are machine-load-dependent
+  # by design and are stripped before diffing; everything else — including
+  # the deterministic selfperf allocation counters — must match exactly.
   goldens=(BENCH_latency.json BENCH_throughput.json BENCH_faults.json
            BENCH_selfperf.json BENCH_fairness.json BENCH_resilience.json)
   for suite_jobs in 8 1; do
@@ -79,7 +83,9 @@ else
     (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
       --jobs "${suite_jobs}" --seeds 3 --json > /dev/null)
     for golden in "${goldens[@]}"; do
-      if ! diff -q "${scratch}/${golden}" "${repo_root}/${golden}"; then
+      if ! diff <(grep -v '"wall\.' "${scratch}/${golden}") \
+                <(grep -v '"wall\.' "${repo_root}/${golden}") > /dev/null
+      then
         echo "determinism gate FAILED (--jobs ${suite_jobs}):" \
           "bench_suite --json no longer matches ${golden}" >&2
         echo "scratch output kept at ${scratch}/${golden}" >&2
@@ -90,6 +96,35 @@ else
   done
   echo "determinism gate OK: bench_suite --jobs 8 and --jobs 1 both match" \
     "all committed goldens"
+
+  # Selfperf regression gate: the simulator may not get slower. A serial,
+  # uncontended selfperf pass (median of --repeat 3 to damp scheduler
+  # noise) must stay within 10% of every committed
+  # wall.events_per_sec_per_core — the perf trajectory the memory/layout
+  # work bought is a guarded artifact, like the simulated goldens.
+  scratch="$(mktemp -d)"
+  (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
+    --jobs 1 --filter selfperf --repeat 3 --json > /dev/null)
+  extract_rate() {
+    awk -F': ' '/"wall\.events_per_sec_per_core":/ {
+      gsub(/[ ,]/, "", $2); print $2
+    }' "$1"
+  }
+  if ! paste <(extract_rate "${scratch}/BENCH_selfperf.json") \
+             <(extract_rate "${repo_root}/BENCH_selfperf.json") | \
+    awk '{ if ($1 + 0 < 0.9 * ($2 + 0)) {
+             printf "selfperf variant #%d: %g events/sec/core < 90%% of committed %g\n", NR, $1, $2
+             fail = 1
+           } }
+         END { exit fail }' >&2
+  then
+    echo "selfperf regression gate FAILED: events_per_sec_per_core dropped" \
+      ">10% below the committed BENCH_selfperf.json golden" >&2
+    exit 1
+  fi
+  rm -rf "${scratch}"
+  echo "selfperf regression gate OK: events_per_sec_per_core within 10% of" \
+    "the committed golden on every variant"
 
   # Fuzz-smoke gate: a fixed-seed differential campaign across all five
   # dataplanes must finish with zero oracle violations, and the JSON

@@ -12,6 +12,37 @@ CanalMesh::CanalMesh(sim::EventLoop& loop, k8s::Cluster& cluster,
       config_(std::move(config)),
       rng_(rng) {}
 
+/// Pooled continuation state for one send_request chain. Every async hop
+/// captures only the RequestState pointer (8 bytes, trivially copyable), so
+/// each std::function built on the request path stays in the small-buffer
+/// slot and the steady-state path never boxes a closure on the heap
+/// (DESIGN.md §14). Slots are recycled by requests_; owned buffers (the
+/// http::Request, the options copy) keep their capacity across reuse.
+struct CanalMesh::RequestState {
+  CanalMesh* self = nullptr;
+  http::Request req;
+  net::FiveTuple tuple{};
+  sim::TimePoint start = 0;
+  net::TenantId tenant{};
+  mesh::RequestOptions opts;
+  mesh::RequestCallback done;
+  OnNodeProxy* client_proxy = nullptr;
+  OnNodeProxy* server_proxy = nullptr;
+  GatewayReplica* replica = nullptr;
+  GatewayBackend* backend = nullptr;
+  proxy::UpstreamEndpoint* endpoint = nullptr;
+  k8s::Pod* target = nullptr;
+  std::shared_ptr<telemetry::Trace> trace;
+  net::Packet packet{};
+  net::AzId client_az{};
+  sim::Duration hop2 = 0;
+  sim::TimePoint wire = 0;       ///< start of the hop currently in flight
+  sim::TimePoint app_start = 0;
+  std::uint64_t resp_bytes = 0;
+  int resp_status = 0;
+  [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
+};
+
 CanalMesh::~CanalMesh() = default;
 
 OnNodeProxy& CanalMesh::ensure_proxy(const k8s::Node& node) {
@@ -119,43 +150,70 @@ std::size_t CanalMesh::service_endpoint_total(net::ServiceId service) const {
   return obj != nullptr ? obj->endpoints.size() : 0;
 }
 
+void CanalMesh::finish_request(RequestState* st, int status) {
+  if (st->endpoint != nullptr && st->endpoint->active_requests > 0) {
+    --st->endpoint->active_requests;
+  }
+  const sim::Duration latency = loop_.now() - st->start;
+  if (st->backend != nullptr) {
+    st->backend->stats_for(st->opts.dst_service)
+        .on_latency(sim::to_microseconds(latency));
+    if (status >= 400) {
+      st->backend->stats_for(st->opts.dst_service).on_error(loop_.now());
+    }
+  }
+  if (st->opts.close_after) {
+    if (st->client_proxy) st->client_proxy->engine().close_connection(st->tuple);
+    if (st->server_proxy) st->server_proxy->engine().close_connection(st->tuple);
+    if (st->replica) st->replica->engine().close_connection(st->tuple);
+  }
+  mesh::RequestResult result;
+  result.status = status;
+  result.latency = latency;
+  if (st->target != nullptr) result.served_by = st->target->id();
+  result.tenant = st->tenant;
+  result.trace = st->trace;
+  // `result` now owns everything the continuation needs; release the slot
+  // before invoking it so a re-issued request can reuse the storage.
+  auto done = std::move(st->done);
+  st->trace.reset();
+  requests_.release(st);
+  done(result);
+}
+
 void CanalMesh::send_request(const mesh::RequestOptions& opts,
                              mesh::RequestCallback done) {
-  struct State {
-    http::Request req;
-    net::FiveTuple tuple;
-    sim::TimePoint start = 0;
-    mesh::RequestOptions opts;
-    mesh::RequestCallback done;
-    OnNodeProxy* client_proxy = nullptr;
-    OnNodeProxy* server_proxy = nullptr;
-    GatewayReplica* replica = nullptr;
-    GatewayBackend* backend = nullptr;
-    proxy::UpstreamEndpoint* endpoint = nullptr;
-    k8s::Pod* target = nullptr;
-    std::shared_ptr<telemetry::Trace> trace;
-    [[nodiscard]] telemetry::Trace* tracer() const { return trace.get(); }
-  };
-  auto st = std::make_shared<State>();
+  RequestState* st = requests_.acquire();
+  st->self = this;
   st->start = loop_.now();
+  st->tenant = mesh::effective_tenant(opts);
   st->opts = opts;
   st->done = std::move(done);
-  const net::TenantId tenant = mesh::effective_tenant(opts);
+  st->client_proxy = nullptr;
+  st->server_proxy = nullptr;
+  st->replica = nullptr;
+  st->backend = nullptr;
+  st->endpoint = nullptr;
+  st->target = nullptr;
+  st->trace.reset();
   if (opts.trace) {
     st->trace = std::make_shared<telemetry::Trace>();
-    st->trace->set_tenant(tenant);
+    st->trace->set_tenant(st->tenant);
   }
   if (opts.client == nullptr) {
     // Malformed request: no originating pod. Fail fast instead of
     // dereferencing null below.
     mesh::RequestResult result;
     result.status = 400;
-    result.tenant = tenant;
+    result.tenant = st->tenant;
     result.trace = st->trace;
-    st->done(result);
+    auto cb = std::move(st->done);
+    st->trace.reset();
+    requests_.release(st);
+    cb(result);
     return;
   }
-  st->req = mesh::build_request(opts);
+  mesh::build_request_into(opts, st->req);
   const std::uint16_t src_port =
       opts.src_port != 0 ? opts.src_port : next_port_++;
   st->tuple =
@@ -163,42 +221,16 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
                      src_port, 443, net::Protocol::kTcp};
   if (next_port_ < 30000) next_port_ = 30000;
 
-  auto finish = [this, st, tenant](int status) {
-    if (st->endpoint != nullptr && st->endpoint->active_requests > 0) {
-      --st->endpoint->active_requests;
-    }
-    const sim::Duration latency = loop_.now() - st->start;
-    if (st->backend != nullptr) {
-      st->backend->stats_for(st->opts.dst_service)
-          .on_latency(sim::to_microseconds(latency));
-      if (status >= 400) {
-        st->backend->stats_for(st->opts.dst_service).on_error(loop_.now());
-      }
-    }
-    if (st->opts.close_after) {
-      if (st->client_proxy) st->client_proxy->engine().close_connection(st->tuple);
-      if (st->server_proxy) st->server_proxy->engine().close_connection(st->tuple);
-      if (st->replica) st->replica->engine().close_connection(st->tuple);
-    }
-    mesh::RequestResult result;
-    result.status = status;
-    result.latency = latency;
-    if (st->target != nullptr) result.served_by = st->target->id();
-    result.tenant = tenant;
-    result.trace = st->trace;
-    st->done(result);
-  };
-
   if (cluster_.find_service(opts.dst_service) == nullptr) {
     // Unknown destination service: 404, matching every other dataplane
     // (a known service with an unregistered VNI still yields the
     // vSwitch-level 403 below).
-    finish(404);
+    finish_request(st, 404);
     return;
   }
   st->client_proxy = proxy_for(opts.client->node());
   if (st->client_proxy == nullptr) {
-    finish(500);
+    finish_request(st, 500);
     return;
   }
   st->client_proxy->record_pod_traffic(opts.client->id(),
@@ -206,169 +238,155 @@ void CanalMesh::send_request(const mesh::RequestOptions& opts,
 
   if (config_.network.dropped(rng_, st->start)) {
     // Lost on the wire: `done` never fires; only a per-try timeout in the
-    // retry layer recovers.
+    // retry layer recovers. The slot is free for reuse immediately (its
+    // callback is overwritten on the next acquisition).
+    requests_.release(st);
     return;
   }
 
   // On-node L4 hop (eBPF redirected, mTLS originate via key server).
   st->client_proxy->engine().handle_request(
       st->tuple, opts.dst_service, opts.new_connection, st->req,
-      [this, st,
-       finish](proxy::ProxyEngine::RequestOutcome outcome) mutable {
+      [st](proxy::ProxyEngine::RequestOutcome outcome) {
+        CanalMesh& self = *st->self;
         if (!outcome.ok) {
-          finish(outcome.status);
+          self.finish_request(st, outcome.status);
           return;
         }
         // Encapsulate toward the gateway: the vSwitch will map the VNI to
         // the global service ID before the VM sees the packet.
-        net::Packet packet;
-        packet.tuple = st->tuple;
-        packet.payload_bytes =
+        st->packet = net::Packet{};
+        st->packet.tuple = st->tuple;
+        st->packet.payload_bytes =
             static_cast<std::uint32_t>(st->req.wire_size());
-        if (st->opts.new_connection) packet.set_flag(net::TcpFlag::kSyn);
+        if (st->opts.new_connection) st->packet.set_flag(net::TcpFlag::kSyn);
         net::VxlanHeader vxlan;
-        vxlan.vni = vni_of(st->opts.dst_service);
+        vxlan.vni = self.vni_of(st->opts.dst_service);
         vxlan.outer = net::FiveTuple{st->opts.client->node().ip(),
                                      net::Ipv4Addr(100, 64, 0, 1),
                                      st->tuple.src_port, 4789,
                                      net::Protocol::kUdp};
-        packet.vxlan = vxlan;
+        st->packet.vxlan = vxlan;
 
-        const net::AzId client_az = st->opts.client->node().az();
-        const sim::Duration hop1 = config_.network.intra_az +
-                                   config_.network.fault_latency(loop_.now());
-        const sim::TimePoint wire1 = loop_.now();
-        loop_.post(hop1, [this, st, finish, packet, client_az,
-                              wire1]() mutable {
+        st->client_az = st->opts.client->node().az();
+        const sim::Duration hop1 =
+            self.config_.network.intra_az +
+            self.config_.network.fault_latency(self.loop_.now());
+        st->wire = self.loop_.now();
+        self.loop_.post(hop1, [st] { st->self->forward_to_gateway(st); });
+      },
+      st->tracer());
+}
+
+void CanalMesh::forward_to_gateway(RequestState* st) {
+  if (st->trace) {
+    st->trace->add("link/client-gateway", telemetry::Component::kLink,
+                   st->wire, loop_.now(), 0, st->packet.payload_bytes);
+  }
+  gateway_.handle_request(
+      st->packet, st->opts.new_connection, config_.https, st->req,
+      st->client_az,
+      [st](GatewayOutcome outcome) {
+        CanalMesh& self = *st->self;
+        // Record the serving replica before any early return: when the L7
+        // engine answered with an error (e.g. a 4xx direct response), it
+        // still opened a session that finish_request() must close.
+        st->replica = outcome.replica;
+        st->backend = outcome.backend;
+        if (!outcome.ok) {
+          self.finish_request(st, outcome.status);
+          return;
+        }
+        if (outcome.endpoint == nullptr) {
+          // 2xx/3xx direct response answered by the gateway replica: no
+          // upstream endpoint, nothing to forward.
+          self.finish_request(st, outcome.status);
+          return;
+        }
+        st->endpoint = outcome.endpoint;
+        st->target = self.cluster_.find_pod(
+            static_cast<net::PodId>(outcome.endpoint->key));
+        if (st->target == nullptr || !st->target->ready()) {
+          self.finish_request(st, 503);
+          return;
+        }
+        st->server_proxy = &self.ensure_proxy(st->target->node());
+        st->hop2 = self.config_.network.intra_az +
+                   self.config_.network.fault_latency(self.loop_.now());
+        st->wire = self.loop_.now();
+        self.loop_.post(st->hop2,
+                        [st] { st->self->deliver_to_server(st); });
+      },
+      st->tracer());
+}
+
+void CanalMesh::deliver_to_server(RequestState* st) {
+  if (st->trace) {
+    st->trace->add("link/gateway-server", telemetry::Component::kLink,
+                   st->wire, loop_.now(), 0, st->req.wire_size());
+  }
+  st->server_proxy->engine().handle_inbound(
+      st->tuple, st->opts.dst_service, st->opts.new_connection,
+      st->req.wire_size(),
+      [st](bool ok, int status) {
+        CanalMesh& self = *st->self;
+        if (!ok) {
+          self.finish_request(st, status);
+          return;
+        }
+        st->server_proxy->record_pod_traffic(st->target->id(),
+                                             st->req.wire_size());
+        st->app_start = self.loop_.now();
+        st->target->handle_request(st->req, [st](http::Response& resp) {
+          CanalMesh& self = *st->self;
           if (st->trace) {
-            st->trace->add("link/client-gateway",
-                           telemetry::Component::kLink, wire1, loop_.now(), 0,
-                           packet.payload_bytes);
+            st->trace->add(
+                "app/" + std::to_string(net::id_value(st->target->id())),
+                telemetry::Component::kApp, st->app_start, self.loop_.now(),
+                0, resp.wire_size(), resp.status);
           }
-          gateway_.handle_request(
-              packet, st->opts.new_connection, config_.https, st->req,
-              client_az,
-              [this, st, finish](GatewayOutcome outcome) mutable {
-                // Record the serving replica before any early return: when
-                // the L7 engine answered with an error (e.g. a 4xx direct
-                // response), it still opened a session that finish() must
-                // close.
-                st->replica = outcome.replica;
-                st->backend = outcome.backend;
-                if (!outcome.ok) {
-                  finish(outcome.status);
-                  return;
-                }
-                if (outcome.endpoint == nullptr) {
-                  // 2xx/3xx direct response answered by the gateway
-                  // replica: no upstream endpoint, nothing to forward.
-                  finish(outcome.status);
-                  return;
-                }
-                st->endpoint = outcome.endpoint;
-                st->target = cluster_.find_pod(
-                    static_cast<net::PodId>(outcome.endpoint->key));
-                if (st->target == nullptr || !st->target->ready()) {
-                  finish(503);
-                  return;
-                }
-                st->server_proxy = &ensure_proxy(st->target->node());
-                const sim::Duration hop2 =
-                    config_.network.intra_az +
-                    config_.network.fault_latency(loop_.now());
-                const sim::TimePoint wire2 = loop_.now();
-                loop_.post(hop2, [this, st, finish, hop2,
-                                      wire2]() mutable {
-                  if (st->trace) {
-                    st->trace->add("link/gateway-server",
-                                   telemetry::Component::kLink, wire2,
-                                   loop_.now(), 0, st->req.wire_size());
-                  }
-                  st->server_proxy->engine().handle_inbound(
-                      st->tuple, st->opts.dst_service,
-                      st->opts.new_connection, st->req.wire_size(),
-                      [this, st, finish, hop2](bool ok, int status) mutable {
-                        if (!ok) {
-                          finish(status);
-                          return;
-                        }
-                        st->server_proxy->record_pod_traffic(
-                            st->target->id(), st->req.wire_size());
-                        const sim::TimePoint app_start = loop_.now();
-                        st->target->handle_request(
-                            st->req, [this, st, finish, hop2,
-                                      app_start](http::Response resp) mutable {
-                              if (st->trace) {
-                                st->trace->add(
-                                    "app/" + std::to_string(net::id_value(
-                                                 st->target->id())),
-                                    telemetry::Component::kApp, app_start,
-                                    loop_.now(), 0, resp.wire_size(),
-                                    resp.status);
-                              }
-                              const std::uint64_t bytes = resp.wire_size();
-                              const int status = resp.status;
-                              // Response path: server proxy -> gateway
-                              // replica -> client proxy.
-                              st->server_proxy->engine().handle_response(
-                                  st->tuple, bytes,
-                                  [this, st, finish, bytes, status,
-                                   hop2]() mutable {
-                                    const sim::TimePoint wire3 = loop_.now();
-                                    loop_.post(hop2, [this, st, finish,
-                                                          bytes, status,
-                                                          wire3]() mutable {
-                                      if (st->trace) {
-                                        st->trace->add(
-                                            "link/server-gateway",
-                                            telemetry::Component::kLink,
-                                            wire3, loop_.now(), 0, bytes);
-                                      }
-                                      st->backend->handle_response(
-                                          *st->replica, st->tuple, bytes,
-                                          [this, st, finish, bytes,
-                                           status]() mutable {
-                                            const sim::Duration hop1 =
-                                                config_.network.intra_az +
-                                                config_.network.fault_latency(
-                                                    loop_.now());
-                                            const sim::TimePoint wire4 =
-                                                loop_.now();
-                                            loop_.post(
-                                                hop1,
-                                                [this, st, finish, bytes,
-                                                 status, wire4]() mutable {
-                                                  if (st->trace) {
-                                                    st->trace->add(
-                                                        "link/gateway-client",
-                                                        telemetry::Component::
-                                                            kLink,
-                                                        wire4, loop_.now(), 0,
-                                                        bytes);
-                                                  }
-                                                  st->client_proxy->engine()
-                                                      .handle_response(
-                                                          st->tuple, bytes,
-                                                          [finish,
-                                                           status]() mutable {
-                                                            finish(status);
-                                                          },
-                                                          st->tracer());
-                                                });
-                                          },
-                                          st->tracer());
-                                    });
-                                  },
-                                  st->tracer());
-                            });
-                      },
-                      st->tracer());
-                });
+          st->resp_bytes = resp.wire_size();
+          st->resp_status = resp.status;
+          // Response path: server proxy -> gateway replica -> client proxy.
+          st->server_proxy->engine().handle_response(
+              st->tuple, st->resp_bytes,
+              [st] {
+                st->wire = st->self->loop_.now();
+                st->self->loop_.post(
+                    st->hop2, [st] { st->self->return_via_gateway(st); });
               },
               st->tracer());
         });
       },
       st->tracer());
+}
+
+void CanalMesh::return_via_gateway(RequestState* st) {
+  if (st->trace) {
+    st->trace->add("link/server-gateway", telemetry::Component::kLink,
+                   st->wire, loop_.now(), 0, st->resp_bytes);
+  }
+  st->backend->handle_response(
+      *st->replica, st->tuple, st->resp_bytes,
+      [st] {
+        CanalMesh& self = *st->self;
+        const sim::Duration hop1 =
+            self.config_.network.intra_az +
+            self.config_.network.fault_latency(self.loop_.now());
+        st->wire = self.loop_.now();
+        self.loop_.post(hop1, [st] { st->self->return_to_client(st); });
+      },
+      st->tracer());
+}
+
+void CanalMesh::return_to_client(RequestState* st) {
+  if (st->trace) {
+    st->trace->add("link/gateway-client", telemetry::Component::kLink,
+                   st->wire, loop_.now(), 0, st->resp_bytes);
+  }
+  st->client_proxy->engine().handle_response(
+      st->tuple, st->resp_bytes,
+      [st] { st->self->finish_request(st, st->resp_status); }, st->tracer());
 }
 
 std::vector<k8s::ConfigTarget> CanalMesh::routing_update_targets() const {

@@ -9,12 +9,13 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "canal/gateway.h"
 #include "canal/onnode.h"
 #include "crypto/keyserver.h"
 #include "mesh/dataplane.h"
+#include "sim/arena.h"
+#include "sim/flat_map.h"
 
 namespace canal::core {
 
@@ -72,16 +73,35 @@ class CanalMesh final : public mesh::MeshDataplane {
       net::ServiceId service) const override;
 
  private:
+  /// Pooled per-request continuation state (DESIGN.md §14): the whole
+  /// client→gateway→server→response chain captures only this pointer, so
+  /// every hop's closure stays in std::function's small buffer. Defined in
+  /// the .cc; the out-of-line destructor keeps Pool<> happy with the
+  /// incomplete type here.
+  struct RequestState;
+
   OnNodeProxy& ensure_proxy(const k8s::Node& node);
+
+  // send_request's hop chain, one member per async boundary (request out:
+  // client proxy -> gateway -> server proxy -> pod; response back).
+  void forward_to_gateway(RequestState* st);
+  void deliver_to_server(RequestState* st);
+  void return_via_gateway(RequestState* st);
+  void return_to_client(RequestState* st);
+  void finish_request(RequestState* st, int status);
 
   sim::EventLoop& loop_;
   k8s::Cluster& cluster_;
   MeshGateway& gateway_;
   Config config_;
   sim::Rng rng_;
-  std::unordered_map<const k8s::Node*, std::unique_ptr<OnNodeProxy>> proxies_;
-  std::unordered_map<net::ServiceId, std::uint32_t, net::IdHash> vnis_;
-  std::unordered_map<std::uint16_t, crypto::KeyServer*> key_servers_;
+  // Flat tables (DESIGN.md §14): proxy lookup is per-request. Ordered so
+  // config installs and CPU sums iterate in a fixed key order.
+  sim::FlatOrderedMap<const k8s::Node*, std::unique_ptr<OnNodeProxy>>
+      proxies_;
+  sim::FlatHashMap<net::ServiceId, std::uint32_t, net::IdHash> vnis_;
+  sim::FlatHashMap<std::uint16_t, crypto::KeyServer*> key_servers_;
+  sim::Pool<RequestState> requests_;
   std::uint16_t next_port_ = 30000;
 };
 

@@ -216,16 +216,18 @@ const lb::BucketTable* GatewayBackend::bucket_table(
 telemetry::ServiceStats& GatewayBackend::stats_for(net::ServiceId service) {
   auto [it, inserted] = stats_.try_emplace(service);
   if (inserted) {
-    // Map nodes are stable, so linking the history into the registry is
-    // safe for the backend's lifetime. Consumers (e.g. RCA) discover every
-    // service's RPS series via metrics().series_named(kServiceRpsSeries).
+    // Stats are heap-allocated so the registry link below stays valid for
+    // the backend's lifetime even as later inserts shift the flat map.
+    // Consumers (e.g. RCA) discover every service's RPS series via
+    // metrics().series_named(kServiceRpsSeries).
+    it->second = std::make_unique<telemetry::ServiceStats>();
     registry_.link_time_series(
         std::string(telemetry::kServiceRpsSeries),
         {{std::string(telemetry::kServiceLabel),
           std::to_string(net::id_value(service))}},
-        &it->second.rps_history());
+        &it->second->rps_history());
   }
-  return it->second;
+  return *it->second;
 }
 
 void GatewayBackend::set_throttle(net::ServiceId service, double rps_limit) {
@@ -347,59 +349,66 @@ void GatewayBackend::handle_request(const net::FiveTuple& tuple,
   stats_for(service).on_request(loop_.now(), new_connection, https);
   const sim::Duration chain_latency =
       static_cast<sim::Duration>(hops) * config_.redirect_hop_latency;
-  const sim::TimePoint chain_start = loop_.now();
-  loop_.post(chain_latency, [this, target, tuple, service, new_connection,
-                                 https, &req, hops, trace, chain_start,
-                                 done = std::move(done)]() mutable {
-    if (trace != nullptr && hops > 0) {
+  CallState* cs = calls_.acquire();
+  cs->self = this;
+  cs->target = target;
+  cs->tuple = tuple;
+  cs->service = service;
+  cs->new_connection = new_connection;
+  cs->req = &req;
+  cs->hops = hops;
+  cs->trace = trace;
+  cs->chain_start = loop_.now();
+  cs->done = std::move(done);
+  loop_.post(chain_latency, [cs] {
+    GatewayBackend& self = *cs->self;
+    if (cs->trace != nullptr && cs->hops > 0) {
       // Replica-to-replica forwarding along the bucket chain (§4.4).
-      trace->add("gw/redirect-chain", telemetry::Component::kRedirect,
-                 chain_start, loop_.now());
+      cs->trace->add("gw/redirect-chain", telemetry::Component::kRedirect,
+                     cs->chain_start, self.loop_.now());
     }
-    deliver_at_replica(*target, tuple, service, new_connection, https, req,
-                       hops, std::move(done), trace);
+    self.deliver_at_replica(cs);
   });
 }
 
-void GatewayBackend::deliver_at_replica(
-    GatewayReplica& replica, const net::FiveTuple& tuple,
-    net::ServiceId service, bool new_connection, bool /*https*/,
-    http::Request& req, std::uint32_t redirections,
-    std::function<void(GatewayOutcome)> done, telemetry::Trace* trace) {
+void GatewayBackend::deliver_at_replica(CallState* cs) {
   // Redirector lookup at each visited replica + tunnel disaggregation.
-  const sim::Duration lookup_cost =
-      static_cast<sim::Duration>(redirections + 1) * config_.redirector_cost;
-  const sim::Duration pre_cost = lookup_cost + config_.disaggregation_cost;
-  const std::uint64_t hash = net::flow_hash(tuple);
-  const sim::TimePoint pre_start = loop_.now();
-  replica.cpu().execute_pinned(hash, pre_cost, [this, &replica, tuple, service,
-                                                new_connection, &req,
-                                                redirections, trace, pre_start,
-                                                lookup_cost,
-                                                done = std::move(done)]() mutable {
-    if (trace != nullptr) {
+  cs->lookup_cost =
+      static_cast<sim::Duration>(cs->hops + 1) * config_.redirector_cost;
+  const sim::Duration pre_cost = cs->lookup_cost + config_.disaggregation_cost;
+  const std::uint64_t hash = net::flow_hash(cs->tuple);
+  cs->pre_start = loop_.now();
+  cs->target->cpu().execute_pinned(hash, pre_cost, [cs] {
+    GatewayBackend& self = *cs->self;
+    if (cs->trace != nullptr) {
       // Completion = pre_start + FCFS queue wait + pre_cost, so the wait
       // falls out of the elapsed time; charge it to the lookup span.
-      const sim::TimePoint split = loop_.now() - config_.disaggregation_cost;
-      trace->add("gw/redirector", telemetry::Component::kRedirect, pre_start,
-                 split, (split - pre_start) - lookup_cost);
-      trace->add("gw/disaggregation", telemetry::Component::kDisaggregation,
-                 split, loop_.now());
+      const sim::TimePoint split =
+          self.loop_.now() - self.config_.disaggregation_cost;
+      cs->trace->add("gw/redirector", telemetry::Component::kRedirect,
+                     cs->pre_start, split,
+                     (split - cs->pre_start) - cs->lookup_cost);
+      cs->trace->add("gw/disaggregation",
+                     telemetry::Component::kDisaggregation, split,
+                     self.loop_.now());
     }
-    replica.engine().handle_request(
-        tuple, service, new_connection, req,
-        [this, &replica, redirections,
-         done = std::move(done)](proxy::ProxyEngine::RequestOutcome r) mutable {
+    cs->target->engine().handle_request(
+        cs->tuple, cs->service, cs->new_connection, *cs->req,
+        [cs](proxy::ProxyEngine::RequestOutcome r) {
           GatewayOutcome outcome;
           outcome.ok = r.ok;
           outcome.status = r.status;
           outcome.endpoint = r.endpoint;
-          outcome.replica = &replica;
-          outcome.backend = this;
-          outcome.chain_redirections = redirections;
+          outcome.replica = cs->target;
+          outcome.backend = cs->self;
+          outcome.chain_redirections = cs->hops;
+          // Everything the continuation needs is in `outcome`; release
+          // before invoking it so a re-issued request can reuse the slot.
+          auto done = std::move(cs->done);
+          cs->self->calls_.release(cs);
           done(outcome);
         },
-        trace);
+        cs->trace);
   });
 }
 
@@ -441,10 +450,10 @@ telemetry::BackendSnapshot GatewayBackend::snapshot(sim::Duration window) {
   snap.cpu_utilization = cpu_utilization(window);
   snap.session_occupancy = session_occupancy();
   for (auto& [service, stats] : stats_) {
-    const double rps = stats.rps(loop_.now());
+    const double rps = stats->rps(loop_.now());
     snap.service_rps[service] = rps;
     snap.total_rps += rps;
-    snap.new_session_rate += stats.new_session_rate(loop_.now());
+    snap.new_session_rate += stats->new_session_rate(loop_.now());
   }
   return snap;
 }
@@ -466,7 +475,7 @@ void GatewayBackend::start_sampling(sim::Duration period) {
         long_sessions += replica->engine().sessions().count_older_than(
             service, loop_.now(), sim::minutes(1));
       }
-      stats.set_long_sessions(long_sessions);
+      stats->set_long_sessions(long_sessions);
     }
   });
   sampler_->start(period);
@@ -799,15 +808,35 @@ void MeshGateway::handle_request(net::Packet packet, bool new_connection,
       backend->az() == client_az
           ? 0
           : config_.network.cross_az - config_.network.intra_az;
-  const sim::TimePoint extra_start = loop_.now();
-  loop_.post(extra, [this, backend, tuple = packet.tuple, service,
-                         new_connection, https, &req, trace, extra_start,
-                         done = std::move(done)]() mutable {
-    if (trace != nullptr && loop_.now() > extra_start) {
+  DispatchState* gst = dispatches_.acquire();
+  gst->self = this;
+  gst->backend = backend;
+  gst->tuple = packet.tuple;
+  gst->service = service;
+  gst->new_connection = new_connection;
+  gst->https = https;
+  gst->req = &req;
+  gst->trace = trace;
+  gst->extra_start = loop_.now();
+  gst->done = std::move(done);
+  loop_.post(extra, [gst] {
+    MeshGateway& self = *gst->self;
+    if (gst->trace != nullptr && self.loop_.now() > gst->extra_start) {
       // Cross-AZ detour to a remote backend (DNS failover, §4.2).
-      trace->add("link/cross-az-extra", telemetry::Component::kLink,
-                 extra_start, loop_.now());
+      gst->trace->add("link/cross-az-extra", telemetry::Component::kLink,
+                      gst->extra_start, self.loop_.now());
     }
+    // Extract everything before releasing: the backend call may re-enter
+    // the pool for a follow-up dispatch.
+    GatewayBackend* backend = gst->backend;
+    const net::FiveTuple tuple = gst->tuple;
+    const net::ServiceId service = gst->service;
+    const bool new_connection = gst->new_connection;
+    const bool https = gst->https;
+    http::Request& req = *gst->req;
+    telemetry::Trace* trace = gst->trace;
+    auto done = std::move(gst->done);
+    self.dispatches_.release(gst);
     backend->handle_request(tuple, service, new_connection, https, req,
                             std::move(done), trace);
   });

@@ -14,12 +14,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "canal/sharding.h"
@@ -35,8 +32,10 @@
 #include "telemetry/registry.h"
 #include "telemetry/service_stats.h"
 #include "telemetry/trace.h"
+#include "sim/arena.h"
 #include "sim/cpu.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 
 namespace canal::core {
 
@@ -147,7 +146,8 @@ class GatewayBackend {
   [[nodiscard]] bool hosts(net::ServiceId service) const {
     return services_.contains(service);
   }
-  [[nodiscard]] const std::set<net::ServiceId>& services() const noexcept {
+  [[nodiscard]] const sim::FlatOrderedSet<net::ServiceId>& services()
+      const noexcept {
     return services_;
   }
   void refresh_endpoints(const k8s::Service& service);
@@ -197,8 +197,13 @@ class GatewayBackend {
   [[nodiscard]] double cpu_utilization(sim::Duration window) const;
   [[nodiscard]] double session_occupancy() const;
   [[nodiscard]] telemetry::ServiceStats& stats_for(net::ServiceId service);
-  [[nodiscard]] const std::map<net::ServiceId, telemetry::ServiceStats>&
-  service_stats() const noexcept {
+  /// Per-service stats in service-id order (unique_ptr values: registry
+  /// series link into each ServiceStats, so addresses must survive
+  /// inserts).
+  using ServiceStatsMap =
+      sim::FlatOrderedMap<net::ServiceId,
+                          std::unique_ptr<telemetry::ServiceStats>>;
+  [[nodiscard]] const ServiceStatsMap& service_stats() const noexcept {
     return stats_;
   }
   [[nodiscard]] telemetry::BackendSnapshot snapshot(sim::Duration window);
@@ -278,12 +283,27 @@ class GatewayBackend {
   static constexpr std::size_t kFlowCacheSlots = 1 << 12;
 
   [[nodiscard]] std::vector<net::ReplicaId> alive_replica_ids() const;
-  void deliver_at_replica(GatewayReplica& replica, const net::FiveTuple& tuple,
-                          net::ServiceId service, bool new_connection,
-                          bool https, http::Request& req,
-                          std::uint32_t redirections,
-                          std::function<void(GatewayOutcome)> done,
-                          telemetry::Trace* trace);
+
+  /// Pooled per-request state for the chain-forward -> redirector ->
+  /// engine continuation (DESIGN.md §14): hot-path closures capture only
+  /// this pointer, so the std::functions they become stay within the
+  /// small-buffer optimisation and never box on the heap.
+  struct CallState {
+    GatewayBackend* self = nullptr;
+    GatewayReplica* target = nullptr;
+    net::FiveTuple tuple{};
+    net::ServiceId service{};
+    bool new_connection = false;
+    http::Request* req = nullptr;
+    std::uint32_t hops = 0;
+    telemetry::Trace* trace = nullptr;
+    sim::TimePoint chain_start = 0;
+    sim::TimePoint pre_start = 0;
+    sim::Duration lookup_cost = 0;
+    std::function<void(GatewayOutcome)> done;
+  };
+
+  void deliver_at_replica(CallState* cs);
 
   sim::EventLoop& loop_;
   net::BackendId id_;
@@ -293,19 +313,24 @@ class GatewayBackend {
   bool is_sandbox_;
   std::vector<std::unique_ptr<GatewayReplica>> replicas_;
   net::EcmpRouter router_;
-  std::map<net::ServiceId, lb::BucketTable> bucket_tables_;
-  std::set<net::ServiceId> services_;
-  std::unordered_map<net::ServiceId, const k8s::Service*, net::IdHash>
+  // Flat tables (DESIGN.md §14). Ordered variants where iteration reaches
+  // simulated results (bucket remaps, stats sums); hash tables where only
+  // keyed lookups happen on the request path.
+  sim::FlatOrderedMap<net::ServiceId, lb::BucketTable> bucket_tables_;
+  sim::FlatOrderedSet<net::ServiceId> services_;
+  sim::FlatHashMap<net::ServiceId, const k8s::Service*, net::IdHash>
       service_objects_;
-  std::map<net::ServiceId, telemetry::ServiceStats> stats_;
+  ServiceStatsMap stats_;
   telemetry::MetricsRegistry registry_;
-  std::map<net::ServiceId, double> throttles_;
-  std::map<net::ServiceId, sim::RateMeter> throttle_meters_;
+  sim::FlatHashMap<net::ServiceId, double, net::IdHash> throttles_;
+  sim::FlatHashMap<net::ServiceId, sim::RateMeter, net::IdHash>
+      throttle_meters_;
   sim::TimeSeries util_history_{sim::hours(25)};
   std::unique_ptr<sim::PeriodicTimer> sampler_;
   std::uint64_t throttled_requests_ = 0;
   std::uint32_t next_replica_ = 1;
   std::vector<FlowEntry> flow_cache_;
+  sim::Pool<CallState> calls_;
   std::uint64_t flow_epoch_ = 0;
   std::uint64_t fastpath_hits_ = 0;
   std::uint64_t fastpath_misses_ = 0;
@@ -380,6 +405,21 @@ class MeshGateway {
     GatewayBackend* sandbox = nullptr;
   };
 
+  /// Pooled state for the cross-AZ dispatch hop (same SBO discipline as
+  /// GatewayBackend::CallState).
+  struct DispatchState {
+    MeshGateway* self = nullptr;
+    GatewayBackend* backend = nullptr;
+    net::FiveTuple tuple{};
+    net::ServiceId service{};
+    bool new_connection = false;
+    bool https = false;
+    http::Request* req = nullptr;
+    telemetry::Trace* trace = nullptr;
+    sim::TimePoint extra_start = 0;
+    std::function<void(GatewayOutcome)> done;
+  };
+
   Az& az_of(net::AzId id);
 
   sim::EventLoop& loop_;
@@ -387,9 +427,10 @@ class MeshGateway {
   sim::Rng rng_;
   std::vector<Az> azs_;
   net::VSwitch vswitch_;
-  std::unordered_map<net::ServiceId, std::vector<net::BackendId>, net::IdHash>
+  sim::Pool<DispatchState> dispatches_;
+  sim::FlatHashMap<net::ServiceId, std::vector<net::BackendId>, net::IdHash>
       placements_;
-  std::unordered_map<net::ServiceId, const k8s::Service*, net::IdHash>
+  sim::FlatHashMap<net::ServiceId, const k8s::Service*, net::IdHash>
       service_objects_;
   std::uint32_t next_backend_ = 1;
   std::uint16_t next_az_ = 0;
@@ -438,8 +479,8 @@ class GatewayHealthMonitor {
   MeshGateway& gateway_;
   Config config_;
   sim::PeriodicTimer timer_;
-  std::unordered_map<net::ReplicaId, std::uint32_t, net::IdHash> dead_streak_;
-  std::unordered_map<net::ReplicaId, std::uint32_t, net::IdHash> alive_streak_;
+  sim::FlatHashMap<net::ReplicaId, std::uint32_t, net::IdHash> dead_streak_;
+  sim::FlatHashMap<net::ReplicaId, std::uint32_t, net::IdHash> alive_streak_;
   std::uint64_t evictions_ = 0;
   std::uint64_t readmissions_ = 0;
 };

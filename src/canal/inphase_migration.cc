@@ -12,7 +12,8 @@ InPhaseMigrationPlanner::find_in_phase(GatewayBackend& backend,
   const auto& stats = backend.service_stats();
   for (auto a = stats.begin(); a != stats.end(); ++a) {
     for (auto b = std::next(a); b != stats.end(); ++b) {
-      if (telemetry::in_phase(a->second.rps_history(), b->second.rps_history(),
+      if (telemetry::in_phase(a->second->rps_history(),
+                              b->second->rps_history(),
                               lo, hi, config_.hwhm_sample_points,
                               config_.correlation_threshold)) {
         out.emplace_back(a->first, b->first);

@@ -95,7 +95,7 @@ net::ServiceId AnomalyResponder::dominant_new_session_service(
   net::ServiceId best{};
   double best_rate = -1.0;
   for (const auto& [service, stats] : backend.service_stats()) {
-    const double rate = stats.new_session_rate(loop_.now());
+    const double rate = stats->new_session_rate(loop_.now());
     if (rate > best_rate) {
       best_rate = rate;
       best = service;

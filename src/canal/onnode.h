@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "crypto/keyserver.h"
 #include "k8s/objects.h"
@@ -19,6 +18,7 @@
 #include "proxy/nagle.h"
 #include "sim/cpu.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 
 namespace canal::core {
 
@@ -68,7 +68,7 @@ class OnNodeProxy {
   sim::CpuSet cpu_;
   std::unique_ptr<crypto::KeyServerClient> key_client_;
   std::unique_ptr<proxy::ProxyEngine> engine_;
-  std::unordered_map<net::PodId, std::uint64_t, net::IdHash> pod_bytes_;
+  sim::FlatHashMap<net::PodId, std::uint64_t, net::IdHash> pod_bytes_;
   std::uint64_t total_bytes_ = 0;
 };
 

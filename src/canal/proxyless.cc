@@ -3,7 +3,9 @@
 namespace canal::core {
 
 std::optional<std::uint32_t> EniRegistry::allocate(const k8s::Pod& pod) {
-  if (enis_.contains(pod.id())) return enis_.at(pod.id());
+  if (const auto it = enis_.find(pod.id()); it != enis_.end()) {
+    return it->second;
+  }
   auto& count = per_node_[&pod.node()];
   if (count >= config_.max_enis_per_node) return std::nullopt;
   ++count;
@@ -215,7 +217,7 @@ void ProxylessMesh::send_request(const mesh::RequestOptions& opts,
             loop_.post(config_.network.intra_az, [this, st,
                                                       finish]() mutable {
               st->target->handle_request(
-                  st->req, [this, st, finish](http::Response resp) mutable {
+                  st->req, [this, st, finish](http::Response& resp) mutable {
                     const std::uint64_t bytes = resp.wire_size();
                     const int status = resp.status;
                     st->backend->handle_response(

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "canal/gateway.h"
 #include "mesh/dataplane.h"
+#include "sim/flat_map.h"
 
 namespace canal::core {
 
@@ -51,9 +51,9 @@ class EniRegistry {
 
  private:
   Config config_;
-  std::unordered_map<net::PodId, std::uint32_t, net::IdHash> enis_;
-  std::unordered_map<const k8s::Node*, std::size_t> per_node_;
-  std::unordered_map<net::PodId, const k8s::Node*, net::IdHash> node_of_;
+  sim::FlatHashMap<net::PodId, std::uint32_t, net::IdHash> enis_;
+  sim::FlatHashMap<const k8s::Node*, std::size_t> per_node_;
+  sim::FlatHashMap<net::PodId, const k8s::Node*, net::IdHash> node_of_;
   std::uint32_t next_eni_ = 1;
 };
 
@@ -121,7 +121,7 @@ class ProxylessMesh final : public mesh::MeshDataplane {
   Config config_;
   sim::Rng rng_;
   EniRegistry enis_;
-  std::unordered_map<net::ServiceId, std::uint32_t, net::IdHash> vnis_;
+  sim::FlatHashMap<net::ServiceId, std::uint32_t, net::IdHash> vnis_;
   double app_tls_core_seconds_ = 0.0;
   std::uint64_t gateway_requests_ = 0;
   std::uint16_t next_port_ = 40000;

@@ -45,6 +45,27 @@ void HeaderMap::set(std::string name, std::string value) {
   add(std::move(name), std::move(value));
 }
 
+std::string& HeaderMap::value_slot(std::string_view name) {
+  std::size_t found = entries_.size();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (iequals(entries_[i].first, name)) {
+      found = i;
+      break;
+    }
+  }
+  if (found == entries_.size()) {
+    entries_.emplace_back(std::string(name), std::string());
+    return entries_.back().second;
+  }
+  // set() semantics: one value per name — drop any later duplicates.
+  for (std::size_t i = entries_.size(); i-- > found + 1;) {
+    if (iequals(entries_[i].first, name)) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  return entries_[found].second;
+}
+
 void HeaderMap::remove(std::string_view name) {
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [&](const auto& e) {

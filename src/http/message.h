@@ -37,6 +37,13 @@ class HeaderMap {
   void set(std::string name, std::string value);
   void remove(std::string_view name);
 
+  /// Returns the value slot for `name` (first match; duplicates removed,
+  /// set() semantics), adding an empty entry if absent. Assigning into the
+  /// returned string overwrites in place and reuses its capacity — the
+  /// allocation-free alternative to set() for values that outgrow the
+  /// small-string buffer. The reference is invalidated by any mutation.
+  std::string& value_slot(std::string_view name);
+
   [[nodiscard]] std::optional<std::string_view> get(std::string_view name) const;
   [[nodiscard]] bool contains(std::string_view name) const;
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }

@@ -25,37 +25,45 @@ Pod::Pod(sim::EventLoop& loop, net::PodId id, net::ServiceId service,
       profile_(profile),
       rng_(rng) {}
 
-void Pod::handle_request(const http::Request& req,
-                         std::function<void(http::Response)> done) {
+void Pod::handle_request(const http::Request& req, ResponseCallback done) {
+  AppCall* call = calls_.acquire();
+  call->self = this;
+  call->done = std::move(done);
   if (phase_ != PodPhase::kRunning) {
-    http::Response resp;
-    resp.status = 503;
-    resp.reason = std::string(http::reason_phrase(503));
-    loop_.post(0, [done = std::move(done), resp = std::move(resp)]() mutable {
-      done(std::move(resp));
+    // Not the steady path: a fresh HeaderMap (dropping pooled capacity) is
+    // fine here, and simpler than purging stale 200-path headers.
+    call->resp.status = 503;
+    call->resp.reason.assign(http::reason_phrase(503));
+    call->resp.headers = http::HeaderMap{};
+    call->resp.body.clear();
+    loop_.post(0, [call] {
+      auto cb = std::move(call->done);
+      cb(call->resp);  // `resp` lives in the slot: release only after
+      call->self->calls_.release(call);
     });
     return;
   }
   ++requests_served_;
-  const bool app_error = rng_.chance(profile_.app_error_rate);
-  const sim::Duration think = profile_.sample_service_time(rng_);
-  const std::uint32_t body_bytes = profile_.response_bytes;
+  call->app_error = rng_.chance(profile_.app_error_rate);
+  call->think = profile_.sample_service_time(rng_);
   // CPU work is charged to the node; think time (I/O, downstream calls)
   // elapses without occupying a core. Only the request path survives into
-  // the response (echoed as X-Request-Path), so capture just that string
-  // rather than copying the whole Request through two continuations.
-  node_.cpu().execute(profile_.cpu_per_request,
-                      [this, think, app_error, body_bytes, path = req.path,
-                       done = std::move(done)]() mutable {
-    loop_.post(think, [app_error, body_bytes, path = std::move(path),
-                       done = std::move(done)]() mutable {
-      http::Response resp;
-      resp.status = app_error ? 500 : 200;
-      resp.reason = std::string(http::reason_phrase(resp.status));
+  // the response (echoed as X-Request-Path), so copy just that string —
+  // into pooled storage whose capacity is reused across requests.
+  call->path = req.path;
+  node_.cpu().execute(profile_.cpu_per_request, [call] {
+    call->self->loop_.post(call->think, [call] {
+      Pod& self = *call->self;
+      http::Response& resp = call->resp;
+      const std::uint32_t body_bytes = self.profile_.response_bytes;
+      resp.status = call->app_error ? 500 : 200;
+      resp.reason.assign(http::reason_phrase(resp.status));
       resp.body.assign(body_bytes, 'x');
       resp.headers.set("Content-Length", std::to_string(body_bytes));
-      resp.headers.set("X-Request-Path", std::move(path));
-      done(std::move(resp));
+      resp.headers.set("X-Request-Path", call->path);
+      auto cb = std::move(call->done);
+      cb(resp);  // `resp` lives in the slot: release only after
+      self.calls_.release(call);
     });
   });
 }

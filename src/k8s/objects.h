@@ -15,6 +15,7 @@
 #include "http/message.h"
 #include "net/address.h"
 #include "net/ids.h"
+#include "sim/arena.h"
 #include "sim/cpu.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
@@ -65,10 +66,15 @@ class Pod {
     return phase_ == PodPhase::kRunning;
   }
 
+  /// Receives the response for one application request. The Response is
+  /// pool-owned scratch, valid only until the callback returns — copy what
+  /// outlives it. (Passing by reference lets the pod reuse one Response's
+  /// body/header capacity across requests: DESIGN.md §14.)
+  using ResponseCallback = std::function<void(http::Response&)>;
+
   /// Application request handling: charges node CPU, waits out the modeled
   /// service time, returns a response. Terminated pods answer 503.
-  void handle_request(const http::Request& req,
-                      std::function<void(http::Response)> done);
+  void handle_request(const http::Request& req, ResponseCallback done);
 
   /// Cheap health-probe path; counts probes for Table 6 accounting.
   void handle_health_probe();
@@ -81,6 +87,18 @@ class Pod {
   }
 
  private:
+  /// Pooled per-request state: the CPU and think-time continuations capture
+  /// only this pointer (small-buffer std::function), and the Response is
+  /// built in place so its body/header buffers are reused across requests.
+  struct AppCall {
+    Pod* self = nullptr;
+    bool app_error = false;
+    sim::Duration think = 0;
+    std::string path;     ///< request path echoed as X-Request-Path
+    http::Response resp;  ///< scratch handed to `done` by reference
+    ResponseCallback done;
+  };
+
   sim::EventLoop& loop_;
   net::PodId id_;
   net::ServiceId service_;
@@ -92,6 +110,7 @@ class Pod {
   PodPhase phase_ = PodPhase::kPending;
   std::uint64_t requests_served_ = 0;
   std::uint64_t health_probes_ = 0;
+  sim::Pool<AppCall> calls_;
 };
 
 /// A worker machine hosting pods (and, depending on the mesh, proxies).

@@ -285,7 +285,7 @@ void AmbientMesh::send_request(const RequestOptions& opts,
                         st->target->handle_request(
                             st->req,
                             [this, st, finish, hop2,
-                             app_start](http::Response resp) mutable {
+                             app_start](http::Response& resp) mutable {
                               if (st->trace) {
                                 st->trace->add(
                                     "app/" + std::to_string(net::id_value(

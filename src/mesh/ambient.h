@@ -8,10 +8,10 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "crypto/accelerator.h"
 #include "mesh/dataplane.h"
+#include "sim/flat_map.h"
 #include "sim/rng.h"
 
 namespace canal::mesh {
@@ -100,9 +100,11 @@ class AmbientMesh final : public MeshDataplane {
   k8s::Cluster& cluster_;
   Config config_;
   sim::Rng rng_;
-  std::unordered_map<const k8s::Node*, std::unique_ptr<Ztunnel>> ztunnels_;
-  std::unordered_map<net::ServiceId, std::unique_ptr<Waypoint>, net::IdHash>
-      waypoints_;
+  // Flat tables (DESIGN.md §14): ztunnel/waypoint lookup is per-request.
+  // Ordered so config-push target lists and CPU sums iterate in a fixed
+  // key order.
+  sim::FlatOrderedMap<const k8s::Node*, std::unique_ptr<Ztunnel>> ztunnels_;
+  sim::FlatOrderedMap<net::ServiceId, std::unique_ptr<Waypoint>> waypoints_;
   std::size_t waypoint_placement_cursor_ = 0;
   std::uint16_t next_port_ = 20000;
 };

@@ -1,6 +1,7 @@
 #include "mesh/dataplane.h"
 
 #include <algorithm>
+#include <charconv>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -25,7 +26,17 @@ std::size_t full_config_bytes(const k8s::Cluster& cluster) {
 }
 
 std::string service_cluster_name(net::ServiceId id) {
-  return "service-" + std::to_string(net::id_value(id));
+  std::string out;
+  append_service_cluster_name(out, id);
+  return out;
+}
+
+void append_service_cluster_name(std::string& out, net::ServiceId id) {
+  out += "service-";
+  char digits[20];
+  const auto result = std::to_chars(digits, digits + sizeof(digits),
+                                    net::id_value(id));
+  out.append(digits, result.ptr);
 }
 
 net::Ipv4Addr service_vip(net::ServiceId id) {
@@ -321,17 +332,42 @@ void MeshDataplane::send_request_with_retries(const RequestOptions& opts,
 
 http::Request build_request(const RequestOptions& opts) {
   http::Request req;
+  build_request_into(opts, req);
+  return req;
+}
+
+void build_request_into(const RequestOptions& opts, http::Request& req) {
   req.method = opts.method;
   req.path = opts.path;
-  req.headers.set("Host", service_cluster_name(opts.dst_service));
+  // Drop headers a previous use of a pooled request left behind. Host and
+  // Content-Length are overwritten below; anything else is stale. set()'s
+  // remove+add churn stays allocation-free: header names/values here are
+  // short enough for the small-string buffer and the entries vector keeps
+  // its capacity.
+  while (true) {
+    const auto& entries = req.headers.entries();
+    const auto stale = std::find_if(
+        entries.begin(), entries.end(), [](const auto& entry) {
+          return !http::iequals(entry.first, "Host") &&
+                 !http::iequals(entry.first, "Content-Length");
+        });
+    if (stale == entries.end()) break;
+    const std::string name = stale->first;  // remove() invalidates the entry
+    req.headers.remove(name);
+  }
+  std::string& host = req.headers.value_slot("Host");
+  host.clear();
+  append_service_cluster_name(host, opts.dst_service);
   for (const auto& [name, value] : opts.headers) {
     req.headers.add(name, value);
   }
   if (opts.request_bytes > 0) {
     req.body.assign(opts.request_bytes, 'q');
     req.headers.set("Content-Length", std::to_string(opts.request_bytes));
+  } else {
+    req.body.clear();
+    req.headers.remove("Content-Length");
   }
-  return req;
 }
 
 void NoMesh::apply_endpoint_health(net::ServiceId, std::uint64_t endpoint_key,
@@ -401,7 +437,7 @@ void NoMesh::send_request(const RequestOptions& opts, RequestCallback done) {
     const sim::TimePoint app_start = loop_.now();
     target->handle_request(*req, [this, req, target, hop, trace, app_start,
                                   finish = std::move(finish)](
-                                     http::Response resp) mutable {
+                                     http::Response& resp) mutable {
       if (trace) {
         trace->add("app/" + std::to_string(net::id_value(target->id())),
                    telemetry::Component::kApp, app_start, loop_.now(), 0,

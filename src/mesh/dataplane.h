@@ -282,6 +282,13 @@ class MeshDataplane {
 /// Default cluster name for a service's endpoint pool.
 [[nodiscard]] std::string service_cluster_name(net::ServiceId id);
 
+/// Appends the cluster name for `id` to `out` without allocating beyond
+/// `out`'s own growth — the hot-path variant of service_cluster_name()
+/// (service IDs carry the tenant in their high bits, so the name outgrows
+/// the small-string buffer and a fresh std::string per request would hit
+/// the heap every time).
+void append_service_cluster_name(std::string& out, net::ServiceId id);
+
 /// Installs the default route table ("/" prefix -> service cluster) and
 /// endpoint pool for `service` into `engine`.
 void install_service_config(proxy::ProxyEngine& engine,
@@ -344,5 +351,11 @@ class NoMesh final : public MeshDataplane {
 
 /// Builds the HTTP request described by `opts`.
 [[nodiscard]] http::Request build_request(const RequestOptions& opts);
+
+/// Builds the request into `req`, reusing its buffers (string capacity,
+/// header entries) — the zero-allocation path for pooled request state.
+/// Stale headers from a previous use are dropped; the result is
+/// byte-identical to build_request() on a fresh object.
+void build_request_into(const RequestOptions& opts, http::Request& req);
 
 }  // namespace canal::mesh

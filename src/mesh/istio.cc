@@ -208,7 +208,7 @@ void IstioMesh::send_request(const RequestOptions& opts,
                 const sim::TimePoint app_start = loop_.now();
                 st->target->handle_request(
                     st->req, [this, st, finish, hop,
-                              app_start](http::Response resp) mutable {
+                              app_start](http::Response& resp) mutable {
                       if (st->trace) {
                         st->trace->add(
                             "app/" +

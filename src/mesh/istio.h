@@ -9,10 +9,10 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "crypto/accelerator.h"
 #include "mesh/dataplane.h"
+#include "sim/flat_map.h"
 #include "sim/rng.h"
 
 namespace canal::mesh {
@@ -94,8 +94,10 @@ class IstioMesh final : public MeshDataplane {
   k8s::Cluster& cluster_;
   Config config_;
   sim::Rng rng_;
-  std::unordered_map<const k8s::Node*, std::unique_ptr<NodePool>> pools_;
-  std::unordered_map<net::PodId, Sidecar, net::IdHash> sidecars_;
+  // Flat tables (DESIGN.md §14): sidecar lookup is per-request. Ordered so
+  // config-push target lists and CPU sums iterate in a fixed key order.
+  sim::FlatOrderedMap<const k8s::Node*, std::unique_ptr<NodePool>> pools_;
+  sim::FlatOrderedMap<net::PodId, Sidecar> sidecars_;
   std::uint16_t next_port_ = 10000;
 };
 

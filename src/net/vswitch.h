@@ -10,10 +10,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "net/ids.h"
 #include "net/packet.h"
+#include "sim/flat_map.h"
 
 namespace canal::net {
 
@@ -43,7 +43,7 @@ class VSwitch {
   [[nodiscard]] std::size_t bindings() const noexcept { return vni_map_.size(); }
 
  private:
-  std::unordered_map<std::uint32_t, VniBinding> vni_map_;
+  sim::FlatHashMap<std::uint32_t, VniBinding> vni_map_;
 };
 
 }  // namespace canal::net

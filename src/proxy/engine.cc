@@ -87,53 +87,59 @@ void ProxyEngine::handle_request(const net::FiveTuple& tuple,
   }
   if (observer_) observer_(dst_service, tuple, bytes, new_connection);
 
-  const std::uint64_t hash = net::flow_hash(tuple);
+  CallState* cs = calls_.acquire();
+  cs->self = this;
+  cs->tuple = tuple;
+  cs->dst_service = dst_service;
+  cs->req = &req;
+  cs->bytes = bytes;
+  cs->hash = net::flow_hash(tuple);
+  cs->component = component;
+  cs->trace = trace;
+  cs->done = std::move(done);
   const sim::Duration cpu_cost = request_cpu_cost(bytes, new_connection);
-  const auto on_path = static_cast<sim::Duration>(
+  cs->on_path = static_cast<sim::Duration>(
       static_cast<double>(cpu_cost) * (1.0 - config_.off_path_fraction));
-  const sim::Duration off_path = cpu_cost - on_path;
-
-  auto continue_request = [this, tuple, hash, on_path, off_path, dst_service,
-                           &req, bytes, component, trace,
-                           done = std::move(done)]() mutable {
-    // The pinned core is deterministic, so its backlog before enqueueing is
-    // exactly the FCFS queue wait this job will experience.
-    const sim::TimePoint cpu_start = loop_.now();
-    const sim::Duration queue_wait =
-        trace != nullptr ? cpu_.core(hash % cpu_.size()).backlog() : 0;
-    cpu_.execute_pinned(hash, on_path,
-                        [this, tuple, dst_service, &req, bytes, component,
-                         trace, cpu_start, queue_wait,
-                         done = std::move(done)]() mutable {
-                          if (trace != nullptr) {
-                            trace->add(span_main_, component, cpu_start,
-                                       loop_.now(), queue_wait, bytes);
-                          }
-                          finish_request(tuple, dst_service, req,
-                                         std::move(done), trace);
-                        });
-    // Off-path work (logging/stats) consumes pool capacity without gating
-    // this request's completion; it lands on the least-loaded core so the
-    // same flow's next hop through a shared pool isn't blocked by it.
-    if (off_path > 0) cpu_.execute(off_path);
-  };
+  cs->off_path = cpu_cost - cs->on_path;
 
   if (config_.mtls && new_connection && handshake_executor_) {
     ++handshakes_;
     if (trace == nullptr) {
-      handshake_executor_(std::move(continue_request));
+      handshake_executor_([cs] { cs->self->continue_request(cs); });
     } else {
-      const sim::TimePoint hs_start = loop_.now();
-      handshake_executor_([this, hs_start, trace,
-                           cont = std::move(continue_request)]() mutable {
-        trace->add(span_handshake_, telemetry::Component::kHandshake,
-                   hs_start, loop_.now());
-        cont();
+      cs->hs_start = loop_.now();
+      handshake_executor_([cs] {
+        cs->trace->add(cs->self->span_handshake_,
+                       telemetry::Component::kHandshake, cs->hs_start,
+                       cs->self->loop_.now());
+        cs->self->continue_request(cs);
       });
     }
   } else {
-    continue_request();
+    continue_request(cs);
   }
+}
+
+void ProxyEngine::continue_request(CallState* cs) {
+  // The pinned core is deterministic, so its backlog before enqueueing is
+  // exactly the FCFS queue wait this job will experience.
+  cs->cpu_start = loop_.now();
+  cs->queue_wait =
+      cs->trace != nullptr ? cpu_.core(cs->hash % cpu_.size()).backlog() : 0;
+  cpu_.execute_pinned(cs->hash, cs->on_path, [cs] {
+    ProxyEngine& self = *cs->self;
+    if (cs->trace != nullptr) {
+      cs->trace->add(self.span_main_, cs->component, cs->cpu_start,
+                     self.loop_.now(), cs->queue_wait, cs->bytes);
+    }
+    self.finish_request(cs->tuple, cs->dst_service, *cs->req,
+                        std::move(cs->done), cs->trace);
+    self.calls_.release(cs);
+  });
+  // Off-path work (logging/stats) consumes pool capacity without gating
+  // this request's completion; it lands on the least-loaded core so the
+  // same flow's next hop through a shared pool isn't blocked by it.
+  if (cs->off_path > 0) cpu_.execute(cs->off_path);
 }
 
 void ProxyEngine::finish_request(const net::FiveTuple& tuple,
@@ -206,6 +212,7 @@ void ProxyEngine::finish_request(const net::FiveTuple& tuple,
         done(outcome);
         return;
       }
+      outcome.cluster = cluster->name();  // stable storage, not the local
       // Memoize only first-rule matches: re-verifying that rule's match
       // on a hit then preserves first-match-wins exactly.
       const auto& weighted = result->rule->action.clusters;
@@ -222,7 +229,6 @@ void ProxyEngine::finish_request(const net::FiveTuple& tuple,
           slot.clusters[i] = clusters_.find(weighted[i].cluster);
         }
       }
-      outcome.cluster = result->cluster;
     }
   } else {
     if (entry != nullptr) {
@@ -298,44 +304,50 @@ void ProxyEngine::handle_inbound(const net::FiveTuple& tuple,
   }
   if (observer_) observer_(dst_service, tuple, bytes, new_connection);
 
-  const std::uint64_t hash = net::flow_hash(tuple);
+  CallState* cs = calls_.acquire();
+  cs->self = this;
+  cs->bytes = bytes;
+  cs->hash = net::flow_hash(tuple);
+  cs->component = component;
+  cs->trace = trace;
+  cs->done_inbound = std::move(done);
   const sim::Duration cpu_cost = request_cpu_cost(bytes, new_connection);
-  const auto on_path = static_cast<sim::Duration>(
+  cs->on_path = static_cast<sim::Duration>(
       static_cast<double>(cpu_cost) * (1.0 - config_.off_path_fraction));
-  const sim::Duration off_path = cpu_cost - on_path;
-  auto continue_inbound = [this, hash, on_path, off_path, bytes, component,
-                           trace, done = std::move(done)]() mutable {
-    const sim::TimePoint cpu_start = loop_.now();
-    const sim::Duration queue_wait =
-        trace != nullptr ? cpu_.core(hash % cpu_.size()).backlog() : 0;
-    cpu_.execute_pinned(hash, on_path,
-                        [this, bytes, component, trace, cpu_start, queue_wait,
-                         done = std::move(done)] {
-                          if (trace != nullptr) {
-                            trace->add(span_inbound_, component,
-                                       cpu_start, loop_.now(), queue_wait,
-                                       bytes);
-                          }
-                          done(true, 200);
-                        });
-    if (off_path > 0) cpu_.execute(off_path);
-  };
+  cs->off_path = cpu_cost - cs->on_path;
   if (config_.mtls && new_connection && handshake_executor_) {
     ++handshakes_;
     if (trace == nullptr) {
-      handshake_executor_(std::move(continue_inbound));
+      handshake_executor_([cs] { cs->self->continue_inbound(cs); });
     } else {
-      const sim::TimePoint hs_start = loop_.now();
-      handshake_executor_([this, hs_start, trace,
-                           cont = std::move(continue_inbound)]() mutable {
-        trace->add(span_handshake_, telemetry::Component::kHandshake,
-                   hs_start, loop_.now());
-        cont();
+      cs->hs_start = loop_.now();
+      handshake_executor_([cs] {
+        cs->trace->add(cs->self->span_handshake_,
+                       telemetry::Component::kHandshake, cs->hs_start,
+                       cs->self->loop_.now());
+        cs->self->continue_inbound(cs);
       });
     }
   } else {
-    continue_inbound();
+    continue_inbound(cs);
   }
+}
+
+void ProxyEngine::continue_inbound(CallState* cs) {
+  cs->cpu_start = loop_.now();
+  cs->queue_wait =
+      cs->trace != nullptr ? cpu_.core(cs->hash % cpu_.size()).backlog() : 0;
+  cpu_.execute_pinned(cs->hash, cs->on_path, [cs] {
+    ProxyEngine& self = *cs->self;
+    if (cs->trace != nullptr) {
+      cs->trace->add(self.span_inbound_, cs->component, cs->cpu_start,
+                     self.loop_.now(), cs->queue_wait, cs->bytes);
+    }
+    auto done = std::move(cs->done_inbound);
+    self.calls_.release(cs);
+    done(true, 200);
+  });
+  if (cs->off_path > 0) cpu_.execute(cs->off_path);
 }
 
 void ProxyEngine::handle_response(const net::FiveTuple& tuple,

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "http/route.h"
@@ -21,8 +21,10 @@
 #include "proxy/cost_model.h"
 #include "proxy/session_table.h"
 #include "proxy/upstream.h"
+#include "sim/arena.h"
 #include "sim/cpu.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 #include "sim/rng.h"
 #include "telemetry/trace.h"
 
@@ -86,7 +88,12 @@ class ProxyEngine {
   struct RequestOutcome {
     bool ok = false;
     int status = 0;              ///< Error/direct-response status when !ok
-    std::string cluster;         ///< Chosen upstream cluster when ok
+    /// Chosen upstream cluster when ok. A view into the UpstreamCluster's
+    /// own name — stable for the cluster's lifetime, so valid for the
+    /// duration of the `done` callback; copy it to retain it longer. (A
+    /// std::string here heap-allocated per request: generated
+    /// "service-<id>" names outgrow the small-string buffer.)
+    std::string_view cluster;
     UpstreamEndpoint* endpoint = nullptr;
   };
   using RequestCallback = std::function<void(RequestOutcome)>;
@@ -172,9 +179,37 @@ class ProxyEngine {
   /// nothing.
   static constexpr std::size_t kFastpathSlots = 1 << 12;
 
+  /// Pooled per-call state (DESIGN.md §14): request/inbound continuations
+  /// capture only the CallState pointer, so every std::function built on
+  /// the hot path fits libstdc++'s 16-byte small-buffer optimisation and
+  /// the steady-state path never boxes a closure on the heap. Slots come
+  /// from a capacity-retaining Pool, so their std::function members reuse
+  /// whatever storage earlier calls left behind.
+  struct CallState {
+    ProxyEngine* self = nullptr;
+    net::FiveTuple tuple{};
+    net::ServiceId dst_service{};
+    http::Request* req = nullptr;
+    std::uint64_t bytes = 0;
+    std::uint64_t hash = 0;
+    sim::Duration on_path = 0;
+    sim::Duration off_path = 0;
+    telemetry::Component component{};
+    telemetry::Trace* trace = nullptr;
+    sim::TimePoint cpu_start = 0;
+    sim::TimePoint hs_start = 0;
+    sim::Duration queue_wait = 0;
+    RequestCallback done;                       ///< handle_request calls
+    std::function<void(bool, int)> done_inbound;  ///< handle_inbound calls
+  };
+
   /// CPU cost of the request path, excluding the asymmetric handshake.
   [[nodiscard]] sim::Duration request_cpu_cost(std::uint64_t bytes,
                                                bool new_connection) const;
+
+  /// Post-handshake continuations of handle_request / handle_inbound.
+  void continue_request(CallState* cs);
+  void continue_inbound(CallState* cs);
 
   void finish_request(const net::FiveTuple& tuple, net::ServiceId dst_service,
                       http::Request& req, RequestCallback done,
@@ -192,7 +227,11 @@ class ProxyEngine {
   sim::Rng rng_;
   ClusterManager clusters_;
   SessionTable sessions_;
-  std::unordered_map<net::ServiceId, http::RouteTable, net::IdHash> routes_;
+  // Flat route-match table: the fastpath-miss lookup is a contiguous probe
+  // run. RouteTable values move on rehash, but every cached RouteRule*
+  // (fastpath entries) is guarded by route_epoch_, which set_route_table
+  // bumps before inserting.
+  sim::FlatHashMap<net::ServiceId, http::RouteTable, net::IdHash> routes_;
   HandshakeExecutor handshake_executor_;
   RequestObserver observer_;
   std::uint64_t requests_total_ = 0;
@@ -201,6 +240,7 @@ class ProxyEngine {
   std::uint64_t bytes_proxied_ = 0;
 
   std::vector<FastpathEntry> fastpath_;
+  sim::Pool<CallState> calls_;
   std::uint64_t route_epoch_ = 0;
   std::uint64_t fastpath_hits_ = 0;
   std::uint64_t fastpath_misses_ = 0;

@@ -33,12 +33,12 @@ bool SessionTable::remove(const net::FiveTuple& tuple) {
 std::size_t SessionTable::expire_idle(sim::TimePoint now,
                                       sim::Duration idle_timeout) {
   std::size_t dropped = 0;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
+  // Tombstoned erase never moves other slots, so erasing the current
+  // position and then advancing is safe.
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
     if (now - it->second.last_active > idle_timeout) {
-      it = sessions_.erase(it);
+      sessions_.erase(it);
       ++dropped;
-    } else {
-      ++it;
     }
   }
   if (dropped > 0) ++drop_epoch_;
@@ -72,12 +72,10 @@ std::size_t SessionTable::count_older_than(net::ServiceId service,
 
 std::size_t SessionTable::remove_for(net::ServiceId service) {
   std::size_t dropped = 0;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
     if (it->second.service == service) {
-      it = sessions_.erase(it);
+      sessions_.erase(it);
       ++dropped;
-    } else {
-      ++it;
     }
   }
   if (dropped > 0) ++drop_epoch_;

@@ -8,12 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <optional>
-#include <unordered_map>
 
 #include "net/flow.h"
 #include "net/ids.h"
+#include "sim/flat_map.h"
 #include "sim/time.h"
 
 namespace canal::proxy {
@@ -79,7 +77,10 @@ class SessionTable {
 
  private:
   std::size_t capacity_;
-  std::unordered_map<net::FiveTuple, Session> sessions_;
+  // Flat open-addressing table: the per-request insert/touch/find path is
+  // one probe run over contiguous slots. Iterating consumers (counts,
+  // expiry) aggregate order-independently, so the hash order is safe.
+  sim::FlatHashMap<net::FiveTuple, Session> sessions_;
   std::uint64_t rejected_ = 0;
   std::uint64_t drop_epoch_ = 0;
 };

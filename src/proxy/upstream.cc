@@ -101,7 +101,7 @@ UpstreamCluster& ClusterManager::add_cluster(const std::string& name,
   return *slot;
 }
 
-UpstreamCluster* ClusterManager::find(const std::string& name) {
+UpstreamCluster* ClusterManager::find(std::string_view name) {
   const auto it = clusters_.find(name);
   return it == clusters_.end() ? nullptr : it->second.get();
 }

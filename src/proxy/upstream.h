@@ -5,10 +5,11 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "net/address.h"
+#include "sim/flat_map.h"
 #include "sim/rng.h"
 
 namespace canal::proxy {
@@ -76,7 +77,9 @@ class ClusterManager {
  public:
   UpstreamCluster& add_cluster(const std::string& name,
                                LbPolicy policy = LbPolicy::kRoundRobin);
-  [[nodiscard]] UpstreamCluster* find(const std::string& name);
+  /// Heterogeneous lookup: string_view keys avoid building a std::string
+  /// on the per-request resolve path.
+  [[nodiscard]] UpstreamCluster* find(std::string_view name);
   void remove_cluster(const std::string& name);
   [[nodiscard]] std::size_t size() const noexcept { return clusters_.size(); }
 
@@ -87,7 +90,11 @@ class ClusterManager {
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
  private:
-  std::unordered_map<std::string, std::unique_ptr<UpstreamCluster>> clusters_;
+  // Flat table with unique_ptr values: UpstreamCluster* handed to fastpath
+  // caches must survive rehashes.
+  sim::FlatHashMap<std::string, std::unique_ptr<UpstreamCluster>,
+                   sim::StringHash>
+      clusters_;
   std::uint64_t version_ = 0;
 };
 

@@ -1,0 +1,148 @@
+#include "sim/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#include <unistd.h>
+#define CANAL_ALLOC_HOOK_HAS_BACKTRACE 1
+#endif
+#endif
+
+namespace {
+
+// Zero-initialized TLS: safe to touch from operator new at any point in
+// the program's lifetime (no dynamic initializer to race with).
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_deallocs = 0;
+thread_local std::uint64_t t_trap_remaining = 0;
+
+void maybe_backtrace() noexcept {
+#if defined(CANAL_ALLOC_HOOK_HAS_BACKTRACE)
+  if (t_trap_remaining == 0) return;
+  --t_trap_remaining;
+  // backtrace() itself may allocate (lazy libgcc init); the guard above is
+  // already decremented, so recursion terminates.
+  void* frames[32];
+  const int depth = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, depth, 2);
+  static const char kSep[] = "---- alloc ----\n";
+  (void)!::write(2, kSep, sizeof(kSep) - 1);
+#endif
+}
+
+void* counted_alloc(std::size_t size) noexcept {
+  ++t_allocs;
+  maybe_backtrace();
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  ++t_allocs;
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  ++t_deallocs;
+  std::free(p);
+}
+
+}  // namespace
+
+namespace canal::sim {
+
+std::uint64_t alloc_count() noexcept { return t_allocs; }
+std::uint64_t dealloc_count() noexcept { return t_deallocs; }
+
+void alloc_backtrace_arm(std::uint64_t n) noexcept {
+#if defined(CANAL_ALLOC_HOOK_HAS_BACKTRACE)
+  // Symbol tables load lazily inside the first backtrace_symbols_fd call
+  // (which allocates); take that hit now so armed traces stay clean.
+  void* frames[2];
+  backtrace(frames, 2);
+#endif
+  t_trap_remaining = n;
+}
+
+}  // namespace canal::sim
+
+// Replaceable global allocation functions ([new.delete]). malloc-backed so
+// sanitizer interceptors still see every allocation; the only addition is
+// the thread-local count.
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

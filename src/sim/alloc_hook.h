@@ -1,0 +1,35 @@
+// Pluggable global-heap allocation counter (DESIGN.md §14).
+//
+// Referencing these functions pulls alloc_hook.cc out of the canal_sim
+// archive, which replaces the global operator new/delete family with
+// malloc/free wrappers that bump a thread-local counter — the probe behind
+// the zero-steady-state-allocation guarantee: selfperf reports the count
+// per run, and test_zero_alloc asserts a hard zero across 1k warm canal
+// requests. Binaries that never reference them keep the stock allocator
+// and pay nothing.
+//
+// Counters are thread-local: a simulation run executes entirely on one
+// worker thread, so a before/after delta isolates that run even when the
+// bench suite fans runs out over a pool. The count is a pure function of
+// the code path (never of addresses or timing), so it is deterministic and
+// golden-safe for a fixed toolchain.
+#pragma once
+
+#include <cstdint>
+
+namespace canal::sim {
+
+/// Global operator-new invocations on the calling thread since it started.
+[[nodiscard]] std::uint64_t alloc_count() noexcept;
+
+/// Global operator-delete invocations on the calling thread.
+[[nodiscard]] std::uint64_t dealloc_count() noexcept;
+
+/// Prints a symbolized backtrace to stderr for the next `n` allocations on
+/// the calling thread — the diagnostic companion to the zero-allocation
+/// tests: when a steady-state zero regresses, arming this at the start of
+/// the measured region names the offending call sites. No-op where
+/// <execinfo.h> is unavailable.
+void alloc_backtrace_arm(std::uint64_t n) noexcept;
+
+}  // namespace canal::sim

@@ -1,0 +1,196 @@
+// Per-run memory: a chunked bump allocator and a capacity-retaining object
+// pool.
+//
+// Both exist for the same reason: the steady-state request path must never
+// touch the global heap (DESIGN.md §14). An Arena hands out raw bytes by
+// bumping a cursor and tears a whole run's worth of allocations down in
+// O(chunks); a Pool<T> recycles fully-constructed objects so their owned
+// buffers (strings, vectors) keep their capacity across reuse and the
+// second acquisition of a slot allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace canal::sim {
+
+/// Chunked bump allocator. allocate() is a pointer bump in the common case;
+/// reset() rewinds every chunk cursor without freeing, so a run can be torn
+/// down and the next one started with zero allocator traffic. Destructors
+/// are never run — create<T>() therefore requires trivially-destructible
+/// types; anything owning heap memory belongs in a Pool instead.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Oversized requests get a dedicated chunk and never split a hot one.
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    if (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      const std::size_t aligned = aligned_offset(chunk, align);
+      if (aligned + bytes <= chunk.size) {
+        chunk.used = aligned + bytes;
+        bytes_allocated_ += bytes;
+        return chunk.data.get() + aligned;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  /// Bump-allocates and constructs a T. The arena never runs destructors,
+  /// so T must not own resources.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors; pool non-trivial types");
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds every chunk to empty without releasing memory: O(chunks), not
+  /// O(allocations). All pointers handed out so far become invalid.
+  void reset() noexcept {
+    for (Chunk& chunk : chunks_) chunk.used = 0;
+    current_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Total bytes handed out since construction or the last reset().
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+    return bytes_allocated_;
+  }
+
+  /// Backing chunks currently owned (retained across reset()).
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+  /// Total backing storage owned, allocated or not.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t align_up(std::size_t n,
+                                        std::size_t align) noexcept {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  /// First in-chunk offset at or after `used` whose *address* (not offset)
+  /// is `align`-aligned — chunk bases only guarantee operator new[]'s
+  /// alignment, so requests above that must pad off the base address.
+  static std::size_t aligned_offset(const Chunk& chunk,
+                                    std::size_t align) noexcept {
+    const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    return static_cast<std::size_t>(
+        align_up(base + chunk.used, align) - base);
+  }
+
+  void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // Advance to the next retained chunk that fits, or mint a new one
+    // (padded by `align` so any alignment fits off the fresh base).
+    for (std::size_t next = current_ + 1; next < chunks_.size(); ++next) {
+      Chunk& chunk = chunks_[next];
+      const std::size_t aligned = aligned_offset(chunk, align);
+      if (aligned + bytes <= chunk.size) {
+        current_ = next;
+        chunk.used = aligned + bytes;
+        bytes_allocated_ += bytes;
+        return chunk.data.get() + aligned;
+      }
+    }
+    const std::size_t size =
+        bytes + align > chunk_bytes_ ? bytes + align : chunk_bytes_;
+    chunks_.push_back(
+        Chunk{std::unique_ptr<std::byte[]>(new std::byte[size]), size, 0});
+    current_ = chunks_.size() - 1;
+    Chunk& chunk = chunks_.back();
+    const std::size_t aligned = aligned_offset(chunk, align);
+    chunk.used = aligned + bytes;
+    bytes_allocated_ += bytes;
+    return chunk.data.get() + aligned;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  std::size_t bytes_allocated_ = 0;
+};
+
+/// Capacity-retaining object pool. acquire() reuses a released slot without
+/// destroying or re-constructing it, so members like std::string keep the
+/// capacity they grew on earlier uses — after warm-up the acquire/release
+/// cycle performs zero heap allocations. release() is optional: slots that
+/// are never returned (e.g. a request dropped mid-flight) are still owned
+/// by the pool and freed at teardown, so leaks are bounded by peak
+/// concurrency, never unbounded.
+template <typename T>
+class Pool {
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Returns a slot, reusing a released one when available. The slot keeps
+  /// whatever state its previous user left; callers reset the fields they
+  /// care about (cheaper than destruct + construct, and what preserves
+  /// buffer capacity).
+  T* acquire() {
+    if (!free_.empty()) {
+      T* slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    slots_.push_back(std::make_unique<T>());
+    return slots_.back().get();
+  }
+
+  /// Returns `slot` to the free list. Must have come from acquire().
+  void release(T* slot) { free_.push_back(slot); }
+
+  /// Slots ever created (high-water mark of concurrent use).
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Slots currently acquired and not yet released.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return slots_.size() - free_.size();
+  }
+
+  /// Pre-creates slots (and free-list capacity) so the first `n` concurrent
+  /// acquisitions allocate nothing.
+  void reserve(std::size_t n) {
+    free_.reserve(n > free_.capacity() ? n : free_.capacity());
+    while (slots_.size() < n) {
+      slots_.push_back(std::make_unique<T>());
+      free_.push_back(slots_.back().get());
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> slots_;
+  std::vector<T*> free_;
+};
+
+}  // namespace canal::sim

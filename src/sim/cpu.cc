@@ -16,8 +16,10 @@ TimePoint CpuCore::execute(Duration cost, Callback done,
   if (cost > 0) {
     if (!intervals_.empty() && intervals_.back().end == start) {
       intervals_.back().end = end;  // coalesce back-to-back work
+      cum_.back() += cost;
     } else {
       intervals_.push_back({start, end});
+      cum_.push_back((cum_.empty() ? dropped_cum_ : cum_.back()) + cost);
     }
     prune(loop_.now() - history_);
   }
@@ -27,13 +29,17 @@ TimePoint CpuCore::execute(Duration cost, Callback done,
 
 void CpuCore::prune(TimePoint horizon) {
   while (!intervals_.empty() && intervals_.front().end < horizon) {
+    dropped_cum_ = cum_.front();
     intervals_.pop_front();
+    cum_.pop_front();
   }
   // Time-based pruning alone cannot bound memory when every retained
   // interval is younger than `history`; enforce the hard cap by dropping
   // the oldest entries.
   while (intervals_.size() > kMaxIntervals) {
+    dropped_cum_ = cum_.front();
     intervals_.pop_front();
+    cum_.pop_front();
   }
 }
 
@@ -41,18 +47,30 @@ double CpuCore::utilization(Duration window) const {
   if (window <= 0) return 0.0;
   const TimePoint hi = loop_.now();
   const TimePoint lo = hi - window;
-  // Intervals are appended in nondecreasing (start, end) order, so binary
-  // search for the first one overlapping the window instead of scanning
-  // the whole retained history (which can hold millions of entries).
-  const auto first = std::partition_point(
-      intervals_.begin(), intervals_.end(),
-      [lo](const Interval& iv) { return iv.end <= lo; });
-  Duration busy = 0;
-  for (auto it = first; it != intervals_.end() && it->start < hi; ++it) {
-    const TimePoint s = std::max(it->start, lo);
-    const TimePoint e = std::min(it->end, hi);
-    if (e > s) busy += e - s;
+  // Intervals are appended in nondecreasing (start, end) order and are
+  // disjoint, so the window's overlap set is the contiguous index range
+  // [first, last): binary-search both ends, then read the busy total out
+  // of the prefix-sum column and clip the two boundary intervals — only
+  // the first can start before `lo` and only the last can end after `hi`.
+  // Pure integer arithmetic, so the result is bit-identical to the old
+  // linear accumulation.
+  const std::size_t n = intervals_.size();
+  std::size_t first = 0;
+  for (std::size_t step = n; step > 0; step /= 2) {  // first with end > lo
+    while (first + step <= n && intervals_[first + step - 1].end <= lo) {
+      first += step;
+    }
   }
+  std::size_t last = first;
+  for (std::size_t step = n; step > 0; step /= 2) {  // first with start >= hi
+    while (last + step <= n && intervals_[last + step - 1].start < hi) {
+      last += step;
+    }
+  }
+  if (first >= last) return 0.0;
+  Duration busy = cum_[last - 1] - (first == 0 ? dropped_cum_ : cum_[first - 1]);
+  if (intervals_[first].start < lo) busy -= lo - intervals_[first].start;
+  if (intervals_[last - 1].end > hi) busy -= intervals_[last - 1].end - hi;
   return static_cast<double>(busy) / static_cast<double>(window);
 }
 

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -16,6 +15,7 @@
 #include <vector>
 
 #include "sim/event_loop.h"
+#include "sim/ring_deque.h"
 #include "sim/time.h"
 
 namespace canal::sim {
@@ -87,7 +87,17 @@ class CpuCore {
   TimePoint free_at_ = 0;
   Duration total_busy_ = 0;
   std::uint64_t jobs_ = 0;
-  std::deque<Interval> intervals_;
+  // Busy intervals plus a parallel prefix-sum column: cum_[i] is the total
+  // busy time of every interval ever recorded up through intervals_[i]
+  // (including pruned ones, via dropped_cum_), maintained in lockstep with
+  // intervals_ (push/pop/coalesce). A utilization query then reduces to two
+  // binary searches plus integer subtraction instead of a linear walk over
+  // the window — the walk was O(window-population) per query and dominated
+  // the gateway's per-request placement scoring. RingDeque keeps the
+  // steady-state slide (push_back/pop_front) allocation-free.
+  RingDeque<Interval> intervals_;
+  RingDeque<Duration> cum_;
+  Duration dropped_cum_ = 0;  // cum_ value of the last pruned interval
 };
 
 /// A group of cores (a VM or a node). Dispatch is least-loaded by default,

@@ -18,18 +18,35 @@ std::uint32_t EventLoop::acquire_slot(Callback cb,
   return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
+void EventLoop::enqueue(TimePoint when, std::uint32_t slot) {
+  if (when == now_) {
+    // Same-tick event: FIFO bucket, no heap sift. seq still drawn from the
+    // global counter so pop order matches a pure heap exactly (see header).
+    bucket_.push_back(HeapKey{when, next_seq_++, slot});
+    return;
+  }
+  heap_.push_back(HeapKey{when, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 EventHandle EventLoop::schedule_at(TimePoint when, Callback cb) {
   if (when < now_) when = now_;
   auto alive = std::make_shared<bool>(true);
-  heap_.push_back(HeapKey{when, next_seq_++, acquire_slot(std::move(cb), alive)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  enqueue(when, acquire_slot(std::move(cb), alive));
   return EventHandle(std::move(alive));
+}
+
+EventHandle EventLoop::schedule_at(TimePoint when, Callback cb,
+                                   const std::shared_ptr<bool>& alive) {
+  if (when < now_) when = now_;
+  *alive = true;
+  enqueue(when, acquire_slot(std::move(cb), alive));
+  return EventHandle(alive);
 }
 
 void EventLoop::post_at(TimePoint when, Callback cb) {
   if (when < now_) when = now_;
-  heap_.push_back(HeapKey{when, next_seq_++, acquire_slot(std::move(cb), nullptr)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  enqueue(when, acquire_slot(std::move(cb), nullptr));
 }
 
 bool EventLoop::pop_and_run() {
@@ -55,17 +72,64 @@ bool EventLoop::pop_and_run() {
   return false;
 }
 
+bool EventLoop::run_bucket_front() {
+  const HeapKey key = bucket_[bucket_cursor_++];
+  Event& ev = slab_[key.slot];
+  Callback cb = std::move(ev.cb);
+  std::shared_ptr<bool> alive = std::move(ev.alive);
+  free_slots_.push_back(key.slot);
+  if (alive == nullptr) {
+    cb();
+    return true;
+  }
+  if (*alive) {
+    *alive = false;
+    cb();
+    return true;
+  }
+  return false;
+}
+
 std::size_t EventLoop::run() {
   std::size_t count = 0;
-  while (!heap_.empty()) {
-    if (pop_and_run()) ++count;
+  for (;;) {
+    // Heap entries keyed at now_ predate every bucket entry (smaller seq;
+    // see header), so they drain first.
+    if (!heap_.empty() && heap_.front().when <= now_) {
+      if (pop_and_run()) ++count;
+      continue;
+    }
+    if (bucket_cursor_ < bucket_.size()) {
+      if (run_bucket_front()) ++count;
+      continue;
+    }
+    if (bucket_cursor_ != 0) {
+      bucket_.clear();
+      bucket_cursor_ = 0;
+    }
+    if (heap_.empty()) break;
+    if (pop_and_run()) ++count;  // advances now_
   }
   return count;
 }
 
 std::size_t EventLoop::run_until(TimePoint deadline) {
   std::size_t count = 0;
-  while (!heap_.empty() && heap_.front().when <= deadline) {
+  for (;;) {
+    if (!heap_.empty() && heap_.front().when <= now_) {
+      if (pop_and_run()) ++count;
+      continue;
+    }
+    if (bucket_cursor_ < bucket_.size()) {
+      if (now_ > deadline) break;  // bucket entries run at exactly now_
+      if (run_bucket_front()) ++count;
+      continue;
+    }
+    if (bucket_cursor_ != 0) {
+      bucket_.clear();
+      bucket_cursor_ = 0;
+    }
+    if (heap_.empty() || heap_.front().when > deadline) break;
     if (pop_and_run()) ++count;
   }
   if (now_ < deadline) now_ = deadline;
@@ -74,14 +138,18 @@ std::size_t EventLoop::run_until(TimePoint deadline) {
 
 void PeriodicTimer::start(Duration initial_delay) {
   stop();
+  if (alive_ == nullptr) alive_ = std::make_shared<bool>(false);
   arm(initial_delay);
 }
 
 void PeriodicTimer::arm(Duration delay) {
-  handle_ = loop_.schedule(delay, [this] {
-    tick_();
-    arm(period_);
-  });
+  handle_ = loop_.schedule_at(
+      loop_.now() + (delay > 0 ? delay : 0),
+      [this] {
+        tick_();
+        arm(period_);
+      },
+      alive_);
 }
 
 }  // namespace canal::sim

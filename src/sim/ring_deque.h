@@ -1,0 +1,174 @@
+// RingDeque: a vector-backed circular buffer with deque semantics.
+//
+// std::deque (libstdc++) allocates and frees 512-byte chunks as its window
+// slides, so a steady-state push_back/pop_front pattern — rate-meter
+// samples, CPU busy intervals, time-series history — churns the global heap
+// roughly every 32–64 entries forever. RingDeque keeps one power-of-two
+// buffer and wraps indices instead: after the buffer has grown to the
+// window's high-water mark, the same pattern performs zero allocations.
+// Popped slots are not destroyed (the next push assigns over them), so
+// element types must be default-constructible and assignable — true for
+// the small PODs this holds.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace canal::sim {
+
+template <typename T>
+class RingDeque {
+ public:
+  template <bool Const>
+  class Iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::conditional_t<Const, const T*, T*>;
+    using reference = std::conditional_t<Const, const T&, T&>;
+
+    Iterator() = default;
+
+    reference operator*() const { return (*deque_)[index_]; }
+    pointer operator->() const { return &(*deque_)[index_]; }
+    reference operator[](difference_type n) const {
+      return (*deque_)[index_ + static_cast<std::size_t>(n)];
+    }
+
+    Iterator& operator++() { ++index_; return *this; }
+    Iterator operator++(int) { Iterator t = *this; ++index_; return t; }
+    Iterator& operator--() { --index_; return *this; }
+    Iterator operator--(int) { Iterator t = *this; --index_; return t; }
+    Iterator& operator+=(difference_type n) {
+      index_ = static_cast<std::size_t>(
+          static_cast<difference_type>(index_) + n);
+      return *this;
+    }
+    Iterator& operator-=(difference_type n) { return *this += -n; }
+    friend Iterator operator+(Iterator it, difference_type n) {
+      it += n;
+      return it;
+    }
+    friend Iterator operator+(difference_type n, Iterator it) {
+      it += n;
+      return it;
+    }
+    friend Iterator operator-(Iterator it, difference_type n) {
+      it -= n;
+      return it;
+    }
+    friend difference_type operator-(const Iterator& a, const Iterator& b) {
+      return static_cast<difference_type>(a.index_) -
+             static_cast<difference_type>(b.index_);
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.index_ != b.index_;
+    }
+    friend bool operator<(const Iterator& a, const Iterator& b) {
+      return a.index_ < b.index_;
+    }
+    friend bool operator>(const Iterator& a, const Iterator& b) {
+      return a.index_ > b.index_;
+    }
+    friend bool operator<=(const Iterator& a, const Iterator& b) {
+      return a.index_ <= b.index_;
+    }
+    friend bool operator>=(const Iterator& a, const Iterator& b) {
+      return a.index_ >= b.index_;
+    }
+
+   private:
+    friend class RingDeque;
+    using Parent = std::conditional_t<Const, const RingDeque, RingDeque>;
+    Iterator(Parent* deque, std::size_t index)
+        : deque_(deque), index_(index) {}
+    Parent* deque_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+  using value_type = T;
+
+  RingDeque() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  T& operator[](std::size_t i) { return buf_[(head_ + i) & mask_]; }
+  const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) & mask_];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[count_ - 1]; }
+  const T& back() const { return (*this)[count_ - 1]; }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(T{std::forward<Args>(args)...});
+  }
+
+  /// The popped slot is assigned over by a later push, never destroyed.
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void pop_back() { --count_; }
+
+  /// Drops all elements; buffer capacity is retained.
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void reserve(std::size_t n) {
+    while (buf_.size() < n) grow();
+  }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, count_); }
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(this, count_);
+  }
+  [[nodiscard]] const_iterator cbegin() const { return begin(); }
+  [[nodiscard]] const_iterator cend() const { return end(); }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move((*this)[i]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace canal::sim

@@ -6,12 +6,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/ring_deque.h"
 #include "sim/time.h"
 
 namespace canal::sim {
@@ -32,6 +33,20 @@ class Histogram {
  public:
   void record(double value);
   void clear() noexcept;
+
+  /// Pre-sizes the sample (and sorted-copy) buffers so a bounded
+  /// measurement phase can record() without heap traffic.
+  void reserve(std::size_t n) {
+    samples_.reserve(n);
+    sorted_.reserve(n);
+  }
+
+  /// Halves the sample set in place, keeping every second sample (oldest
+  /// first) and releasing no capacity — the compaction step for callers
+  /// that bound retention by deterministic decimation (see
+  /// telemetry::ServiceStats::on_latency). Purely positional, so results
+  /// stay reproducible across runs.
+  void decimate() noexcept;
 
   /// True when the sorted copy is current (no record() since the last
   /// order-statistic query). Exposed so tests can pin the caching
@@ -78,7 +93,7 @@ class TimeSeries {
 
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
-  [[nodiscard]] const std::deque<Sample>& samples() const noexcept {
+  [[nodiscard]] const RingDeque<Sample>& samples() const noexcept {
     return samples_;
   }
 
@@ -96,7 +111,9 @@ class TimeSeries {
  private:
   void prune(TimePoint now);
   Duration max_age_;
-  std::deque<Sample> samples_;
+  // RingDeque: the sliding retention window would otherwise churn deque
+  // chunk allocations forever in steady state (see ring_deque.h).
+  RingDeque<Sample> samples_;
 };
 
 /// Events-per-second meter over a sliding window. O(1) amortized per
@@ -113,7 +130,7 @@ class RateMeter {
   void prune(TimePoint now) const;
 
   Duration window_;
-  mutable std::deque<std::pair<TimePoint, double>> events_;
+  mutable RingDeque<std::pair<TimePoint, double>> events_;
   mutable double window_sum_ = 0.0;
   std::uint64_t total_ = 0;
 };

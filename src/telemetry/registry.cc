@@ -1,5 +1,6 @@
 #include "telemetry/registry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -20,6 +21,18 @@ std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+/// Entries of a flat table in sorted-key order: the hash tables iterate in
+/// probe order, but exports must stay byte-identical to the sorted-map era.
+template <typename Map>
+std::vector<const typename Map::value_type*> sorted_entries(const Map& map) {
+  std::vector<const typename Map::value_type*> out;
+  out.reserve(map.size());
+  for (const auto& entry : map) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return out;
 }
 
 }  // namespace
@@ -46,20 +59,26 @@ std::string MetricsRegistry::key_of(std::string_view name,
 
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name,
                                                    const Labels& labels) {
-  return counters_[key_of(name, labels)];
+  auto& slot = counters_[key_of(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
 }
 
 MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name,
                                                const Labels& labels) {
-  return gauges_[key_of(name, labels)];
+  auto& slot = gauges_[key_of(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
 }
 
 HdrHistogram& MetricsRegistry::histogram(std::string_view name,
                                          const Labels& labels) {
-  std::string key = key_of(name, labels);
-  const auto [it, inserted] = histograms_.try_emplace(std::move(key));
-  if (inserted) histogram_meta_[it->first] = {std::string(name), labels};
-  return it->second;
+  const auto [it, inserted] = histograms_.try_emplace(key_of(name, labels));
+  if (inserted) {
+    it->second = std::make_unique<HdrHistogram>();
+    histogram_meta_[it->first] = {std::string(name), labels};
+  }
+  return *it->second;
 }
 
 sim::TimeSeries& MetricsRegistry::time_series(std::string_view name,
@@ -89,13 +108,13 @@ void MetricsRegistry::link_time_series(std::string_view name,
 const MetricsRegistry::Counter* MetricsRegistry::find_counter(
     std::string_view name, const Labels& labels) const {
   const auto it = counters_.find(key_of(name, labels));
-  return it == counters_.end() ? nullptr : &it->second;
+  return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const HdrHistogram* MetricsRegistry::find_histogram(
     std::string_view name, const Labels& labels) const {
   const auto it = histograms_.find(key_of(name, labels));
-  return it == histograms_.end() ? nullptr : &it->second;
+  return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 const sim::TimeSeries* MetricsRegistry::find_time_series(
@@ -123,20 +142,30 @@ MetricsRegistry::histograms_named(std::string_view name) const {
   for (const auto& [key, meta] : histogram_meta_) {
     if (meta.first != name) continue;
     const auto it = histograms_.find(key);
-    if (it != histograms_.end()) out.emplace_back(meta.second, &it->second);
+    if (it != histograms_.end()) {
+      out.emplace_back(meta.second, it->second.get());
+    }
   }
   return out;
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Per-key operations are independent, so the hash table's iteration
+  // order cannot affect the merged values.
   for (const auto& [key, c] : other.counters_) {
-    counters_[key].inc(c.value());
+    auto& slot = counters_[key];
+    if (!slot) slot = std::make_unique<Counter>();
+    slot->inc(c->value());
   }
   for (const auto& [key, g] : other.gauges_) {
-    gauges_[key].set(g.value());
+    auto& slot = gauges_[key];
+    if (!slot) slot = std::make_unique<Gauge>();
+    slot->set(g->value());
   }
   for (const auto& [key, h] : other.histograms_) {
-    histograms_[key].merge(h);
+    auto& slot = histograms_[key];
+    if (!slot) slot = std::make_unique<HdrHistogram>();
+    slot->merge(*h);
   }
   for (const auto& [key, meta] : other.histogram_meta_) {
     histogram_meta_.emplace(key, meta);  // no-op when already present
@@ -242,29 +271,30 @@ void TenantRecorderSet::record(const Trace& trace, int status) {
 std::string MetricsRegistry::to_json() const {
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [key, c] : counters_) {
+  for (const auto* item : sorted_entries(counters_)) {
     if (!first) out.push_back(',');
     first = false;
     out.push_back('"');
-    append_escaped(out, key);
-    out += "\":" + num(c.value());
+    append_escaped(out, item->first);
+    out += "\":" + num(item->second->value());
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [key, g] : gauges_) {
+  for (const auto* item : sorted_entries(gauges_)) {
     if (!first) out.push_back(',');
     first = false;
     out.push_back('"');
-    append_escaped(out, key);
-    out += "\":" + num(g.value());
+    append_escaped(out, item->first);
+    out += "\":" + num(item->second->value());
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [key, h] : histograms_) {
+  for (const auto* item : sorted_entries(histograms_)) {
+    const HdrHistogram& h = *item->second;
     if (!first) out.push_back(',');
     first = false;
     out.push_back('"');
-    append_escaped(out, key);
+    append_escaped(out, item->first);
     out += "\":{\"count\":" + std::to_string(h.count());
     if (!h.empty()) {
       out += ",\"mean\":" + num(h.mean());
@@ -276,12 +306,13 @@ std::string MetricsRegistry::to_json() const {
   }
   out += "},\"time_series\":{";
   first = true;
-  for (const auto& [key, entry] : series_) {
+  for (const auto* item : sorted_entries(series_)) {
+    const SeriesEntry& entry = item->second;
     if (entry.series == nullptr) continue;
     if (!first) out.push_back(',');
     first = false;
     out.push_back('"');
-    append_escaped(out, key);
+    append_escaped(out, item->first);
     out += "\":{\"size\":" + std::to_string(entry.series->size());
     if (!entry.series->empty()) {
       out += ",\"last\":" + num(entry.series->samples().back().value);

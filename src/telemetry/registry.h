@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "net/ids.h"
+#include "sim/flat_map.h"
 #include "sim/stats.h"
 #include "telemetry/hdr_histogram.h"
 #include "telemetry/trace.h"
@@ -132,10 +133,20 @@ class MetricsRegistry {
   };
   using Meta = std::map<std::string, std::pair<std::string, Labels>>;
 
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, HdrHistogram> histograms_;
-  std::map<std::string, SeriesEntry> series_;
+  // Flat tables for the canonical-key lookups (DESIGN.md §14): metrics are
+  // heap-allocated so cached Counter*/HdrHistogram* handles (TraceRecorder)
+  // survive rehashes; exports sort keys so JSON stays byte-identical to
+  // the previous std::map storage. Meta stays a std::map: touched only on
+  // metric creation and *_named enumeration, where its sorted iteration
+  // provides the deterministic order.
+  sim::FlatHashMap<std::string, std::unique_ptr<Counter>, sim::StringHash>
+      counters_;
+  sim::FlatHashMap<std::string, std::unique_ptr<Gauge>, sim::StringHash>
+      gauges_;
+  sim::FlatHashMap<std::string, std::unique_ptr<HdrHistogram>,
+                   sim::StringHash>
+      histograms_;
+  sim::FlatHashMap<std::string, SeriesEntry, sim::StringHash> series_;
   /// key -> (name, labels), for *_named enumeration and labeled lookups.
   Meta histogram_meta_;
   Meta series_meta_;
@@ -147,7 +158,7 @@ class MetricsRegistry {
 /// per-request path performs no label-map copies or key concatenation.
 /// Metric creation stays lazy — a metric exists only once actually
 /// recorded — so the registry's JSON export is byte-identical to calling
-/// record_trace directly. Registry map references are stable, keeping the
+/// record_trace directly. Registry metrics are heap-allocated, keeping the
 /// cached pointers valid for the registry's lifetime.
 class TraceRecorder {
  public:
@@ -213,7 +224,7 @@ class TenantRecorderSet {
  private:
   MetricsRegistry* registry_ = nullptr;
   MetricsRegistry::Labels base_;
-  std::map<net::TenantId, TraceRecorder> recorders_;
+  sim::FlatHashMap<net::TenantId, TraceRecorder, net::IdHash> recorders_;
 };
 
 }  // namespace canal::telemetry

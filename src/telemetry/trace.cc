@@ -32,66 +32,77 @@ std::string_view component_name(Component c) {
   return "unknown";
 }
 
-Span& Trace::add(std::string name, Component component, sim::TimePoint start,
-                 sim::TimePoint end, sim::Duration queue_wait,
-                 std::uint64_t bytes, int status) {
-  Span span;
-  span.name = std::move(name);
-  span.component = component;
-  span.start = start;
-  span.end = end;
-  span.queue_wait = std::min(queue_wait, end - start);
-  span.service_time = (end - start) - span.queue_wait;
-  span.bytes = bytes;
-  span.status = status;
-  spans_.push_back(std::move(span));
-  return spans_.back();
+Span Trace::add(std::string_view name, Component component,
+                sim::TimePoint start, sim::TimePoint end,
+                sim::Duration queue_wait, std::uint64_t bytes, int status) {
+  if (starts_.capacity() == 0) {
+    // Typical traced requests produce ~6-12 spans.
+    constexpr std::size_t kReserve = 12;
+    names_.reserve(kReserve);
+    components_.reserve(kReserve);
+    starts_.reserve(kReserve);
+    ends_.reserve(kReserve);
+    queue_waits_.reserve(kReserve);
+    service_times_.reserve(kReserve);
+    bytes_.reserve(kReserve);
+    statuses_.reserve(kReserve);
+  }
+  const sim::Duration wait = std::min(queue_wait, end - start);
+  names_.emplace_back(name);
+  components_.push_back(component);
+  starts_.push_back(start);
+  ends_.push_back(end);
+  queue_waits_.push_back(wait);
+  service_times_.push_back((end - start) - wait);
+  bytes_.push_back(bytes);
+  statuses_.push_back(status);
+  return span_at(starts_.size() - 1);
 }
 
 sim::Duration Trace::total_duration() const {
   sim::Duration total = 0;
-  for (const Span& s : spans_) total += s.duration();
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    total += ends_[i] - starts_[i];
+  }
   return total;
 }
 
 sim::Duration Trace::total_queue_wait() const {
   sim::Duration total = 0;
-  for (const Span& s : spans_) total += s.queue_wait;
+  for (const sim::Duration w : queue_waits_) total += w;
   return total;
 }
 
 sim::Duration Trace::total_service_time() const {
   sim::Duration total = 0;
-  for (const Span& s : spans_) total += s.service_time;
+  for (const sim::Duration s : service_times_) total += s;
   return total;
 }
 
 sim::Duration Trace::duration_of(Component component) const {
   sim::Duration total = 0;
-  for (const Span& s : spans_) {
-    if (s.component == component) total += s.duration();
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] == component) total += ends_[i] - starts_[i];
   }
   return total;
 }
 
 std::size_t Trace::count_of(Component component) const {
   return static_cast<std::size_t>(
-      std::count_if(spans_.begin(), spans_.end(), [component](const Span& s) {
-        return s.component == component;
-      }));
+      std::count(components_.begin(), components_.end(), component));
 }
 
 bool Trace::contiguous() const {
-  for (std::size_t i = 1; i < spans_.size(); ++i) {
-    if (spans_[i].start != spans_[i - 1].end) return false;
+  for (std::size_t i = 1; i < starts_.size(); ++i) {
+    if (starts_[i] != ends_[i - 1]) return false;
   }
   return true;
 }
 
 std::string Trace::to_json() const {
   std::string out = "{\"spans\":[";
-  for (std::size_t i = 0; i < spans_.size(); ++i) {
-    const Span& s = spans_[i];
+  for (std::size_t i = 0; i < size(); ++i) {
+    const Span s = span_at(i);
     if (i > 0) out.push_back(',');
     out += "{\"name\":\"";
     append_escaped(out, s.name);
@@ -136,10 +147,11 @@ std::string Trace::to_chrome_trace() const {
                   static_cast<double>(dur) / 1000.0);
     out += buf;
   };
-  for (const Span& s : spans_) {
+  for (const Span& s : spans()) {
     const int tid = static_cast<int>(s.component) + 1;
     if (s.queue_wait > 0) {
-      emit(s.name + " [queue]", "queue", s.start, s.queue_wait, tid);
+      emit(std::string(s.name) + " [queue]", "queue", s.start, s.queue_wait,
+           tid);
     }
     emit(s.name, component_name(s.component), s.start + s.queue_wait,
          s.service_time, tid);

@@ -42,12 +42,15 @@ enum class Component {
 
 [[nodiscard]] std::string_view component_name(Component c);
 
-/// One hop/stage of a traced request. Invariant: for CPU-charged spans,
-/// queue_wait + service_time == end - start (waiting vs working); for
-/// link/app spans queue_wait is 0 and service_time spans the whole
-/// duration, so the invariant holds for every span.
+/// One hop/stage of a traced request, materialized on access: the fields
+/// live in the owning Trace's struct-of-arrays storage (DESIGN.md §14) and
+/// are gathered into this value type by Trace::span_at. `name` views the
+/// Trace-owned hop name and is valid for the Trace's lifetime. Invariant:
+/// for CPU-charged spans, queue_wait + service_time == end - start
+/// (waiting vs working); for link/app spans queue_wait is 0 and
+/// service_time spans the whole duration, so it holds for every span.
 struct Span {
-  std::string name;               ///< hop name, e.g. "onnode-1/l4"
+  std::string_view name;          ///< hop name, e.g. "onnode-1/l4"
   Component component = Component::kLink;
   sim::TimePoint start = 0;
   sim::TimePoint end = 0;
@@ -63,17 +66,20 @@ struct Span {
 
 /// Ordered spans of one request. Spans are appended in simulated-time
 /// order as the request progresses, so the list is chronological.
+///
+/// Storage is struct-of-arrays: each span field sits in its own parallel
+/// vector, so aggregate queries (total_queue_wait, duration_of) stream one
+/// compact numeric array instead of striding over fat span records, and
+/// the cold name strings stay off the query path entirely.
 class Trace {
  public:
-  /// Typical traced requests produce ~6-12 spans; reserving up front keeps
-  /// the per-request hot path to a single spans allocation.
-  Trace() { spans_.reserve(12); }
+  Trace() = default;
 
   /// Appends a span; `queue_wait` is subtracted from the wall duration to
-  /// derive service time.
-  Span& add(std::string name, Component component, sim::TimePoint start,
-            sim::TimePoint end, sim::Duration queue_wait = 0,
-            std::uint64_t bytes = 0, int status = 0);
+  /// derive service time. Returns the materialized span (by value).
+  Span add(std::string_view name, Component component, sim::TimePoint start,
+           sim::TimePoint end, sim::Duration queue_wait = 0,
+           std::uint64_t bytes = 0, int status = 0);
 
   /// Tenant the traced request belongs to. Stamped by the dataplane when
   /// the request is issued; tenant id 0 means "untenanted" (legacy
@@ -81,11 +87,60 @@ class Trace {
   void set_tenant(net::TenantId tenant) noexcept { tenant_ = tenant; }
   [[nodiscard]] net::TenantId tenant() const noexcept { return tenant_; }
 
-  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
-    return spans_;
+  /// Span `i`, gathered from the parallel arrays.
+  [[nodiscard]] Span span_at(std::size_t i) const {
+    return Span{names_[i],        components_[i],    starts_[i],
+                ends_[i],         queue_waits_[i],   service_times_[i],
+                bytes_[i],        statuses_[i]};
   }
-  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+
+  /// Lightweight view over the spans: iteration and indexing materialize
+  /// Span values from the arrays (range-for with `const Span&` binds the
+  /// temporaries as before the SoA layout).
+  class SpanList {
+   public:
+    class iterator {
+     public:
+      using value_type = Span;
+      using reference = Span;
+      Span operator*() const { return trace_->span_at(index_); }
+      iterator& operator++() {
+        ++index_;
+        return *this;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.index_ == b.index_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return a.index_ != b.index_;
+      }
+
+     private:
+      friend class SpanList;
+      iterator(const Trace* trace, std::size_t index)
+          : trace_(trace), index_(index) {}
+      const Trace* trace_;
+      std::size_t index_;
+    };
+
+    [[nodiscard]] std::size_t size() const noexcept {
+      return trace_->size();
+    }
+    [[nodiscard]] bool empty() const noexcept { return trace_->empty(); }
+    Span operator[](std::size_t i) const { return trace_->span_at(i); }
+    [[nodiscard]] Span back() const { return trace_->span_at(size() - 1); }
+    [[nodiscard]] iterator begin() const { return {trace_, 0}; }
+    [[nodiscard]] iterator end() const { return {trace_, trace_->size()}; }
+
+   private:
+    friend class Trace;
+    explicit SpanList(const Trace* trace) : trace_(trace) {}
+    const Trace* trace_;
+  };
+
+  [[nodiscard]] SpanList spans() const noexcept { return SpanList(this); }
+  [[nodiscard]] bool empty() const noexcept { return starts_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return starts_.size(); }
 
   /// Sum of span durations (== end-to-end latency when spans tile the
   /// request interval, which traced dataplane paths guarantee).
@@ -113,7 +168,17 @@ class Trace {
   [[nodiscard]] std::string to_chrome_trace() const;
 
  private:
-  std::vector<Span> spans_;
+  // Parallel arrays, one per span field. Typical traced requests produce
+  // ~6-12 spans; the first add() reserves that up front so a trace's span
+  // storage settles after one allocation per array.
+  std::vector<std::string> names_;
+  std::vector<Component> components_;
+  std::vector<sim::TimePoint> starts_;
+  std::vector<sim::TimePoint> ends_;
+  std::vector<sim::Duration> queue_waits_;
+  std::vector<sim::Duration> service_times_;
+  std::vector<std::uint64_t> bytes_;
+  std::vector<int> statuses_;
   net::TenantId tenant_{};
 };
 

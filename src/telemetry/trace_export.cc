@@ -72,7 +72,8 @@ std::string TraceExport::to_json() const {
     for (const Span& s : entry.trace.spans()) {
       const int tid = static_cast<int>(s.component) + 1;
       if (s.queue_wait > 0) {
-        emit(s.name + " [queue]", "queue", s.start, s.queue_wait, tid);
+        emit(std::string(s.name) + " [queue]", "queue", s.start, s.queue_wait,
+             tid);
       }
       emit(s.name, component_name(s.component), s.start + s.queue_wait,
            s.service_time, tid);

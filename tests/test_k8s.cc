@@ -91,7 +91,7 @@ TEST(Pod, ServesRequestWithServiceTime) {
   http::Request req;
   sim::TimePoint answered = -1;
   int status = 0;
-  pod.handle_request(req, [&](http::Response resp) {
+  pod.handle_request(req, [&](http::Response& resp) {
     answered = loop.now();
     status = resp.status;
   });
@@ -109,7 +109,7 @@ TEST(Pod, TerminatedAnswers503) {
   pod.set_phase(PodPhase::kTerminated);
   http::Request req;
   int status = 0;
-  pod.handle_request(req, [&](http::Response resp) { status = resp.status; });
+  pod.handle_request(req, [&](http::Response& resp) { status = resp.status; });
   loop.run();
   EXPECT_EQ(status, 503);
 }
@@ -127,7 +127,7 @@ TEST(Pod, AppErrorRateProducesErrors) {
   int errors = 0;
   for (int i = 0; i < 200; ++i) {
     http::Request req;
-    pod.handle_request(req, [&](http::Response resp) {
+    pod.handle_request(req, [&](http::Response& resp) {
       if (resp.is_error()) ++errors;
     });
   }
