@@ -34,6 +34,11 @@ Usage: bench_suite [flags]
   --jobs N       worker threads for the run fan-out (default 1). N <= 0
                  selects hardware_concurrency(). Output is byte-identical
                  for every N; only wall-clock changes.
+  --shards N     region_scale only: partitions hosting the region's AZ
+                 domains, each with its own event loop and worker thread
+                 (default 1). N <= 0 selects hardware_concurrency().
+                 Output is byte-identical for every N; only wall-clock
+                 (and the "wall." JSON keys) changes.
   --repeat N     selfperf only: repeat each run N times (fresh testbed per
                  repeat) and report the median wall-clock with variance
                  under the "wall." JSON keys. Simulated counters are
@@ -44,8 +49,9 @@ Usage: bench_suite [flags]
                  report seed 1, so they are independent of K.
   --json         write BENCH_latency.json, BENCH_throughput.json,
                  BENCH_faults.json, BENCH_selfperf.json,
-                 BENCH_fairness.json and BENCH_resilience.json
-                 (deterministic simulated values only) into the current
+                 BENCH_fairness.json, BENCH_resilience.json and
+                 BENCH_region.json (deterministic simulated values plus
+                 machine-dependent "wall." keys) into the current
                  directory.
   --filter STR   run only specs whose scenario/variant key contains STR
                  (e.g. --filter throughput_knee, --filter canal).
@@ -70,6 +76,8 @@ Scenarios (see EXPERIMENTS.md for the figure mapping):
   resilience_qod           query-of-death pod vs outlier ejection
   resilience_ratelimit     tenant surge vs per-tenant token buckets
   selfperf         simulator wall-clock speed + fastpath hit rates
+  region_scale     §6 region operating point: 1120 VMs, 1M RPS aggregate,
+                   Table 3 tenants, sharded across --shards partitions
 )";
 
 struct SectionTarget {
@@ -110,6 +118,9 @@ SectionTarget section_target(const runner::RunSpec& spec) {
   if (spec.scenario == "resilience_ratelimit") {
     return {"BENCH_resilience.json", "ratelimit." + spec.variant};
   }
+  if (spec.scenario == "region_scale") {
+    return {"BENCH_region.json", spec.variant};
+  }
   return {"BENCH_selfperf.json", spec.variant};
 }
 
@@ -123,6 +134,7 @@ const char* headline_metric(const std::string& scenario) {
   if (scenario == "resilience_qod") return "late_error_rate";
   if (scenario == "resilience_ratelimit") return "rate_limited";
   if (scenario == "selfperf") return "events";
+  if (scenario == "region_scale") return "requests";
   return "ok_fault";
 }
 
@@ -294,6 +306,7 @@ std::map<std::string, JsonReport> build_reports(
 
 int run_suite(int argc, char** argv) {
   std::size_t jobs = 1;
+  std::size_t shards = 0;  // 0 = flag absent, scenario default applies
   std::uint64_t seeds = 1;
   long long repeat = 1;
   bool json = false;
@@ -334,6 +347,20 @@ int run_suite(int argc, char** argv) {
                      parsed, jobs);
       } else {
         jobs = static_cast<std::size_t>(parsed);
+      }
+    } else if (arg == "--shards") {
+      // Same validation contract as --jobs: strict integer (exit 2 on
+      // junk), N <= 0 clamps to hardware_concurrency with a stderr note.
+      const long long parsed = parse_int(next_value());
+      if (parsed <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        shards = hw == 0 ? 1 : hw;
+        std::fprintf(stderr,
+                     "--shards %lld: clamping to hardware_concurrency() = "
+                     "%zu\n",
+                     parsed, shards);
+      } else {
+        shards = static_cast<std::size_t>(parsed);
       }
     } else if (arg == "--seeds") {
       const long long parsed = parse_int(next_value());
@@ -393,6 +420,16 @@ int run_suite(int argc, char** argv) {
       if (spec.scenario == "selfperf") {
         spec.overrides.emplace_back("repeat",
                                     static_cast<double>(repeat));
+      }
+    }
+  }
+  if (shards > 0) {
+    // Shard-count only shapes wall-clock, and only region_scale hosts a
+    // sharded simulation; everything else ignores the flag.
+    for (auto& spec : specs) {
+      if (spec.scenario == "region_scale") {
+        spec.overrides.emplace_back("shards",
+                                    static_cast<double>(shards));
       }
     }
   }

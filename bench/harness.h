@@ -90,10 +90,21 @@ struct Testbed {
     std::size_t node_cores = 8;
     sim::Duration app_service_time = sim::milliseconds(1);
     std::size_t gateway_backends = 2;
+    /// Non-zero overrides for the canal gateway's capacity knobs — the
+    /// region-scale testbeds push two orders of magnitude more RPS per AZ
+    /// than the §5.1 defaults were sized for.
+    std::size_t gateway_replicas_per_backend = 0;
+    std::size_t gateway_replica_cores = 0;
+    std::size_t gateway_backends_per_service = 0;
     std::uint64_t seed = 1;
   };
 
-  sim::EventLoop loop;
+  /// Present only when the testbed owns its loop (the common case). The
+  /// sharded region harness instead hands in a partition loop shared by
+  /// every AZ-testbed hosted on that shard, so `loop` is a reference and
+  /// declared before the members constructed from it.
+  std::unique_ptr<sim::EventLoop> owned_loop_;
+  sim::EventLoop& loop;
   k8s::Cluster cluster;
   std::vector<k8s::Service*> services;
   Options options;
@@ -107,7 +118,17 @@ struct Testbed {
 
   Testbed() : Testbed(Options{}) {}
   explicit Testbed(Options opts)
-      : cluster(loop, static_cast<net::TenantId>(1), sim::Rng(opts.seed)),
+      : Testbed(std::make_unique<sim::EventLoop>(), nullptr, opts) {}
+  /// Builds the testbed on a caller-owned loop (sharded region mode).
+  Testbed(sim::EventLoop& external_loop, Options opts)
+      : Testbed(nullptr, &external_loop, opts) {}
+
+ private:
+  Testbed(std::unique_ptr<sim::EventLoop> owned, sim::EventLoop* external,
+          Options opts)
+      : owned_loop_(std::move(owned)),
+        loop(owned_loop_ ? *owned_loop_ : *external),
+        cluster(loop, static_cast<net::TenantId>(1), sim::Rng(opts.seed)),
         options(opts) {
     for (std::size_t i = 0; i < opts.nodes; ++i) {
       cluster.add_node(static_cast<net::AzId>(0), opts.node_cores);
@@ -127,6 +148,7 @@ struct Testbed {
     }
   }
 
+ public:
   void build_nomesh() {
     nomesh = std::make_unique<mesh::NoMesh>(loop, cluster);
   }
@@ -143,6 +165,16 @@ struct Testbed {
   }
   void build_canal() {
     core::GatewayConfig config;
+    if (options.gateway_replicas_per_backend > 0) {
+      config.replicas_per_backend = options.gateway_replicas_per_backend;
+    }
+    if (options.gateway_replica_cores > 0) {
+      config.replica_cores = options.gateway_replica_cores;
+    }
+    if (options.gateway_backends_per_service > 0) {
+      config.backends_per_service_local =
+          options.gateway_backends_per_service;
+    }
     gateway =
         std::make_unique<core::MeshGateway>(loop, config, sim::Rng(options.seed + 3));
     gateway->add_az(options.gateway_backends);

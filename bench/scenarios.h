@@ -24,10 +24,12 @@
 
 #include "bench/harness.h"
 #include "bench/json_report.h"
+#include "bench/region.h"
 #include "canal/fault_injector.h"
 #include "canal/proxyless.h"
 #include "runner/run.h"
 #include "runner/runner.h"
+#include "runner/shard_exec.h"
 // Referencing sim::alloc_count() swaps in the counting operator new for
 // the whole suite binary (see alloc_hook.h) — how selfperf's `allocs`
 // golden observes the heap.
@@ -1080,6 +1082,82 @@ inline runner::RunResult selfperf(const runner::RunSpec& spec) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// region_scale — the paper's region-scale operating point (§6): >= 1000 VMs
+// and >= 1M RPS aggregate across 8 AZ-sized clusters, each a ShardedSim
+// domain running the real canal dataplane, with the Table 3 tenant
+// population shaping per-flow tenancy. The `shards` override picks how
+// many partitions (worker threads) host the domains; every metric outside
+// the "wall." prefix is byte-identical at any value of it — which is
+// exactly what check.sh's region determinism gate pins.
+
+inline runner::RunResult region_scale(const runner::RunSpec& spec) {
+  if (spec.variant != "canal") {
+    throw std::runtime_error("region_scale: unknown variant " +
+                             spec.variant);
+  }
+  RegionOptions options;
+  options.seed = spec.seed;
+  options.azs =
+      static_cast<std::size_t>(spec.override_or("azs", 8));
+  options.nodes_per_az = static_cast<std::size_t>(
+      spec.override_or("nodes_per_az", 140));
+  options.generators_per_az = static_cast<std::size_t>(
+      spec.override_or("generators_per_az", 64));
+  options.aggregate_rps = spec.override_or("rps", 1'000'000.0);
+  options.duration = static_cast<sim::Duration>(
+      spec.override_or("duration_ms", 300.0) * 1e6);
+  options.tenants =
+      static_cast<std::size_t>(spec.override_or("tenants", 200));
+  options.shards = static_cast<std::size_t>(
+      std::max(1.0, spec.override_or("shards", 1)));
+
+  std::unique_ptr<runner::PoolShardRunner> pool;
+  if (options.shards > 1) {
+    pool = std::make_unique<runner::PoolShardRunner>(options.shards);
+  }
+  const RegionRun run = run_region(options, pool.get());
+
+  const auto pct = [](const sim::Histogram& h, double p) {
+    return h.empty() ? 0.0 : h.percentile(p);
+  };
+  runner::RunResult result;
+  result.set("vms", static_cast<double>(run.vms));
+  result.set("pods", static_cast<double>(run.pods));
+  result.set("tenants", static_cast<double>(run.tenants));
+  result.set("table3_l7", run.adoption.l7);
+  result.set("table3_l7_routing", run.adoption.l7_routing);
+  result.set("table3_l7_security", run.adoption.l7_security);
+  result.set("aggregate_rps", options.aggregate_rps);
+  result.set("requests", static_cast<double>(run.sent));
+  result.set("ok", static_cast<double>(run.ok));
+  result.set("p50_us", pct(run.intra_latency_us, 50));
+  result.set("p99_us", pct(run.intra_latency_us, 99));
+  result.set("cross_p50_us", pct(run.cross_latency_us, 50));
+  result.set("cross_p99_us", pct(run.cross_latency_us, 99));
+  result.set("lookahead_us",
+             static_cast<double>(run.lookahead) / 1e3);
+  result.set("events", static_cast<double>(run.engine.events));
+  result.set("rounds", static_cast<double>(run.engine.rounds));
+  result.set("cross_shard_messages",
+             static_cast<double>(run.engine.messages));
+  // Wall-clock (and the shard/thread layout that shapes it) varies with
+  // the machine: "wall." prefix, stripped by the determinism diff. The
+  // speedup bound is busy-time critical-path math — what a machine with
+  // >= shards free cores converges to — reported alongside the measured
+  // wall so single-core CI still records the parallelism the partition
+  // exposes.
+  result.set("wall.wall_ms", run.wall_ms);
+  result.set("wall.shards", static_cast<double>(run.shards));
+  result.set("wall.busy_ms_sum", run.engine.busy_ms_sum());
+  result.set("wall.busy_ms_max", run.engine.busy_ms_max());
+  result.set("wall.speedup_bound",
+             run.engine.busy_ms_max() <= 0.0
+                 ? 1.0
+                 : run.engine.busy_ms_sum() / run.engine.busy_ms_max());
+  return result;
+}
+
 }  // namespace scenarios
 
 /// Registers every suite scenario on `runner`.
@@ -1097,6 +1175,7 @@ inline void register_bench_scenarios(runner::Runner& runner) {
   runner.register_scenario("resilience_ratelimit",
                            scenarios::resilience_ratelimit);
   runner.register_scenario("selfperf", scenarios::selfperf);
+  runner.register_scenario("region_scale", scenarios::region_scale);
 }
 
 /// The full suite grid for seeds 1..K, one RunSpec per (scenario, variant,
@@ -1112,6 +1191,12 @@ inline std::vector<runner::RunSpec> suite_specs(std::uint64_t seeds) {
       specs.push_back(runner::RunSpec{scenario, variant, seed, overrides});
     }
   };
+  // Region runs once at a fixed seed (not per-seed): it is the suite's
+  // single longest run by an order of magnitude, and its determinism story
+  // is shards/jobs-invariance at one operating point, not a seed sweep.
+  // First in the list so FIFO dispatch starts the critical path
+  // immediately.
+  specs.push_back(runner::RunSpec{"region_scale", "canal", 1, {}});
   for (const char* dp :
        {"canal", "proxyless", "ambient", "istio", "nomesh"}) {
     add("selfperf", dp);

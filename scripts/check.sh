@@ -9,9 +9,10 @@
 #               leak, overflow, or UB fails the gate.
 #   --sanitize=thread
 #               build with ThreadSanitizer and exercise the experiment
-#               runner: test_runner (work-stealing pool, fan-out/reduce)
-#               plus a multi-threaded bench_suite smoke run. Any data race
-#               fails the gate.
+#               runner: test_runner (work-stealing pool, fan-out/reduce),
+#               test_sharded (sharded-simulation barrier + mailboxes on
+#               the threaded runner), plus a multi-threaded bench_suite
+#               smoke run. Any data race fails the gate.
 #
 # The default (Release, -O2) path also runs the determinism gate: the
 # bench suite is run twice in scratch dirs — once at --jobs 8, once at
@@ -54,8 +55,12 @@ elif [[ "${sanitize}" == "thread" ]]; then
     -DCMAKE_CXX_FLAGS="${san_flags}" \
     -DCMAKE_EXE_LINKER_FLAGS="${san_flags}"
   cmake --build "${build_dir}" -j "${jobs}" \
-    --target test_runner bench_suite
+    --target test_runner test_sharded bench_suite
   TSAN_OPTIONS=halt_on_error=1 "${build_dir}/tests/test_runner"
+  # Shard-barrier races: the windowed ShardedSim round (per-shard loops,
+  # mailbox hand-off at barriers) on the threaded runner, plus the tiny
+  # sharded region with real dataplane traffic crossing shards.
+  TSAN_OPTIONS=halt_on_error=1 "${build_dir}/tests/test_sharded"
   # Real scenarios across 8 workers: races between concurrent testbeds
   # (hidden statics, shared RNGs) would trip TSan here.
   scratch="$(mktemp -d)"
@@ -77,7 +82,8 @@ else
   # by design and are stripped before diffing; everything else — including
   # the deterministic selfperf allocation counters — must match exactly.
   goldens=(BENCH_latency.json BENCH_throughput.json BENCH_faults.json
-           BENCH_selfperf.json BENCH_fairness.json BENCH_resilience.json)
+           BENCH_selfperf.json BENCH_fairness.json BENCH_resilience.json
+           BENCH_region.json)
   for suite_jobs in 8 1; do
     scratch="$(mktemp -d)"
     (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
@@ -126,6 +132,59 @@ else
   echo "selfperf regression gate OK: events_per_sec_per_core within 10% of" \
     "the committed golden on every variant"
 
+  # Region shard-determinism gate: the determinism gate above already pins
+  # region_scale at --shards 1 (the suite default) for both --jobs values;
+  # this run pins the other axis — a multi-shard region (8 partitions, 8
+  # worker threads) must reproduce the committed golden byte-for-byte
+  # outside the "wall." keys. It also asserts the partitioning still buys
+  # parallelism: wall.speedup_bound (per-shard busy CPU-time sum/max — the
+  # wall-clock ratio a machine with >= 8 free cores converges to, and
+  # machine-load-independent because it is CPU time, not elapsed time)
+  # must stay >= 3x.
+  scratch="$(mktemp -d)"
+  (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
+    --filter region_scale --shards 8 --json > /dev/null)
+  if ! diff <(grep -v '"wall\.' "${scratch}/BENCH_region.json") \
+            <(grep -v '"wall\.' "${repo_root}/BENCH_region.json") > /dev/null
+  then
+    echo "region determinism gate FAILED: --shards 8 output no longer" \
+      "matches BENCH_region.json" >&2
+    echo "scratch output kept at ${scratch}/BENCH_region.json" >&2
+    exit 1
+  fi
+  if ! awk -F': ' '/"wall\.speedup_bound":/ {
+         gsub(/[ ,]/, "", $2)
+         if ($2 + 0 < 3.0) { printf "speedup_bound %g < 3.0\n", $2; fail = 1 }
+       } END { exit fail }' "${scratch}/BENCH_region.json" >&2
+  then
+    echo "region speedup gate FAILED: the 8-shard partition's critical" \
+      "path no longer supports a 3x parallel speedup" >&2
+    exit 1
+  fi
+  rm -rf "${scratch}"
+  echo "region determinism gate OK: --shards 8 matches the golden and the" \
+    "partition supports >= 3x parallel speedup"
+
+  # Docs-consistency gate: EXPERIMENTS.md's scenario index (the table
+  # between the scenario-index markers) and the suite's registered
+  # scenario families must stay in lockstep — every documented scenario
+  # must exist, and every runnable scenario must be documented.
+  docs_families="$(awk '/<!-- scenario-index:begin -->/ { in_table = 1; next }
+                        /<!-- scenario-index:end -->/ { in_table = 0 }
+                        in_table && /^\| `/ {
+                          line = $0
+                          sub(/^\| `/, "", line); sub(/`.*/, "", line)
+                          print line
+                        }' "${repo_root}/EXPERIMENTS.md" | sort -u)"
+  list_families="$("${build_dir}/bench/bench_suite" --list | cut -d/ -f1 | sort -u)"
+  if ! diff <(echo "${docs_families}") <(echo "${list_families}") >&2; then
+    echo "docs-consistency gate FAILED: EXPERIMENTS.md scenario index" \
+      "(< lines) and bench_suite --list families (> lines) have drifted" >&2
+    exit 1
+  fi
+  echo "docs-consistency gate OK: EXPERIMENTS.md scenario index matches" \
+    "bench_suite --list exactly"
+
   # Fuzz-smoke gate: a fixed-seed differential campaign across all five
   # dataplanes must finish with zero oracle violations, and the JSON
   # report must be byte-identical between a parallel and a serial run
@@ -173,6 +232,14 @@ else
     > /dev/null 2>&1 || status=$?
   if [[ "${status}" -ne 2 ]]; then
     echo "vacuous-success gate FAILED: zero-match --filter exited" \
+      "${status}, want 2" >&2
+    exit 1
+  fi
+  status=0
+  "${build_dir}/bench/bench_suite" --shards not-a-number \
+    > /dev/null 2>&1 || status=$?
+  if [[ "${status}" -ne 2 ]]; then
+    echo "vacuous-success gate FAILED: non-numeric --shards exited" \
       "${status}, want 2" >&2
     exit 1
   fi

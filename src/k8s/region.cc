@@ -1,0 +1,62 @@
+#include "k8s/region.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace canal::k8s {
+
+std::vector<std::size_t> partition_region(std::size_t domains,
+                                          std::size_t shards) {
+  if (domains == 0) {
+    throw std::invalid_argument("partition_region: no domains");
+  }
+  if (shards == 0) shards = 1;
+  if (shards > domains) shards = domains;
+  std::vector<std::size_t> partition(domains);
+  for (std::size_t d = 0; d < domains; ++d) {
+    partition[d] = d * shards / domains;
+  }
+  return partition;
+}
+
+sim::Duration cross_shard_lookahead(
+    const std::vector<std::vector<sim::Duration>>& latency,
+    const std::vector<std::size_t>& partition) {
+  const std::size_t domains = partition.size();
+  if (domains == 0) {
+    throw std::invalid_argument("cross_shard_lookahead: no domains");
+  }
+  if (latency.size() != domains) {
+    throw std::invalid_argument(
+        "cross_shard_lookahead: latency matrix has " +
+        std::to_string(latency.size()) + " rows for " +
+        std::to_string(domains) + " domains");
+  }
+  sim::Duration lookahead = std::numeric_limits<sim::Duration>::max();
+  bool crossing = false;
+  for (std::size_t a = 0; a < domains; ++a) {
+    if (latency[a].size() != domains) {
+      throw std::invalid_argument(
+          "cross_shard_lookahead: latency row " + std::to_string(a) +
+          " has " + std::to_string(latency[a].size()) + " columns for " +
+          std::to_string(domains) + " domains");
+    }
+    for (std::size_t b = 0; b < domains; ++b) {
+      if (a == b || partition[a] == partition[b]) continue;
+      if (latency[a][b] <= 0) {
+        throw std::invalid_argument(
+            "cross_shard_lookahead: zero-latency link between domains " +
+            std::to_string(a) + " and " + std::to_string(b) +
+            " crosses shards " + std::to_string(partition[a]) + "/" +
+            std::to_string(partition[b]) +
+            " (co-locate zero-latency pairs on one shard)");
+      }
+      lookahead = std::min(lookahead, latency[a][b]);
+      crossing = true;
+    }
+  }
+  return crossing ? lookahead : 0;
+}
+
+}  // namespace canal::k8s

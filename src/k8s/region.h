@@ -1,0 +1,39 @@
+// Region topology partitioning for sharded simulation (DESIGN.md §15).
+//
+// A region is a list of AZs; each AZ becomes one ShardedSim domain.
+// Partitioning assigns domains to shards; the lookahead is derived from the
+// latency of the slowest-is-irrelevant, *fastest* link that actually
+// crosses a shard boundary under that assignment. Zero-latency pairs must
+// be co-located: cross_shard_lookahead() rejects any partition that splits
+// them, because a zero-latency crossing would force zero-width conservative
+// windows (no parallelism, and ShardedSim refuses lookahead <= 0).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace canal::k8s {
+
+/// Maps `domains` AZ-domains onto `shards` shards in contiguous blocks:
+/// domain d goes to shard d * shards / domains. Contiguous (rather than
+/// round-robin) assignment keeps any locality structure in the AZ order —
+/// neighbouring AZs that talk more end up co-located as the shard count
+/// drops. `shards` is clamped to [1, domains] so every shard hosts at
+/// least one domain (ShardedSim's density requirement).
+[[nodiscard]] std::vector<std::size_t> partition_region(std::size_t domains,
+                                                        std::size_t shards);
+
+/// The conservative lookahead for `partition`: the minimum
+/// `latency[a][b]` over all domain pairs (a, b) whose shards differ.
+/// `latency` is a dense domains x domains matrix of one-way link
+/// propagation latencies (diagonal ignored). Returns 0 when nothing
+/// crosses a boundary (single shard) — callers may then pick any positive
+/// window. Throws std::invalid_argument when the matrix is malformed or a
+/// zero-or-negative-latency pair is split across shards.
+[[nodiscard]] sim::Duration cross_shard_lookahead(
+    const std::vector<std::vector<sim::Duration>>& latency,
+    const std::vector<std::size_t>& partition);
+
+}  // namespace canal::k8s

@@ -1,0 +1,51 @@
+// Shard-boundary links: a net::Link whose crossing is a ShardedSim mailbox
+// message instead of a same-loop timer.
+//
+// Inside one simulation domain a link crossing is just `loop.post(transit,
+// cb)`. When source and destination live in different domains, that post
+// would mutate a loop another thread may be running — so the crossing
+// becomes a ShardedSim::send(): parked in the source shard's outbox, sorted
+// canonically at the next barrier, delivered onto the destination loop in
+// its own future. A ShardChannel packages one such directed link; the
+// transit math is the ordinary Link model, unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/link.h"
+#include "sim/callback.h"
+#include "sim/shard.h"
+
+namespace canal::net {
+
+/// A directed cross-domain link bound to a ShardedSim. deliver() runs `cb`
+/// on the destination domain's loop one link-transit after the source
+/// domain's current time. The link's propagation latency must be >= the
+/// sim's lookahead (ShardedSim::send enforces it; k8s::cross_shard_lookahead
+/// picks a lookahead that makes every cross-shard link qualify).
+class ShardChannel {
+ public:
+  ShardChannel(sim::ShardedSim& sim, std::size_t src_domain,
+               std::size_t dst_domain, Link link)
+      : sim_(sim), src_(src_domain), dst_(dst_domain), link_(link) {}
+
+  [[nodiscard]] const Link& link() const noexcept { return link_; }
+  [[nodiscard]] std::size_t src_domain() const noexcept { return src_; }
+  [[nodiscard]] std::size_t dst_domain() const noexcept { return dst_; }
+
+  /// Ships `bytes` across the link; `cb` fires on the destination loop at
+  /// source-now + transit(bytes). Call only from a callback running on the
+  /// source domain's loop (send()'s thread-ownership rule).
+  void deliver(std::uint64_t bytes, sim::Callback cb) {
+    sim_.send(src_, dst_, link_.transit(bytes), std::move(cb));
+  }
+
+ private:
+  sim::ShardedSim& sim_;
+  std::size_t src_;
+  std::size_t dst_;
+  Link link_;
+};
+
+}  // namespace canal::net

@@ -1,0 +1,46 @@
+// Parallel shard execution: binds sim::ShardedSim's round barrier to the
+// experiment runner's WorkStealingPool.
+//
+// sim/ cannot depend on runner/ (the simulator is the bottom of the
+// layering), so ShardedSim only knows the abstract ShardRunner interface;
+// this adapter lives one layer up and supplies the threaded implementation.
+// submit() + wait_idle() give the exact semantics ShardRunner demands: the
+// wait IS the barrier, and the pool's mutex hand-off publishes every
+// shard's state to whichever worker picks it up next round (the
+// happens-before edge the interface contract requires).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runner/thread_pool.h"
+#include "sim/shard.h"
+
+namespace canal::runner {
+
+/// Runs each round's shard tasks on a private WorkStealingPool. A pool per
+/// ShardedSim run (not a shared one) keeps wait_idle() correct: nothing
+/// else may enqueue between submit and the barrier.
+class PoolShardRunner final : public sim::ShardRunner {
+ public:
+  /// `threads` is clamped to >= 1 by the pool; sizing it at min(shards,
+  /// hardware threads) is the caller's job (see bench/region.h).
+  explicit PoolShardRunner(std::size_t threads) : pool_(threads) {}
+
+  void run_round(std::vector<std::function<void()>>& tasks) override {
+    // Reference-capture is safe: wait_idle() below outlives every task,
+    // and ShardedSim keeps `tasks` alive across the whole run.
+    for (auto& task : tasks) pool_.submit([&task] { task(); });
+    pool_.wait_idle();
+  }
+
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return pool_.threads();
+  }
+
+ private:
+  WorkStealingPool pool_;
+};
+
+}  // namespace canal::runner

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/callback.h"
@@ -84,6 +85,16 @@ class EventLoop {
   /// Number of pending (possibly cancelled) events.
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return heap_.size() + (bucket_.size() - bucket_cursor_);
+  }
+
+  /// Earliest pending event time, or std::nullopt when the queue is empty.
+  /// Cancelled events still count (they are skipped only when popped), so
+  /// the value is a lower bound on the next *effective* event — which is
+  /// exactly what a conservative shard scheduler needs (see shard.h).
+  [[nodiscard]] std::optional<TimePoint> next_event_time() const noexcept {
+    if (bucket_cursor_ < bucket_.size()) return now_;  // runs at exactly now_
+    if (!heap_.empty()) return heap_.front().when;
+    return std::nullopt;
   }
 
  private:

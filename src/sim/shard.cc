@@ -1,0 +1,168 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+// Per-shard busy time must survive CPU timesharing: with more worker
+// threads than cores, a thread's elapsed wall time includes intervals
+// where a *different* shard held the core, which would inflate every
+// shard's reading and wreck the sum/max speedup bound. Thread CPU time
+// counts only cycles this thread actually executed.
+double busy_clock_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+namespace canal::sim {
+
+ShardedSim::ShardedSim(std::vector<std::size_t> domain_shard,
+                       Duration lookahead)
+    : domain_shard_(std::move(domain_shard)), lookahead_(lookahead) {
+  if (domain_shard_.empty()) {
+    throw std::invalid_argument("ShardedSim: no domains");
+  }
+  if (lookahead_ <= 0) {
+    throw std::invalid_argument(
+        "ShardedSim: lookahead must be positive (zero-latency crossings "
+        "must stay intra-shard)");
+  }
+  std::size_t max_shard = 0;
+  for (const std::size_t s : domain_shard_) max_shard = std::max(max_shard, s);
+  std::vector<bool> seen(max_shard + 1, false);
+  for (const std::size_t s : domain_shard_) seen[s] = true;
+  for (std::size_t s = 0; s <= max_shard; ++s) {
+    if (!seen[s]) {
+      throw std::invalid_argument("ShardedSim: shard " + std::to_string(s) +
+                                  " hosts no domain (indices must be dense)");
+    }
+  }
+  shards_.reserve(max_shard + 1);
+  for (std::size_t s = 0; s <= max_shard; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  domain_seq_.assign(domain_shard_.size(), 0);
+}
+
+void ShardedSim::send(std::size_t src_domain, std::size_t dst_domain,
+                      Duration latency, Callback cb) {
+  if (src_domain == dst_domain) {
+    throw std::invalid_argument(
+        "ShardedSim::send: src == dst (schedule on the domain loop instead)");
+  }
+  if (latency < lookahead_) {
+    throw std::invalid_argument(
+        "ShardedSim::send: latency " + std::to_string(latency) +
+        " < lookahead " + std::to_string(lookahead_) +
+        " breaks the conservative window");
+  }
+  Shard& src = *shards_.at(domain_shard_.at(src_domain));
+  domain_shard_.at(dst_domain);  // range-check dst before parking the message
+  Message* msg = src.message_pool.acquire();
+  msg->arrival = src.loop.now() + latency;
+  msg->src_domain = static_cast<std::uint32_t>(src_domain);
+  msg->dst_domain = static_cast<std::uint32_t>(dst_domain);
+  msg->seq = domain_seq_[src_domain]++;
+  msg->cb = std::move(cb);
+  src.outbox.push_back(msg);
+}
+
+std::uint64_t ShardedSim::deliver_mailboxes() {
+  delivery_scratch_.clear();
+  for (const auto& shard : shards_) {
+    delivery_scratch_.insert(delivery_scratch_.end(), shard->outbox.begin(),
+                             shard->outbox.end());
+    shard->outbox.clear();
+  }
+  if (delivery_scratch_.empty()) return 0;
+  // Canonical delivery order: (arrival, src_domain, seq) is a total order
+  // (seq is unique per source), so the sort result — and with it the
+  // insertion order, hence the tie-break sequence numbers each message
+  // receives in its destination loop — is partitioning-independent.
+  std::sort(delivery_scratch_.begin(), delivery_scratch_.end(),
+            [](const Message* a, const Message* b) noexcept {
+              if (a->arrival != b->arrival) return a->arrival < b->arrival;
+              if (a->src_domain != b->src_domain)
+                return a->src_domain < b->src_domain;
+              return a->seq < b->seq;
+            });
+  for (Message* msg : delivery_scratch_) {
+    Shard& dst = *shards_[domain_shard_[msg->dst_domain]];
+    dst.loop.post_at(msg->arrival, std::move(msg->cb));
+    shards_[domain_shard_[msg->src_domain]]->message_pool.release(msg);
+  }
+  const auto delivered = static_cast<std::uint64_t>(delivery_scratch_.size());
+  delivery_scratch_.clear();
+  return delivered;
+}
+
+ShardedSim::Stats ShardedSim::run(ShardRunner* runner) {
+  SerialShardRunner serial;
+  if (runner == nullptr) runner = &serial;
+
+  for (const auto& shard : shards_) {
+    shard->events = 0;
+    shard->busy_ms = 0.0;
+  }
+
+  Stats stats;
+  // One task per shard, built once and reused every round; the per-round
+  // window end is threaded through by reference so rounds allocate nothing.
+  TimePoint window_end = 0;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    tasks.emplace_back([shard, &window_end] {
+      const double start_ms = busy_clock_ms();
+      // run_until is deadline-inclusive; the window is [start, end), so run
+      // strictly below the barrier and park the loop's clock just under it.
+      shard->events += shard->loop.run_until(window_end - 1);
+      shard->busy_ms += busy_clock_ms() - start_ms;
+    });
+  }
+
+  for (;;) {
+    stats.messages += deliver_mailboxes();
+
+    // The next window starts at the global minimum pending-event time — a
+    // quantity independent of how domains are partitioned, which is what
+    // keeps every barrier time (and thus all tie-breaking) shard-invariant.
+    bool any = false;
+    TimePoint next = 0;
+    for (const auto& shard : shards_) {
+      if (const auto t = shard->loop.next_event_time()) {
+        next = any ? std::min(next, *t) : *t;
+        any = true;
+      }
+    }
+    if (!any) break;  // all loops drained and no messages parked
+
+    window_end = next + lookahead_;
+    runner->run_round(tasks);
+    ++stats.rounds;
+  }
+
+  stats.shard_busy_ms.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.events += shard->events;
+    stats.shard_busy_ms.push_back(shard->busy_ms);
+  }
+  return stats;
+}
+
+}  // namespace canal::sim

@@ -1,0 +1,173 @@
+// Partitioned parallel discrete-event simulation (DESIGN.md §15).
+//
+// A ShardedSim splits a topology into *domains* (one AZ or server group
+// each), gives every domain an EventLoop home, and groups domains into
+// *shards* that can execute on independent worker threads. Shards
+// synchronize conservatively: all loops advance in lockstep windows no
+// wider than the minimum cross-domain message latency (the *lookahead*),
+// so a message sent during a window can never arrive inside it — it is
+// parked in a mailbox and delivered at the next window barrier, always in
+// the future of every loop.
+//
+// Determinism contract — results are byte-identical at any shard count and
+// on any number of worker threads, provided scenario code obeys two rules:
+//
+//   1. Domain isolation: an event callback touches only the state of the
+//      domain whose loop runs it. Domains co-located on one shard share a
+//      loop (and its tie-break sequence counter), but because their
+//      callbacks touch disjoint state, interleaving two domains' events at
+//      equal timestamps cannot change either domain's evolution.
+//   2. Mailbox-only crossings: all cross-domain communication goes through
+//      send(), even between domains that happen to share a shard. send()
+//      stamps each message with (arrival time, source domain, per-source
+//      sequence number); barriers deliver every parked message sorted by
+//      that key. The delivery order into any loop is therefore a pure
+//      function of domain-local histories, never of the partitioning.
+//
+// Window schedule invariance closes the argument: each round starts at the
+// global minimum pending-event time (a partitioning-independent quantity)
+// and spans exactly one lookahead, so the barrier times — and with them
+// the relative tie-break order between locally-scheduled events and
+// barrier-delivered messages — are identical at any shard count. The
+// engine's own counters (events, rounds, messages) are deterministic and
+// committed as golden material.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/arena.h"
+#include "sim/callback.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace canal::sim {
+
+/// Executes one barrier round's per-shard tasks. The serial implementation
+/// runs them in shard order on the calling thread; runner::PoolShardRunner
+/// fans them out over a WorkStealingPool. Implementations must run every
+/// task to completion before returning (the return IS the barrier) and
+/// must provide a happens-before edge between rounds, so shard state
+/// written in round k is visible to whichever thread runs it in round k+1.
+class ShardRunner {
+ public:
+  virtual ~ShardRunner() = default;
+  virtual void run_round(std::vector<std::function<void()>>& tasks) = 0;
+};
+
+/// In-order, same-thread round execution (the --shards 1 path, and the
+/// reference the parallel runner must be indistinguishable from).
+class SerialShardRunner final : public ShardRunner {
+ public:
+  void run_round(std::vector<std::function<void()>>& tasks) override {
+    for (auto& task : tasks) task();
+  }
+};
+
+class ShardedSim {
+ public:
+  /// Deterministic engine counters; all three are pure functions of the
+  /// simulated workload (golden material). Wall-clock readings go under
+  /// shard_busy_ms and are machine-dependent ("wall." material only).
+  struct Stats {
+    std::uint64_t events = 0;    ///< callbacks executed across all loops
+    std::uint64_t rounds = 0;    ///< barrier rounds taken
+    std::uint64_t messages = 0;  ///< cross-domain messages delivered
+    /// Per-shard busy time (thread CPU time, so CPU timesharing between
+    /// shard workers cannot inflate it), summed over that shard's window
+    /// tasks. sum/max is the parallel speedup bound — the wall-clock
+    /// ratio a machine with >= shards free cores converges to.
+    std::vector<double> shard_busy_ms;
+
+    [[nodiscard]] double busy_ms_sum() const noexcept {
+      double sum = 0.0;
+      for (const double ms : shard_busy_ms) sum += ms;
+      return sum;
+    }
+    [[nodiscard]] double busy_ms_max() const noexcept {
+      double max = 0.0;
+      for (const double ms : shard_busy_ms) max = ms > max ? ms : max;
+      return max;
+    }
+  };
+
+  /// `domain_shard[d]` is the shard hosting domain d. Shard indices must
+  /// be dense (0..max). `lookahead` is the conservative window width: no
+  /// cross-domain message may travel faster. Throws std::invalid_argument
+  /// on an empty mapping, a non-dense shard set, or lookahead <= 0 —
+  /// a zero-latency crossing would force zero-width windows (see
+  /// k8s::cross_shard_lookahead, which keeps such links intra-shard).
+  ShardedSim(std::vector<std::size_t> domain_shard, Duration lookahead);
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  [[nodiscard]] std::size_t domains() const noexcept {
+    return domain_shard_.size();
+  }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] Duration lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] std::size_t shard_of(std::size_t domain) const {
+    return domain_shard_.at(domain);
+  }
+
+  /// The loop hosting `domain` (shared with co-located domains).
+  [[nodiscard]] EventLoop& domain_loop(std::size_t domain) {
+    return shards_.at(domain_shard_.at(domain))->loop;
+  }
+  [[nodiscard]] EventLoop& shard_loop(std::size_t shard) {
+    return shards_.at(shard)->loop;
+  }
+
+  /// Schedules `cb` on dst's loop at src's now() + latency. Must be called
+  /// from a callback running on src's loop (that thread owns src's shard
+  /// outbox during a round). Throws std::invalid_argument when src == dst
+  /// (schedule locally instead) or latency < lookahead (the message would
+  /// violate the conservative window).
+  void send(std::size_t src_domain, std::size_t dst_domain, Duration latency,
+            Callback cb);
+
+  /// Runs every loop to completion in conservative windows, delivering
+  /// mailboxes at the barriers. `runner` executes each round's per-shard
+  /// tasks (null = serial). Reentrant per instance: a second run() resumes
+  /// with whatever events remain (normally none).
+  Stats run(ShardRunner* runner = nullptr);
+
+ private:
+  struct Message {
+    TimePoint arrival = 0;
+    std::uint32_t src_domain = 0;
+    std::uint32_t dst_domain = 0;
+    std::uint64_t seq = 0;  ///< per-source-domain counter
+    Callback cb;
+  };
+
+  struct Shard {
+    EventLoop loop;
+    /// Outbox and message pool are written only by the thread running
+    /// this shard's window task, and drained/refilled only at barriers
+    /// (single-threaded coordinator) — never both at once.
+    std::vector<Message*> outbox;
+    Pool<Message> message_pool;
+    std::uint64_t events = 0;
+    double busy_ms = 0.0;
+  };
+
+  /// Moves every parked message into its destination loop, sorted by
+  /// (arrival, src_domain, seq), and recycles the message slots.
+  std::uint64_t deliver_mailboxes();
+
+  std::vector<std::size_t> domain_shard_;
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-domain send counters: the deterministic tie-break between
+  /// messages that share an arrival time and a source.
+  std::vector<std::uint64_t> domain_seq_;
+  /// Barrier-time scratch for the canonical delivery sort.
+  std::vector<Message*> delivery_scratch_;
+};
+
+}  // namespace canal::sim
