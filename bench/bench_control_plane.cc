@@ -6,10 +6,10 @@
 //         Istio, 1.2x-1.5x than Ambient).
 // Fig 15: southbound bandwidth occupation during a routing-policy update
 //         (paper: Istio 9.8x, Ambient 4.6x Canal's bytes).
-#include <cmath>
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "k8s/propagation.h"
 
 namespace canal::bench {
 namespace {
@@ -17,22 +17,22 @@ namespace {
 void fig4() {
   Table table("Fig 4: controller CPU and update completion vs cluster size");
   table.header({"pods", "build cpu", "push time", "total", "bytes pushed"});
+  // Canonical control-plane sizing, except the figure's 10 Gbps LAN
+  // southbound (the cluster-local xDS path, not the 250 Mbps VPN).
+  k8s::ControlPlaneProfile profile;
+  profile.southbound_bandwidth_bps = 10'000'000'000;
   for (const std::size_t pods : {1000u, 2000u, 4000u, 8000u}) {
-    sim::EventLoop loop;
     // Full per-sidecar config grows with cluster size: O(pods) rules.
     const std::size_t per_sidecar = 200 * pods;
     std::vector<k8s::ConfigTarget> targets(
         pods, k8s::ConfigTarget{"sidecar", per_sidecar});
-    k8s::SouthboundChannel southbound(loop, 10'000'000'000);  // 10 Gbps LAN
-    k8s::Controller controller(loop, 8, southbound);
-    std::optional<k8s::PushReport> report;
-    controller.push_update(targets, [&](k8s::PushReport r) { report = r; });
-    loop.run();
+    const k8s::PushReport report =
+        k8s::measure_push(profile, std::move(targets)).report;
     table.row({fmt("%.0f", static_cast<double>(pods)),
-               sim::format_duration(report->build_time),
-               sim::format_duration(report->total_time - report->build_time),
-               sim::format_duration(report->total_time),
-               fmt("%.0f MB", static_cast<double>(report->bytes_pushed) / 1e6)});
+               sim::format_duration(report.build_time),
+               sim::format_duration(report.total_time - report.build_time),
+               sim::format_duration(report.total_time),
+               fmt("%.0f MB", static_cast<double>(report.bytes_pushed) / 1e6)});
   }
   table.print();
   std::printf(
@@ -40,20 +40,11 @@ void fig4() {
       "config); push is I/O-bound\n");
 }
 
-/// xDS push model: bounded-concurrency streams, one apply round-trip per
-/// target, plus byte transfer over the southbound channel and build CPU.
-sim::Duration push_completion(const std::vector<k8s::ConfigTarget>& targets) {
-  constexpr double kConcurrentStreams = 8.0;
-  constexpr sim::Duration kApplyRtt = sim::milliseconds(25);
-  sim::EventLoop loop;
-  k8s::SouthboundChannel southbound(loop, 250'000'000);  // 250 Mbps
-  k8s::Controller controller(loop, 8, southbound);
-  std::optional<k8s::PushReport> report;
-  controller.push_update(targets, [&](k8s::PushReport r) { report = r; });
-  loop.run();
-  const auto rounds = static_cast<sim::Duration>(
-      std::ceil(static_cast<double>(targets.size()) / kConcurrentStreams));
-  return report->total_time + rounds * kApplyRtt;
+/// xDS push model (bounded-concurrency streams, per-target apply RTT,
+/// southbound transfer + build CPU) at the canonical sizing.
+sim::Duration push_completion(std::vector<k8s::ConfigTarget> targets) {
+  return k8s::measure_push(k8s::ControlPlaneProfile{}, std::move(targets))
+      .completion;
 }
 
 void fig14() {

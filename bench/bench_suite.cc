@@ -78,6 +78,11 @@ Scenarios (see EXPERIMENTS.md for the figure mapping):
   selfperf         simulator wall-clock speed + fastpath hit rates
   region_scale     §6 region operating point: 1120 VMs, 1M RPS aggregate,
                    Table 3 tenants, sharded across --shards partitions
+  config_churn_storm  rolling config epochs through the modeled
+                   propagation layer: convergence time, epoch skew, tail
+                   latency under churn
+  cert_rotation_wave  batched cert re-sign wave + epoch distribution of
+                   the fresh certs, under load
 )";
 
 struct SectionTarget {
@@ -121,6 +126,12 @@ SectionTarget section_target(const runner::RunSpec& spec) {
   if (spec.scenario == "region_scale") {
     return {"BENCH_region.json", spec.variant};
   }
+  if (spec.scenario == "config_churn_storm") {
+    return {"BENCH_controlplane.json", "churn." + spec.variant};
+  }
+  if (spec.scenario == "cert_rotation_wave") {
+    return {"BENCH_controlplane.json", "rotation." + spec.variant};
+  }
   return {"BENCH_selfperf.json", spec.variant};
 }
 
@@ -135,6 +146,8 @@ const char* headline_metric(const std::string& scenario) {
   if (scenario == "resilience_ratelimit") return "rate_limited";
   if (scenario == "selfperf") return "events";
   if (scenario == "region_scale") return "requests";
+  if (scenario == "config_churn_storm") return "convergence_ms_max";
+  if (scenario == "cert_rotation_wave") return "makespan_ms";
   return "ok_fault";
 }
 

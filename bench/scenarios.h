@@ -27,6 +27,10 @@
 #include "bench/region.h"
 #include "canal/fault_injector.h"
 #include "canal/proxyless.h"
+#include "crypto/accelerator.h"
+#include "crypto/cert.h"
+#include "crypto/rotation.h"
+#include "k8s/propagation.h"
 #include "runner/run.h"
 #include "runner/runner.h"
 #include "runner/shard_exec.h"
@@ -1158,6 +1162,183 @@ inline runner::RunResult region_scale(const runner::RunSpec& spec) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// config_churn_storm — control-plane dynamics under load: a rolling storm
+// of config epochs pushed through the modeled propagation layer (build
+// CPU + southbound bandwidth, k8s::ConfigPropagation) while an open-loop
+// workload runs. Measures what the zero-time config push hid: per-epoch
+// convergence time, the stale-config window (max epoch skew observed at
+// apply time — must be nonzero, proxies genuinely disagree mid-rollout),
+// and tail latency under churn. Variants differ in proxy population:
+// istio pushes O(pods) full configs, ambient O(waypoints + ztunnels),
+// canal O(gateway backends).
+
+inline runner::RunResult config_churn_storm(const runner::RunSpec& spec) {
+  Testbed::Options options;
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  mesh::MeshDataplane* mesh = nullptr;
+  if (spec.variant == "canal") {
+    bed.build_canal();
+    mesh = bed.canal.get();
+  } else if (spec.variant == "ambient") {
+    bed.build_ambient();
+    mesh = bed.ambient.get();
+  } else if (spec.variant == "istio") {
+    bed.build_istio();
+    mesh = bed.istio.get();
+  } else {
+    throw std::runtime_error("config_churn_storm: unknown variant " +
+                             spec.variant);
+  }
+
+  k8s::ControlPlaneProfile profile;
+  k8s::ConfigPropagation propagation(bed.loop, profile);
+
+  const auto pushes = static_cast<int>(spec.override_or("pushes", 8));
+  const auto period = static_cast<sim::Duration>(
+      spec.override_or("push_period_ms", 50.0) * 1e6);
+  std::uint64_t max_skew = 0;
+  std::uint64_t bytes_pushed = 0;
+  std::size_t targets_per_epoch = 0;
+  const sim::TimePoint start = bed.loop.now();
+  for (int p = 0; p < pushes; ++p) {
+    bed.loop.post_at(start + sim::milliseconds(25) + p * period, [&] {
+      // Sampling skew inside the apply callback catches the window at its
+      // widest: the first proxy of epoch N has just acked while the rest
+      // still hold N-1 (or older, if pushes overlap).
+      auto targets = mesh->config_epoch_targets([&](proxy::ProxyEngine&) {
+        max_skew = std::max(max_skew, propagation.epoch_skew());
+      });
+      targets_per_epoch = targets.size();
+      propagation.push_epoch(std::move(targets),
+                             [&](k8s::EpochReport report) {
+                               bytes_pushed += report.bytes_pushed;
+                             });
+    });
+  }
+
+  const double rps = spec.override_or("rps", 2000.0);
+  const auto duration = static_cast<sim::Duration>(
+      spec.override_or("duration_ms", 500.0) * 1e6);
+  const LoadResult load = drive_open_loop(bed, *mesh, rps, duration);
+
+  const sim::Histogram& conv = propagation.convergence_ms();
+  runner::RunResult result;
+  result.set("pushes", static_cast<double>(pushes));
+  result.set("targets_per_epoch", static_cast<double>(targets_per_epoch));
+  result.set("bytes_pushed", static_cast<double>(bytes_pushed));
+  result.set("convergence_ms_p50", conv.empty() ? 0.0 : conv.percentile(50));
+  result.set("convergence_ms_max", conv.empty() ? 0.0 : conv.percentile(100));
+  result.set("max_epoch_skew", static_cast<double>(max_skew));
+  result.set("applies", static_cast<double>(propagation.applies_total()));
+  result.set("superseded",
+             static_cast<double>(propagation.superseded_total()));
+  result.set("converged", propagation.converged() ? 1.0 : 0.0);
+  result.set("requests", static_cast<double>(load.sent));
+  result.set("ok", static_cast<double>(load.ok));
+  result.set("p50_us", load.latency_us.percentile(50));
+  result.set("p99_us", load.latency_us.percentile(99));
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// cert_rotation_wave — the §2.1 rolling re-sign: every pod identity's
+// certificate re-issued through the batched asymmetric accelerator
+// (staggered wave -> Fig 25 batch/flush dynamics), then the fresh cert
+// bytes distributed to the mesh's proxies as a config epoch through the
+// propagation layer, all while an open-loop workload runs. Rotation uses
+// its own CpuSet and southbound stack, so the dataplane percentiles stay
+// untouched — the cost shows up as makespan + distribution convergence.
+
+inline runner::RunResult cert_rotation_wave(const runner::RunSpec& spec) {
+  Testbed::Options options;
+  options.seed = spec.seed;
+  Testbed bed(options);
+
+  mesh::MeshDataplane* mesh = nullptr;
+  if (spec.variant == "canal") {
+    bed.build_canal();
+    mesh = bed.canal.get();
+  } else if (spec.variant == "istio") {
+    bed.build_istio();
+    mesh = bed.istio.get();
+  } else {
+    throw std::runtime_error("cert_rotation_wave: unknown variant " +
+                             spec.variant);
+  }
+
+  sim::Rng rng(spec.seed + 7);
+  sim::CpuSet crypto_cpu(bed.loop, 4);
+  crypto::AsymmetricAccelerator accel(bed.loop, crypto_cpu,
+                                      crypto::AccelMode::kBatched);
+  crypto::CertificateAuthority ca("bench-ca", rng);
+  k8s::ControlPlaneProfile profile;
+  k8s::ConfigPropagation propagation(bed.loop, profile);
+
+  std::vector<std::string> identities;
+  for (const auto& pod : bed.cluster.pods()) {
+    identities.push_back("spiffe://tenant-1/ns/default/sa/pod-" +
+                         std::to_string(net::id_value(pod->id())));
+  }
+
+  crypto::RotationOptions rotation_options;
+  rotation_options.stagger = static_cast<sim::Duration>(
+      spec.override_or("stagger_us", 100.0) * 1e3);
+  crypto::CertRotationWave wave(bed.loop, ca, rotation_options);
+
+  std::uint64_t rotated = 0;
+  std::uint64_t cert_bytes = 0;
+  double makespan_ms = 0.0;
+  std::uint64_t max_skew = 0;
+  const sim::TimePoint start = bed.loop.now();
+  bed.loop.post_at(start + sim::milliseconds(20), [&] {
+    wave.run(identities, accel, rng, nullptr,
+             [&](crypto::RotationReport report) {
+               rotated = report.rotated;
+               cert_bytes = report.cert_bytes;
+               makespan_ms = sim::to_seconds(report.makespan) * 1e3;
+               // Distribute the fresh certs: one epoch whose per-target
+               // payload is the wave's cert bytes spread over the fleet.
+               auto targets =
+                   mesh->config_epoch_targets([&](proxy::ProxyEngine&) {
+                     max_skew = std::max(max_skew, propagation.epoch_skew());
+                   });
+               const std::uint64_t per_target =
+                   targets.empty() ? 0
+                                   : report.cert_bytes / targets.size();
+               for (auto& t : targets) t.target.config_bytes = per_target;
+               propagation.push_epoch(std::move(targets));
+             });
+  });
+
+  const double rps = spec.override_or("rps", 2000.0);
+  const auto duration = static_cast<sim::Duration>(
+      spec.override_or("duration_ms", 500.0) * 1e6);
+  const LoadResult load = drive_open_loop(bed, *mesh, rps, duration);
+
+  const sim::Histogram& conv = propagation.convergence_ms();
+  runner::RunResult result;
+  result.set("identities", static_cast<double>(identities.size()));
+  result.set("rotated", static_cast<double>(rotated));
+  result.set("makespan_ms", makespan_ms);
+  result.set("batches_flushed", static_cast<double>(accel.batches_flushed()));
+  result.set("sign_p50_us", accel.op_latency_us().empty()
+                                ? 0.0
+                                : accel.op_latency_us().percentile(50));
+  result.set("cert_bytes", static_cast<double>(cert_bytes));
+  result.set("distribution_ms",
+             conv.empty() ? 0.0 : conv.percentile(100));
+  result.set("max_epoch_skew", static_cast<double>(max_skew));
+  result.set("converged", propagation.converged() ? 1.0 : 0.0);
+  result.set("requests", static_cast<double>(load.sent));
+  result.set("ok", static_cast<double>(load.ok));
+  result.set("p50_us", load.latency_us.percentile(50));
+  result.set("p99_us", load.latency_us.percentile(99));
+  return result;
+}
+
 }  // namespace scenarios
 
 /// Registers every suite scenario on `runner`.
@@ -1176,6 +1357,10 @@ inline void register_bench_scenarios(runner::Runner& runner) {
                            scenarios::resilience_ratelimit);
   runner.register_scenario("selfperf", scenarios::selfperf);
   runner.register_scenario("region_scale", scenarios::region_scale);
+  runner.register_scenario("config_churn_storm",
+                           scenarios::config_churn_storm);
+  runner.register_scenario("cert_rotation_wave",
+                           scenarios::cert_rotation_wave);
 }
 
 /// The full suite grid for seeds 1..K, one RunSpec per (scenario, variant,
@@ -1206,6 +1391,12 @@ inline std::vector<runner::RunSpec> suite_specs(std::uint64_t seeds) {
   }
   for (const char* dp : {"canal", "ambient", "istio"}) {
     add("noisy_neighbor", dp);
+  }
+  for (const char* dp : {"canal", "ambient", "istio"}) {
+    add("config_churn_storm", dp);
+  }
+  for (const char* dp : {"canal", "istio"}) {
+    add("cert_rotation_wave", dp);
   }
   add("resilience_retry_storm", "breaker-off", {{"breaker", 0}});
   add("resilience_retry_storm", "breaker-on", {{"breaker", 1}});

@@ -83,7 +83,7 @@ else
   # the deterministic selfperf allocation counters — must match exactly.
   goldens=(BENCH_latency.json BENCH_throughput.json BENCH_faults.json
            BENCH_selfperf.json BENCH_fairness.json BENCH_resilience.json
-           BENCH_region.json)
+           BENCH_region.json BENCH_controlplane.json)
   for suite_jobs in 8 1; do
     scratch="$(mktemp -d)"
     (cd "${scratch}" && "${build_dir}/bench/bench_suite" \
@@ -216,6 +216,23 @@ else
     exit 1
   fi
   echo "resilience fuzz-smoke gate OK: 200 armed scenarios, zero" \
+    "violations, jobs-invariant report"
+
+  # Control-plane fuzz-smoke: the campaign again with push_config /
+  # rotate_certs events armed, so every CI run drives live config epochs
+  # through the modeled propagation layer on all five planes. Post-push
+  # steady state is compared strictly; the config-propagation-window
+  # allowlist entry absorbs mid-rollout skew only.
+  "${build_dir}/src/fuzz/fuzz_mesh" --seed 1 --runs 200 --jobs 8 \
+    --control-plane --json "${scratch}/fuzz-cp-par.json" > /dev/null
+  "${build_dir}/src/fuzz/fuzz_mesh" --seed 1 --runs 200 --jobs 1 \
+    --control-plane --json "${scratch}/fuzz-cp-ser.json" > /dev/null
+  if ! diff -q "${scratch}/fuzz-cp-par.json" "${scratch}/fuzz-cp-ser.json"; then
+    echo "controlplane-fuzz-smoke gate FAILED: report differs between" \
+      "--jobs 8 and --jobs 1" >&2
+    exit 1
+  fi
+  echo "controlplane-fuzz-smoke gate OK: 200 armed scenarios, zero" \
     "violations, jobs-invariant report"
 
   # Vacuous-success gates: drivers that would execute nothing must refuse

@@ -407,6 +407,28 @@ std::vector<k8s::ConfigTarget> CanalMesh::routing_update_targets() const {
   return targets;
 }
 
+std::vector<k8s::EpochTarget> CanalMesh::config_epoch_targets(
+    const EngineApply& apply) const {
+  // One epoch target per backend group: all replicas of a backend share
+  // one configuration set (Fig 8), so the apply thunk fans the delivered
+  // config out across every replica engine of that backend at once.
+  std::vector<k8s::EpochTarget> targets;
+  const std::size_t tenant_config = mesh::full_config_bytes(cluster_);
+  for (GatewayBackend* backend :
+       const_cast<MeshGateway&>(gateway_).all_backends()) {
+    if (backend->services().empty()) continue;
+    targets.push_back(
+        {{"gw-backend-" + std::to_string(net::id_value(backend->id())),
+          tenant_config},
+         [backend, apply] {
+           for (std::size_t i = 0; i < backend->replica_count(); ++i) {
+             apply(backend->replica(i)->engine());
+           }
+         }});
+  }
+  return targets;
+}
+
 std::vector<k8s::ConfigTarget> CanalMesh::pod_create_targets(
     const std::vector<k8s::Pod*>& new_pods) const {
   std::vector<k8s::ConfigTarget> targets;

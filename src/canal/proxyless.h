@@ -90,6 +90,8 @@ class ProxylessMesh final : public mesh::MeshDataplane {
   }
   [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
       const override;
+  [[nodiscard]] std::vector<k8s::EpochTarget> config_epoch_targets(
+      const EngineApply& apply) const override;
   [[nodiscard]] std::vector<k8s::ConfigTarget> pod_create_targets(
       const std::vector<k8s::Pod*>& new_pods) const override;
   /// App-side TLS CPU when user_managed_certs (there is no mesh proxy, but

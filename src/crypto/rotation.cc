@@ -1,0 +1,59 @@
+#include "crypto/rotation.h"
+
+#include <memory>
+#include <utility>
+
+namespace canal::crypto {
+
+void CertRotationWave::run(const std::vector<std::string>& identities,
+                           AsymmetricAccelerator& accel, sim::Rng& rng,
+                           Distribute distribute,
+                           std::function<void(Report)> done) {
+  struct State {
+    std::vector<std::string> identities;
+    std::vector<std::uint64_t> public_keys;
+    std::size_t remaining = 0;
+    sim::TimePoint started = 0;
+    Report report;
+    Distribute distribute;
+    std::function<void(Report)> done;
+  };
+  auto st = std::make_shared<State>();
+  st->identities = identities;
+  st->remaining = identities.size();
+  st->started = loop_.now();
+  st->distribute = std::move(distribute);
+  st->done = std::move(done);
+  if (st->remaining == 0) {
+    loop_.post_at(loop_.now(), [st] {
+      if (st->done) st->done(st->report);
+    });
+    return;
+  }
+  // Subject keypairs are drawn up front in identity order, so the Rng
+  // draw sequence is independent of accelerator mode and batch timing.
+  st->public_keys.reserve(identities.size());
+  for (std::size_t i = 0; i < identities.size(); ++i) {
+    st->public_keys.push_back(generate_keypair(rng).public_key);
+  }
+  for (std::size_t i = 0; i < st->identities.size(); ++i) {
+    const sim::TimePoint submit_at =
+        st->started + static_cast<sim::Duration>(i) * options_.stagger;
+    loop_.post_at(submit_at, [this, st, i, &accel, &rng] {
+      accel.submit([this, st, i, &rng] {
+        Certificate cert =
+            ca_.issue(st->identities[i], st->public_keys[i], loop_.now(),
+                      options_.validity, rng);
+        st->report.cert_bytes += cert.wire_size();
+        ++st->report.rotated;
+        if (st->distribute) st->distribute(cert);
+        if (--st->remaining == 0) {
+          st->report.makespan = loop_.now() - st->started;
+          if (st->done) st->done(st->report);
+        }
+      });
+    });
+  }
+}
+
+}  // namespace canal::crypto

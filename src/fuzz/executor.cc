@@ -1,5 +1,6 @@
 #include "fuzz/executor.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,10 +12,14 @@
 #include "canal/fault_injector.h"
 #include "canal/gateway.h"
 #include "canal/proxyless.h"
+#include "crypto/accelerator.h"
+#include "crypto/cert.h"
 #include "crypto/keyserver.h"
+#include "crypto/rotation.h"
 #include "http/route.h"
 #include "k8s/cluster.h"
 #include "k8s/objects.h"
+#include "k8s/propagation.h"
 #include "mesh/ambient.h"
 #include "mesh/dataplane.h"
 #include "mesh/istio.h"
@@ -44,6 +49,7 @@ struct World {
         plane_index(plane_idx),
         cluster(loop, static_cast<net::TenantId>(1), sim::Rng(s.seed)),
         retry_rng(s.seed + 97),
+        rotation_rng(s.seed + 11),
         sampler(kTraceSampleRate, s.seed) {}
 
   const ScenarioSpec& spec;
@@ -68,6 +74,21 @@ struct World {
   k8s::AppProfile app_profile;
   mesh::RetryPolicy retry_policy;
   sim::Rng retry_rng;
+
+  /// Modeled control plane, built lazily on the first kPushConfig /
+  /// kRotateCerts event. Dedicated southbound channel + controller cores
+  /// + crypto accelerator, so control-plane work never contends with the
+  /// dataplane's CPU and the ops events stay semantically transparent.
+  std::unique_ptr<k8s::ConfigPropagation> propagation;
+  /// Cert distribution rides its own propagation instance (own epoch
+  /// space + southbound stream, the SDS/RDS split): a cert epoch racing
+  /// ahead of an in-flight route epoch must never supersede it.
+  std::unique_ptr<k8s::ConfigPropagation> cert_propagation;
+  std::unique_ptr<sim::CpuSet> rotation_cpu;
+  std::unique_ptr<crypto::AsymmetricAccelerator> rotation_accel;
+  std::unique_ptr<crypto::CertificateAuthority> rotation_ca;
+  std::vector<std::unique_ptr<crypto::CertRotationWave>> rotation_waves;
+  sim::Rng rotation_rng;
 
   telemetry::MetricsRegistry registry;
   /// Routes traces to per-tenant recorders (tenant label on every metric).
@@ -222,10 +243,41 @@ void enable_resilience(World& w) {
   return false;
 }
 
+/// The most recent kPushConfig event for service `s` whose push time is
+/// <= `now`, or nullptr. Bootstrap/reconfig paths (new sidecars, gateway
+/// extends) rebuild tables from the controller's *desired* state — the
+/// latest pushed config — which keeps late-built proxies consistent with
+/// the converged fleet. The planted stale-route plane never sees pushed
+/// config anywhere, matching its suppressed epoch applies.
+[[nodiscard]] const EventSpec* pushed_for(const World& w, std::uint32_t s,
+                                          sim::TimePoint now) {
+  if (w.spec.planted_skip_config_plane ==
+      static_cast<int>(w.plane_index)) {
+    return nullptr;
+  }
+  const EventSpec* best = nullptr;
+  for (const auto& ev : w.spec.events) {
+    if (ev.kind != EventKind::kPushConfig || ev.at > now) continue;
+    if (ev.service % w.spec.service_count() != s) continue;
+    if (best == nullptr || ev.at >= best->at) best = &ev;
+  }
+  return best;
+}
+
 /// Builds the route table installed for custom-routed service `s`:
+/// the pushed rule (when a kPushConfig event is being applied), then
 /// direct-response rules, then split rules, then the default route.
-[[nodiscard]] http::RouteTable custom_table(const World& w, std::uint32_t s) {
+[[nodiscard]] http::RouteTable custom_table(const World& w, std::uint32_t s,
+                                            const EventSpec* pushed = nullptr) {
   http::RouteTable table;
+  if (pushed != nullptr) {
+    http::RouteRule rule;
+    rule.name = "pushed";
+    rule.match.path_kind = http::RouteMatch::PathKind::kPrefix;
+    rule.match.path = std::string(kPushedConfigPrefix);
+    rule.action.direct_response_status = pushed->config_status;
+    table.add_rule(std::move(rule));
+  }
   for (const auto& d : w.spec.direct_responses) {
     if (d.service != s) continue;
     http::RouteRule rule;
@@ -268,8 +320,9 @@ void apply_custom_routes(World& w, proxy::ProxyEngine& engine,
     }
   }
   for (std::uint32_t s = 0; s < w.spec.service_count(); ++s) {
-    if (!has_custom_routes(w.spec, s)) continue;
-    engine.set_route_table(w.services[s]->id, custom_table(w, s));
+    const EventSpec* pushed = pushed_for(w, s, w.loop.now());
+    if (!has_custom_routes(w.spec, s) && pushed == nullptr) continue;
+    engine.set_route_table(w.services[s]->id, custom_table(w, s, pushed));
   }
 }
 
@@ -278,7 +331,9 @@ void apply_custom_routes(World& w, proxy::ProxyEngine& engine,
 void apply_gateway_custom_routes(World& w, core::GatewayBackend& backend) {
   bool hosts_custom = false;
   for (std::uint32_t s = 0; s < w.spec.service_count(); ++s) {
-    if (has_custom_routes(w.spec, s) && backend.hosts(w.services[s]->id)) {
+    if (!backend.hosts(w.services[s]->id)) continue;
+    if (has_custom_routes(w.spec, s) ||
+        pushed_for(w, s, w.loop.now()) != nullptr) {
       hosts_custom = true;
     }
   }
@@ -290,9 +345,10 @@ void apply_gateway_custom_routes(World& w, core::GatewayBackend& backend) {
       mesh::install_service_config(engine, *w.services[sp.canary_service]);
     }
     for (std::uint32_t s = 0; s < w.spec.service_count(); ++s) {
-      if (!has_custom_routes(w.spec, s)) continue;
+      const EventSpec* pushed = pushed_for(w, s, w.loop.now());
+      if (!has_custom_routes(w.spec, s) && pushed == nullptr) continue;
       if (!backend.hosts(w.services[s]->id)) continue;
-      engine.set_route_table(w.services[s]->id, custom_table(w, s));
+      engine.set_route_table(w.services[s]->id, custom_table(w, s, pushed));
     }
   }
 }
@@ -441,9 +497,88 @@ void apply_drain_replica(World& w, const EventSpec& ev) {
   backend.drain_replica(replica.id());
 }
 
+void ensure_propagation(World& w) {
+  if (w.propagation != nullptr) return;
+  w.propagation = std::make_unique<k8s::ConfigPropagation>(
+      w.loop, k8s::ControlPlaneProfile{});
+}
+
+void ensure_rotation(World& w) {
+  if (w.rotation_accel != nullptr) return;
+  w.cert_propagation = std::make_unique<k8s::ConfigPropagation>(
+      w.loop, k8s::ControlPlaneProfile{});
+  w.rotation_cpu = std::make_unique<sim::CpuSet>(w.loop, 4);
+  w.rotation_accel = std::make_unique<crypto::AsymmetricAccelerator>(
+      w.loop, *w.rotation_cpu, crypto::AccelMode::kBatched);
+  w.rotation_ca = std::make_unique<crypto::CertificateAuthority>(
+      "fuzz-ca", w.rotation_rng);
+}
+
+/// kPushConfig: delivers the event's route table as a config epoch. Each
+/// proxy's table flips at its own delivery time — between the push and
+/// convergence the planes disagree, which is exactly the window the
+/// config-propagation-window allowlist entry exempts.
+void apply_push_config(World& w, PlaneResult& result, std::size_t event_index,
+                       std::size_t window) {
+  ensure_propagation(w);
+  const EventSpec& ev = w.spec.events[event_index];
+  const auto s = static_cast<std::uint32_t>(
+      ev.service % w.spec.service_count());
+  mesh::MeshDataplane::EngineApply apply;
+  if (w.spec.planted_skip_config_plane == static_cast<int>(w.plane_index)) {
+    // Planted stale-route bug: epochs ack, route tables never change.
+    apply = [](proxy::ProxyEngine&) {};
+  } else {
+    apply = [&w, &result, s, event_index](proxy::ProxyEngine& engine) {
+      engine.set_route_table(w.services[s]->id,
+                             custom_table(w, s, &w.spec.events[event_index]));
+      result.max_epoch_skew =
+          std::max(result.max_epoch_skew, w.propagation->epoch_skew());
+    };
+  }
+  w.propagation->push_epoch(
+      w.plane->config_epoch_targets(apply),
+      [&w, &result, window](k8s::EpochReport) {
+        result.config_windows[window].second = w.loop.now();
+      });
+}
+
+/// kRotateCerts: staggered re-signing of every workload identity through
+/// the batch crypto accelerator, then southbound distribution of the
+/// fresh certs as one null-apply epoch (certificates change no routes).
+/// Distribution goes through the dedicated cert stream — never the route
+/// stream, where a fast cert epoch would supersede an in-flight route
+/// push and silently drop its table.
+void apply_rotate_certs(World& w, PlaneResult& result,
+                        std::size_t event_index) {
+  ensure_rotation(w);
+  const EventSpec& ev = w.spec.events[event_index];
+  std::vector<std::string> identities;
+  for (const auto& pod : w.cluster.pods()) {
+    identities.push_back("spiffe://tenant-1/ns/default/sa/pod-" +
+                         std::to_string(net::id_value(pod->id())));
+  }
+  crypto::CertRotationWave::Options options;
+  if (ev.duration > 0) options.stagger = ev.duration;
+  w.rotation_waves.push_back(std::make_unique<crypto::CertRotationWave>(
+      w.loop, *w.rotation_ca, options));
+  w.rotation_waves.back()->run(
+      identities, *w.rotation_accel, w.rotation_rng, nullptr,
+      [&w, &result](crypto::RotationReport report) {
+        result.certs_rotated += report.rotated;
+        auto targets =
+            w.plane->config_epoch_targets([](proxy::ProxyEngine&) {});
+        const auto n = targets.empty() ? std::size_t{1} : targets.size();
+        for (auto& t : targets) {
+          t.target.config_bytes = report.cert_bytes / n;
+        }
+        w.cert_propagation->push_epoch(std::move(targets));
+      });
+}
+
 /// Fault events go into the FaultPlan (armed by the injector / consulted by
 /// NetworkProfile); ops events are scheduled directly on the loop.
-void schedule_events(World& w, PlaneResult& /*result*/) {
+void schedule_events(World& w, PlaneResult& result) {
   for (std::size_t e = 0; e < w.spec.events.size(); ++e) {
     const EventSpec& ev = w.spec.events[e];
     switch (ev.kind) {
@@ -486,6 +621,18 @@ void schedule_events(World& w, PlaneResult& /*result*/) {
       case EventKind::kDrainReplica:
         w.loop.post_at(ev.at,
                        [&w, e] { apply_drain_replica(w, w.spec.events[e]); });
+        break;
+      case EventKind::kPushConfig: {
+        const std::size_t window = result.config_windows.size();
+        result.config_windows.emplace_back(ev.at, ev.at);
+        w.loop.post_at(ev.at, [&w, &result, e, window] {
+          apply_push_config(w, result, e, window);
+        });
+        break;
+      }
+      case EventKind::kRotateCerts:
+        w.loop.post_at(ev.at,
+                       [&w, &result, e] { apply_rotate_certs(w, result, e); });
         break;
     }
   }
@@ -814,6 +961,17 @@ PlaneResult run_plane(const ScenarioSpec& spec, std::size_t plane_index) {
   check_session_drain(w, result);
   check_metrics(w, result);
   check_sampling(w, result);
+  if (w.propagation != nullptr) {
+    result.config_applies = w.propagation->applies_total();
+    result.config_superseded = w.propagation->superseded_total();
+  }
+  if (w.cert_propagation != nullptr) {
+    result.config_applies += w.cert_propagation->applies_total();
+    result.config_superseded += w.cert_propagation->superseded_total();
+  }
+  if (w.rotation_accel != nullptr) {
+    result.rotation_batches = w.rotation_accel->batches_flushed();
+  }
   return result;
 }
 

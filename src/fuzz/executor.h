@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fuzz/scenario.h"
@@ -73,6 +74,17 @@ struct PlaneResult {
   telemetry::TraceExport traces;
   /// Human-readable single-run invariant violations (empty = clean).
   std::vector<std::string> invariant_violations;
+  /// One [push issued, epoch converged] interval per kPushConfig event,
+  /// in event order. Convergence times are plane-dependent (istio pushes
+  /// O(pods) full configs, canal O(backends)), so the oracle takes the
+  /// union across planes as the config-propagation-window exemption.
+  std::vector<std::pair<sim::TimePoint, sim::TimePoint>> config_windows;
+  /// Control-plane accounting for the convergence tests.
+  std::uint64_t config_applies = 0;
+  std::uint64_t config_superseded = 0;
+  std::uint64_t max_epoch_skew = 0;
+  std::uint64_t certs_rotated = 0;
+  std::uint64_t rotation_batches = 0;
 };
 
 [[nodiscard]] PlaneResult run_plane(const ScenarioSpec& spec,

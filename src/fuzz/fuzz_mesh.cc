@@ -39,14 +39,27 @@ struct Options {
   /// ejection) on every scenario, with a per-scenario config derived from
   /// a salted RNG (see fuzz::derive_resilience).
   bool resilience = false;
+  /// Arm control-plane dynamics on every scenario: a kPushConfig (and
+  /// sometimes kRotateCerts) event derived from a salted RNG (see
+  /// fuzz::derive_control_plane), delivered through the modeled
+  /// propagation layer.
+  bool control_plane = false;
   canal::fuzz::Allowlist allowlist;
 };
+
+/// Appends the armed control-plane events for (seed, index) to `spec`.
+void arm_control_plane(canal::fuzz::ScenarioSpec& spec, std::uint64_t seed,
+                       std::uint32_t index) {
+  auto events =
+      canal::fuzz::derive_control_plane(seed, index, spec.service_count());
+  spec.events.insert(spec.events.end(), events.begin(), events.end());
+}
 
 void usage() {
   std::cerr
       << "usage: fuzz_mesh [--seed N] [--runs N] [--jobs N] [--json FILE]\n"
          "                 [--trace-out FILE] [--allow LIST] [--resilience]\n"
-         "                 [--shrink]\n"
+         "                 [--control-plane] [--shrink]\n"
          "\n"
          "  --seed N     campaign seed (default 1)\n"
          "  --runs N     number of scenarios to run (default 100; 0 is a\n"
@@ -59,10 +72,16 @@ void usage() {
          "               Chrome trace-event JSON (chrome://tracing)\n"
          "  --allow LIST comma-separated divergence allowlist (default\n"
          "               all: l7-routing-nomesh,weighted-split,\n"
-         "               fault-window,resilience-window)\n"
+         "               fault-window,resilience-window,\n"
+         "               config-propagation-window)\n"
          "  --resilience arm the resilience filter chain (per-tenant rate\n"
          "               limit, circuit breaker, outlier ejection) on every\n"
          "               scenario, config derived from a salted RNG\n"
+         "  --control-plane\n"
+         "               arm control-plane dynamics (push_config /\n"
+         "               rotate_certs events through the modeled\n"
+         "               propagation layer) on every scenario, derived\n"
+         "               from a salted RNG\n"
          "  --shrink     on failure, shrink the first failing scenario and\n"
          "               print a ready-to-commit regression test\n";
 }
@@ -106,6 +125,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.allowlist = *parsed;
     } else if (arg == "--resilience") {
       opts.resilience = true;
+    } else if (arg == "--control-plane") {
+      opts.control_plane = true;
     } else if (arg == "--shrink") {
       opts.shrink = true;
     } else {
@@ -139,6 +160,7 @@ int main(int argc, char** argv) {
     if (opts->resilience) {
       spec.resilience = canal::fuzz::derive_resilience(opts->seed, i);
     }
+    if (opts->control_plane) arm_control_plane(spec, opts->seed, i);
     reports[i] = canal::fuzz::check_scenario(
         spec, canal::fuzz::run_all_planes(spec), opts->allowlist);
   };
@@ -202,6 +224,7 @@ int main(int argc, char** argv) {
     if (opts->resilience) {
       spec.resilience = canal::fuzz::derive_resilience(opts->seed, 0);
     }
+    if (opts->control_plane) arm_control_plane(spec, opts->seed, 0);
     const auto plane = canal::fuzz::run_plane(spec, canal::fuzz::kCanal);
     std::string error;
     if (!canal::telemetry::validate_chrome_trace(plane.traces.to_json(),
@@ -227,6 +250,9 @@ int main(int argc, char** argv) {
       if (opts->resilience) {
         spec.resilience =
             canal::fuzz::derive_resilience(opts->seed, report.index);
+      }
+      if (opts->control_plane) {
+        arm_control_plane(spec, opts->seed, report.index);
       }
       const auto shrunk =
           canal::fuzz::shrink(spec, opts->allowlist);

@@ -10,6 +10,8 @@ constexpr std::string_view kL7RoutingNoMesh = "l7-routing-nomesh";
 constexpr std::string_view kWeightedSplit = "weighted-split";
 constexpr std::string_view kFaultWindow = "fault-window";
 constexpr std::string_view kResilienceWindow = "resilience-window";
+constexpr std::string_view kConfigPropagationWindow =
+    "config-propagation-window";
 
 void append_json_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
@@ -43,6 +45,20 @@ void append_json_escaped(std::string& out, std::string_view s) {
       return true;
     }
   }
+  // A pushed config epoch installs a direct-response rule on
+  // kPushedConfigPrefix. Once the push is issued (ev.at <= rs.at — issue
+  // times are spec values, identical on every plane), matching requests
+  // get the same L7-vs-L4 treatment as static direct rules: NoMesh can't
+  // honour the pushed table, so the reference plane switches to Istio.
+  const std::size_t services = spec.service_count();
+  if (services == 0) return false;
+  for (const auto& ev : spec.events) {
+    if (ev.kind != EventKind::kPushConfig) continue;
+    if (ev.service % services != rs.dst_service) continue;
+    if (ev.at <= rs.at && rs.path.starts_with(kPushedConfigPrefix)) {
+      return true;
+    }
+  }
   return false;
 }
 
@@ -69,6 +85,25 @@ void append_json_escaped(std::string& out, std::string_view s) {
       const RequestOutcome& out = plane.outcomes[i];
       if (out.issued_at < ev.at + ev.duration && ev.at <= out.completed_at) {
         return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// True when any plane's observation of request `i` overlaps any plane's
+/// config-propagation window. Both unions matter: convergence is slower
+/// on proxy-heavy planes, and a request delayed on one plane can reach
+/// into a window another plane has already closed.
+[[nodiscard]] bool overlaps_config_window(
+    const std::array<PlaneResult, 5>& results, std::size_t i) {
+  for (const auto& plane : results) {
+    for (const auto& window : plane.config_windows) {
+      for (const auto& other : results) {
+        const RequestOutcome& out = other.outcomes[i];
+        if (out.issued_at <= window.second && window.first <= out.completed_at) {
+          return true;
+        }
       }
     }
   }
@@ -111,6 +146,10 @@ void compare_request(const ScenarioSpec& spec,
   }
 
   if (allowlist.fault_window && overlaps_fault(spec, results, i)) return;
+  if (allowlist.config_propagation_window &&
+      overlaps_config_window(results, i)) {
+    return;
+  }
   if (allowlist.resilience_window) {
     for (const auto& plane : results) {
       // A breaker/outlier transition raced this request somewhere: its
@@ -178,6 +217,7 @@ std::string Allowlist::to_string() const {
   if (weighted_split) add(kWeightedSplit);
   if (fault_window) add(kFaultWindow);
   if (resilience_window) add(kResilienceWindow);
+  if (config_propagation_window) add(kConfigPropagationWindow);
   return out;
 }
 
@@ -187,6 +227,7 @@ std::optional<Allowlist> Allowlist::parse(const std::string& s) {
   list.weighted_split = false;
   list.fault_window = false;
   list.resilience_window = false;
+  list.config_propagation_window = false;
   std::size_t pos = 0;
   while (pos < s.size()) {
     std::size_t comma = s.find(',', pos);
@@ -200,6 +241,8 @@ std::optional<Allowlist> Allowlist::parse(const std::string& s) {
       list.fault_window = true;
     } else if (name == kResilienceWindow) {
       list.resilience_window = true;
+    } else if (name == kConfigPropagationWindow) {
+      list.config_propagation_window = true;
     } else {
       return std::nullopt;
     }

@@ -23,6 +23,17 @@
 //                      decisions are NOT covered: they depend only on the
 //                      plane-invariant arrival schedule and stay strictly
 //                      compared even here (DESIGN.md §13).
+//   config-propagation-window
+//                      A pushed config epoch (kPushConfig) reaches each
+//                      proxy at its own delivery time, and convergence
+//                      takes longer on planes with more proxies (Istio:
+//                      O(pods) full configs; Canal: O(backends)). Requests
+//                      whose lifetime overlaps any plane's
+//                      [push, converged] window race the rollout and are
+//                      exempt. Outside the windows the planes must agree
+//                      on the pushed table's behaviour — a proxy serving a
+//                      stale route after convergence is a real bug
+//                      (DESIGN.md §16).
 //
 // Everything else must match exactly: status, serving service, attempt
 // count (and exactly one attempt when no fault was active).
@@ -46,6 +57,7 @@ struct Allowlist {
   bool weighted_split = true;
   bool fault_window = true;
   bool resilience_window = true;
+  bool config_propagation_window = true;
 
   /// Comma-separated kebab-case names of the *enabled* entries, e.g.
   /// "l7-routing-nomesh,fault-window". Empty when all are disabled.

@@ -183,6 +183,41 @@ ResilienceSpec derive_resilience(std::uint64_t seed, std::uint32_t index) {
   return spec;
 }
 
+std::vector<EventSpec> derive_control_plane(std::uint64_t seed,
+                                            std::uint32_t index,
+                                            std::size_t service_count) {
+  // A third disjoint salted stream (cf. derive_resilience): arming the
+  // control plane must not perturb the scenario program or the
+  // resilience config of any historical campaign.
+  std::uint64_t salted = scenario_seed(seed, index) ^ 0xA0761D6478BD642FULL;
+  sim::Rng rng(sim::splitmix64(salted));
+  std::vector<EventSpec> events;
+  const auto services =
+      static_cast<std::int64_t>(service_count == 0 ? 1 : service_count);
+
+  // Always at least one config push: the whole point of arming.
+  EventSpec push;
+  push.kind = EventKind::kPushConfig;
+  push.at = rng.uniform_int(sim::milliseconds(20), sim::milliseconds(80));
+  push.service = static_cast<std::uint32_t>(rng.uniform_int(0, services - 1));
+  // Unusual-but-success statuses, so a pushed rule is distinguishable both
+  // from the app's 200s and from every fault/direct-response status.
+  static constexpr int kConfigStatuses[] = {226, 240};
+  push.config_status = kConfigStatuses[rng.uniform_int(0, 1)];
+  events.push_back(push);
+
+  if (rng.chance(0.5)) {
+    EventSpec rotate;
+    rotate.kind = EventKind::kRotateCerts;
+    rotate.at = rng.uniform_int(sim::milliseconds(5), sim::milliseconds(60));
+    // duration doubles as the per-identity submission stagger.
+    rotate.duration =
+        rng.uniform_int(sim::microseconds(50), sim::microseconds(200));
+    events.push_back(rotate);
+  }
+  return events;
+}
+
 namespace {
 
 const char* event_kind_name(EventKind kind) {
@@ -195,6 +230,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kExtendService: return "kExtendService";
     case EventKind::kRetractService: return "kRetractService";
     case EventKind::kDrainReplica: return "kDrainReplica";
+    case EventKind::kPushConfig: return "kPushConfig";
+    case EventKind::kRotateCerts: return "kRotateCerts";
   }
   return "kPodKill";
 }
@@ -257,8 +294,11 @@ std::string to_cpp_snippet(const ScenarioSpec& spec) {
         << "    ev.pod = " << ev.pod << ";\n"
         << "    ev.backend = " << ev.backend << ";\n"
         << "    ev.replica = " << ev.replica << ";\n"
-        << "    ev.extra_latency = " << ev.extra_latency << ";\n"
-        << "    spec.events.push_back(ev);\n  }\n";
+        << "    ev.extra_latency = " << ev.extra_latency << ";\n";
+    if (ev.kind == EventKind::kPushConfig) {
+      out << "    ev.config_status = " << ev.config_status << ";\n";
+    }
+    out << "    spec.events.push_back(ev);\n  }\n";
   }
   if (spec.resilience.enabled) {
     const auto& r = spec.resilience;

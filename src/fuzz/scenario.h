@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.h"
@@ -59,6 +60,13 @@ struct DirectResponseSpec {
   std::string path_prefix = "/blocked";
 };
 
+/// Path prefix matched by the route-table rule a kPushConfig event
+/// delivers. Catches the generator's default "/api/items" traffic while
+/// staying disjoint from the split ("/canary") and direct-response
+/// ("/blocked") prefixes. Shared by the executor (installs the rule) and
+/// the oracle (classifies post-push requests as direct-rule matches).
+inline constexpr std::string_view kPushedConfigPrefix = "/api";
+
 enum class EventKind : std::uint8_t {
   kPodKill,         ///< crash pod at `at`, restart `duration` later
   kLinkLoss,        ///< loss=1.0 window [at, at+duration)
@@ -68,6 +76,8 @@ enum class EventKind : std::uint8_t {
   kExtendService,   ///< gateway op: extend `service` onto one more backend
   kRetractService,  ///< gateway op: drop one backend from `service`
   kDrainReplica,    ///< gateway op: gracefully drain one replica
+  kPushConfig,      ///< push a route-table epoch for `service` at `at`
+  kRotateCerts,     ///< rolling cert rotation wave starting at `at`
 };
 
 struct EventSpec {
@@ -79,10 +89,17 @@ struct EventSpec {
   std::uint32_t backend = 0;  ///< backend index (replica faults / drain)
   std::uint32_t replica = 0;  ///< replica index within the backend
   sim::Duration extra_latency = 0;  ///< latency-spike magnitude
+  /// Status code the route table pushed by kPushConfig answers "/api"
+  /// traffic with (a direct-response rule delivered through the modeled
+  /// control plane). Defaulted so historical regression snippets that
+  /// predate the field still rebuild byte-identical specs.
+  int config_status = 418;
 
   /// True for events that can change request semantics (status, retries,
   /// serving pod) while active. Ops events (add-pod, extend, retract,
-  /// drain) and latency spikes must be semantically transparent, so the
+  /// drain), latency spikes, and control-plane events must be
+  /// semantically transparent — kPushConfig converges to the same table
+  /// on every plane, with only the propagation window exempted — so the
   /// oracle compares requests overlapping them at full strictness.
   [[nodiscard]] bool is_fault() const noexcept {
     return kind == EventKind::kPodKill || kind == EventKind::kLinkLoss ||
@@ -134,6 +151,12 @@ struct ScenarioSpec {
   /// by the shrinker tests to plant a reproducible differential failure.
   int planted_plane = -1;
   std::uint32_t planted_service = 0;
+  /// Test-only planted bug: when >= 0, the executor suppresses config
+  /// epoch *applies* on that plane — its proxies keep serving the
+  /// pre-push route table forever. The resulting divergence outlives the
+  /// propagation window, so no allowlist entry covers it; used by the
+  /// shrinker tests as the stale-route bug. Never set by the generator.
+  int planted_skip_config_plane = -1;
 
   [[nodiscard]] std::size_t service_count() const noexcept {
     return pods_per_service.size();
@@ -156,6 +179,15 @@ struct ScenarioSpec {
 /// generated spec; same (seed, index) -> identical config, any thread.
 [[nodiscard]] ResilienceSpec derive_resilience(std::uint64_t seed,
                                                std::uint32_t index);
+
+/// Deterministically derives armed control-plane events (kPushConfig,
+/// optionally kRotateCerts) for scenario (seed, index) from a salted RNG
+/// that shares no draws with generate_scenario or derive_resilience.
+/// fuzz_mesh --control-plane appends the result to the generated spec's
+/// event program; same (seed, index, service_count) -> identical events,
+/// any thread.
+[[nodiscard]] std::vector<EventSpec> derive_control_plane(
+    std::uint64_t seed, std::uint32_t index, std::size_t service_count);
 
 /// Emits a self-contained C++ snippet (a gtest TEST body) that rebuilds
 /// `spec`, runs all planes, and asserts a clean oracle report — ready to

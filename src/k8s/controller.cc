@@ -30,7 +30,8 @@ double SouthboundChannel::occupancy_bps(sim::TimePoint now,
 }
 
 void Controller::push_update(std::vector<ConfigTarget> targets,
-                             std::function<void(PushReport)> done) {
+                             std::function<void(PushReport)> done,
+                             TargetDelivered on_delivered) {
   const sim::TimePoint started = loop_.now();
 
   // Build phase: CPU-bound, parallel across controller cores.
@@ -66,11 +67,18 @@ void Controller::push_update(std::vector<ConfigTarget> targets,
     return;
   }
   loop_.schedule_at(build_done, [this, targets = std::move(targets), remaining,
-                                 finish = std::move(finish)]() mutable {
-    for (const auto& target : targets) {
-      southbound_.transfer(target.config_bytes, [remaining, finish] {
-        if (--*remaining == 0) finish();
-      });
+                                 finish = std::move(finish),
+                                 on_delivered =
+                                     std::move(on_delivered)]() mutable {
+    auto shared_targets =
+        std::make_shared<std::vector<ConfigTarget>>(std::move(targets));
+    for (std::size_t i = 0; i < shared_targets->size(); ++i) {
+      southbound_.transfer(
+          (*shared_targets)[i].config_bytes,
+          [i, shared_targets, on_delivered, remaining, finish] {
+            if (on_delivered) on_delivered(i, (*shared_targets)[i]);
+            if (--*remaining == 0) finish();
+          });
     }
   });
 }

@@ -79,15 +79,25 @@ struct ControllerCostModel {
 /// over the southbound channel.
 class Controller {
  public:
+  /// Fires once per target when that target's last byte arrives (the
+  /// per-proxy propagation delay of the epoch layer, propagation.h).
+  /// `index` is the target's position in the pushed vector.
+  using TargetDelivered =
+      std::function<void(std::size_t index, const ConfigTarget& target)>;
+
   Controller(sim::EventLoop& loop, std::size_t cores,
              SouthboundChannel& southbound,
              ControllerCostModel model = ControllerCostModel{})
       : loop_(loop), cpu_(loop, cores), southbound_(southbound), model_(model) {}
 
   /// Builds and pushes configuration for every target; `done` receives the
-  /// report when the last target has its config delivered.
+  /// report when the last target has its config delivered. When
+  /// `on_delivered` is set it fires per target at that target's own
+  /// delivery time — targets land one by one as the FIFO southbound
+  /// channel drains, not all at once when the round completes.
   void push_update(std::vector<ConfigTarget> targets,
-                   std::function<void(PushReport)> done);
+                   std::function<void(PushReport)> done,
+                   TargetDelivered on_delivered = nullptr);
 
   [[nodiscard]] sim::CpuSet& cpu() noexcept { return cpu_; }
   [[nodiscard]] std::uint64_t updates_completed() const noexcept {

@@ -1,0 +1,123 @@
+#include "k8s/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace canal::k8s {
+
+OfflinePush measure_push(const ControlPlaneProfile& profile,
+                         std::vector<ConfigTarget> targets) {
+  sim::EventLoop loop;
+  SouthboundChannel channel(loop, profile.southbound_bandwidth_bps,
+                            profile.southbound_latency);
+  Controller controller(loop, profile.controller_cores, channel, profile.cost);
+  const std::size_t n_targets = targets.size();
+  OfflinePush result;
+  controller.push_update(std::move(targets),
+                         [&result](PushReport report) { result.report = report; });
+  loop.run();
+  // Proxies ack over a bounded pool of concurrent xDS streams; each wave
+  // of acks costs one apply round trip on top of the raw transfer time.
+  const double waves = profile.concurrent_streams > 0.0
+                           ? std::ceil(static_cast<double>(n_targets) /
+                                       profile.concurrent_streams)
+                           : 0.0;
+  result.completion =
+      result.report.total_time +
+      static_cast<sim::Duration>(waves *
+                                 static_cast<double>(profile.apply_rtt));
+  return result;
+}
+
+ConfigPropagation::ConfigPropagation(sim::EventLoop& loop,
+                                     const ControlPlaneProfile& profile)
+    : loop_(loop),
+      owned_channel_(std::make_unique<SouthboundChannel>(
+          loop, profile.southbound_bandwidth_bps, profile.southbound_latency)),
+      owned_controller_(std::make_unique<Controller>(
+          loop, profile.controller_cores, *owned_channel_, profile.cost)),
+      controller_(*owned_controller_) {}
+
+std::uint64_t ConfigPropagation::push_epoch(
+    std::vector<EpochTarget> targets, std::function<void(EpochReport)> done) {
+  const std::uint64_t epoch = next_epoch_++;
+  const sim::TimePoint issued = loop_.now();
+
+  auto applies = std::make_shared<std::vector<std::function<void()>>>();
+  applies->reserve(targets.size());
+  std::vector<ConfigTarget> wire;
+  wire.reserve(targets.size());
+  for (auto& t : targets) {
+    // Register the proxy now so epoch_skew()/converged() see in-flight
+    // targets, not just ones that have already acked something.
+    acked_.try_emplace(t.target.name, 0);
+    applies->push_back(std::move(t.apply));
+    wire.push_back(std::move(t.target));
+  }
+
+  struct Tally {
+    std::size_t applied = 0;
+    std::size_t superseded = 0;
+  };
+  auto tally = std::make_shared<Tally>();
+
+  controller_.push_update(
+      std::move(wire),
+      [this, epoch, issued, tally, done = std::move(done)](PushReport report) {
+        const sim::Duration convergence = loop_.now() - issued;
+        convergence_ms_.record(sim::to_seconds(convergence) * 1e3);
+        if (done) {
+          EpochReport er;
+          er.epoch = epoch;
+          er.build_time = report.build_time;
+          er.convergence_time = convergence;
+          er.bytes_pushed = report.bytes_pushed;
+          er.targets = report.targets;
+          er.applied = tally->applied;
+          er.superseded = tally->superseded;
+          done(er);
+        }
+      },
+      [this, epoch, applies, tally](std::size_t index,
+                                    const ConfigTarget& target) {
+        auto it = acked_.find(target.name);
+        std::uint64_t& acked = it->second;
+        if (epoch <= acked) {
+          ++tally->superseded;
+          ++superseded_total_;
+          return;
+        }
+        acked = epoch;
+        ++tally->applied;
+        ++applies_total_;
+        if (auto& apply = (*applies)[index]) apply();
+      });
+  return epoch;
+}
+
+std::uint64_t ConfigPropagation::acked_epoch(const std::string& name) const {
+  auto it = acked_.find(name);
+  return it == acked_.end() ? 0 : it->second;
+}
+
+std::uint64_t ConfigPropagation::epoch_skew() const {
+  if (acked_.empty()) return 0;
+  std::uint64_t lo = acked_.begin()->second;
+  std::uint64_t hi = lo;
+  for (const auto& [name, epoch] : acked_) {
+    lo = std::min(lo, epoch);
+    hi = std::max(hi, epoch);
+  }
+  return hi - lo;
+}
+
+bool ConfigPropagation::converged() const {
+  const std::uint64_t latest = latest_epoch();
+  for (const auto& [name, epoch] : acked_) {
+    if (epoch < latest) return false;
+  }
+  return true;
+}
+
+}  // namespace canal::k8s

@@ -1,0 +1,132 @@
+// Versioned config epochs with per-proxy propagation delay.
+//
+// PR 3 gave every proxy a fastpath version hook; until now the control
+// plane bumped it in zero time. This layer delivers each configuration
+// round as a numbered *epoch* through the Controller cost model (build
+// CPU + southbound bandwidth), applying a target's config — and thereby
+// bumping its fastpath version — only when that target's last byte lands.
+// Between the first and last delivery of an epoch the dataplanes disagree:
+// that stale window is real, measurable (epoch skew, convergence time),
+// and what the churn-storm scenarios and the fuzzer's
+// config-propagation-window allowlist entry reason about.
+//
+// Supersede rule: a proxy never applies an epoch ≤ the one it has already
+// acked. Overlapping pushes may deliver out of order (a small epoch N+1
+// can race past a huge epoch N still serializing); the late N is dropped
+// at that proxy and counted as superseded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "k8s/controller.h"
+#include "sim/event_loop.h"
+#include "sim/flat_map.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace canal::k8s {
+
+/// One proxy's share of an epoch: what to push plus how to apply it on
+/// delivery. `apply` may be null for targets whose config is pure L4
+/// state with no route-table to install (ztunnels, DNS/ENI entries).
+struct EpochTarget {
+  ConfigTarget target;
+  std::function<void()> apply;
+};
+
+/// Result of a fully converged epoch.
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  sim::Duration build_time = 0;
+  /// Issue → last target delivered (build + push + southbound latency).
+  sim::Duration convergence_time = 0;
+  std::uint64_t bytes_pushed = 0;
+  std::size_t targets = 0;
+  std::size_t applied = 0;     // targets whose apply ran
+  std::size_t superseded = 0;  // targets dropped by the supersede rule
+};
+
+/// Canonical control-plane sizing shared by the bench figures and the
+/// wired propagation path, so the standalone cost model and the live
+/// scenarios can't drift apart (bench_control_plane.cc used to duplicate
+/// these constants inline).
+struct ControlPlaneProfile {
+  std::uint64_t southbound_bandwidth_bps = 250'000'000;  // 250 Mbps VPN
+  std::size_t controller_cores = 8;
+  sim::Duration southbound_latency = sim::microseconds(500);
+  ControllerCostModel cost{};
+  /// xDS connection fan-out and per-target apply round trip; used by the
+  /// offline completion estimate (Fig 4/14), not the wired path.
+  double concurrent_streams = 8.0;
+  sim::Duration apply_rtt = sim::milliseconds(25);
+};
+
+/// Standalone push estimate on a throwaway event loop (Fig 4/14/15).
+struct OfflinePush {
+  PushReport report;
+  /// report.total_time plus the stream-limited apply RTT tax.
+  sim::Duration completion = 0;
+};
+
+/// Runs one push through a fresh Controller built from `profile` and
+/// returns its cost. Deterministic; no effect on any live loop.
+OfflinePush measure_push(const ControlPlaneProfile& profile,
+                         std::vector<ConfigTarget> targets);
+
+/// Epoch sequencer over a Controller. Owns per-proxy acked-epoch state;
+/// epochs are numbered from 1 and strictly monotonic per instance.
+class ConfigPropagation {
+ public:
+  ConfigPropagation(sim::EventLoop& loop, Controller& controller)
+      : loop_(loop), controller_(controller) {}
+
+  /// Convenience owning form: builds channel + controller from `profile`.
+  ConfigPropagation(sim::EventLoop& loop, const ControlPlaneProfile& profile);
+
+  /// Issues the next epoch. Each target's `apply` runs at that target's
+  /// delivery time iff the epoch still supersedes the proxy's acked one.
+  /// `done` fires when the last target has been delivered (applied or
+  /// dropped). Returns the epoch number.
+  std::uint64_t push_epoch(std::vector<EpochTarget> targets,
+                           std::function<void(EpochReport)> done = nullptr);
+
+  [[nodiscard]] std::uint64_t latest_epoch() const noexcept {
+    return next_epoch_ - 1;
+  }
+  /// Highest epoch this proxy has applied (0 = never configured).
+  [[nodiscard]] std::uint64_t acked_epoch(const std::string& name) const;
+  /// max − min acked epoch across every proxy ever targeted. Nonzero
+  /// while an epoch is partially delivered — the stale-config window.
+  [[nodiscard]] std::uint64_t epoch_skew() const;
+  /// True when every known proxy has acked the latest issued epoch.
+  [[nodiscard]] bool converged() const;
+
+  [[nodiscard]] std::uint64_t applies_total() const noexcept {
+    return applies_total_;
+  }
+  [[nodiscard]] std::uint64_t superseded_total() const noexcept {
+    return superseded_total_;
+  }
+  [[nodiscard]] const sim::Histogram& convergence_ms() const noexcept {
+    return convergence_ms_;
+  }
+  [[nodiscard]] Controller& controller() noexcept { return controller_; }
+
+ private:
+  sim::EventLoop& loop_;
+  // Owning-ctor storage; null when the caller supplied the controller.
+  std::unique_ptr<SouthboundChannel> owned_channel_;
+  std::unique_ptr<Controller> owned_controller_;
+  Controller& controller_;
+  std::uint64_t next_epoch_ = 1;
+  sim::FlatOrderedMap<std::string, std::uint64_t> acked_;
+  std::uint64_t applies_total_ = 0;
+  std::uint64_t superseded_total_ = 0;
+  sim::Histogram convergence_ms_;
+};
+
+}  // namespace canal::k8s

@@ -380,6 +380,31 @@ std::vector<k8s::ConfigTarget> AmbientMesh::routing_update_targets() const {
   return targets;
 }
 
+std::vector<k8s::EpochTarget> AmbientMesh::config_epoch_targets(
+    const EngineApply& apply) const {
+  std::vector<k8s::EpochTarget> targets;
+  const std::size_t wp_bytes = full_config_bytes(cluster_);
+  auto* self = const_cast<AmbientMesh*>(this);
+  for (const auto& [id, wp] : waypoints_) {
+    const net::ServiceId service = id;
+    targets.push_back(
+        {{"waypoint-" + std::to_string(net::id_value(service)), wp_bytes},
+         [self, service, apply] {
+           auto it = self->waypoints_.find(service);
+           if (it != self->waypoints_.end()) apply(*it->second->engine);
+         }});
+  }
+  // Ztunnels carry L4 identity/endpoint state only — no route table to
+  // install, so their targets cost southbound bandwidth but apply nothing.
+  const std::size_t zt_bytes = ztunnel_config_bytes();
+  for (const auto& [node, zt] : ztunnels_) {
+    targets.push_back(
+        {{"ztunnel-" + std::to_string(net::id_value(node->id())), zt_bytes},
+         nullptr});
+  }
+  return targets;
+}
+
 std::vector<k8s::ConfigTarget> AmbientMesh::pod_create_targets(
     const std::vector<k8s::Pod*>& new_pods) const {
   // All ztunnels learn the new workload identities; affected services'

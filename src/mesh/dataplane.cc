@@ -273,6 +273,15 @@ void MeshDataplane::enable_resilience(const proxy::ResilienceConfig& config) {
       std::make_unique<proxy::ResilienceChain>(config, std::move(hooks));
 }
 
+std::vector<k8s::EpochTarget> MeshDataplane::config_epoch_targets(
+    const EngineApply&) const {
+  std::vector<k8s::EpochTarget> targets;
+  for (auto& target : routing_update_targets()) {
+    targets.push_back({std::move(target), nullptr});
+  }
+  return targets;
+}
+
 void MeshDataplane::apply_endpoint_health(net::ServiceId, std::uint64_t,
                                           bool) {}
 

@@ -17,6 +17,7 @@
 #include "http/message.h"
 #include "k8s/cluster.h"
 #include "k8s/controller.h"
+#include "k8s/propagation.h"
 #include "net/flow.h"
 #include "net/ids.h"
 #include "proxy/engine.h"
@@ -233,6 +234,19 @@ class MeshDataplane {
   /// Proxies that must be configured when a routing policy changes.
   [[nodiscard]] virtual std::vector<k8s::ConfigTarget>
   routing_update_targets() const = 0;
+
+  /// Hook run against one proxy engine when its config epoch lands.
+  using EngineApply = std::function<void(proxy::ProxyEngine&)>;
+
+  /// Routing-update targets paired with delivery-time apply thunks for
+  /// k8s::ConfigPropagation::push_epoch — each target's thunk runs
+  /// `apply` over the engines that target configures, bumping their
+  /// fastpath versions only when that proxy's epoch actually lands.
+  /// Targets with no L7 engine (ztunnels, proxyless DNS entries) carry a
+  /// null apply. The base implementation wraps routing_update_targets()
+  /// with null applies; engine-backed planes override it.
+  [[nodiscard]] virtual std::vector<k8s::EpochTarget> config_epoch_targets(
+      const EngineApply& apply) const;
 
   /// Proxies that must be configured when `new_pods` are created
   /// (before the pods are reachable).

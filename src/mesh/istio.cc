@@ -259,6 +259,26 @@ std::vector<k8s::ConfigTarget> IstioMesh::routing_update_targets() const {
   return targets;
 }
 
+std::vector<k8s::EpochTarget> IstioMesh::config_epoch_targets(
+    const EngineApply& apply) const {
+  // One epoch target per sidecar; the apply thunk resolves the sidecar by
+  // pod id at delivery time so a pod killed mid-flight is simply skipped.
+  std::vector<k8s::EpochTarget> targets;
+  const std::size_t bytes = full_config_bytes(cluster_);
+  targets.reserve(sidecars_.size());
+  auto* self = const_cast<IstioMesh*>(this);
+  for (const auto& [id, sidecar] : sidecars_) {
+    const net::PodId pod_id = id;
+    targets.push_back(
+        {{"sidecar-" + std::to_string(net::id_value(pod_id)), bytes},
+         [self, pod_id, apply] {
+           auto it = self->sidecars_.find(pod_id);
+           if (it != self->sidecars_.end()) apply(*it->second.engine);
+         }});
+  }
+  return targets;
+}
+
 std::vector<k8s::ConfigTarget> IstioMesh::pod_create_targets(
     const std::vector<k8s::Pod*>& new_pods) const {
   // New sidecars need the full config; every existing sidecar receives the

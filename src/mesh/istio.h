@@ -53,6 +53,8 @@ class IstioMesh final : public MeshDataplane {
   }
   [[nodiscard]] std::vector<k8s::ConfigTarget> routing_update_targets()
       const override;
+  [[nodiscard]] std::vector<k8s::EpochTarget> config_epoch_targets(
+      const EngineApply& apply) const override;
   [[nodiscard]] std::vector<k8s::ConfigTarget> pod_create_targets(
       const std::vector<k8s::Pod*>& new_pods) const override;
   [[nodiscard]] double user_cpu_core_seconds() const override;

@@ -104,17 +104,21 @@ TEST(FuzzAllowlist, RoundTripsThroughString) {
     for (const bool b : flags) {
       for (const bool c : flags) {
         for (const bool d : flags) {
-          fuzz::Allowlist list;
-          list.l7_routing_nomesh = a;
-          list.weighted_split = b;
-          list.fault_window = c;
-          list.resilience_window = d;
-          const auto parsed = fuzz::Allowlist::parse(list.to_string());
-          ASSERT_TRUE(parsed.has_value()) << list.to_string();
-          EXPECT_EQ(parsed->l7_routing_nomesh, a);
-          EXPECT_EQ(parsed->weighted_split, b);
-          EXPECT_EQ(parsed->fault_window, c);
-          EXPECT_EQ(parsed->resilience_window, d);
+          for (const bool e : flags) {
+            fuzz::Allowlist list;
+            list.l7_routing_nomesh = a;
+            list.weighted_split = b;
+            list.fault_window = c;
+            list.resilience_window = d;
+            list.config_propagation_window = e;
+            const auto parsed = fuzz::Allowlist::parse(list.to_string());
+            ASSERT_TRUE(parsed.has_value()) << list.to_string();
+            EXPECT_EQ(parsed->l7_routing_nomesh, a);
+            EXPECT_EQ(parsed->weighted_split, b);
+            EXPECT_EQ(parsed->fault_window, c);
+            EXPECT_EQ(parsed->resilience_window, d);
+            EXPECT_EQ(parsed->config_propagation_window, e);
+          }
         }
       }
     }
@@ -133,6 +137,7 @@ TEST(FuzzAllowlist, EmptyStringDisablesEverything) {
   EXPECT_FALSE(parsed->weighted_split);
   EXPECT_FALSE(parsed->fault_window);
   EXPECT_FALSE(parsed->resilience_window);
+  EXPECT_FALSE(parsed->config_propagation_window);
 }
 
 TEST(FuzzAllowlist, NoMeshEntryIsLoadBearing) {
@@ -159,6 +164,96 @@ TEST(FuzzAllowlist, NoMeshEntryIsLoadBearing) {
   fuzz::Allowlist strict;
   strict.l7_routing_nomesh = false;
   EXPECT_FALSE(fuzz::check_scenario(spec, results, strict).clean());
+}
+
+TEST(FuzzAllowlist, ConfigWindowEntryIsLoadBearing) {
+  // A kPushConfig rollout converges at different speeds per plane (istio
+  // pushes O(pods) full configs; canal O(backends)), so "/api" requests
+  // densely straddling the push catch one plane already serving the
+  // pushed 226 while another still routes normally. With the entry on,
+  // those mid-window requests are exempt and the scenario is clean; with
+  // it off, the oracle must flag the rollout race.
+  fuzz::ScenarioSpec spec;
+  spec.seed = 202;
+  spec.pods_per_service = {2, 1};
+  fuzz::EventSpec push;
+  push.kind = fuzz::EventKind::kPushConfig;
+  push.at = sim::milliseconds(20);
+  push.service = 0;
+  push.config_status = 226;
+  spec.events.push_back(push);
+  for (int i = 0; i < 60; ++i) {
+    fuzz::RequestSpec req;
+    req.at = sim::milliseconds(19) + i * sim::microseconds(250);
+    req.client_service = 1;
+    req.dst_service = 0;
+    req.path = "/api/items";
+    spec.requests.push_back(req);
+  }
+
+  const auto results = fuzz::run_all_planes(spec);
+  EXPECT_TRUE(
+      fuzz::check_scenario(spec, results, fuzz::Allowlist{}).clean());
+  fuzz::Allowlist strict;
+  strict.config_propagation_window = false;
+  EXPECT_FALSE(fuzz::check_scenario(spec, results, strict).clean());
+}
+
+TEST(FuzzCampaign, ArmedControlPlaneNeedsTheWindowEntry) {
+  // Campaign-style proof that the entry is load-bearing end to end: armed
+  // scenarios (generator untouched, events appended post-generation, the
+  // DESIGN.md §11 pattern) must be clean under the default allowlist, and
+  // some armed scenario must fail once the window exemption is removed —
+  // otherwise the entry exempts nothing and is dead weight.
+  fuzz::Allowlist strict;
+  strict.config_propagation_window = false;
+  bool strict_failed = false;
+  for (std::uint32_t i = 0; i < 100 && !strict_failed; ++i) {
+    auto spec = fuzz::generate_scenario(1, i);
+    const auto events =
+        fuzz::derive_control_plane(1, i, spec.service_count());
+    spec.events.insert(spec.events.end(), events.begin(), events.end());
+    const auto results = fuzz::run_all_planes(spec);
+    EXPECT_TRUE(
+        fuzz::check_scenario(spec, results, fuzz::Allowlist{}).clean())
+        << "armed scenario " << i << " dirty under the default allowlist";
+    strict_failed = !fuzz::check_scenario(spec, results, strict).clean();
+  }
+  EXPECT_TRUE(strict_failed)
+      << "no armed scenario exercised the config-propagation window";
+}
+
+// ---- planted stale-route bug ---------------------------------------------
+
+/// Arms a generated scenario with control-plane events and plants the
+/// stale-route bug (canal's proxies ack epochs but never apply them), then
+/// hunts for an armed spec that fails under the FULL default allowlist:
+/// post-convergence staleness outlives every exemption window.
+std::optional<fuzz::ScenarioSpec> planted_stale_route_spec() {
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    fuzz::ScenarioSpec spec = fuzz::generate_scenario(13, i);
+    const auto events =
+        fuzz::derive_control_plane(13, i, spec.service_count());
+    spec.events.insert(spec.events.end(), events.begin(), events.end());
+    spec.planted_skip_config_plane = static_cast<int>(fuzz::kCanal);
+    if (fuzz::scenario_fails(spec, fuzz::Allowlist{})) return spec;
+  }
+  return std::nullopt;
+}
+
+TEST(FuzzShrink, MinimizesPlantedStaleRouteBug) {
+  const auto spec = planted_stale_route_spec();
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_GT(spec->program_size(), 5u) << "planted spec is already tiny";
+
+  const auto shrunk = fuzz::shrink(*spec, fuzz::Allowlist{});
+  EXPECT_TRUE(fuzz::scenario_fails(shrunk.spec, fuzz::Allowlist{}))
+      << "shrinking lost the stale-route failure";
+  // The minimal reproducer is one kPushConfig event plus one post-push
+  // "/api" request; everything else must shrink away.
+  EXPECT_LE(shrunk.spec.program_size(), 5u)
+      << fuzz::to_cpp_snippet(shrunk.spec);
+  EXPECT_GE(shrunk.removed, spec->program_size() - 5);
 }
 
 }  // namespace

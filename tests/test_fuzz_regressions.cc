@@ -77,5 +77,53 @@ TEST(FuzzRegression, DirectResponse2xxHasNoUpstreamEndpoint) {
   EXPECT_TRUE(report.violations.empty()) << report.to_json();
 }
 
+// Found by fuzz_mesh --seed 1 --control-plane (scenario 162) and shrunk
+// to three program elements. A cert-rotation wave completing just after
+// a route push distributed its certs as a null-apply epoch through the
+// *same* ConfigPropagation instance; the tiny cert epoch built and
+// transferred faster, delivered first, and the supersede rule dropped
+// the still-in-flight route epoch — the pushed table never applied on
+// the gateway planes, a permanent post-convergence 200-vs-226
+// divergence. The fix gives cert distribution its own propagation
+// instance (own epoch space + southbound stream, the xDS SDS/RDS
+// split).
+TEST(FuzzRegression, CertEpochMustNotSupersedeInFlightRoutePush) {
+  fuzz::ScenarioSpec spec;
+  spec.seed = 4587003206079766375ULL;
+  spec.index = 162;
+  spec.nodes = 2;
+  spec.node_cores = 8;
+  spec.pods_per_service = {2, 2, 2, 3};
+  spec.app_service_time = 862000;
+  {
+    fuzz::RequestSpec req;
+    req.at = 64466999;
+    req.client_service = 2;
+    req.client_pod = 0;
+    req.dst_service = 2;
+    req.tenant = 1;
+    req.path = "/api/items";
+    spec.requests.push_back(req);
+  }
+  {
+    fuzz::EventSpec ev;
+    ev.kind = fuzz::EventKind::kPushConfig;
+    ev.at = 27109091;
+    ev.service = 2;
+    ev.config_status = 226;
+    spec.events.push_back(ev);
+  }
+  {
+    fuzz::EventSpec ev;
+    ev.kind = fuzz::EventKind::kRotateCerts;
+    ev.at = 24450072;
+    ev.duration = 186051;
+    spec.events.push_back(ev);
+  }
+  const auto results = fuzz::run_all_planes(spec);
+  const auto report = fuzz::check_scenario(spec, results, fuzz::Allowlist{});
+  EXPECT_TRUE(report.violations.empty()) << report.to_json();
+}
+
 }  // namespace
 }  // namespace canal
